@@ -1,0 +1,143 @@
+//! Throughput of the four detector implementations: heartbeat ingestion
+//! and suspicion-level queries, plus the φ window-size ablation called out
+//! in DESIGN.md.
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::time::Timestamp;
+use afd_detectors::chen::ChenAccrual;
+use afd_detectors::kappa::{KappaAccrual, KappaConfig, PhiContribution, StepContribution};
+use afd_detectors::phi::{PhiAccrual, PhiConfig, PhiModel};
+use afd_detectors::simple::SimpleAccrual;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Feeds 1500 regular heartbeats, then measures one query per iteration.
+fn bench_query<D: AccrualFailureDetector>(c: &mut Criterion, name: &str, mut detector: D) {
+    for k in 1..=1_500u64 {
+        detector.record_heartbeat(Timestamp::from_millis(1_000 * k));
+    }
+    let now = Timestamp::from_millis(1_500_000 + 1_700);
+    c.bench_function(&format!("query/{name}"), |b| {
+        b.iter(|| black_box(detector.suspicion_level(black_box(now))))
+    });
+}
+
+/// Measures heartbeat ingestion, amortized over a burst of 1024.
+fn bench_heartbeat<D, F>(c: &mut Criterion, name: &str, mut make: F)
+where
+    D: AccrualFailureDetector,
+    F: FnMut() -> D,
+{
+    c.bench_function(&format!("heartbeat_x1024/{name}"), |b| {
+        b.iter_batched(
+            &mut make,
+            |mut d| {
+                for k in 1..=1024u64 {
+                    d.record_heartbeat(Timestamp::from_millis(k * 1_000));
+                }
+                black_box(d.suspicion_level(Timestamp::from_millis(1_025_000)))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn detectors(c: &mut Criterion) {
+    bench_query(c, "simple", SimpleAccrual::new(Timestamp::ZERO));
+    bench_query(c, "chen", ChenAccrual::with_defaults());
+    bench_query(c, "phi-normal", PhiAccrual::with_defaults());
+    bench_query(
+        c,
+        "phi-exponential",
+        PhiAccrual::new(PhiConfig {
+            model: PhiModel::Exponential,
+            ..PhiConfig::default()
+        })
+        .unwrap(),
+    );
+    bench_query(
+        c,
+        "phi-empirical",
+        PhiAccrual::new(PhiConfig {
+            model: PhiModel::Empirical {
+                bins: 200,
+                max_intervals: 16.0,
+            },
+            ..PhiConfig::default()
+        })
+        .unwrap(),
+    );
+    bench_query(
+        c,
+        "kappa-phi",
+        KappaAccrual::new(KappaConfig::default(), PhiContribution).unwrap(),
+    );
+    bench_query(
+        c,
+        "kappa-step",
+        KappaAccrual::new(KappaConfig::default(), StepContribution::new(0.5)).unwrap(),
+    );
+
+    bench_heartbeat(c, "simple", || SimpleAccrual::new(Timestamp::ZERO));
+    bench_heartbeat(c, "chen", ChenAccrual::with_defaults);
+    bench_heartbeat(c, "phi-normal", PhiAccrual::with_defaults);
+    bench_heartbeat(c, "kappa-phi", || {
+        KappaAccrual::new(KappaConfig::default(), PhiContribution).unwrap()
+    });
+}
+
+/// Ablation: φ query cost vs estimation-window size (O(1) by design —
+/// the window keeps running moments).
+fn phi_window_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phi_window_size_query");
+    for window in [100usize, 1_000, 10_000] {
+        let mut detector = PhiAccrual::new(PhiConfig {
+            window_size: window,
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        for k in 1..=(window as u64 + 500) {
+            detector.record_heartbeat(Timestamp::from_millis(1_000 * k));
+        }
+        let now = Timestamp::from_millis((window as u64 + 500) * 1_000 + 1_700);
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| black_box(detector.suspicion_level(black_box(now))))
+        });
+    }
+    group.finish();
+}
+
+/// The monitoring-service hot path at fleet scale: heartbeat routing and
+/// full-snapshot queries with 1000 watched peers (the per-machine service
+/// of §7).
+fn service_scale(c: &mut Criterion) {
+    use afd_core::process::ProcessId;
+    use afd_detectors::service::MonitoringService;
+
+    let mut service = MonitoringService::new(|_| PhiAccrual::with_defaults());
+    for i in 0..1_000u32 {
+        service.watch(ProcessId::new(i));
+    }
+    for k in 1..=60u64 {
+        for i in 0..1_000u32 {
+            service.heartbeat(ProcessId::new(i), Timestamp::from_millis(1_000 * k));
+        }
+    }
+    let now = Timestamp::from_millis(61_500);
+
+    c.bench_function("service_1000/heartbeat", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = (k + 1) % 1_000;
+            black_box(service.heartbeat(ProcessId::new(k), Timestamp::from_millis(62_000)))
+        })
+    });
+    c.bench_function("service_1000/snapshot", |b| {
+        b.iter(|| black_box(service.snapshot(black_box(now))))
+    });
+    c.bench_function("service_1000/rank", |b| {
+        b.iter(|| black_box(service.rank(black_box(now))))
+    });
+}
+
+criterion_group!(benches, detectors, phi_window_ablation, service_scale);
+criterion_main!(benches);

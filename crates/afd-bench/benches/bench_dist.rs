@@ -1,0 +1,45 @@
+//! Cost of evaluating arrival-distribution tails — the inner loop of the
+//! φ detector — across models, in the near tail and past f64 underflow.
+
+use afd_core::dist::{erfc, ln_erfc, ArrivalDistribution, Empirical, Erlang, Exponential, Normal};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tails(c: &mut Criterion) {
+    let normal = Normal::new(1.0, 0.1).unwrap();
+    let expo = Exponential::from_mean(1.0).unwrap();
+    let erlang = Erlang::new(4, 4.0).unwrap();
+    let mut empirical = Empirical::new(0.0, 16.0, 200).unwrap();
+    for k in 0..1_000 {
+        empirical.record(1.0 + 0.0001 * (k % 100) as f64);
+    }
+
+    let mut group = c.benchmark_group("log10_sf");
+    for &(label, x) in &[("near", 1.3f64), ("deep", 5.0)] {
+        group.bench_with_input(BenchmarkId::new("normal", label), &x, |b, &x| {
+            b.iter(|| black_box(normal.log10_sf(black_box(x))))
+        });
+        group.bench_with_input(BenchmarkId::new("exponential", label), &x, |b, &x| {
+            b.iter(|| black_box(expo.log10_sf(black_box(x))))
+        });
+        group.bench_with_input(BenchmarkId::new("erlang", label), &x, |b, &x| {
+            b.iter(|| black_box(erlang.log10_sf(black_box(x))))
+        });
+        group.bench_with_input(BenchmarkId::new("empirical", label), &x, |b, &x| {
+            b.iter(|| black_box(empirical.log10_sf(black_box(x))))
+        });
+    }
+    group.finish();
+
+    c.bench_function("erfc/series_regime_x1.2", |b| {
+        b.iter(|| black_box(erfc(black_box(1.2))))
+    });
+    c.bench_function("erfc/continued_fraction_x4.5", |b| {
+        b.iter(|| black_box(erfc(black_box(4.5))))
+    });
+    c.bench_function("ln_erfc/deep_tail_x40", |b| {
+        b.iter(|| black_box(ln_erfc(black_box(40.0))))
+    });
+}
+
+criterion_group!(benches, tails);
+criterion_main!(benches);

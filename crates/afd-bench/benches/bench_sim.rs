@@ -1,0 +1,45 @@
+//! Simulator throughput: full scenario runs (events/second of simulated
+//! traffic) and replay cost — what bounds experiment turnaround.
+
+use afd_core::time::Timestamp;
+use afd_detectors::phi::PhiAccrual;
+use afd_sim::replay::{replay, ReplayConfig};
+use afd_sim::scenario::Scenario;
+use afd_sim::simulate;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn sim(c: &mut Criterion) {
+    let scenario = Scenario::wan_jitter().with_horizon(Timestamp::from_secs(600));
+
+    c.bench_function("simulate/wan_600s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(simulate(&scenario, black_box(seed)))
+        })
+    });
+
+    let bursty = Scenario::bursty_loss().with_horizon(Timestamp::from_secs(600));
+    c.bench_function("simulate/bursty_600s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(simulate(&bursty, black_box(seed)))
+        })
+    });
+
+    let trace = simulate(&scenario, 1);
+    c.bench_function("replay/phi_600s_4hz", |b| {
+        b.iter(|| {
+            let mut detector = PhiAccrual::with_defaults();
+            black_box(replay(
+                &trace,
+                &mut detector,
+                ReplayConfig::every(afd_core::time::Duration::from_millis(250)),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, sim);
+criterion_main!(benches);

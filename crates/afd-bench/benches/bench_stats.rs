@@ -1,0 +1,62 @@
+//! Cost of the statistics substrate: sliding-window ingestion (the
+//! per-heartbeat cost shared by Chen, φ, and κ) and moment queries.
+
+use afd_core::stats::{Histogram, RunningMoments, SlidingWindow};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliding_window_push");
+    for capacity in [100usize, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| {
+                let mut w = SlidingWindow::new(cap);
+                // Pre-fill so every push evicts (the steady-state path).
+                for i in 0..cap {
+                    w.push(i as f64 * 0.001);
+                }
+                let mut x = 0.0f64;
+                b.iter(|| {
+                    x += 0.001;
+                    if x > 1e6 {
+                        x = 0.0;
+                    }
+                    black_box(w.push(black_box(x)))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut w = SlidingWindow::new(1_000);
+    for i in 0..1_000 {
+        w.push(1.0 + 0.0001 * (i % 97) as f64);
+    }
+    c.bench_function("sliding_window_moments", |b| {
+        b.iter(|| black_box((w.mean(), w.population_variance())))
+    });
+
+    c.bench_function("running_moments_push_remove", |b| {
+        let mut m: RunningMoments = (0..1000).map(|i| i as f64 * 0.01).collect();
+        b.iter(|| {
+            m.push(black_box(5.0));
+            m.remove(black_box(5.0));
+            black_box(m.mean())
+        })
+    });
+
+    c.bench_function("histogram_record_and_tail", |b| {
+        let mut h = Histogram::new(0.0, 16.0, 200);
+        for i in 0..1_000 {
+            h.record(1.0 + 0.001 * (i % 100) as f64);
+        }
+        b.iter(|| {
+            h.record(black_box(1.05));
+            black_box(h.fraction_above(black_box(2.5)))
+        })
+    });
+}
+
+criterion_group!(benches, window);
+criterion_main!(benches);

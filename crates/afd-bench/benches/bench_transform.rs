@@ -1,0 +1,59 @@
+//! Per-query overhead of the §4 interpretation machinery: Algorithm 1's
+//! self-adapting transformer and the plain / hysteresis threshold
+//! interpreters.
+
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+use afd_core::transform::{
+    AccrualToBinary, HysteresisInterpreter, Interpreter, ThresholdInterpreter,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn interpreters(c: &mut Criterion) {
+    // A pre-baked pseudo-random level stream (no RNG in the hot loop).
+    let levels: Vec<SuspicionLevel> = (0..4096u64)
+        .map(|k| {
+            let v = ((k.wrapping_mul(2654435761) >> 16) % 1000) as f64 / 100.0;
+            SuspicionLevel::new(v).unwrap()
+        })
+        .collect();
+    let at = Timestamp::from_secs(1);
+
+    c.bench_function("interpret/threshold", |b| {
+        let mut i = ThresholdInterpreter::new(SuspicionLevel::new(5.0).unwrap());
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) & 4095;
+            black_box(i.observe(at, levels[k]))
+        })
+    });
+
+    c.bench_function("interpret/hysteresis", |b| {
+        let mut i = HysteresisInterpreter::new(
+            SuspicionLevel::new(5.0).unwrap(),
+            SuspicionLevel::new(1.0).unwrap(),
+        );
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) & 4095;
+            black_box(i.observe(at, levels[k]))
+        })
+    });
+
+    c.bench_function("interpret/algorithm_1", |b| {
+        let mut i = AccrualToBinary::new(0.01);
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) & 4095;
+            black_box(i.observe(at, levels[k]))
+        })
+    });
+
+    c.bench_function("suspicion/quantize", |b| {
+        let sl = SuspicionLevel::new(3.25159).unwrap();
+        b.iter(|| black_box(black_box(sl).quantize(0.01)))
+    });
+}
+
+criterion_group!(benches, interpreters);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! **E10 — §1.3: the Bag-of-Tasks usage patterns.**
+//!
+//! Master/worker grid computation with crashing workers and bursty
+//! heartbeat loss. Binary baselines at several timeouts against the
+//! accrual policy (κ monitor, suspicion-ranked dispatch, cost-aware
+//! aborts). Regenerates the makespan / wasted-CPU table showing the binary
+//! dilemma and the accrual escape from it.
+
+use afd_bot::{run_bot, AccrualPolicy, BinaryTimeoutPolicy, BotConfig, BotOutcome};
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+use afd_detectors::kappa::{KappaAccrual, KappaConfig, PhiContribution};
+use afd_detectors::simple::SimpleAccrual;
+use afd_qos::experiment::{cell, Table};
+use afd_sim::loss::GilbertElliottLoss;
+use afd_sim::scenario::LossKind;
+
+fn summarize(outs: &[BotOutcome]) -> (f64, f64, f64, f64, usize) {
+    let n = outs.len() as f64;
+    (
+        outs.iter().map(|o| o.makespan_secs).sum::<f64>() / n,
+        outs.iter().map(|o| o.wasted_cpu_wrong_aborts).sum::<f64>() / n,
+        outs.iter().map(|o| o.wasted_cpu_crashes).sum::<f64>() / n,
+        outs.iter().map(|o| o.wrong_aborts as f64).sum::<f64>() / n,
+        outs.iter().filter(|o| o.completed).count(),
+    )
+}
+
+fn main() {
+    let config = BotConfig {
+        tasks: 40,
+        mean_task_secs: 120.0,
+        crash_fraction: 0.3,
+        crash_window_secs: (20.0, 300.0),
+        loss: LossKind::GilbertElliott(GilbertElliottLoss::bursts(0.02, 8.0)),
+        ..BotConfig::default()
+    };
+    let seeds: Vec<u64> = (0..20).collect();
+
+    let mut table = Table::new(
+        "E10: Bag-of-Tasks, 32 workers (30% crash), 40 x ~120 s tasks, bursty loss (20 seeds)",
+        &[
+            "policy",
+            "makespan (s)",
+            "wasted CPU: wrong aborts (s)",
+            "wasted CPU: crashes (s)",
+            "wrong aborts/run",
+            "completed",
+        ],
+    );
+
+    for timeout in [3.0, 10.0, 16.0, 25.0] {
+        let policy = BinaryTimeoutPolicy::new(SuspicionLevel::new(timeout).expect("valid"));
+        let outs: Vec<BotOutcome> = seeds
+            .iter()
+            .map(|&s| run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, s))
+            .collect();
+        let (mk, ww, wc, wa, done) = summarize(&outs);
+        table.push_row(vec![
+            format!("binary timeout {timeout} s"),
+            cell(mk, 1),
+            cell(ww, 1),
+            cell(wc, 1),
+            cell(wa, 1),
+            format!("{done}/{}", seeds.len()),
+        ]);
+    }
+
+    let accrual = AccrualPolicy::new(
+        SuspicionLevel::new(1.5).expect("valid"),
+        SuspicionLevel::new(2.5).expect("valid"),
+        8.0,
+    );
+    for (label, policy) in [
+        ("accrual (kappa, ranked + cost-aware)", accrual),
+        ("accrual ablation (no ranking)", accrual.without_ranking()),
+    ] {
+        let outs: Vec<BotOutcome> = seeds
+            .iter()
+            .map(|&s| {
+                run_bot(
+                    &config,
+                    |_| KappaAccrual::new(KappaConfig::default(), PhiContribution).expect("valid"),
+                    &policy,
+                    s,
+                )
+            })
+            .collect();
+        let (mk, ww, wc, wa, done) = summarize(&outs);
+        table.push_row(vec![
+            label.to_string(),
+            cell(mk, 1),
+            cell(ww, 1),
+            cell(wc, 1),
+            cell(wa, 1),
+            format!("{done}/{}", seeds.len()),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "reading: each binary timeout picks one point on the dilemma — short\n\
+         timeouts abort live work on every loss burst, long ones react to\n\
+         crashes slowly. The accrual policy ranks workers by suspicion for\n\
+         dispatch and raises its abort bar with the CPU at stake, landing\n\
+         better makespan than any timeout at near-minimal waste (§1.3)."
+    );
+}

@@ -1,0 +1,70 @@
+//! **E1 — Figs. 1–2 (§1.5): decoupled monitoring and interpretation.**
+//!
+//! One φ monitor feeds N applications with distinct thresholds. The table
+//! regenerates, per application: wrong suspicions, accuracy, and detection
+//! latency — all derived from a single shared suspicion-level stream, with
+//! Theorem 1 containment verified across every pair at every query.
+
+use afd_bench::{level_trace, DetectorKind, SEEDS};
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+use afd_qos::experiment::{aggregate, cell, cell_mean, Table};
+use afd_qos::metrics::analyze_at_threshold;
+use afd_sim::scenario::Scenario;
+
+fn main() {
+    let crash = Timestamp::from_secs(300);
+    let scenario = Scenario::wan_jitter()
+        .with_horizon(Timestamp::from_secs(600))
+        .with_crash_at(crash);
+    let thresholds = [0.5, 1.0, 2.0, 3.0, 5.0, 8.0];
+
+    let mut rows = Vec::new();
+    let mut containment_checks = 0u64;
+    for &phi in &thresholds {
+        let threshold = SuspicionLevel::new(phi).expect("valid threshold");
+        let reports: Vec<_> = SEEDS
+            .map(|seed| {
+                let levels = level_trace(&scenario, seed, DetectorKind::PhiNormal);
+                analyze_at_threshold(&levels, threshold, Some(crash))
+            })
+            .collect();
+        let agg = aggregate(&reports);
+        rows.push((phi, agg));
+    }
+
+    // Verify Theorem 1 containment across adjacent thresholds on one run.
+    let levels = level_trace(&scenario, 0, DetectorKind::PhiNormal);
+    for pair in thresholds.windows(2) {
+        let low = levels.threshold(SuspicionLevel::new(pair[0]).unwrap());
+        let high = levels.threshold(SuspicionLevel::new(pair[1]).unwrap());
+        for (a, b) in low.iter().zip(high.iter()) {
+            assert!(
+                !b.status.is_suspected() || a.status.is_suspected(),
+                "Theorem 1 containment violated"
+            );
+            containment_checks += 1;
+        }
+    }
+
+    let mut table = Table::new(
+        "E1: one phi monitor, per-application thresholds (30 seeds, crash at t=300s)",
+        &["phi threshold", "wrong suspicions/run", "P_A", "T_D (s)", "detected"],
+    );
+    for (phi, agg) in &rows {
+        table.push_row(vec![
+            cell(*phi, 1),
+            cell(agg.mean_mistakes, 2),
+            cell_mean(&agg.query_accuracy, 5),
+            cell_mean(&agg.detection_time, 2),
+            format!("{:.0}%", agg.detection_coverage * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("containment (Theorem 1) verified at {containment_checks} query pairs — no violation");
+    println!(
+        "\nreading: every application chooses its own tradeoff point from the\n\
+         same monitor — lower thresholds detect faster but suspect wrongly\n\
+         more often; higher thresholds are conservative (Cor. 2 & 3)."
+    );
+}

@@ -1,0 +1,85 @@
+//! **E5 — Theorem 1, Corollaries 2–3 (§4.4): threshold → (T_D, P_A).**
+//!
+//! Sweeps the interpretation threshold of the φ detector and regenerates
+//! the table relating thresholds to detection time (Corollary 2: T_D is
+//! non-decreasing in the threshold) and query accuracy (Corollary 3: P_A
+//! is non-decreasing too), under two jitter regimes.
+
+use afd_bench::{level_trace, DetectorKind, SEEDS};
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::{Duration, Timestamp};
+use afd_qos::experiment::{aggregate, cell, cell_mean, Table};
+use afd_qos::metrics::analyze_at_threshold;
+use afd_sim::delay::NormalDelay;
+use afd_sim::scenario::{DelayKind, Scenario};
+
+fn jitter_scenario(std_ms: u64) -> Scenario {
+    Scenario {
+        delay: DelayKind::Normal(NormalDelay::new(
+            Duration::from_millis(100),
+            Duration::from_millis(std_ms),
+            Duration::from_millis(10),
+        )),
+        ..Scenario::wan_jitter()
+    }
+}
+
+fn main() {
+    let thresholds = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+    let crash = Timestamp::from_secs(300);
+
+    for std_ms in [20u64, 80] {
+        let crash_scenario = jitter_scenario(std_ms)
+            .with_horizon(Timestamp::from_secs(600))
+            .with_crash_at(crash);
+        let healthy_scenario = jitter_scenario(std_ms).with_horizon(Timestamp::from_secs(600));
+
+        let mut table = Table::new(
+            format!("E5: phi threshold sweep, delay jitter sigma = {std_ms} ms (30 seeds)"),
+            &["phi thr", "T_D mean (s)", "T_D p95", "P_A", "mistakes/run", "detected"],
+        );
+        let mut prev_td = -1.0f64;
+        let mut prev_pa = -1.0f64;
+        for &thr in &thresholds {
+            let threshold = SuspicionLevel::new(thr).expect("valid");
+            let crash_reports: Vec<_> = SEEDS
+                .map(|s| {
+                    let levels = level_trace(&crash_scenario, s, DetectorKind::PhiNormal);
+                    analyze_at_threshold(&levels, threshold, Some(crash))
+                })
+                .collect();
+            let healthy_reports: Vec<_> = SEEDS
+                .map(|s| {
+                    let levels = level_trace(&healthy_scenario, s, DetectorKind::PhiNormal);
+                    analyze_at_threshold(&levels, threshold, None)
+                })
+                .collect();
+            let crash_agg = aggregate(&crash_reports);
+            let healthy_agg = aggregate(&healthy_reports);
+
+            let td = crash_agg.detection_time.map(|s| s.mean).unwrap_or(f64::NAN);
+            let pa = healthy_agg.query_accuracy.map(|s| s.mean).unwrap_or(f64::NAN);
+            assert!(td >= prev_td - 1e-9, "Corollary 2 violated at Φ={thr}");
+            assert!(pa >= prev_pa - 1e-9, "Corollary 3 violated at Φ={thr}");
+            prev_td = td;
+            prev_pa = pa;
+
+            table.push_row(vec![
+                cell(thr, 1),
+                cell_mean(&crash_agg.detection_time, 3),
+                crash_agg
+                    .detection_time
+                    .map_or("—".into(), |s| cell(s.p95, 3)),
+                cell_mean(&healthy_agg.query_accuracy, 6),
+                cell(healthy_agg.mean_mistakes, 2),
+                format!("{:.0}%", crash_agg.detection_coverage * 100.0),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!(
+        "reading: T_D grows and P_A grows with the threshold — the aggressive\n\
+         ↔ conservative dial of §4.4, checked monotone across the sweep\n\
+         (Corollaries 2 and 3). Higher jitter shifts the whole curve."
+    );
+}

@@ -1,0 +1,30 @@
+//! The Bag-of-Tasks (BoT) application of §1.3, built on accrual failure
+//! detection.
+//!
+//! The paper motivates accrual detectors with a master/worker grid
+//! computation (the OurGrid example): the master must (1) *rank* workers by
+//! how likely they are alive when assigning tasks, and (2) decide when to
+//! abort a task, knowing that the cost of a wrong abort *grows with the
+//! work already invested*. Both usage patterns fall naturally out of a
+//! real-valued suspicion level and are awkward with a binary trust/suspect
+//! bit.
+//!
+//! - [`policy`]: the [`policy::MasterPolicy`] trait with the classical
+//!   [`policy::BinaryTimeoutPolicy`] baseline and the suspicion-ranked,
+//!   cost-aware [`policy::AccrualPolicy`].
+//! - [`sim`]: a deterministic master/worker simulation with crashing
+//!   workers and a lossy, jittery heartbeat network; reports makespan and
+//!   wasted CPU.
+//!
+//! Experiment E10 sweeps both policies over loss rates and crash fractions
+//! to regenerate the paper's qualitative claim.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod policy;
+pub mod sim;
+
+pub use policy::{AccrualPolicy, BinaryTimeoutPolicy, MasterPolicy};
+pub use sim::{run_bot, BotConfig, BotOutcome};

@@ -1,0 +1,243 @@
+//! Master-side failure-handling policies.
+//!
+//! §1.3 of the paper identifies two places the master consumes failure
+//! information, and why binary detectors serve both poorly:
+//!
+//! 1. **Dispatch** — tasks should go to the workers *most likely alive*,
+//!    which needs an ordering, not a bit.
+//! 2. **Abort** — restarting a task wastes all CPU already invested, and
+//!    that cost *grows with time*, so the confidence required to abort
+//!    should grow with the investment.
+//!
+//! [`AccrualPolicy`] implements both ideas directly on suspicion levels.
+//! [`BinaryTimeoutPolicy`] is the classical baseline: a single timeout
+//! drives both decisions, with no ordering and no cost awareness.
+
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+
+/// A master policy: how suspicion levels turn into dispatch and abort
+/// decisions.
+pub trait MasterPolicy {
+    /// `true` if a new task may be assigned to a worker whose current
+    /// suspicion level is `level`.
+    fn allow_dispatch(&self, level: SuspicionLevel) -> bool;
+
+    /// Orders idle candidate workers for dispatch, best first.
+    fn rank_for_dispatch(
+        &self,
+        candidates: &[(ProcessId, SuspicionLevel)],
+    ) -> Vec<ProcessId>;
+
+    /// `true` if the task running on a worker with suspicion `level` and
+    /// `invested_secs` of completed work should be aborted and rescheduled.
+    fn should_abort(&self, level: SuspicionLevel, invested_secs: f64) -> bool;
+
+    /// A short display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The classical baseline: one timeout (in suspicion-level units) decides
+/// everything. Workers are not ranked (dispatch in id order), and the abort
+/// decision ignores how much work would be lost.
+///
+/// Pair it with the elapsed-time detector
+/// ([`afd_detectors::simple::SimpleAccrual`]) so the threshold is literally
+/// a heartbeat timeout in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryTimeoutPolicy {
+    threshold: SuspicionLevel,
+}
+
+impl BinaryTimeoutPolicy {
+    /// Creates the baseline with the given timeout threshold.
+    pub fn new(threshold: SuspicionLevel) -> Self {
+        BinaryTimeoutPolicy { threshold }
+    }
+}
+
+impl MasterPolicy for BinaryTimeoutPolicy {
+    fn allow_dispatch(&self, level: SuspicionLevel) -> bool {
+        level <= self.threshold
+    }
+
+    fn rank_for_dispatch(
+        &self,
+        candidates: &[(ProcessId, SuspicionLevel)],
+    ) -> Vec<ProcessId> {
+        // A binary detector offers no ordering: id order.
+        let mut ids: Vec<ProcessId> = candidates.iter().map(|&(p, _)| p).collect();
+        ids.sort();
+        ids
+    }
+
+    fn should_abort(&self, level: SuspicionLevel, _invested_secs: f64) -> bool {
+        level > self.threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "binary-timeout"
+    }
+}
+
+/// The accrual policy of §1.3: suspicion-ranked dispatch plus cost-aware
+/// aborts.
+///
+/// - Dispatch is allowed below `dispatch_threshold` and candidates are
+///   ordered by ascending suspicion (most-alive first).
+/// - A running task is aborted when the suspicion level exceeds
+///   `abort_base + cost_slope · log₁₀(1 + invested_secs)`: the more work a
+///   task has accumulated, the more confidence the master demands before
+///   discarding it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccrualPolicy {
+    /// Suspicion level above which no new work is assigned.
+    pub dispatch_threshold: SuspicionLevel,
+    /// Abort threshold for a task with zero invested work.
+    pub abort_base: SuspicionLevel,
+    /// How much the abort threshold grows per decade of invested seconds.
+    pub cost_slope: f64,
+    /// Whether dispatch candidates are ordered by suspicion level
+    /// (usage pattern 1 of §1.3). Disable for the ablation that isolates
+    /// the cost-aware abort rule.
+    pub ranked_dispatch: bool,
+}
+
+impl AccrualPolicy {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost_slope` is negative or not finite.
+    pub fn new(
+        dispatch_threshold: SuspicionLevel,
+        abort_base: SuspicionLevel,
+        cost_slope: f64,
+    ) -> Self {
+        assert!(
+            cost_slope.is_finite() && cost_slope >= 0.0,
+            "cost slope must be non-negative"
+        );
+        AccrualPolicy {
+            dispatch_threshold,
+            abort_base,
+            cost_slope,
+            ranked_dispatch: true,
+        }
+    }
+
+    /// Returns a copy with suspicion-ranked dispatch disabled (candidates
+    /// are taken in id order, like the binary baseline) — the ablation of
+    /// §1.3's first usage pattern.
+    pub fn without_ranking(mut self) -> Self {
+        self.ranked_dispatch = false;
+        self
+    }
+
+    /// The abort threshold in force for a task with `invested_secs` of
+    /// completed work.
+    pub fn abort_threshold(&self, invested_secs: f64) -> SuspicionLevel {
+        SuspicionLevel::clamped(
+            self.abort_base.value() + self.cost_slope * (1.0 + invested_secs.max(0.0)).log10(),
+        )
+    }
+}
+
+impl MasterPolicy for AccrualPolicy {
+    fn allow_dispatch(&self, level: SuspicionLevel) -> bool {
+        level <= self.dispatch_threshold
+    }
+
+    fn rank_for_dispatch(
+        &self,
+        candidates: &[(ProcessId, SuspicionLevel)],
+    ) -> Vec<ProcessId> {
+        let mut sorted: Vec<_> = candidates.to_vec();
+        if self.ranked_dispatch {
+            sorted.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        } else {
+            sorted.sort_by_key(|a| a.0);
+        }
+        sorted.into_iter().map(|(p, _)| p).collect()
+    }
+
+    fn should_abort(&self, level: SuspicionLevel, invested_secs: f64) -> bool {
+        level > self.abort_threshold(invested_secs)
+    }
+
+    fn name(&self) -> &'static str {
+        "accrual-cost-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn binary_policy_is_a_single_timeout() {
+        let pol = BinaryTimeoutPolicy::new(sl(5.0));
+        assert!(pol.allow_dispatch(sl(5.0)));
+        assert!(!pol.allow_dispatch(sl(5.1)));
+        assert!(!pol.should_abort(sl(5.0), 1_000.0));
+        assert!(pol.should_abort(sl(5.1), 0.0));
+        assert_eq!(pol.name(), "binary-timeout");
+    }
+
+    #[test]
+    fn binary_policy_ignores_suspicion_ordering() {
+        let pol = BinaryTimeoutPolicy::new(sl(5.0));
+        let ranked = pol.rank_for_dispatch(&[(p(2), sl(0.1)), (p(1), sl(4.0))]);
+        assert_eq!(ranked, vec![p(1), p(2)], "id order, not suspicion order");
+    }
+
+    #[test]
+    fn accrual_policy_ranks_by_suspicion() {
+        let pol = AccrualPolicy::new(sl(1.0), sl(3.0), 2.0);
+        let ranked = pol.rank_for_dispatch(&[(p(1), sl(0.9)), (p(2), sl(0.1)), (p(3), sl(0.5))]);
+        assert_eq!(ranked, vec![p(2), p(3), p(1)]);
+    }
+
+    #[test]
+    fn accrual_abort_threshold_grows_with_investment() {
+        let pol = AccrualPolicy::new(sl(1.0), sl(3.0), 2.0);
+        let fresh = pol.abort_threshold(0.0);
+        let hour = pol.abort_threshold(3600.0);
+        assert_eq!(fresh.value(), 3.0);
+        assert!((hour.value() - (3.0 + 2.0 * 3601f64.log10())).abs() < 1e-9);
+        // A level that aborts a fresh task spares a long-running one.
+        let level = sl(4.0);
+        assert!(pol.should_abort(level, 0.0));
+        assert!(!pol.should_abort(level, 3600.0));
+    }
+
+    #[test]
+    fn unranked_ablation_dispatches_in_id_order() {
+        let pol = AccrualPolicy::new(sl(1.0), sl(3.0), 2.0).without_ranking();
+        assert!(!pol.ranked_dispatch);
+        let ranked = pol.rank_for_dispatch(&[(p(2), sl(0.1)), (p(1), sl(0.9))]);
+        assert_eq!(ranked, vec![p(1), p(2)]);
+        // Abort rule is unchanged by the ablation.
+        assert!(pol.should_abort(sl(4.0), 0.0));
+    }
+
+    #[test]
+    fn accrual_zero_slope_reduces_to_constant_threshold() {
+        let pol = AccrualPolicy::new(sl(1.0), sl(3.0), 0.0);
+        assert_eq!(pol.abort_threshold(0.0), pol.abort_threshold(1e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_slope_rejected() {
+        let _ = AccrualPolicy::new(sl(1.0), sl(3.0), -1.0);
+    }
+}

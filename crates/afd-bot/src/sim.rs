@@ -1,0 +1,394 @@
+//! The Bag-of-Tasks master/worker simulation (§1.3 of the paper).
+//!
+//! One master holds a bag of independent tasks and a pool of workers. Each
+//! worker heartbeats the master over a jittery, lossy network; some workers
+//! crash. The master dispatches tasks, monitors workers through an accrual
+//! detector, and applies a [`MasterPolicy`] to decide (a) which idle worker
+//! gets the next task and (b) when to give up on a worker and reschedule
+//! its task — losing the invested CPU time.
+//!
+//! The simulation is time-stepped at a fixed tick (the master's query
+//! cadence), which matches how a real master would poll its failure
+//! detection service.
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::{Duration, Timestamp};
+use afd_sim::loss::LossModel;
+use afd_sim::rng::SimRng;
+use afd_sim::scenario::LossKind;
+
+use crate::policy::MasterPolicy;
+
+/// Configuration of a Bag-of-Tasks run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BotConfig {
+    /// Number of worker processes.
+    pub workers: u32,
+    /// Number of independent tasks in the bag.
+    pub tasks: u32,
+    /// Mean task duration, seconds (uniform in ±50% around the mean).
+    pub mean_task_secs: f64,
+    /// Fraction of workers that crash during the run.
+    pub crash_fraction: f64,
+    /// Crashes are sampled uniformly inside this window, seconds.
+    pub crash_window_secs: (f64, f64),
+    /// Worker heartbeat interval.
+    pub heartbeat_interval: Duration,
+    /// Mean one-way network delay for heartbeats, seconds.
+    pub net_delay_mean: f64,
+    /// Standard deviation of the network delay, seconds.
+    pub net_delay_std: f64,
+    /// The heartbeat loss model (independent or bursty).
+    pub loss: LossKind,
+    /// Master tick (query cadence).
+    pub tick: Duration,
+    /// Hard wall-clock cap on the simulation, seconds.
+    pub max_secs: f64,
+}
+
+impl Default for BotConfig {
+    fn default() -> Self {
+        BotConfig {
+            workers: 32,
+            tasks: 200,
+            mean_task_secs: 30.0,
+            crash_fraction: 0.25,
+            crash_window_secs: (20.0, 200.0),
+            heartbeat_interval: Duration::from_secs(1),
+            net_delay_mean: 0.05,
+            net_delay_std: 0.02,
+            loss: LossKind::Bernoulli(afd_sim::loss::BernoulliLoss::new(0.01)),
+            tick: Duration::from_millis(250),
+            max_secs: 3_600.0,
+        }
+    }
+}
+
+/// The outcome of one Bag-of-Tasks run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BotOutcome {
+    /// Wall-clock time until every task completed, seconds (`max_secs` if
+    /// the run hit the cap).
+    pub makespan_secs: f64,
+    /// `true` if every task completed within the cap.
+    pub completed: bool,
+    /// CPU seconds thrown away because the master aborted tasks on workers
+    /// that were actually alive (wrong suspicions).
+    pub wasted_cpu_wrong_aborts: f64,
+    /// CPU seconds lost to genuine worker crashes (unavoidable).
+    pub wasted_cpu_crashes: f64,
+    /// Tasks aborted on live workers.
+    pub wrong_aborts: u64,
+    /// Tasks lost to crashes and rescheduled.
+    pub crash_reschedules: u64,
+    /// Workers that crashed.
+    pub crashed_workers: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WorkerState {
+    Idle,
+    /// Running a task: (task id, global start time, task duration).
+    Running {
+        task: u32,
+        started: Timestamp,
+        duration: f64,
+    },
+    /// The master has written this worker off.
+    Retired,
+}
+
+/// Runs one Bag-of-Tasks simulation.
+///
+/// `detector_factory` builds the master's per-worker accrual monitor (use
+/// [`afd_detectors::simple::SimpleAccrual`] for the classical baseline and
+/// [`afd_detectors::phi::PhiAccrual`] for the accrual policy, so each
+/// policy consumes the representation it was designed for).
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no workers, no tasks, zero
+/// tick, or an inverted crash window).
+pub fn run_bot<D, F, P>(
+    config: &BotConfig,
+    mut detector_factory: F,
+    policy: &P,
+    seed: u64,
+) -> BotOutcome
+where
+    D: AccrualFailureDetector,
+    F: FnMut(ProcessId) -> D,
+    P: MasterPolicy + ?Sized,
+{
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(config.tasks > 0, "need at least one task");
+    assert!(!config.tick.is_zero(), "tick must be positive");
+    assert!(
+        config.crash_window_secs.0 <= config.crash_window_secs.1,
+        "crash window must be ordered"
+    );
+
+    let mut rng = SimRng::derive(seed, 0xB07);
+    let n = config.workers as usize;
+
+    // --- Worker fates ------------------------------------------------------
+    let crash_count = ((config.workers as f64) * config.crash_fraction).round() as usize;
+    let mut crash_times: Vec<Option<Timestamp>> = vec![None; n];
+    // Deterministically crash the first `crash_count` worker ids at random
+    // times (which ids crash is immaterial; times are random).
+    for slot in crash_times.iter_mut().take(crash_count) {
+        let at = rng.uniform_in(config.crash_window_secs.0, config.crash_window_secs.1);
+        *slot = Some(Timestamp::from_secs_f64(at));
+    }
+
+    // --- Heartbeat arrival streams ------------------------------------------
+    // Precompute each worker's heartbeat arrival times at the master.
+    let mut arrivals: Vec<Vec<Timestamp>> = Vec::with_capacity(n);
+    let hb = config.heartbeat_interval.as_secs_f64();
+    for crash in crash_times.iter() {
+        // Each worker's link gets its own loss process (so bursts on one
+        // link do not synchronize with another's).
+        let mut loss = config.loss;
+        let mut stream = Vec::new();
+        let mut t = hb;
+        let mut last_arrival = 0.0f64;
+        while t < config.max_secs {
+            if crash.is_some_and(|c| t >= c.as_secs_f64()) {
+                break;
+            }
+            if !loss.is_lost(&mut rng) {
+                let delay = rng
+                    .normal(config.net_delay_mean, config.net_delay_std)
+                    .max(config.net_delay_mean / 10.0);
+                let arrival = (t + delay).max(last_arrival + 1e-9);
+                stream.push(Timestamp::from_secs_f64(arrival));
+                last_arrival = arrival;
+            }
+            t += hb;
+        }
+        arrivals.push(stream);
+    }
+
+    // --- Master state --------------------------------------------------------
+    let mut detectors: Vec<D> = (0..config.workers)
+        .map(|i| detector_factory(ProcessId::new(i)))
+        .collect();
+    let mut next_arrival = vec![0usize; n];
+    let mut states = vec![WorkerState::Idle; n];
+    let mut pending: Vec<u32> = (0..config.tasks).rev().collect(); // pop() takes lowest id
+    let mut task_durations: Vec<f64> = (0..config.tasks)
+        .map(|_| rng.uniform_in(config.mean_task_secs * 0.5, config.mean_task_secs * 1.5))
+        .collect();
+    // Deterministic but varied; reuse the same durations on reschedule.
+    task_durations.shrink_to_fit();
+
+    let mut completed_tasks = 0u32;
+    let mut outcome = BotOutcome {
+        makespan_secs: config.max_secs,
+        completed: false,
+        wasted_cpu_wrong_aborts: 0.0,
+        wasted_cpu_crashes: 0.0,
+        wrong_aborts: 0,
+        crash_reschedules: 0,
+        crashed_workers: crash_count as u32,
+    };
+
+    let tick = config.tick;
+    let mut now = Timestamp::ZERO + tick;
+    let horizon = Timestamp::from_secs_f64(config.max_secs);
+
+    while now <= horizon {
+        // 1. Deliver heartbeats that arrived before this tick.
+        for w in 0..n {
+            let stream = &arrivals[w];
+            while next_arrival[w] < stream.len() && stream[next_arrival[w]] <= now {
+                detectors[w].record_heartbeat(stream[next_arrival[w]]);
+                next_arrival[w] += 1;
+            }
+        }
+
+        // 2. Query suspicion levels.
+        let levels: Vec<SuspicionLevel> =
+            detectors.iter_mut().map(|d| d.suspicion_level(now)).collect();
+
+        // 3. Task completions and crash handling.
+        for w in 0..n {
+            let crashed = crash_times[w].is_some_and(|c| now >= c);
+            if let WorkerState::Running { task, started, duration } = states[w] {
+                if crashed {
+                    // Work stops at the crash instant; the master does not
+                    // know yet — it will learn through the detector.
+                    let crash_at = crash_times[w].expect("crashed");
+                    let done = (crash_at.saturating_duration_since(started)).as_secs_f64();
+                    if policy.should_abort(levels[w], done.min(duration)) {
+                        outcome.wasted_cpu_crashes += done.min(duration);
+                        outcome.crash_reschedules += 1;
+                        pending.push(task);
+                        states[w] = WorkerState::Retired;
+                    }
+                } else {
+                    let done = (now.saturating_duration_since(started)).as_secs_f64();
+                    if done >= duration {
+                        completed_tasks += 1;
+                        states[w] = WorkerState::Idle;
+                    } else if policy.should_abort(levels[w], done) {
+                        // Wrong abort: the worker is alive.
+                        outcome.wasted_cpu_wrong_aborts += done;
+                        outcome.wrong_aborts += 1;
+                        pending.push(task);
+                        // The worker is shunned until it looks alive again.
+                        states[w] = WorkerState::Idle;
+                    }
+                }
+            } else if states[w] == WorkerState::Idle && crashed {
+                states[w] = WorkerState::Retired;
+            }
+        }
+
+        if completed_tasks == config.tasks {
+            outcome.makespan_secs = (now - Timestamp::ZERO).as_secs_f64();
+            outcome.completed = true;
+            break;
+        }
+
+        // 4. Dispatch pending tasks to eligible idle workers, best first.
+        if !pending.is_empty() {
+            let candidates: Vec<(ProcessId, SuspicionLevel)> = (0..n)
+                .filter(|&w| states[w] == WorkerState::Idle && policy.allow_dispatch(levels[w]))
+                .map(|w| (ProcessId::new(w as u32), levels[w]))
+                .collect();
+            for worker in policy.rank_for_dispatch(&candidates) {
+                let Some(task) = pending.pop() else { break };
+                states[worker.index()] = WorkerState::Running {
+                    task,
+                    started: now,
+                    duration: task_durations[task as usize],
+                };
+            }
+        }
+
+        now += tick;
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AccrualPolicy, BinaryTimeoutPolicy};
+    use afd_detectors::kappa::{KappaAccrual, KappaConfig, PhiContribution};
+    use afd_detectors::simple::SimpleAccrual;
+    use afd_sim::loss::{BernoulliLoss, GilbertElliottLoss};
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    fn small_config() -> BotConfig {
+        BotConfig {
+            workers: 8,
+            tasks: 24,
+            mean_task_secs: 10.0,
+            crash_fraction: 0.25,
+            crash_window_secs: (10.0, 60.0),
+            max_secs: 1_200.0,
+            ..BotConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_without_crashes() {
+        let config = BotConfig {
+            crash_fraction: 0.0,
+            ..small_config()
+        };
+        let policy = BinaryTimeoutPolicy::new(sl(5.0));
+        let out = run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, 1);
+        assert!(out.completed, "all tasks should finish: {out:?}");
+        assert_eq!(out.crashed_workers, 0);
+        assert_eq!(out.crash_reschedules, 0);
+        // Lower bound: 24 tasks × ≥5 s over 8 workers ⇒ ≥ 15 s.
+        assert!(out.makespan_secs >= 15.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = small_config();
+        let policy = BinaryTimeoutPolicy::new(sl(5.0));
+        let a = run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, 9);
+        let b = run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crashes_force_reschedules_but_run_still_completes() {
+        // Long tasks and an early crash window guarantee the crashing
+        // workers die mid-task.
+        let config = BotConfig {
+            mean_task_secs: 60.0,
+            crash_window_secs: (5.0, 15.0),
+            ..small_config()
+        };
+        let policy = BinaryTimeoutPolicy::new(sl(5.0));
+        let out = run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, 3);
+        assert!(out.completed, "{out:?}");
+        assert_eq!(out.crashed_workers, 2);
+        assert!(out.crash_reschedules >= 1, "{out:?}");
+        assert!(out.wasted_cpu_crashes > 0.0);
+    }
+
+    #[test]
+    fn aggressive_timeout_wastes_cpu_on_wrong_aborts() {
+        // A 1.5 s timeout against 1 s heartbeats with 5% loss: a single
+        // lost heartbeat aborts live work.
+        let config = BotConfig {
+            loss: LossKind::Bernoulli(BernoulliLoss::new(0.05)),
+            ..small_config()
+        };
+        let policy = BinaryTimeoutPolicy::new(sl(1.5));
+        let out = run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, 5);
+        assert!(out.wrong_aborts > 0, "{out:?}");
+        assert!(out.wasted_cpu_wrong_aborts > 0.0);
+    }
+
+    #[test]
+    fn accrual_policy_with_kappa_survives_loss_bursts() {
+        // Bursty loss (bursts of ~4 heartbeats): a 3 s binary timeout
+        // aborts live work on every burst; κ with a cost-aware threshold
+        // rides bursts out on invested tasks.
+        let config = BotConfig {
+            mean_task_secs: 40.0,
+            loss: LossKind::GilbertElliott(GilbertElliottLoss::bursts(0.02, 4.0)),
+            ..small_config()
+        };
+        let binary = BinaryTimeoutPolicy::new(sl(3.0));
+        let out_b = run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &binary, 5);
+
+        let accrual = AccrualPolicy::new(sl(1.0), sl(2.5), 6.0);
+        let out_a = run_bot(
+            &config,
+            |_| KappaAccrual::new(KappaConfig::default(), PhiContribution).unwrap(),
+            &accrual,
+            5,
+        );
+        assert!(out_a.completed, "{out_a:?}");
+        assert!(
+            out_a.wasted_cpu_wrong_aborts < out_b.wasted_cpu_wrong_aborts,
+            "accrual should waste less: {out_a:?} vs {out_b:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        let config = BotConfig {
+            workers: 0,
+            ..BotConfig::default()
+        };
+        let policy = BinaryTimeoutPolicy::new(sl(5.0));
+        let _ = run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, 0);
+    }
+}

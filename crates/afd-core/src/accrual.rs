@@ -1,0 +1,153 @@
+//! Accrual failure detectors (§3 of the paper).
+//!
+//! An accrual failure detector outputs, per monitored process, a
+//! [`SuspicionLevel`] instead of a binary verdict. The class **◊P_ac**
+//! (Definition 2) requires, for every pair of distinct processes:
+//!
+//! - **Accruement** (Property 1): if the monitored process is faulty, the
+//!   suspicion level is eventually monotonously non-decreasing and strictly
+//!   increases at least once every `Q` queries, for some finite `Q`.
+//! - **Upper Bound** (Property 2): if the monitored process is correct, the
+//!   suspicion level is bounded (by some unknown `SL_max`).
+//!
+//! The two interfaces here mirror the paper's architecture (Figs. 1–2):
+//! *monitoring* ([`AccrualFailureDetector::record_heartbeat`]) is the intake
+//! of liveness evidence, and *interpretation* is left to the caller — e.g.
+//! the threshold interpreters in [`crate::transform`], or
+//! application-specific logic such as ranking processes by suspicion level.
+
+use crate::suspicion::SuspicionLevel;
+use crate::time::Timestamp;
+
+/// An accrual failure detector module for a single monitored process.
+///
+/// Implementations take all time inputs explicitly (never reading a clock),
+/// which makes them usable with real clocks, simulated clocks, and the
+/// drifting local clocks of the paper's partially synchronous model alike.
+///
+/// The `&mut self` receiver on [`suspicion_level`] follows the paper's query
+/// model: a query is a *step* of the monitoring process and may update
+/// internal state (e.g. the Algorithm 2 transformation increments its level
+/// on every query while the underlying binary detector suspects).
+/// Implementations that are pure functions of `(state, now)` simply don't
+/// mutate.
+///
+/// The trait is object-safe (`Box<dyn AccrualFailureDetector>` works), so a
+/// monitoring service can manage heterogeneous detectors.
+///
+/// [`suspicion_level`]: AccrualFailureDetector::suspicion_level
+pub trait AccrualFailureDetector {
+    /// Records that liveness evidence (typically a heartbeat) from the
+    /// monitored process arrived at time `arrival`.
+    ///
+    /// Arrival times across successive calls must be non-decreasing.
+    /// Implementations that need duplicate/reorder protection (e.g.
+    /// sequence-numbered heartbeats, Algorithm 4 lines 8–10) perform it
+    /// at a higher layer or internally.
+    fn record_heartbeat(&mut self, arrival: Timestamp);
+
+    /// Answers one query at time `now`: the current suspicion level of the
+    /// monitored process.
+    ///
+    /// `now` must be ≥ every previously recorded arrival and every previous
+    /// query time.
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel;
+}
+
+impl<D: AccrualFailureDetector + ?Sized> AccrualFailureDetector for &mut D {
+    fn record_heartbeat(&mut self, arrival: Timestamp) {
+        (**self).record_heartbeat(arrival);
+    }
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        (**self).suspicion_level(now)
+    }
+}
+
+impl<D: AccrualFailureDetector + ?Sized> AccrualFailureDetector for Box<D> {
+    fn record_heartbeat(&mut self, arrival: Timestamp) {
+        (**self).record_heartbeat(arrival);
+    }
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        (**self).suspicion_level(now)
+    }
+}
+
+/// A scripted accrual detector for tests: replays a fixed sequence of
+/// levels (one per query), then holds the last level forever.
+///
+/// Heartbeats are ignored.
+#[derive(Debug, Clone)]
+pub struct ScriptedAccrualDetector {
+    levels: Vec<SuspicionLevel>,
+    next: usize,
+}
+
+impl ScriptedAccrualDetector {
+    /// Creates a detector that outputs `levels` in order, then repeats the
+    /// final element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<SuspicionLevel>) -> Self {
+        assert!(!levels.is_empty(), "scripted detector needs at least one level");
+        ScriptedAccrualDetector { levels, next: 0 }
+    }
+
+    /// Convenience constructor from raw `f64` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains an invalid level.
+    pub fn from_values(values: &[f64]) -> Self {
+        let levels = values
+            .iter()
+            .map(|&v| SuspicionLevel::new(v).expect("invalid scripted suspicion level"))
+            .collect();
+        ScriptedAccrualDetector::new(levels)
+    }
+}
+
+impl AccrualFailureDetector for ScriptedAccrualDetector {
+    fn record_heartbeat(&mut self, _arrival: Timestamp) {}
+
+    fn suspicion_level(&mut self, _now: Timestamp) -> SuspicionLevel {
+        let i = self.next.min(self.levels.len() - 1);
+        self.next += 1;
+        self.levels[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_replays_then_holds_last() {
+        let mut d = ScriptedAccrualDetector::from_values(&[0.0, 1.0, 2.0]);
+        let t = Timestamp::ZERO;
+        d.record_heartbeat(t); // ignored
+        assert_eq!(d.suspicion_level(t).value(), 0.0);
+        assert_eq!(d.suspicion_level(t).value(), 1.0);
+        assert_eq!(d.suspicion_level(t).value(), 2.0);
+        assert_eq!(d.suspicion_level(t).value(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn scripted_rejects_empty() {
+        let _ = ScriptedAccrualDetector::new(Vec::new());
+    }
+
+    #[test]
+    fn object_safety_and_forwarding() {
+        let mut boxed: Box<dyn AccrualFailureDetector> =
+            Box::new(ScriptedAccrualDetector::from_values(&[1.5]));
+        boxed.record_heartbeat(Timestamp::ZERO);
+        assert_eq!(boxed.suspicion_level(Timestamp::ZERO).value(), 1.5);
+
+        let mut d = ScriptedAccrualDetector::from_values(&[2.5]);
+        let r: &mut dyn AccrualFailureDetector = &mut d;
+        assert_eq!(r.suspicion_level(Timestamp::ZERO).value(), 2.5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Failure-detector classes (§2, §3.2, §4.3 of the paper).
+//!
+//! The paper relates four *accrual* classes to the classical binary
+//! hierarchy of Chandra and Toueg:
+//!
+//! | Accrual class | Binary equivalent | Upper-bound property | Scope |
+//! |---------------|-------------------|----------------------|-------|
+//! | ◊P_ac | ◊P (eventually perfect) | unknown bound | all pairs |
+//! | P_ac  | P (perfect)             | **known** bound | all pairs |
+//! | ◊S_ac | ◊S (eventually strong)  | unknown bound | some correct process |
+//! | S_ac  | S (strong)              | **known** bound | some correct process |
+//!
+//! These are *specifications*, not code: a concrete detector implements a
+//! class if its histories satisfy the class's properties under the assumed
+//! system model. The enums here carry that taxonomy through configuration,
+//! experiment output, and documentation, and [`AccrualClass::binary_equivalent`]
+//! encodes the equivalence established by the paper's Theorems 9 and 12.
+
+use core::fmt;
+
+/// The classical binary failure-detector classes used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryClass {
+    /// `P`: strong completeness + strong accuracy.
+    Perfect,
+    /// `◊P`: strong completeness + *eventual* strong accuracy.
+    EventuallyPerfect,
+    /// `S`: strong completeness + weak accuracy.
+    Strong,
+    /// `◊S`: strong completeness + *eventual* weak accuracy.
+    EventuallyStrong,
+}
+
+/// The accrual failure-detector classes defined in §3.2 and §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccrualClass {
+    /// `P_ac`: Accruement + Upper Bound with a *known* bound, all pairs.
+    Perfect,
+    /// `◊P_ac`: Accruement + Upper Bound (unknown bound), all pairs
+    /// (Definition 2).
+    EventuallyPerfect,
+    /// `S_ac`: known bound, but only w.r.t. some correct process.
+    Strong,
+    /// `◊S_ac`: unknown bound, only w.r.t. some correct process.
+    EventuallyStrong,
+}
+
+impl AccrualClass {
+    /// The binary class this accrual class is computationally equivalent to
+    /// (§4: Algorithms 1 and 2 transform in both directions).
+    pub fn binary_equivalent(self) -> BinaryClass {
+        match self {
+            AccrualClass::Perfect => BinaryClass::Perfect,
+            AccrualClass::EventuallyPerfect => BinaryClass::EventuallyPerfect,
+            AccrualClass::Strong => BinaryClass::Strong,
+            AccrualClass::EventuallyStrong => BinaryClass::EventuallyStrong,
+        }
+    }
+
+    /// `true` if the class guarantees a *known* upper bound on the suspicion
+    /// level of correct processes (P_ac and S_ac).
+    ///
+    /// With a known bound, interpretation is trivial: compare against the
+    /// bound (§4.3). With an unknown bound, interpreters must adapt — which
+    /// is exactly what Algorithm 1's dynamic `SL_susp` threshold does.
+    pub fn bound_is_known(self) -> bool {
+        matches!(self, AccrualClass::Perfect | AccrualClass::Strong)
+    }
+
+    /// `true` if the upper-bound property must hold for *every* pair of
+    /// correct processes (P_ac and ◊P_ac), as opposed to only w.r.t. some
+    /// single correct process (S_ac and ◊S_ac).
+    pub fn holds_for_all_pairs(self) -> bool {
+        matches!(self, AccrualClass::Perfect | AccrualClass::EventuallyPerfect)
+    }
+}
+
+impl fmt::Display for BinaryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryClass::Perfect => f.write_str("P"),
+            BinaryClass::EventuallyPerfect => f.write_str("◊P"),
+            BinaryClass::Strong => f.write_str("S"),
+            BinaryClass::EventuallyStrong => f.write_str("◊S"),
+        }
+    }
+}
+
+impl fmt::Display for AccrualClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccrualClass::Perfect => f.write_str("P_ac"),
+            AccrualClass::EventuallyPerfect => f.write_str("◊P_ac"),
+            AccrualClass::Strong => f.write_str("S_ac"),
+            AccrualClass::EventuallyStrong => f.write_str("◊S_ac"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalences_match_the_paper() {
+        assert_eq!(
+            AccrualClass::EventuallyPerfect.binary_equivalent(),
+            BinaryClass::EventuallyPerfect
+        );
+        assert_eq!(AccrualClass::Perfect.binary_equivalent(), BinaryClass::Perfect);
+        assert_eq!(AccrualClass::Strong.binary_equivalent(), BinaryClass::Strong);
+        assert_eq!(
+            AccrualClass::EventuallyStrong.binary_equivalent(),
+            BinaryClass::EventuallyStrong
+        );
+    }
+
+    #[test]
+    fn known_bound_classes() {
+        assert!(AccrualClass::Perfect.bound_is_known());
+        assert!(AccrualClass::Strong.bound_is_known());
+        assert!(!AccrualClass::EventuallyPerfect.bound_is_known());
+        assert!(!AccrualClass::EventuallyStrong.bound_is_known());
+    }
+
+    #[test]
+    fn pair_scope() {
+        assert!(AccrualClass::EventuallyPerfect.holds_for_all_pairs());
+        assert!(!AccrualClass::EventuallyStrong.holds_for_all_pairs());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(AccrualClass::EventuallyPerfect.to_string(), "◊P_ac");
+        assert_eq!(BinaryClass::EventuallyPerfect.to_string(), "◊P");
+        assert_eq!(AccrualClass::Strong.to_string(), "S_ac");
+        assert_eq!(BinaryClass::Perfect.to_string(), "P");
+    }
+}

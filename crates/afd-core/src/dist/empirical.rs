@@ -1,0 +1,222 @@
+//! A non-parametric (histogram) inter-arrival model.
+//!
+//! §5.3 of the paper says the φ detector "estimates the full distribution"
+//! and merely *supposes* a shape; when no shape is assumed, the natural
+//! estimator is the empirical distribution of past inter-arrival times.
+//! [`Empirical`] wraps a histogram with add-one (Laplace) smoothing so the
+//! tail never reaches exactly zero — a zero tail would make the suspicion
+//! level infinite and break the Upper Bound property on correct processes.
+
+use core::f64::consts::LN_10;
+
+use crate::error::ConfigError;
+use crate::stats::{Histogram, RunningMoments};
+
+use super::ArrivalDistribution;
+
+/// An empirical distribution over observed inter-arrival times.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::dist::{ArrivalDistribution, Empirical};
+///
+/// let mut e = Empirical::new(0.0, 10.0, 100)?;
+/// for _ in 0..99 {
+///     e.record(1.0);
+/// }
+/// // Smoothing: P(X > 5) = 1/(99+1), never exactly zero.
+/// assert!((e.sf(5.0) - 0.01).abs() < 1e-12);
+/// # Ok::<(), afd_core::error::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    histogram: Histogram,
+    hi: f64,
+    moments: RunningMoments,
+}
+
+impl Empirical {
+    /// Creates an empirical model binning samples into `bins` equal bins
+    /// over `[lo, hi)`; samples at or above `hi` count toward every tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `lo ≥ hi`, a bound is not finite, or
+    /// `bins` is zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, ConfigError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(ConfigError::new(format!(
+                "empirical range must satisfy finite lo < hi, got [{lo}, {hi})"
+            )));
+        }
+        if bins == 0 {
+            return Err(ConfigError::new("empirical model needs at least one bin"));
+        }
+        Ok(Empirical {
+            histogram: Histogram::new(lo, hi, bins),
+            hi,
+            moments: RunningMoments::new(),
+        })
+    }
+
+    /// Records one observed inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or infinite.
+    pub fn record(&mut self, x: f64) {
+        self.histogram.record(x);
+        self.moments.push(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.histogram.count()
+    }
+
+    /// Discards all recorded samples.
+    pub fn clear(&mut self) {
+        self.histogram.clear();
+        self.moments = RunningMoments::new();
+    }
+
+    /// The upper edge of the histogram range, past which the exponential
+    /// tail extension applies.
+    pub fn range_end(&self) -> f64 {
+        self.hi
+    }
+
+    fn smoothed_tail(&self, x: f64) -> f64 {
+        let n = self.histogram.count();
+        let above = self.histogram.fraction_above(x) * n as f64;
+        (above + 1.0) / (n as f64 + 1.0)
+    }
+}
+
+impl ArrivalDistribution for Empirical {
+    /// Smoothed tail `(#samples above x + 1) / (n + 1)` inside the
+    /// histogram range; past its end the tail decays exponentially with
+    /// the observed mean gap (see [`Empirical::log10_sf`]).
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        if x <= self.hi {
+            return self.smoothed_tail(x);
+        }
+        10f64.powf(self.log10_sf(x))
+    }
+
+    /// Past the histogram range the smoothed tail would be *constant* at
+    /// the Laplace mass `1/(n+1)`, which would freeze any φ built on it and
+    /// violate Accruement. We therefore extend the tail exponentially with
+    /// rate `1/mean(gap)` beyond the range end — the maximum-entropy
+    /// extrapolation given only the observed mean — so the log-tail keeps
+    /// falling forever.
+    fn log10_sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x <= self.hi {
+            return self.smoothed_tail(x).log10();
+        }
+        let base = self.smoothed_tail(self.hi).log10();
+        let mean = if self.moments.is_empty() {
+            self.hi.max(f64::MIN_POSITIVE)
+        } else {
+            self.moments.mean().max(f64::MIN_POSITIVE)
+        };
+        base - (x - self.hi) / mean / LN_10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Empirical::new(0.0, 1.0, 10).is_ok());
+        assert!(Empirical::new(1.0, 1.0, 10).is_err());
+        assert!(Empirical::new(0.0, 1.0, 0).is_err());
+        assert!(Empirical::new(0.0, f64::INFINITY, 10).is_err());
+    }
+
+    #[test]
+    fn empty_model_is_maximally_uncertain() {
+        let e = Empirical::new(0.0, 10.0, 10).unwrap();
+        assert_eq!(e.sf(5.0), 1.0); // (0+1)/(0+1)
+        assert_eq!(e.sf(-1.0), 1.0);
+    }
+
+    #[test]
+    fn tail_never_zero() {
+        let mut e = Empirical::new(0.0, 10.0, 10).unwrap();
+        for _ in 0..1000 {
+            e.record(1.0);
+        }
+        let tail = e.sf(9.5);
+        assert!(tail > 0.0);
+        assert!((tail - 1.0 / 1001.0).abs() < 1e-12);
+        assert!(e.log10_sf(9.5).is_finite());
+    }
+
+    #[test]
+    fn tail_tracks_data() {
+        let mut e = Empirical::new(0.0, 10.0, 100) .unwrap();
+        // Half the samples at 2, half at 8.
+        for _ in 0..500 {
+            e.record(2.0);
+            e.record(8.0);
+        }
+        let mid = e.sf(5.0);
+        assert!((mid - 501.0 / 1001.0).abs() < 1e-12);
+        assert!(e.sf(1.0) > e.sf(5.0));
+        assert!(e.sf(5.0) > e.sf(9.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut e = Empirical::new(0.0, 10.0, 10).unwrap();
+        e.record(1.0);
+        e.clear();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.sf(5.0), 1.0);
+    }
+
+    #[test]
+    fn tail_extension_keeps_diverging_past_range() {
+        let mut e = Empirical::new(0.0, 10.0, 10).unwrap();
+        for _ in 0..100 {
+            e.record(1.0);
+        }
+        // Inside the range: constant Laplace mass.
+        let at_range_end = e.log10_sf(10.0);
+        // Beyond: strictly decreasing log-tail (exponential with mean 1.0).
+        let a = e.log10_sf(20.0);
+        let b = e.log10_sf(40.0);
+        assert!(a < at_range_end);
+        assert!(b < a);
+        // Slope: one decade per ln(10) ≈ 2.3 seconds at mean gap 1 s.
+        let slope = (a - b) / 20.0;
+        assert!((slope - 1.0 / core::f64::consts::LN_10).abs() < 1e-9);
+        // sf stays consistent with log10_sf out there.
+        assert!((e.sf(20.0).log10() - a).abs() < 1e-9);
+        assert_eq!(e.range_end(), 10.0);
+    }
+
+    #[test]
+    fn monotone_non_increasing() {
+        let mut e = Empirical::new(0.0, 10.0, 50).unwrap();
+        for i in 0..100 {
+            e.record(0.1 * i as f64);
+        }
+        let mut prev = 1.0;
+        for i in 0..120 {
+            let s = e.sf(0.1 * i as f64);
+            assert!(s <= prev + 1e-12, "not monotone at {}", 0.1 * i as f64);
+            prev = s;
+        }
+    }
+}

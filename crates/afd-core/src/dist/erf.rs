@@ -1,0 +1,218 @@
+//! Error-function machinery for the normal tail.
+//!
+//! The φ detector (§5.3 of the paper) computes `−log₁₀(P_later)` where
+//! `P_later` is a normal tail probability. Two requirements shape this
+//! module:
+//!
+//! 1. **Accuracy deep into the tail** — a suspicion threshold of Φ = 12
+//!    corresponds to a tail of 10⁻¹², far beyond what a polynomial
+//!    approximation of the CDF delivers. We therefore evaluate `erfc` by a
+//!    Maclaurin series for small arguments and a continued fraction
+//!    (modified Lentz) for large ones.
+//! 2. **No premature saturation** — `erfc` underflows to zero near `x ≈ 27`
+//!    (normal z ≈ 38), which would freeze the suspicion level and violate
+//!    Accruement. [`ln_erfc`] computes the *logarithm* of the tail directly,
+//!    so φ keeps growing (quadratically) forever.
+
+use core::f64::consts::PI;
+
+/// Threshold between the series and continued-fraction regimes.
+const SPLIT: f64 = 2.0;
+/// Convergence tolerance for both expansions.
+const EPS: f64 = 1e-16;
+/// Tiny value guarding Lentz's algorithm against division by zero.
+const TINY: f64 = 1e-300;
+
+/// The error function `erf(x) = (2/√π) ∫₀ˣ e^{−t²} dt`.
+///
+/// Accurate to ~1e-15 over the full real line.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x < SPLIT {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < SPLIT {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// The natural logarithm of `erfc(x)`, stable for arbitrarily large `x`
+/// (where `erfc(x)` itself underflows to zero).
+///
+/// For `x ≥ 2` this is `−x² + ln f(x) − ½ ln π` with `f` the continued
+/// fraction, which never underflows; for smaller `x` it is the plain log.
+pub fn ln_erfc(x: f64) -> f64 {
+    if x < SPLIT {
+        return erfc(x).ln();
+    }
+    let f = erfc_cf_factor(x);
+    -x * x + f.ln() - 0.5 * PI.ln()
+}
+
+/// Maclaurin series for `erf`, valid (fast) for `0 ≤ x < ~3`.
+fn erf_series(x: f64) -> f64 {
+    // erf(x) = (2/√π) e^{−x²} Σ_{n≥0} x^{2n+1} 2ⁿ / (1·3·…·(2n+1))
+    // (the "scaled" series: all terms positive, so no cancellation).
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 0u32;
+    loop {
+        n += 1;
+        term *= 2.0 * x2 / (2.0 * n as f64 + 1.0);
+        sum += term;
+        if term < EPS * sum || n > 200 {
+            break;
+        }
+    }
+    (2.0 / PI.sqrt()) * (-x2).exp() * sum
+}
+
+/// Continued-fraction evaluation of `erfc` for `x ≥ 2`.
+fn erfc_cf(x: f64) -> f64 {
+    let f = erfc_cf_factor(x);
+    (-x * x).exp() * f / PI.sqrt()
+}
+
+/// The factor `f(x)` in `erfc(x) = e^{−x²} f(x) / √π`, via the classical
+/// continued fraction `f(x) = 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + …))))`
+/// evaluated with the modified Lentz algorithm.
+fn erfc_cf_factor(x: f64) -> f64 {
+    // b₀ = x, a_n = n/2 for n ≥ 1, b_n = x.
+    let b = x;
+    let mut f = b.max(TINY);
+    let mut c = f;
+    let mut d = 0.0;
+    for n in 1..500 {
+        let a = n as f64 / 2.0;
+        d = b + a * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    1.0 / f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values computed with mpmath at 50 digits.
+    const ERF_TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.112_462_916_018_284_9),
+        (0.5, 0.520_499_877_813_046_5),
+        (1.0, 0.842_700_792_949_714_9),
+        (1.5, 0.966_105_146_475_310_8),
+        (2.0, 0.995_322_265_018_952_7),
+        (3.0, 0.999_977_909_503_001_4),
+    ];
+
+    const ERFC_TABLE: &[(f64, f64)] = &[
+        (2.0, 4.677_734_981_063_049e-3),
+        (2.5, 4.069_520_174_449_589e-4),
+        (3.0, 2.209_049_699_858_544e-5),
+        (4.0, 1.541_725_790_028_002e-8),
+        (5.0, 1.537_459_794_428_035e-12),
+        (6.0, 2.151_973_671_249_891_3e-17),
+        (8.0, 1.122_429_717_264_859_6e-29),
+        (10.0, 2.088_487_583_762_545e-45),
+    ];
+
+    #[test]
+    fn erf_matches_reference() {
+        for &(x, want) in ERF_TABLE {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-14,
+                "erf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_matches_reference_in_tail() {
+        for &(x, want) in ERFC_TABLE {
+            let got = erfc(x);
+            assert!(
+                (got / want - 1.0).abs() < 1e-10,
+                "erfc({x}) = {got:e}, want {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_erfc_complements() {
+        for &x in &[0.3, 1.2, 2.7, 4.1] {
+            assert!((erf(-x) + erf(x)).abs() < 1e-15);
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-14);
+            assert!((erfc(-x) - (2.0 - erfc(x))).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn ln_erfc_matches_log_of_erfc_where_representable() {
+        for &(x, want) in ERFC_TABLE {
+            let got = ln_erfc(x);
+            assert!(
+                (got - want.ln()).abs() < 1e-10,
+                "ln_erfc({x}) = {got}, want {}",
+                want.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_erfc_keeps_going_past_underflow() {
+        // erfc(30) underflows f64 entirely; the log must still be finite and
+        // follow the asymptotic −x² − ln(x√π).
+        let x = 30.0;
+        assert_eq!(erfc(x), 0.0);
+        let got = ln_erfc(x);
+        let asymptotic = -x * x - (x * PI.sqrt()).ln();
+        assert!(got.is_finite());
+        assert!((got - asymptotic).abs() < 1e-3, "got {got}, asym {asymptotic}");
+        // Strictly decreasing far into the tail.
+        assert!(ln_erfc(50.0) < ln_erfc(40.0));
+        assert!(ln_erfc(40.0) < ln_erfc(30.0));
+    }
+
+    #[test]
+    fn continuity_at_the_split() {
+        // The two regimes must agree near x = 2.
+        let below = erfc(1.999_999_9);
+        let above = erfc(2.000_000_1);
+        assert!((below - above).abs() / below < 1e-6);
+    }
+
+    #[test]
+    fn monotonicity_of_erfc() {
+        let xs: Vec<f64> = (0..600).map(|i| i as f64 * 0.01).collect();
+        for w in xs.windows(2) {
+            assert!(erfc(w[1]) <= erfc(w[0]), "erfc not monotone at {}", w[0]);
+        }
+    }
+}

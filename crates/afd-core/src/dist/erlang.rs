@@ -1,0 +1,172 @@
+//! The Erlang transmission-time model named by §5.3 of the paper.
+
+use core::f64::consts::LN_10;
+
+use crate::error::ConfigError;
+
+use super::ArrivalDistribution;
+
+/// An Erlang distribution with shape `k` (a positive integer) and rate `λ`:
+/// the sum of `k` independent exponentials of rate `λ`.
+///
+/// Its tail has the closed form
+/// `P(X > x) = e^{−λx} Σ_{n=0}^{k−1} (λx)ⁿ / n!`,
+/// which [`Erlang::log10_sf`] evaluates in log space (log-sum-exp) so the
+/// suspicion level derived from it never saturates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    shape: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang model with shape `k` and rate `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `shape` is zero or `rate` is not finite
+    /// and positive.
+    pub fn new(shape: u32, rate: f64) -> Result<Self, ConfigError> {
+        if shape == 0 {
+            return Err(ConfigError::new("erlang shape must be at least 1"));
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "erlang rate must be finite and positive, got {rate}"
+            )));
+        }
+        Ok(Erlang { shape, rate })
+    }
+
+    /// Creates an Erlang model with shape `k` and the given mean `k/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `shape` is zero or `mean` is not finite
+    /// and positive.
+    pub fn from_mean(shape: u32, mean: f64) -> Result<Self, ConfigError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "erlang mean must be finite and positive, got {mean}"
+            )));
+        }
+        Erlang::new(shape, shape as f64 / mean)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> u32 {
+        self.shape
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `k/λ`.
+    pub fn mean(&self) -> f64 {
+        self.shape as f64 / self.rate
+    }
+
+    /// Natural log of the tail, via log-sum-exp over the Poisson terms.
+    fn ln_sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let lx = self.rate * x;
+        let ln_lx = lx.ln();
+        // terms t_n = n·ln(λx) − ln(n!)
+        let mut terms = Vec::with_capacity(self.shape as usize);
+        let mut ln_fact = 0.0;
+        for n in 0..self.shape {
+            if n > 0 {
+                ln_fact += (n as f64).ln();
+            }
+            terms.push(n as f64 * ln_lx - ln_fact);
+        }
+        let m = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = terms.iter().map(|t| (t - m).exp()).sum();
+        -lx + m + sum.ln()
+    }
+}
+
+impl ArrivalDistribution for Erlang {
+    fn sf(&self, x: f64) -> f64 {
+        self.ln_sf(x).exp().min(1.0)
+    }
+
+    fn log10_sf(&self, x: f64) -> f64 {
+        (self.ln_sf(x) / LN_10).min(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Erlang::new(1, 1.0).is_ok());
+        assert!(Erlang::new(0, 1.0).is_err());
+        assert!(Erlang::new(2, 0.0).is_err());
+        assert!(Erlang::from_mean(2, -1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let e = Erlang::new(1, 2.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 3.0] {
+            assert!((e.sf(x) - (-2.0 * x).exp()).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn shape_two_closed_form() {
+        // k=2: sf = e^{−λx}(1 + λx)
+        let e = Erlang::new(2, 1.5).unwrap();
+        for &x in &[0.2, 1.0, 4.0] {
+            let want = f64::exp(-1.5 * x) * (1.0 + 1.5 * x);
+            assert!((e.sf(x) - want).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mean_matches_k_over_lambda() {
+        let e = Erlang::from_mean(3, 6.0).unwrap();
+        assert!((e.mean() - 6.0).abs() < 1e-12);
+        assert!((e.rate() - 0.5).abs() < 1e-12);
+        assert_eq!(e.shape(), 3);
+    }
+
+    #[test]
+    fn sf_properties() {
+        let e = Erlang::new(4, 1.0).unwrap();
+        assert_eq!(e.sf(0.0), 1.0);
+        assert_eq!(e.sf(-5.0), 1.0);
+        // Monotone non-increasing.
+        let mut prev = 1.0;
+        for i in 1..200 {
+            let s = e.sf(i as f64 * 0.1);
+            assert!(s <= prev + 1e-15);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn log_tail_is_stable_far_out() {
+        let e = Erlang::new(3, 1.0).unwrap();
+        let a = e.log10_sf(1_000.0);
+        let b = e.log10_sf(2_000.0);
+        assert!(a.is_finite() && b.is_finite());
+        assert!(b < a);
+        assert!(a < -400.0); // sf itself would underflow
+    }
+
+    #[test]
+    fn log_matches_direct_in_range() {
+        let e = Erlang::new(2, 1.0).unwrap();
+        for &x in &[0.5, 2.0, 10.0] {
+            assert!((e.log10_sf(x) - e.sf(x).log10()).abs() < 1e-10);
+        }
+    }
+}

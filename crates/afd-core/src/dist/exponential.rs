@@ -1,0 +1,133 @@
+//! The exponential inter-arrival model (the tail used by Cassandra's
+//! descendant of the φ detector).
+
+use core::f64::consts::LN_10;
+
+use crate::error::ConfigError;
+
+use super::ArrivalDistribution;
+
+/// An exponential distribution with rate `λ` (mean `1/λ`).
+///
+/// Its tail is `P(X > x) = e^{−λx}`, so `−log₁₀ sf` is exactly linear in
+/// `x` — the simplest adaptive suspicion-level shape.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::dist::{ArrivalDistribution, Exponential};
+///
+/// let e = Exponential::from_mean(2.0)?;
+/// assert!((e.sf(2.0) - (-1.0f64).exp()).abs() < 1e-12);
+/// # Ok::<(), afd_core::error::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential model with the given rate `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Result<Self, ConfigError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "exponential rate must be finite and positive, got {rate}"
+            )));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Creates an exponential model with the given mean `1/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `mean` is not finite and positive.
+    pub fn from_mean(mean: f64) -> Result<Self, ConfigError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "exponential mean must be finite and positive, got {mean}"
+            )));
+        }
+        Exponential::new(1.0 / mean)
+    }
+
+    /// The rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl ArrivalDistribution for Exponential {
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn log10_sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -self.rate * x / LN_10
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Exponential::new(1.0).is_ok());
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+        assert!(Exponential::from_mean(2.0).is_ok());
+    }
+
+    #[test]
+    fn mean_rate_roundtrip() {
+        let e = Exponential::from_mean(4.0).unwrap();
+        assert!((e.rate() - 0.25).abs() < 1e-15);
+        assert!((e.mean() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tail_values() {
+        let e = Exponential::new(1.0).unwrap();
+        assert_eq!(e.sf(0.0), 1.0);
+        assert_eq!(e.sf(-1.0), 1.0);
+        assert!((e.sf(1.0) - (-1.0f64).exp()).abs() < 1e-15);
+        assert!((e.sf(10.0) - (-10.0f64).exp()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn log_tail_is_linear_and_unbounded() {
+        let e = Exponential::new(2.0).unwrap();
+        assert_eq!(e.log10_sf(0.0), 0.0);
+        let a = e.log10_sf(100.0);
+        let b = e.log10_sf(200.0);
+        assert!((b - 2.0 * a).abs() < 1e-9, "log tail must be linear");
+        assert!(e.log10_sf(1e6).is_finite());
+    }
+
+    #[test]
+    fn log_matches_direct_in_range() {
+        let e = Exponential::new(0.5).unwrap();
+        for &x in &[0.5, 1.0, 5.0, 50.0] {
+            assert!((e.log10_sf(x) - e.sf(x).log10()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the core formalism.
+//!
+//! Every error implements [`std::error::Error`] and is `Send + Sync`
+//! (C-GOOD-ERR), so it can flow through `?` and `Box<dyn Error>` freely.
+
+use core::fmt;
+
+/// A value outside the suspicion-level domain `R₀⁺` (NaN or negative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidSuspicionError {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for InvalidSuspicionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "suspicion level must be a non-negative number, got {}",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidSuspicionError {}
+
+/// An invalid configuration parameter for a detector or model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+
+    #[test]
+    fn errors_are_well_behaved() {
+        assert_error::<InvalidSuspicionError>();
+        assert_error::<ConfigError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = InvalidSuspicionError { value: -1.0 };
+        assert_eq!(e.to_string(), "suspicion level must be a non-negative number, got -1");
+        let c = ConfigError::new("window size must be positive");
+        assert_eq!(c.to_string(), "invalid configuration: window size must be positive");
+    }
+}

@@ -1,0 +1,161 @@
+//! Failure patterns (§2 of the paper).
+//!
+//! A *failure pattern* is a function `F : T → 2^Π` where `F(t)` is the set of
+//! processes that have failed before or at time `t`. The paper's model is
+//! crash-stop: faulty processes never recover, so a pattern is fully
+//! described by an optional crash time per process. `correct(F)` is the set
+//! of processes that never appear in the pattern, `faulty(F) = Π − correct(F)`.
+
+use std::collections::BTreeMap;
+
+use crate::process::ProcessId;
+use crate::time::Timestamp;
+
+/// A crash-stop failure pattern: which processes crash, and when.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::failure::FailurePattern;
+/// use afd_core::process::ProcessId;
+/// use afd_core::time::Timestamp;
+///
+/// let mut pattern = FailurePattern::all_correct(3);
+/// pattern.crash(ProcessId::new(1), Timestamp::from_secs(10));
+///
+/// assert!(pattern.is_faulty(ProcessId::new(1)));
+/// assert!(!pattern.has_failed_by(ProcessId::new(1), Timestamp::from_secs(9)));
+/// assert!(pattern.has_failed_by(ProcessId::new(1), Timestamp::from_secs(10)));
+/// assert_eq!(pattern.correct().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailurePattern {
+    population: u32,
+    crashes: BTreeMap<ProcessId, Timestamp>,
+}
+
+impl FailurePattern {
+    /// A pattern over `n` processes (`p0 … p(n−1)`) in which nobody crashes.
+    pub fn all_correct(n: u32) -> Self {
+        FailurePattern {
+            population: n,
+            crashes: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules `process` to crash at `at`.
+    ///
+    /// Faulty processes never recover (crash-stop model); scheduling a second
+    /// crash replaces the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is outside the population.
+    pub fn crash(&mut self, process: ProcessId, at: Timestamp) -> &mut Self {
+        assert!(
+            process.as_u32() < self.population,
+            "{process} is outside the population of {} processes",
+            self.population
+        );
+        self.crashes.insert(process, at);
+        self
+    }
+
+    /// Number of processes in `Π`.
+    pub fn population(&self) -> u32 {
+        self.population
+    }
+
+    /// The crash time of `process`, if it is faulty.
+    pub fn crash_time(&self, process: ProcessId) -> Option<Timestamp> {
+        self.crashes.get(&process).copied()
+    }
+
+    /// `true` if `process` crashes at some point in this pattern
+    /// (`process ∈ faulty(F)`).
+    pub fn is_faulty(&self, process: ProcessId) -> bool {
+        self.crashes.contains_key(&process)
+    }
+
+    /// `true` if `process` never crashes (`process ∈ correct(F)`).
+    pub fn is_correct(&self, process: ProcessId) -> bool {
+        !self.is_faulty(process)
+    }
+
+    /// `true` if `process ∈ F(at)`, i.e. it has failed before or at `at`.
+    pub fn has_failed_by(&self, process: ProcessId, at: Timestamp) -> bool {
+        self.crash_time(process).is_some_and(|t| t <= at)
+    }
+
+    /// Iterates over the correct processes, in id order.
+    pub fn correct(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.population)
+            .map(ProcessId::new)
+            .filter(move |p| self.is_correct(*p))
+    }
+
+    /// Iterates over the faulty processes and their crash times, in id order.
+    pub fn faulty(&self) -> impl Iterator<Item = (ProcessId, Timestamp)> + '_ {
+        self.crashes.iter().map(|(&p, &t)| (p, t))
+    }
+
+    /// The set `F(at)`: processes failed before or at `at`, in id order.
+    pub fn failed_by(&self, at: Timestamp) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashes
+            .iter()
+            .filter(move |(_, &t)| t <= at)
+            .map(|(&p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern() -> FailurePattern {
+        let mut f = FailurePattern::all_correct(4);
+        f.crash(ProcessId::new(1), Timestamp::from_secs(5));
+        f.crash(ProcessId::new(3), Timestamp::from_secs(10));
+        f
+    }
+
+    #[test]
+    fn correct_and_faulty_partition_population() {
+        let f = pattern();
+        let correct: Vec<_> = f.correct().collect();
+        let faulty: Vec<_> = f.faulty().map(|(p, _)| p).collect();
+        assert_eq!(correct, vec![ProcessId::new(0), ProcessId::new(2)]);
+        assert_eq!(faulty, vec![ProcessId::new(1), ProcessId::new(3)]);
+        assert_eq!(correct.len() + faulty.len(), f.population() as usize);
+    }
+
+    #[test]
+    fn failure_set_grows_monotonically() {
+        let f = pattern();
+        assert_eq!(f.failed_by(Timestamp::from_secs(4)).count(), 0);
+        assert_eq!(f.failed_by(Timestamp::from_secs(5)).count(), 1);
+        assert_eq!(f.failed_by(Timestamp::from_secs(100)).count(), 2);
+    }
+
+    #[test]
+    fn crash_boundary_is_inclusive() {
+        let f = pattern();
+        let p1 = ProcessId::new(1);
+        assert!(!f.has_failed_by(p1, Timestamp::from_nanos(4_999_999_999)));
+        assert!(f.has_failed_by(p1, Timestamp::from_secs(5)));
+    }
+
+    #[test]
+    fn recrash_replaces_time() {
+        let mut f = pattern();
+        f.crash(ProcessId::new(1), Timestamp::from_secs(7));
+        assert_eq!(f.crash_time(ProcessId::new(1)), Some(Timestamp::from_secs(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the population")]
+    fn crash_outside_population_rejected() {
+        let mut f = FailurePattern::all_correct(2);
+        f.crash(ProcessId::new(2), Timestamp::ZERO);
+    }
+}

@@ -1,0 +1,118 @@
+//! Process identity.
+//!
+//! The system model (§2 of the paper) considers a set of processes
+//! `Π = {p₁, …, pₙ}`. A [`ProcessId`] names one of them; it is a dense small
+//! integer so that traces, failure patterns, and simulation state can index
+//! by process cheaply.
+
+use core::fmt;
+
+/// The identity of a process in the system `Π`.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::process::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from a dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// The dense index of this process (usable as a `Vec` index).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(index: u32) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An ordered pair *(monitor q, monitored p)*: "q monitors p".
+///
+/// Most of the paper's definitions (suspicion level `sl_qp`, QoS metrics)
+/// are stated for such a pair, so it appears throughout traces and
+/// experiment results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonitorPair {
+    /// The monitoring process `q`.
+    pub monitor: ProcessId,
+    /// The monitored process `p`.
+    pub monitored: ProcessId,
+}
+
+impl MonitorPair {
+    /// Creates the pair "`monitor` monitors `monitored`".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two processes are the same: the paper defines `sl_qp`
+    /// only for distinct processes (a process trivially trusts itself —
+    /// Algorithm 4 line 18 returns 0 for `p = q`).
+    pub fn new(monitor: ProcessId, monitored: ProcessId) -> Self {
+        assert_ne!(monitor, monitored, "a process does not monitor itself");
+        MonitorPair { monitor, monitored }
+    }
+}
+
+impl fmt::Display for MonitorPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{}", self.monitor, self.monitored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let p = ProcessId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.as_u32(), 7);
+        assert_eq!(ProcessId::from(7u32), p);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::new(0).to_string(), "p0");
+        let pair = MonitorPair::new(ProcessId::new(1), ProcessId::new(2));
+        assert_eq!(pair.to_string(), "p1→p2");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not monitor itself")]
+    fn self_monitoring_rejected() {
+        let _ = MonitorPair::new(ProcessId::new(1), ProcessId::new(1));
+    }
+}

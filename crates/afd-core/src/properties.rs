@@ -1,0 +1,588 @@
+//! Empirical checkers for the paper's defining properties.
+//!
+//! The paper states Accruement (Property 1) and Upper Bound (Property 2)
+//! over infinite histories. On a finite trace we check exactly the finite
+//! witnesses those properties quantify over:
+//!
+//! - **Accruement**: there exist `K` and `Q` such that for all `k ≥ K` the
+//!   (ε-quantized) level is non-decreasing and strictly increases at least
+//!   once every `Q` queries. [`check_accruement`] finds the smallest such
+//!   `K` on the trace and the largest constant run `Q` after it, and
+//!   requires enough strict increases after `K` for the witness to be
+//!   meaningful rather than vacuous.
+//! - **Upper Bound**: the level stays below a bound. Boundedness is trivial
+//!   on a finite trace, so [`check_upper_bound`] verifies the level is
+//!   finite throughout and reports the observed bound `SL_max`; callers
+//!   compare bounds across run lengths to see they do not grow.
+//! - **Equation (1)**: the minimal-rate lower bound `ε / 2Q` on the stable
+//!   suffix. [`check_rate_bound`] verifies it for every pair of queries
+//!   `k' ≥ k + Q` in the suffix.
+
+use core::fmt;
+
+use crate::history::SuspicionTrace;
+use crate::suspicion::SuspicionLevel;
+
+/// The finite witness for Property 1 found on a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccruementWitness {
+    /// The stabilization query index `K`: from this sample on, the quantized
+    /// level never decreases.
+    pub stabilization_index: usize,
+    /// The largest observed number of consecutive queries with a constant
+    /// level after `K` — a valid `Q` is any value strictly larger.
+    pub max_constant_run: usize,
+    /// The number of strict increases observed after `K`.
+    pub strict_increases: usize,
+}
+
+/// Why a trace fails the Accruement check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccruementViolation {
+    /// The trace has too few samples to judge.
+    TraceTooShort {
+        /// Samples present.
+        len: usize,
+        /// Samples required.
+        required: usize,
+    },
+    /// The level still decreases too close to the end of the trace: no
+    /// stable suffix of the required length exists.
+    NoStableSuffix {
+        /// Index of the last decrease.
+        last_decrease: usize,
+        /// Trace length.
+        len: usize,
+    },
+    /// The stable suffix never (or too rarely) strictly increases — the
+    /// adversary of Appendix A.5 produces exactly this shape.
+    TooFewIncreases {
+        /// Strict increases observed after stabilization.
+        observed: usize,
+        /// Strict increases required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for AccruementViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccruementViolation::TraceTooShort { len, required } => {
+                write!(f, "trace has {len} samples, need at least {required}")
+            }
+            AccruementViolation::NoStableSuffix { last_decrease, len } => write!(
+                f,
+                "suspicion level still decreases at query {last_decrease} of {len}: no stable suffix"
+            ),
+            AccruementViolation::TooFewIncreases { observed, required } => write!(
+                f,
+                "only {observed} strict increases after stabilization, need {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccruementViolation {}
+
+/// Configuration for [`check_accruement`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccruementCheck {
+    /// Resolution ε used to quantize levels before comparison (Definition 1).
+    pub epsilon: f64,
+    /// Minimum number of strict increases required after stabilization for
+    /// the witness to count (guards against vacuous suffixes).
+    pub min_increases: usize,
+    /// Minimum fraction of the trace that must lie in the stable suffix
+    /// (e.g. 0.1 = the last 10% of queries must already be stable).
+    pub min_suffix_fraction: f64,
+}
+
+impl Default for AccruementCheck {
+    fn default() -> Self {
+        AccruementCheck {
+            epsilon: 1e-9,
+            min_increases: 3,
+            min_suffix_fraction: 0.05,
+        }
+    }
+}
+
+impl AccruementCheck {
+    /// Runs the check; see [`check_accruement`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AccruementViolation`] encountered.
+    pub fn run(&self, trace: &SuspicionTrace) -> Result<AccruementWitness, AccruementViolation> {
+        let required = (self.min_increases + 2).max(4);
+        let n = trace.len();
+        if n < required {
+            return Err(AccruementViolation::TraceTooShort { len: n, required });
+        }
+
+        let levels: Vec<SuspicionLevel> = trace
+            .iter()
+            .map(|s| s.level.quantize(self.epsilon))
+            .collect();
+
+        // K = one past the last strict decrease.
+        let mut last_decrease: Option<usize> = None;
+        for i in 1..n {
+            if levels[i] < levels[i - 1] {
+                last_decrease = Some(i);
+            }
+        }
+        let k = last_decrease.map_or(0, |i| i + 1);
+        let min_suffix = ((n as f64) * self.min_suffix_fraction).ceil() as usize;
+        if n - k < min_suffix.max(2) {
+            return Err(AccruementViolation::NoStableSuffix {
+                last_decrease: k.saturating_sub(1),
+                len: n,
+            });
+        }
+
+        // Scan the stable suffix for strict increases and constant runs.
+        let mut strict_increases = 0usize;
+        let mut max_constant_run = 0usize;
+        let mut run = 0usize;
+        for i in (k + 1)..n {
+            if levels[i] > levels[i - 1] {
+                strict_increases += 1;
+                max_constant_run = max_constant_run.max(run);
+                run = 0;
+            } else {
+                run += 1;
+            }
+        }
+        max_constant_run = max_constant_run.max(run);
+
+        if strict_increases < self.min_increases {
+            return Err(AccruementViolation::TooFewIncreases {
+                observed: strict_increases,
+                required: self.min_increases,
+            });
+        }
+
+        Ok(AccruementWitness {
+            stabilization_index: k,
+            max_constant_run,
+            strict_increases,
+        })
+    }
+}
+
+/// Checks Property 1 (Accruement) on a finite trace with default settings.
+///
+/// # Errors
+///
+/// Returns an [`AccruementViolation`] describing the first failure.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::history::SuspicionTrace;
+/// use afd_core::properties::check_accruement;
+/// use afd_core::suspicion::SuspicionLevel;
+/// use afd_core::time::Timestamp;
+///
+/// let mut trace = SuspicionTrace::new();
+/// for k in 0..100u64 {
+///     trace.push(Timestamp::from_secs(k), SuspicionLevel::new(k as f64)?);
+/// }
+/// let witness = check_accruement(&trace)?;
+/// assert_eq!(witness.stabilization_index, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_accruement(
+    trace: &SuspicionTrace,
+) -> Result<AccruementWitness, AccruementViolation> {
+    AccruementCheck::default().run(trace)
+}
+
+/// The result of the Upper Bound check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpperBoundWitness {
+    /// The observed bound `SL_max` over the whole trace.
+    pub observed_bound: SuspicionLevel,
+}
+
+/// Why a trace fails the Upper Bound check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpperBoundViolation {
+    /// The level became infinite at the given query index.
+    InfiniteLevel {
+        /// The offending query index.
+        index: usize,
+    },
+    /// The observed maximum exceeded the caller-supplied cap.
+    ExceedsCap {
+        /// The observed maximum.
+        observed: SuspicionLevel,
+        /// The cap that was exceeded.
+        cap: SuspicionLevel,
+    },
+}
+
+impl fmt::Display for UpperBoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpperBoundViolation::InfiniteLevel { index } => {
+                write!(f, "suspicion level became infinite at query {index}")
+            }
+            UpperBoundViolation::ExceedsCap { observed, cap } => {
+                write!(f, "observed {observed} exceeds cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpperBoundViolation {}
+
+/// Checks Property 2 (Upper Bound) on a finite trace.
+///
+/// Verifies the level is finite throughout and, if `cap` is given, never
+/// exceeds it; reports the observed `SL_max`.
+///
+/// # Errors
+///
+/// Returns an [`UpperBoundViolation`] on an infinite level or a cap breach.
+pub fn check_upper_bound(
+    trace: &SuspicionTrace,
+    cap: Option<SuspicionLevel>,
+) -> Result<UpperBoundWitness, UpperBoundViolation> {
+    let mut observed = SuspicionLevel::ZERO;
+    for (i, s) in trace.iter().enumerate() {
+        if s.level.is_infinite() {
+            return Err(UpperBoundViolation::InfiniteLevel { index: i });
+        }
+        observed = observed.max(s.level);
+    }
+    if let Some(cap) = cap {
+        if observed > cap {
+            return Err(UpperBoundViolation::ExceedsCap { observed, cap });
+        }
+    }
+    Ok(UpperBoundWitness {
+        observed_bound: observed,
+    })
+}
+
+/// The finite witness of Property 3 (Weak Accruement): the level trends
+/// to infinity, with no bound on plateau lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakAccruementWitness {
+    /// The last observed level.
+    pub final_level: SuspicionLevel,
+    /// The largest constant run observed (unbounded under Property 3 —
+    /// reported, not constrained; compare with
+    /// [`AccruementWitness::max_constant_run`], which Property 1 bounds).
+    pub max_constant_run: usize,
+}
+
+/// Checks Property 3 (Weak Accruement, Appendix A.5): the level is
+/// eventually monotonously non-decreasing and exceeds any fixed bound —
+/// approximated on a finite trace by requiring the final level to be at
+/// least `target_level` with no decrease in the trailing half.
+///
+/// The point of this checker is the *contrast* with [`check_accruement`]:
+/// the A.5 adversary's histories pass this check while failing the
+/// bounded-plateau requirement of Property 1 — which is exactly why
+/// Property 3 is too weak to build ◊P on (experiment E9).
+///
+/// # Errors
+///
+/// Returns an [`AccruementViolation`] if the trace is too short, still
+/// decreases in its trailing half, or ends below `target_level`.
+pub fn check_weak_accruement(
+    trace: &SuspicionTrace,
+    target_level: SuspicionLevel,
+) -> Result<WeakAccruementWitness, AccruementViolation> {
+    let n = trace.len();
+    if n < 4 {
+        return Err(AccruementViolation::TraceTooShort { len: n, required: 4 });
+    }
+    let levels: Vec<SuspicionLevel> = trace.iter().map(|s| s.level).collect();
+    let half = n / 2;
+    let mut max_constant_run = 0usize;
+    let mut run = 0usize;
+    for i in (half + 1)..n {
+        if levels[i] < levels[i - 1] {
+            return Err(AccruementViolation::NoStableSuffix {
+                last_decrease: i,
+                len: n,
+            });
+        }
+        if levels[i] > levels[i - 1] {
+            max_constant_run = max_constant_run.max(run);
+            run = 0;
+        } else {
+            run += 1;
+        }
+    }
+    max_constant_run = max_constant_run.max(run);
+    let final_level = levels[n - 1];
+    if final_level < target_level {
+        return Err(AccruementViolation::TooFewIncreases {
+            observed: 0,
+            required: 1,
+        });
+    }
+    Ok(WeakAccruementWitness {
+        final_level,
+        max_constant_run,
+    })
+}
+
+/// A violation of the Equation (1) minimal-rate bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateBoundViolation {
+    /// First query index `k` of the offending pair.
+    pub from: usize,
+    /// Second query index `k'` of the offending pair.
+    pub to: usize,
+    /// The observed rate `(sl(k') − sl(k)) / (k' − k)`.
+    pub observed_rate: f64,
+    /// The required minimum `ε / 2Q`.
+    pub required_rate: f64,
+}
+
+impl fmt::Display for RateBoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rate between queries {} and {} is {:.3e}, below the ε/2Q bound {:.3e}",
+            self.from, self.to, self.observed_rate, self.required_rate
+        )
+    }
+}
+
+impl std::error::Error for RateBoundViolation {}
+
+/// Checks Equation (1): on the stable suffix starting at `k_start`, for all
+/// pairs `k' ≥ k + q`, the average per-query increase is at least `ε / 2Q`
+/// with `Q = q`.
+///
+/// `q` must be strictly larger than the longest constant run (i.e. use
+/// `witness.max_constant_run + 1` from [`check_accruement`]).
+///
+/// # Errors
+///
+/// Returns the first violating pair.
+///
+/// # Panics
+///
+/// Panics if `epsilon` or `q` is not positive, or `k_start` is out of range.
+pub fn check_rate_bound(
+    trace: &SuspicionTrace,
+    epsilon: f64,
+    k_start: usize,
+    q: usize,
+) -> Result<(), RateBoundViolation> {
+    assert!(epsilon > 0.0, "ε must be positive");
+    assert!(q > 0, "Q must be positive");
+    assert!(k_start < trace.len(), "k_start out of range");
+
+    let required = epsilon / (2.0 * q as f64);
+    let levels: Vec<f64> = trace.iter().map(|s| s.level.value()).collect();
+    let n = levels.len();
+    // For long traces check a stride sample of pair distances to keep the
+    // check near-linear; short traces are checked exhaustively.
+    let exhaustive = n - k_start <= 2_000;
+    for k in k_start..n {
+        let mut kp = k + q;
+        while kp < n {
+            let rate = (levels[kp] - levels[k]) / (kp - k) as f64;
+            if rate < required {
+                return Err(RateBoundViolation {
+                    from: k,
+                    to: kp,
+                    observed_rate: rate,
+                    required_rate: required,
+                });
+            }
+            kp += if exhaustive { 1 } else { q.max(97) };
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn trace_from(values: &[f64]) -> SuspicionTrace {
+        let mut t = SuspicionTrace::new();
+        for (i, &v) in values.iter().enumerate() {
+            t.push(
+                Timestamp::from_secs(i as u64),
+                SuspicionLevel::new(v).unwrap(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn accruement_holds_on_strictly_increasing_trace() {
+        let values: Vec<f64> = (0..200).map(|k| k as f64).collect();
+        let w = check_accruement(&trace_from(&values)).unwrap();
+        assert_eq!(w.stabilization_index, 0);
+        assert_eq!(w.max_constant_run, 0);
+        assert_eq!(w.strict_increases, 199);
+    }
+
+    #[test]
+    fn accruement_allows_bounded_plateaus() {
+        // Increases once every 3 queries: 0,0,0,1,1,1,2,...
+        let values: Vec<f64> = (0..300).map(|k| (k / 3) as f64).collect();
+        let w = check_accruement(&trace_from(&values)).unwrap();
+        assert_eq!(w.max_constant_run, 2);
+        assert!(w.strict_increases >= 90);
+    }
+
+    #[test]
+    fn accruement_tolerates_noisy_prefix() {
+        // Decreases during the first 50 queries, then increases forever.
+        let mut values: Vec<f64> = (0..50).map(|k| (50 - k) as f64).collect();
+        values.extend((0..500).map(|k| k as f64));
+        // The last decrease is from values[49]=1.0 to values[50]=0.0, so the
+        // stable suffix starts at index 51.
+        let w = check_accruement(&trace_from(&values)).unwrap();
+        assert_eq!(w.stabilization_index, 51);
+    }
+
+    #[test]
+    fn accruement_rejects_flat_trace() {
+        let values = vec![1.0; 200];
+        let err = check_accruement(&trace_from(&values)).unwrap_err();
+        assert!(matches!(err, AccruementViolation::TooFewIncreases { .. }));
+    }
+
+    #[test]
+    fn accruement_rejects_trace_that_keeps_decreasing() {
+        let values: Vec<f64> = (0..200)
+            .map(|k| if k % 10 == 9 { 0.0 } else { k as f64 })
+            .collect();
+        let err = check_accruement(&trace_from(&values)).unwrap_err();
+        assert!(matches!(err, AccruementViolation::NoStableSuffix { .. }));
+    }
+
+    #[test]
+    fn accruement_rejects_short_trace() {
+        let err = check_accruement(&trace_from(&[0.0, 1.0])).unwrap_err();
+        assert!(matches!(err, AccruementViolation::TraceTooShort { .. }));
+    }
+
+    #[test]
+    fn quantization_hides_subresolution_wiggle() {
+        // Wiggles of 1e-12 around an increasing staircase disappear at ε=1e-9.
+        let values: Vec<f64> = (0..200)
+            .map(|k| (k / 2) as f64 + if k % 2 == 0 { 1e-12 } else { 0.0 })
+            .collect();
+        let check = AccruementCheck {
+            epsilon: 1e-9,
+            ..AccruementCheck::default()
+        };
+        assert!(check.run(&trace_from(&values)).is_ok());
+    }
+
+    #[test]
+    fn upper_bound_reports_max() {
+        let w = check_upper_bound(&trace_from(&[0.0, 3.0, 1.0]), None).unwrap();
+        assert_eq!(w.observed_bound.value(), 3.0);
+    }
+
+    #[test]
+    fn upper_bound_enforces_cap() {
+        let cap = SuspicionLevel::new(2.0).unwrap();
+        let err = check_upper_bound(&trace_from(&[0.0, 3.0]), Some(cap)).unwrap_err();
+        assert!(matches!(err, UpperBoundViolation::ExceedsCap { .. }));
+    }
+
+    #[test]
+    fn upper_bound_rejects_infinity() {
+        let mut t = trace_from(&[0.0, 1.0]);
+        t.push(Timestamp::from_secs(10), SuspicionLevel::INFINITE);
+        let err = check_upper_bound(&t, None).unwrap_err();
+        assert_eq!(err, UpperBoundViolation::InfiniteLevel { index: 2 });
+    }
+
+    #[test]
+    fn rate_bound_holds_for_epsilon_staircase() {
+        // Increase by ε=1.0 every 2 queries: rate = 0.5 per query ≥ ε/2Q = 1/6 with Q=3.
+        let values: Vec<f64> = (0..100).map(|k| (k / 2) as f64).collect();
+        let trace = trace_from(&values);
+        check_rate_bound(&trace, 1.0, 0, 3).unwrap();
+    }
+
+    #[test]
+    fn rate_bound_detects_slowdown() {
+        // Constant tail: rate 0 < ε/2Q.
+        let mut values: Vec<f64> = (0..50).map(|k| k as f64).collect();
+        values.extend(std::iter::repeat_n(49.0, 50));
+        let err = check_rate_bound(&trace_from(&values), 1.0, 0, 2).unwrap_err();
+        assert!(err.observed_rate < err.required_rate);
+    }
+
+    #[test]
+    fn weak_accruement_accepts_unbounded_plateaus() {
+        // A staircase with GROWING plateau lengths: violates Property 1
+        // (no finite Q) but satisfies Property 3 — the A.5 shape.
+        let mut values = Vec::new();
+        let mut level = 0.0;
+        for plateau in 1..40usize {
+            for _ in 0..plateau {
+                values.push(level);
+            }
+            level += 1.0;
+        }
+        let trace = trace_from(&values);
+        let target = SuspicionLevel::new(20.0).unwrap();
+        let weak = check_weak_accruement(&trace, target).unwrap();
+        assert!(weak.final_level >= target);
+        assert!(weak.max_constant_run > 30);
+        // And the strict checker rejects it: the longest plateau sits at
+        // the very end, so no adequate stable-and-increasing suffix exists.
+        let strict = AccruementCheck {
+            epsilon: 1e-9,
+            min_increases: 3,
+            min_suffix_fraction: 0.05,
+        };
+        // The growing plateaus mean the last 5% of the trace may contain
+        // no increase at all once plateaus exceed that window.
+        let w = strict.run(&trace);
+        if let Ok(w) = w {
+            assert!(
+                w.max_constant_run > 30,
+                "plateaus must be visibly unbounded: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_accruement_rejects_bounded_and_decreasing() {
+        let target = SuspicionLevel::new(5.0).unwrap();
+        // Bounded: never reaches the target.
+        let bounded = trace_from(&[1.0; 100]);
+        assert!(check_weak_accruement(&bounded, target).is_err());
+        // Decreasing in the trailing half.
+        let mut values: Vec<f64> = (0..100).map(|k| k as f64).collect();
+        values[90] = 0.0;
+        assert!(check_weak_accruement(&trace_from(&values), target).is_err());
+        // Too short.
+        assert!(check_weak_accruement(&trace_from(&[0.0, 9.0]), target).is_err());
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = AccruementViolation::TooFewIncreases { observed: 0, required: 3 };
+        assert!(v.to_string().contains("strict increases"));
+        let r = RateBoundViolation {
+            from: 1,
+            to: 5,
+            observed_rate: 0.0,
+            required_rate: 0.5,
+        };
+        assert!(r.to_string().contains("ε/2Q"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Fixed-bin histograms.
+//!
+//! Used by the empirical-distribution variant of the φ detector (§5.3 of the
+//! paper estimates "the full distribution"; when no parametric shape is
+//! assumed, a histogram of past inter-arrival times with add-one smoothing
+//! gives `P_later` directly), and by the experiment harness for reporting.
+
+/// A histogram over `[lo, hi)` with equally sized bins, plus overflow and
+/// underflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// for x in [0.5, 1.5, 1.7, 9.9, 12.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// // P(X > 1.0): 3 in-range samples at or above bin 1, plus the overflow.
+/// assert!((h.fraction_above(1.0) - 4.0 / 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, either bound is not finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need finite lo < hi");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "samples must not be NaN");
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded samples (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The lower edge of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edge(&self, i: usize) -> f64 {
+        assert!(i <= self.bins.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * i as f64
+    }
+
+    /// The fraction of samples strictly greater than... conservatively, the
+    /// fraction of samples in bins whose *lower edge* is ≥ `x`, plus
+    /// overflow. This over-estimates the tail by at most one bin width,
+    /// which is the safe direction for a failure detector (it under-suspects
+    /// slightly rather than over-suspects).
+    ///
+    /// Returns 0.0 if the histogram is empty.
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x < self.lo {
+            return (self.count - self.underflow) as f64 / self.count as f64;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut tail = self.overflow;
+        if x < self.hi {
+            let first = (((x - self.lo) / width).floor() as usize).min(self.bins.len());
+            for &c in &self.bins[first..] {
+                tail += c;
+            }
+        }
+        tail as f64 / self.count as f64
+    }
+
+    /// Removes all samples, keeping the binning.
+    pub fn clear(&mut self) {
+        self.bins.iter_mut().for_each(|b| *b = 0);
+        self.underflow = 0;
+        self.overflow = 0;
+        self.count = 0;
+    }
+}
+
+/// The `q`-th quantile (0 ≤ q ≤ 1) of a slice, by linear interpolation on
+/// the sorted order statistics (the "R-7" rule used by most software).
+///
+/// Returns `None` if the slice is empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the slice contains NaN.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = h - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.1, 1.2, 1.8, 2.5, 3.999] {
+            h.record(x);
+        }
+        assert_eq!(h.bins(), &[1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.5);
+        h.record(1.0); // hi edge is exclusive → overflow
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn fraction_above_tail() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [1.0, 2.0, 3.0, 4.0, 15.0] {
+            h.record(x);
+        }
+        assert!((h.fraction_above(3.0) - 3.0 / 5.0).abs() < 1e-12); // bins ≥3: {3,4} + overflow
+        assert!((h.fraction_above(100.0) - 1.0 / 5.0).abs() < 1e-12); // only overflow
+        assert!((h.fraction_above(-1.0) - 1.0).abs() < 1e-12); // all in-range + overflow
+        assert_eq!(Histogram::new(0.0, 1.0, 1).fraction_above(0.5), 0.0);
+    }
+
+    #[test]
+    fn bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edge(0), 0.0);
+        assert_eq!(h.bin_edge(1), 2.0);
+        assert_eq!(h.bin_edge(5), 10.0);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bins(), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite lo < hi")]
+    fn invalid_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&values, 0.0), Some(1.0));
+        assert_eq!(quantile(&values, 1.0), Some(4.0));
+        assert_eq!(quantile(&values, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+        // Order independence.
+        assert_eq!(quantile(&[4.0, 1.0, 3.0, 2.0], 0.5), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn quantile_range_enforced() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! Statistics substrate for adaptive detectors and experiment reporting.
+//!
+//! - [`RunningMoments`]: Welford running mean/variance (supports removal and
+//!   merge), used to estimate heartbeat inter-arrival moments.
+//! - [`SlidingWindow`]: fixed-capacity ring buffer over recent samples with
+//!   O(1) moments — the estimation window of the Chen and φ detectors.
+//! - [`Histogram`] and [`quantile`]: empirical distributions and percentile
+//!   reporting.
+//! - [`Summary`]: the descriptive report used in experiment tables.
+
+mod histogram;
+mod summary;
+mod welford;
+mod window;
+
+pub use histogram::{quantile, Histogram};
+pub use summary::Summary;
+pub use welford::RunningMoments;
+pub use window::SlidingWindow;

@@ -1,0 +1,96 @@
+//! Descriptive summaries of metric samples.
+//!
+//! The experiment harness reports QoS metrics aggregated over many seeded
+//! runs; [`Summary`] is the common five-number-plus-moments report.
+
+use core::fmt;
+
+use super::histogram::quantile;
+use super::welford::RunningMoments;
+
+/// Min / max / mean / standard deviation / median / p95 of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of samples, or returns `None` if it is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let moments: RunningMoments = values.iter().copied().collect();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(Summary {
+            count: values.len(),
+            min,
+            max,
+            mean: moments.mean(),
+            std_dev: moments.sample_std_dev(),
+            median: quantile(values, 0.5).expect("non-empty"),
+            p95: quantile(values, 0.95).expect("non-empty"),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} p50={:.4} p95={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_known_values() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert_eq!(Summary::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = Summary::from_samples(&[1.0, 2.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean="));
+    }
+}

@@ -1,0 +1,246 @@
+//! Numerically stable running moments (Welford's algorithm).
+//!
+//! Used by the adaptive detectors (§5.2–5.3 of the paper) to estimate the
+//! mean and variance of heartbeat inter-arrival times, and by the experiment
+//! harness to aggregate metric samples.
+
+/// Running count, mean, and variance of a stream of `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::stats::RunningMoments;
+///
+/// let mut m = RunningMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.mean(), 5.0);
+/// assert_eq!(m.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "samples must be finite, got {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Removes the contribution of one previously pushed sample.
+    ///
+    /// This is the inverse Welford update used by sliding windows. Removing
+    /// a value that was never pushed yields meaningless results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is empty or `x` is not finite.
+    pub fn remove(&mut self, x: f64) {
+        assert!(x.is_finite(), "samples must be finite, got {x}");
+        assert!(self.count > 0, "cannot remove from an empty accumulator");
+        if self.count == 1 {
+            *self = RunningMoments::new();
+            return;
+        }
+        let old_count = self.count as f64;
+        self.count -= 1;
+        let new_count = self.count as f64;
+        let old_mean = (old_count * self.mean - x) / new_count;
+        self.m2 -= (x - self.mean) * (x - old_mean);
+        // Floating-point cancellation can push m2 slightly negative.
+        if self.m2 < 0.0 {
+            self.m2 = 0.0;
+        }
+        self.mean = old_mean;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no samples were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The sample mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance (divides by `n`), or 0.0 with < 1 sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// The sample variance (divides by `n − 1`), or 0.0 with < 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).max(0.0)
+        }
+    }
+
+    /// The population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// The sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford / Chan).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+impl FromIterator<f64> for RunningMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = RunningMoments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f64> for RunningMoments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator() {
+        let m = RunningMoments::new();
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let m: RunningMoments = [5.0].into_iter().collect();
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let m: RunningMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+        assert!((m.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((m.population_std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_inverts_push() {
+        let mut m: RunningMoments = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        m.remove(4.0);
+        let expected: RunningMoments = [1.0, 2.0, 3.0].into_iter().collect();
+        assert!((m.mean() - expected.mean()).abs() < 1e-12);
+        assert!((m.sample_variance() - expected.sample_variance()).abs() < 1e-9);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn remove_to_empty() {
+        let mut m: RunningMoments = [7.0].into_iter().collect();
+        m.remove(7.0);
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty accumulator")]
+    fn remove_from_empty_panics() {
+        RunningMoments::new().remove(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_rejects_nan() {
+        RunningMoments::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a: RunningMoments = [1.0, 2.0, 3.0].into_iter().collect();
+        let b: RunningMoments = [10.0, 20.0].into_iter().collect();
+        a.merge(&b);
+        let all: RunningMoments = [1.0, 2.0, 3.0, 10.0, 20.0].into_iter().collect();
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningMoments = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&RunningMoments::new());
+        assert_eq!(a, before);
+
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut m = RunningMoments::new();
+        m.extend([1.0, 2.0]);
+        m.extend([3.0]);
+        assert_eq!(m.count(), 3);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+    }
+}

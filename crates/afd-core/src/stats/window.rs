@@ -1,0 +1,235 @@
+//! A bounded sliding window with O(1) mean/variance.
+//!
+//! The adaptive detectors (§5.2–5.3 of the paper) estimate the distribution
+//! of heartbeat inter-arrival times over a window of the most recent `n`
+//! samples. [`SlidingWindow`] keeps the samples in a ring buffer and
+//! maintains running moments incrementally; to keep floating-point error
+//! from accumulating over very long runs, the moments are recomputed from
+//! scratch periodically.
+
+use super::welford::RunningMoments;
+
+/// How many evictions happen between full recomputations of the moments.
+const REFRESH_INTERVAL: u64 = 65_536;
+
+/// A fixed-capacity sliding window over `f64` samples with constant-time
+/// mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::stats::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(3);
+/// w.push(1.0);
+/// w.push(2.0);
+/// w.push(3.0);
+/// w.push(10.0); // evicts 1.0
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.mean(), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    buf: Vec<f64>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    moments: RunningMoments,
+    evictions: u64,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            buf: vec![0.0; capacity],
+            capacity,
+            head: 0,
+            len: 0,
+            moments: RunningMoments::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Adds a sample, evicting the oldest if the window is full.
+    ///
+    /// Returns the evicted sample, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        assert!(x.is_finite(), "samples must be finite, got {x}");
+        
+        if self.len == self.capacity {
+            let old = self.buf[self.head];
+            self.buf[self.head] = x;
+            self.head = (self.head + 1) % self.capacity;
+            self.moments.remove(old);
+            self.moments.push(x);
+            self.evictions += 1;
+            if self.evictions.is_multiple_of(REFRESH_INTERVAL) {
+                self.recompute();
+            }
+            Some(old)
+        } else {
+            let idx = (self.head + self.len) % self.capacity;
+            self.buf[idx] = x;
+            self.len += 1;
+            self.moments.push(x);
+            None
+        }
+    }
+
+    fn recompute(&mut self) {
+        self.moments = self.iter().collect();
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if the window is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The mean of the windowed samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// The population variance of the windowed samples.
+    pub fn population_variance(&self) -> f64 {
+        self.moments.population_variance()
+    }
+
+    /// The sample variance of the windowed samples.
+    pub fn sample_variance(&self) -> f64 {
+        self.moments.sample_variance()
+    }
+
+    /// The population standard deviation of the windowed samples.
+    pub fn population_std_dev(&self) -> f64 {
+        self.moments.population_std_dev()
+    }
+
+    /// The most recently pushed sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else {
+            let idx = (self.head + self.len - 1) % self.capacity;
+            Some(self.buf[idx])
+        }
+    }
+
+    /// Iterates over the samples from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.len).map(move |i| self.buf[(self.head + i) % self.capacity])
+    }
+
+    /// Copies the samples, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.moments = RunningMoments::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_slides() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(3.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.push(4.0), Some(1.0));
+        assert_eq!(w.to_vec(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(w.last(), Some(4.0));
+    }
+
+    #[test]
+    fn moments_track_window_content() {
+        let mut w = SlidingWindow::new(4);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            w.push(x);
+        }
+        // Window now holds 3,4,5,6.
+        assert!((w.mean() - 4.5).abs() < 1e-12);
+        let expected: RunningMoments = [3.0, 4.0, 5.0, 6.0].into_iter().collect();
+        assert!((w.sample_variance() - expected.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_run_stays_accurate() {
+        let mut w = SlidingWindow::new(100);
+        // Push far more than REFRESH_INTERVAL would need, with drifting values.
+        for i in 0..200_000u64 {
+            w.push((i % 1000) as f64 * 0.001 + 10.0);
+        }
+        let direct: RunningMoments = w.iter().collect();
+        assert!((w.mean() - direct.mean()).abs() < 1e-6);
+        assert!((w.population_variance() - direct.population_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SlidingWindow::new(2);
+        w.push(1.0);
+        w.push(2.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.last(), None);
+        w.push(5.0);
+        assert_eq!(w.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        SlidingWindow::new(2).push(f64::INFINITY);
+    }
+
+    #[test]
+    fn capacity_one_window() {
+        let mut w = SlidingWindow::new(1);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), Some(1.0));
+        assert_eq!(w.mean(), 2.0);
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! System-level class checking (§3.2 and §4.3).
+//!
+//! The class definitions quantify over *pairs of processes*: ◊P_ac
+//! requires Accruement and Upper Bound for every pair, while ◊S_ac only
+//! requires the Upper Bound to hold for every monitor with respect to
+//! *some single* correct process. Given the per-pair suspicion histories
+//! of a whole run plus its failure pattern, the checkers here decide
+//! which classes the observed behaviour is consistent with.
+//!
+//! These are empirical checks over finite traces (like everything in
+//! [`crate::properties`]), not proofs — but they are exactly what an
+//! implementation's conformance test needs.
+
+use std::collections::BTreeMap;
+
+use crate::failure::FailurePattern;
+use crate::history::SuspicionTrace;
+use crate::process::MonitorPair;
+use crate::properties::{check_upper_bound, AccruementCheck};
+
+/// The per-pair suspicion histories of one run.
+#[derive(Debug, Clone, Default)]
+pub struct SystemObservation {
+    traces: BTreeMap<MonitorPair, SuspicionTrace>,
+}
+
+impl SystemObservation {
+    /// Creates an empty observation.
+    pub fn new() -> Self {
+        SystemObservation::default()
+    }
+
+    /// Adds the history of one monitoring pair; replaces any previous
+    /// trace for that pair.
+    pub fn insert(&mut self, pair: MonitorPair, trace: SuspicionTrace) {
+        self.traces.insert(pair, trace);
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` if no pairs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterates over the recorded pairs and their traces.
+    pub fn iter(&self) -> impl Iterator<Item = (&MonitorPair, &SuspicionTrace)> {
+        self.traces.iter()
+    }
+}
+
+/// The verdict of a system-level class check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Pairs with a faulty monitored process that violate Accruement.
+    pub accruement_violations: Vec<MonitorPair>,
+    /// Pairs with a correct monitored process whose level was unbounded
+    /// (infinite) within the trace.
+    pub bound_violations: Vec<MonitorPair>,
+    /// Correct processes that every monitor kept bounded (the witnesses
+    /// ◊S_ac needs at least one of).
+    pub bounded_correct_processes: Vec<crate::process::ProcessId>,
+}
+
+impl ClassReport {
+    /// `true` if the observation is consistent with ◊P_ac: Accruement for
+    /// every faulty pair and Upper Bound for every correct pair.
+    pub fn is_diamond_p_ac(&self) -> bool {
+        self.accruement_violations.is_empty() && self.bound_violations.is_empty()
+    }
+
+    /// `true` if the observation is consistent with ◊S_ac: Accruement for
+    /// every faulty pair, and Upper Bound with respect to at least one
+    /// correct process across all monitors.
+    pub fn is_diamond_s_ac(&self) -> bool {
+        self.accruement_violations.is_empty() && !self.bounded_correct_processes.is_empty()
+    }
+}
+
+/// Checks an observation against `pattern`, using `accruement` for the
+/// faulty pairs.
+///
+/// Pairs whose monitored process is faulty are checked for Accruement;
+/// pairs whose monitored process is correct are checked for a finite
+/// bound. A correct process is a ◊S_ac witness if *every* monitor's trace
+/// on it is bounded.
+pub fn check_classes(
+    observation: &SystemObservation,
+    pattern: &FailurePattern,
+    accruement: &AccruementCheck,
+) -> ClassReport {
+    let mut accruement_violations = Vec::new();
+    let mut bound_violations = Vec::new();
+    let mut bounded_ok: BTreeMap<crate::process::ProcessId, bool> = pattern
+        .correct()
+        .map(|p| (p, true))
+        .collect();
+
+    for (&pair, trace) in observation.iter() {
+        if pattern.is_faulty(pair.monitored) {
+            if accruement.run(trace).is_err() {
+                accruement_violations.push(pair);
+            }
+        } else {
+            let ok = check_upper_bound(trace, None).is_ok();
+            if !ok {
+                bound_violations.push(pair);
+            }
+            if let Some(flag) = bounded_ok.get_mut(&pair.monitored) {
+                *flag &= ok;
+            }
+        }
+    }
+
+    // Only count correct processes that were actually observed by some
+    // monitor as potential witnesses.
+    let observed: std::collections::BTreeSet<_> = observation
+        .iter()
+        .map(|(pair, _)| pair.monitored)
+        .collect();
+    let bounded_correct_processes = bounded_ok
+        .into_iter()
+        .filter(|(p, ok)| *ok && observed.contains(p))
+        .map(|(p, _)| p)
+        .collect();
+
+    ClassReport {
+        accruement_violations,
+        bound_violations,
+        bounded_correct_processes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessId;
+    use crate::suspicion::SuspicionLevel;
+    use crate::time::Timestamp;
+
+    fn trace_from(values: impl Iterator<Item = f64>) -> SuspicionTrace {
+        let mut t = SuspicionTrace::new();
+        for (i, v) in values.enumerate() {
+            t.push(
+                Timestamp::from_secs(i as u64),
+                SuspicionLevel::new(v).unwrap(),
+            );
+        }
+        t
+    }
+
+    fn accruing() -> SuspicionTrace {
+        trace_from((0..300).map(|k| k as f64))
+    }
+
+    fn bounded() -> SuspicionTrace {
+        trace_from((0..300).map(|k| (k % 5) as f64))
+    }
+
+    fn flat() -> SuspicionTrace {
+        // Violates Accruement (never increases) but is bounded.
+        trace_from(std::iter::repeat_n(1.0, 300))
+    }
+
+    fn unbounded_on_correct() -> SuspicionTrace {
+        let mut t = bounded();
+        t.push(Timestamp::from_secs(1000), SuspicionLevel::INFINITE);
+        t
+    }
+
+    fn pair(q: u32, p: u32) -> MonitorPair {
+        MonitorPair::new(ProcessId::new(q), ProcessId::new(p))
+    }
+
+    fn checker() -> AccruementCheck {
+        AccruementCheck::default()
+    }
+
+    #[test]
+    fn clean_run_is_diamond_p_ac() {
+        // 3 processes; p2 crashes. Monitors p0 and p1 each observe the
+        // other two.
+        let mut pattern = FailurePattern::all_correct(3);
+        pattern.crash(ProcessId::new(2), Timestamp::from_secs(10));
+
+        let mut obs = SystemObservation::new();
+        obs.insert(pair(0, 1), bounded());
+        obs.insert(pair(0, 2), accruing());
+        obs.insert(pair(1, 0), bounded());
+        obs.insert(pair(1, 2), accruing());
+
+        let report = check_classes(&obs, &pattern, &checker());
+        assert!(report.is_diamond_p_ac());
+        assert!(report.is_diamond_s_ac());
+        assert_eq!(
+            report.bounded_correct_processes,
+            vec![ProcessId::new(0), ProcessId::new(1)]
+        );
+    }
+
+    #[test]
+    fn one_unbounded_correct_pair_downgrades_to_s_ac() {
+        // Monitor p0 keeps p1 bounded, but monitor p2's view of p1 blows
+        // up; p0 itself stays bounded at every monitor. Not ◊P_ac, still
+        // ◊S_ac thanks to witness p0.
+        let pattern = FailurePattern::all_correct(3);
+        let mut obs = SystemObservation::new();
+        obs.insert(pair(0, 1), bounded());
+        obs.insert(pair(2, 1), unbounded_on_correct());
+        obs.insert(pair(1, 0), bounded());
+        obs.insert(pair(2, 0), bounded());
+
+        let report = check_classes(&obs, &pattern, &checker());
+        assert!(!report.is_diamond_p_ac());
+        assert!(report.is_diamond_s_ac());
+        assert_eq!(report.bound_violations, vec![pair(2, 1)]);
+        assert_eq!(report.bounded_correct_processes, vec![ProcessId::new(0)]);
+    }
+
+    #[test]
+    fn accruement_violation_fails_both_classes() {
+        let mut pattern = FailurePattern::all_correct(2);
+        pattern.crash(ProcessId::new(1), Timestamp::from_secs(5));
+        let mut obs = SystemObservation::new();
+        obs.insert(pair(0, 1), flat()); // faulty but never accrues
+
+        let report = check_classes(&obs, &pattern, &checker());
+        assert!(!report.is_diamond_p_ac());
+        assert!(!report.is_diamond_s_ac());
+        assert_eq!(report.accruement_violations, vec![pair(0, 1)]);
+    }
+
+    #[test]
+    fn witness_requires_all_monitors_bounded() {
+        // p0 bounded at monitor 1 but unbounded at monitor 2: not a
+        // witness.
+        let pattern = FailurePattern::all_correct(3);
+        let mut obs = SystemObservation::new();
+        obs.insert(pair(1, 0), bounded());
+        obs.insert(pair(2, 0), unbounded_on_correct());
+
+        let report = check_classes(&obs, &pattern, &checker());
+        assert!(report.bounded_correct_processes.is_empty());
+        assert!(!report.is_diamond_s_ac());
+    }
+
+    #[test]
+    fn empty_observation() {
+        let pattern = FailurePattern::all_correct(2);
+        let obs = SystemObservation::new();
+        assert!(obs.is_empty());
+        let report = check_classes(&obs, &pattern, &checker());
+        // Vacuously ◊P_ac, but no witness for ◊S_ac.
+        assert!(report.is_diamond_p_ac());
+        assert!(!report.is_diamond_s_ac());
+        assert_eq!(obs.len(), 0);
+    }
+}

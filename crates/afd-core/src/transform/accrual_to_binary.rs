@@ -1,0 +1,270 @@
+//! Algorithm 1: transforming ◊P_ac into ◊P (§4.1 of the paper).
+
+use crate::binary::Status;
+use crate::suspicion::SuspicionLevel;
+use crate::time::Timestamp;
+
+use super::Interpreter;
+
+/// The self-adapting interpreter of Algorithm 1, which turns any accrual
+/// detector of class ◊P_ac into a binary detector of class ◊P (Theorem 9).
+///
+/// Two dynamic thresholds drive it:
+///
+/// - `SL_susp`, a suspicion-level threshold that is raised to the current
+///   level on every S-transition. If the monitored process is correct, the
+///   level is bounded by some (unknown) `SL_max`, so after at most
+///   `⌈SL_max/ε⌉` S-transitions the threshold exceeds the bound and wrong
+///   suspicions cease (Lemma 8).
+/// - `L_trust`, a run-length threshold incremented on every T-transition.
+///   If the monitored process is faulty, Accruement bounds constant runs by
+///   some (unknown) `Q`, so after at most `Q` T-transitions the run-length
+///   condition can never fire again and the detector suspects permanently
+///   (Lemma 7).
+///
+/// Levels are quantized to the resolution `ε` before comparison, matching
+/// Definition 1 (the algorithm's equality tests are over the ε-grid).
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::binary::Status;
+/// use afd_core::suspicion::SuspicionLevel;
+/// use afd_core::time::Timestamp;
+/// use afd_core::transform::{AccrualToBinary, Interpreter};
+///
+/// let mut alg1 = AccrualToBinary::new(0.5);
+/// let t = Timestamp::ZERO;
+/// // A level forever rising by ε is eventually suspected permanently.
+/// let mut last = Status::Trusted;
+/// for k in 0..100 {
+///     last = alg1.observe(t, SuspicionLevel::new(0.5 * k as f64)?);
+/// }
+/// assert_eq!(last, Status::Suspected);
+/// # Ok::<(), afd_core::error::InvalidSuspicionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccrualToBinary {
+    epsilon: f64,
+    status: Status,
+    /// `SL_susp`: threshold for S-transitions (line 3 / 14).
+    sl_susp: Option<SuspicionLevel>,
+    /// `l`: length of the current run of constant suspicion level (line 4).
+    run_length: u64,
+    /// `L_trust`: run length that triggers a T-transition (line 5 / 17).
+    l_trust: u64,
+    /// `sl_prev`: previous (quantized) suspicion level (line 6).
+    sl_prev: Option<SuspicionLevel>,
+    s_transitions: u64,
+    t_transitions: u64,
+}
+
+impl AccrualToBinary {
+    /// Creates the transformer with resolution `epsilon` (Definition 1's ε).
+    ///
+    /// Initialization of `SL_susp` and `sl_prev` to the first observed level
+    /// happens lazily on the first observation, matching lines 3 and 6 of
+    /// the algorithm (which read `sl_qp` at initialization time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not finite and strictly positive.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "resolution ε must be finite and positive, got {epsilon}"
+        );
+        AccrualToBinary {
+            epsilon,
+            status: Status::Trusted,
+            sl_susp: None,
+            run_length: 1,
+            l_trust: 1,
+            sl_prev: None,
+            s_transitions: 0,
+            t_transitions: 0,
+        }
+    }
+
+    /// The resolution ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The current dynamic suspicion threshold `SL_susp` (`None` before the
+    /// first observation).
+    pub fn suspicion_threshold(&self) -> Option<SuspicionLevel> {
+        self.sl_susp
+    }
+
+    /// The current dynamic run-length threshold `L_trust`.
+    pub fn trust_run_length(&self) -> u64 {
+        self.l_trust
+    }
+
+    /// Number of S-transitions so far.
+    pub fn s_transitions(&self) -> u64 {
+        self.s_transitions
+    }
+
+    /// Number of T-transitions so far.
+    pub fn t_transitions(&self) -> u64 {
+        self.t_transitions
+    }
+}
+
+impl Interpreter for AccrualToBinary {
+    fn observe(&mut self, _at: Timestamp, level: SuspicionLevel) -> Status {
+        let sl = level.quantize(self.epsilon);
+
+        // Lazy initialization (lines 2–6).
+        let sl_prev = *self.sl_prev.get_or_insert(sl);
+        let sl_susp = *self.sl_susp.get_or_insert(sl);
+
+        // Lines 9–11: update the constant-run length.
+        if sl != sl_prev {
+            self.run_length = 0;
+        }
+        self.run_length += 1;
+
+        // Lines 12–14: suspect when the level exceeds the dynamic threshold.
+        if sl > sl_susp && self.status == Status::Trusted {
+            self.status = Status::Suspected;
+            self.sl_susp = Some(sl);
+            self.s_transitions += 1;
+        }
+
+        // Lines 15–17: trust when the level decreases, or stays constant
+        // longer than the dynamic run-length threshold.
+        if (sl < sl_prev || self.run_length > self.l_trust)
+            && self.status == Status::Suspected
+        {
+            self.status = Status::Trusted;
+            self.l_trust += 1;
+            self.t_transitions += 1;
+        }
+
+        // Line 18.
+        self.sl_prev = Some(sl);
+        self.status
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    fn ts() -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    fn feed(alg: &mut AccrualToBinary, values: &[f64]) -> Vec<Status> {
+        values.iter().map(|&v| alg.observe(ts(), sl(v))).collect()
+    }
+
+    #[test]
+    fn first_observation_trusts() {
+        let mut alg = AccrualToBinary::new(1.0);
+        assert_eq!(alg.observe(ts(), sl(5.0)), Status::Trusted);
+        assert_eq!(alg.suspicion_threshold(), Some(sl(5.0)));
+    }
+
+    #[test]
+    fn strictly_increasing_level_becomes_permanent_suspicion() {
+        let mut alg = AccrualToBinary::new(1.0);
+        let values: Vec<f64> = (0..50).map(|k| k as f64).collect();
+        let statuses = feed(&mut alg, &values);
+        // First observation sets the threshold; second exceeds it.
+        assert_eq!(statuses[0], Status::Trusted);
+        // Once suspected with ever-growing level, never trust again.
+        let first_suspect = statuses.iter().position(|s| s.is_suspected()).unwrap();
+        assert!(statuses[first_suspect..].iter().all(|s| s.is_suspected()));
+        assert_eq!(alg.t_transitions(), 0);
+    }
+
+    #[test]
+    fn level_with_plateaus_still_suspects_permanently() {
+        // Faulty-process shape with constant runs of length 3 (< some Q):
+        // after enough T-transitions raise L_trust past 3, suspicion sticks.
+        let mut alg = AccrualToBinary::new(1.0);
+        let values: Vec<f64> = (0..600).map(|k| (k / 3) as f64).collect();
+        let statuses = feed(&mut alg, &values);
+        let tail = &statuses[statuses.len() - 50..];
+        assert!(
+            tail.iter().all(|s| s.is_suspected()),
+            "expected permanent suspicion, tail = {tail:?}"
+        );
+        assert!(alg.trust_run_length() >= 3);
+    }
+
+    #[test]
+    fn bounded_level_eventually_stops_s_transitions() {
+        // Correct-process shape: level oscillates within [0, 5] forever.
+        let mut alg = AccrualToBinary::new(1.0);
+        let values: Vec<f64> = (0..2000).map(|k| (k % 6) as f64).collect();
+        let statuses = feed(&mut alg, &values);
+        // After SL_susp climbs past the bound 5, no more suspicion.
+        let tail = &statuses[statuses.len() - 500..];
+        assert!(
+            tail.iter().all(|s| s.is_trusted()),
+            "expected permanent trust at the tail"
+        );
+        assert!(alg.suspicion_threshold().unwrap() >= sl(5.0));
+        // And the number of S-transitions is bounded by ⌈SL_max/ε⌉ + 1.
+        assert!(alg.s_transitions() <= 6);
+    }
+
+    #[test]
+    fn decreasing_level_triggers_t_transition() {
+        let mut alg = AccrualToBinary::new(1.0);
+        let statuses = feed(&mut alg, &[0.0, 2.0, 1.0]);
+        assert_eq!(
+            statuses,
+            vec![Status::Trusted, Status::Suspected, Status::Trusted]
+        );
+        assert_eq!(alg.s_transitions(), 1);
+        assert_eq!(alg.t_transitions(), 1);
+    }
+
+    #[test]
+    fn constant_level_past_run_length_triggers_t_transition() {
+        let mut alg = AccrualToBinary::new(1.0);
+        // Suspect at 2.0 (> initial threshold 0), then hold constant.
+        let statuses = feed(&mut alg, &[0.0, 2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(statuses[1], Status::Suspected);
+        // With L_trust = 1, a run of 2 equal values (l = 2 > 1) trusts.
+        assert!(statuses[2..].iter().any(|s| s.is_trusted()));
+    }
+
+    #[test]
+    fn quantization_merges_close_values() {
+        let mut alg = AccrualToBinary::new(1.0);
+        // 2.1 and 2.4 quantize to the same grid point: a constant run.
+        let _ = feed(&mut alg, &[0.0, 2.1, 2.4]);
+        // No run reset happened between the last two observations.
+        assert_eq!(alg.run_length, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be finite and positive")]
+    fn rejects_bad_epsilon() {
+        let _ = AccrualToBinary::new(0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let alg = AccrualToBinary::new(0.25);
+        assert_eq!(alg.epsilon(), 0.25);
+        assert_eq!(alg.trust_run_length(), 1);
+        assert_eq!(alg.suspicion_threshold(), None);
+        assert_eq!(alg.status(), Status::Trusted);
+    }
+}

@@ -1,0 +1,185 @@
+//! Algorithm 2: transforming ◊P into ◊P_ac (§4.2 of the paper).
+
+use crate::accrual::AccrualFailureDetector;
+use crate::binary::{BinaryFailureDetector, Status};
+use crate::suspicion::SuspicionLevel;
+use crate::time::Timestamp;
+
+/// The transformer of Algorithm 2, which builds an accrual detector of
+/// class ◊P_ac from any binary detector of class ◊P (Theorem 12).
+///
+/// On every query it queries the underlying binary detector: while the
+/// process is suspected the suspicion level rises by ε; as soon as it is
+/// trusted the level resets to zero.
+///
+/// - If the process is faulty, the binary detector eventually suspects it
+///   permanently (Strong Completeness), after which the level grows by ε on
+///   *every* query — Accruement with `Q = 1` (Lemma 10).
+/// - If the process is correct, the binary detector eventually trusts it
+///   permanently (Eventual Strong Accuracy), so the level is bounded by the
+///   largest value it reached before stabilization (Lemma 11).
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::accrual::AccrualFailureDetector;
+/// use afd_core::binary::{ScriptedBinaryDetector, Status};
+/// use afd_core::time::Timestamp;
+/// use afd_core::transform::BinaryToAccrual;
+///
+/// // A ◊P oracle that makes one mistake, then trusts forever.
+/// let oracle = ScriptedBinaryDetector::new(
+///     vec![Status::Suspected, Status::Suspected],
+///     Status::Trusted,
+/// );
+/// let mut accrual = BinaryToAccrual::new(oracle, 0.5);
+/// let t = Timestamp::ZERO;
+/// assert_eq!(accrual.suspicion_level(t).value(), 0.5);
+/// assert_eq!(accrual.suspicion_level(t).value(), 1.0);
+/// assert_eq!(accrual.suspicion_level(t).value(), 0.0); // reset on trust
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryToAccrual<D> {
+    binary: D,
+    epsilon: f64,
+    level: SuspicionLevel,
+}
+
+impl<D: BinaryFailureDetector> BinaryToAccrual<D> {
+    /// Wraps `binary`, accruing `epsilon` per suspected query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not finite and strictly positive.
+    pub fn new(binary: D, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "resolution ε must be finite and positive, got {epsilon}"
+        );
+        BinaryToAccrual {
+            binary,
+            epsilon,
+            level: SuspicionLevel::ZERO,
+        }
+    }
+
+    /// The resolution ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The wrapped binary detector.
+    pub fn binary(&self) -> &D {
+        &self.binary
+    }
+
+    /// Consumes the transformer, returning the wrapped detector.
+    pub fn into_inner(self) -> D {
+        self.binary
+    }
+}
+
+impl<D: BinaryFailureDetector> AccrualFailureDetector for BinaryToAccrual<D> {
+    /// Algorithm 2 consumes a binary detector's verdicts, not heartbeats;
+    /// heartbeats feed the underlying binary detector through whatever
+    /// channel it uses. This is a no-op.
+    fn record_heartbeat(&mut self, _arrival: Timestamp) {}
+
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        match self.binary.query(now) {
+            Status::Suspected => {
+                self.level = SuspicionLevel::clamped(self.level.value() + self.epsilon);
+            }
+            Status::Trusted => {
+                self.level = SuspicionLevel::ZERO;
+            }
+        }
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::ScriptedBinaryDetector;
+    use crate::history::SuspicionTrace;
+    use crate::properties::{check_accruement, check_upper_bound};
+
+    fn ts(k: u64) -> Timestamp {
+        Timestamp::from_secs(k)
+    }
+
+    #[test]
+    fn accrues_while_suspected_resets_on_trust() {
+        let oracle = ScriptedBinaryDetector::new(
+            vec![
+                Status::Trusted,
+                Status::Suspected,
+                Status::Suspected,
+                Status::Trusted,
+            ],
+            Status::Suspected,
+        );
+        let mut d = BinaryToAccrual::new(oracle, 1.0);
+        let got: Vec<f64> = (0..7).map(|k| d.suspicion_level(ts(k)).value()).collect();
+        assert_eq!(got, vec![0.0, 1.0, 2.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn faulty_process_shape_satisfies_accruement() {
+        // ◊P behaviour for a faulty process: some early flip-flops, then
+        // permanent suspicion.
+        let mut prefix = Vec::new();
+        for _ in 0..10 {
+            prefix.push(Status::Suspected);
+            prefix.push(Status::Trusted);
+        }
+        let oracle = ScriptedBinaryDetector::new(prefix, Status::Suspected);
+        let mut d = BinaryToAccrual::new(oracle, 1.0);
+        let mut trace = SuspicionTrace::new();
+        for k in 0..500u64 {
+            trace.push(ts(k), d.suspicion_level(ts(k)));
+        }
+        let w = check_accruement(&trace).expect("accruement must hold");
+        assert_eq!(w.max_constant_run, 0, "Q = 1: increases on every query");
+    }
+
+    #[test]
+    fn correct_process_shape_satisfies_upper_bound() {
+        // ◊P behaviour for a correct process: mistakes early, then
+        // permanent trust.
+        let mut prefix = Vec::new();
+        for _ in 0..5 {
+            prefix.push(Status::Suspected);
+            prefix.push(Status::Suspected);
+            prefix.push(Status::Trusted);
+        }
+        let oracle = ScriptedBinaryDetector::new(prefix, Status::Trusted);
+        let mut d = BinaryToAccrual::new(oracle, 0.5);
+        let mut trace = SuspicionTrace::new();
+        for k in 0..500u64 {
+            trace.push(ts(k), d.suspicion_level(ts(k)));
+        }
+        let w = check_upper_bound(&trace, None).unwrap();
+        // Bounded by the pre-stabilization maximum: two ε steps = 1.0.
+        assert_eq!(w.observed_bound.value(), 1.0);
+        // And the level is zero at the end.
+        assert!(trace.samples().last().unwrap().level.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be finite and positive")]
+    fn rejects_bad_epsilon() {
+        let _ = BinaryToAccrual::new(ScriptedBinaryDetector::always_trusting(), -1.0);
+    }
+
+    #[test]
+    fn heartbeats_are_ignored_and_inner_accessible() {
+        let mut d = BinaryToAccrual::new(ScriptedBinaryDetector::always_trusting(), 1.0);
+        d.record_heartbeat(ts(0));
+        assert_eq!(d.epsilon(), 1.0);
+        assert_eq!(d.binary().queries_answered(), 0);
+        let inner = d.into_inner();
+        assert_eq!(inner.queries_answered(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fuzzy (three-state) interpretation, after Friedman's fuzzy group
+//! membership (§6 of the paper).
+//!
+//! Friedman's position paper associates a *fuzziness level* with each
+//! process and uses two thresholds to define three states — trusted,
+//! fuzzy, suspected — but gives no failure-detector construction. The
+//! paper observes that accrual detectors supply exactly the missing
+//! substrate: the suspicion level *is* the fuzziness level, and the
+//! three-state classification is one more interpretation policy.
+//!
+//! The §1.2 "precautionary measures" pattern is the same machinery: an
+//! application takes cheap precautions when confidence crosses the lower
+//! threshold and drastic action above the upper one.
+
+use core::fmt;
+
+use crate::binary::Status;
+use crate::suspicion::SuspicionLevel;
+use crate::time::Timestamp;
+
+use super::Interpreter;
+
+/// The three-valued verdict of a fuzzy interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuzzyStatus {
+    /// Below the lower threshold: fully trusted.
+    Trusted,
+    /// Between the thresholds: take precautions (e.g. checkpoint, stop
+    /// assigning new work) but no drastic action.
+    Fuzzy,
+    /// Above the upper threshold: treated as crashed.
+    Suspected,
+}
+
+impl FuzzyStatus {
+    /// Collapses to the binary verdict (fuzzy counts as trusted, matching
+    /// the conservative reading of Friedman's proposal).
+    pub fn to_binary(self) -> Status {
+        match self {
+            FuzzyStatus::Suspected => Status::Suspected,
+            _ => Status::Trusted,
+        }
+    }
+}
+
+impl fmt::Display for FuzzyStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyStatus::Trusted => f.write_str("trusted"),
+            FuzzyStatus::Fuzzy => f.write_str("fuzzy"),
+            FuzzyStatus::Suspected => f.write_str("suspected"),
+        }
+    }
+}
+
+/// A memoryless three-state interpreter over suspicion levels.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::suspicion::SuspicionLevel;
+/// use afd_core::time::Timestamp;
+/// use afd_core::transform::{FuzzyInterpreter, FuzzyStatus};
+///
+/// let mut fuzzy = FuzzyInterpreter::new(
+///     SuspicionLevel::new(1.0)?,
+///     SuspicionLevel::new(5.0)?,
+/// )?;
+/// let t = Timestamp::ZERO;
+/// assert_eq!(fuzzy.classify(t, SuspicionLevel::new(0.5)?), FuzzyStatus::Trusted);
+/// assert_eq!(fuzzy.classify(t, SuspicionLevel::new(2.0)?), FuzzyStatus::Fuzzy);
+/// assert_eq!(fuzzy.classify(t, SuspicionLevel::new(9.0)?), FuzzyStatus::Suspected);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzyInterpreter {
+    lower: SuspicionLevel,
+    upper: SuspicionLevel,
+    status: FuzzyStatus,
+}
+
+impl FuzzyInterpreter {
+    /// Creates the interpreter with the given lower (trusted/fuzzy) and
+    /// upper (fuzzy/suspected) thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::ConfigError`] if `lower >= upper`.
+    pub fn new(
+        lower: SuspicionLevel,
+        upper: SuspicionLevel,
+    ) -> Result<Self, crate::error::ConfigError> {
+        if lower >= upper {
+            return Err(crate::error::ConfigError::new(format!(
+                "fuzzy thresholds must satisfy lower < upper, got {lower} vs {upper}"
+            )));
+        }
+        Ok(FuzzyInterpreter {
+            lower,
+            upper,
+            status: FuzzyStatus::Trusted,
+        })
+    }
+
+    /// Classifies one observation into the three states.
+    pub fn classify(&mut self, _at: Timestamp, level: SuspicionLevel) -> FuzzyStatus {
+        self.status = if level > self.upper {
+            FuzzyStatus::Suspected
+        } else if level > self.lower {
+            FuzzyStatus::Fuzzy
+        } else {
+            FuzzyStatus::Trusted
+        };
+        self.status
+    }
+
+    /// The most recent three-state verdict.
+    pub fn fuzzy_status(&self) -> FuzzyStatus {
+        self.status
+    }
+
+    /// The lower threshold.
+    pub fn lower(&self) -> SuspicionLevel {
+        self.lower
+    }
+
+    /// The upper threshold.
+    pub fn upper(&self) -> SuspicionLevel {
+        self.upper
+    }
+}
+
+impl Interpreter for FuzzyInterpreter {
+    fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status {
+        self.classify(at, level).to_binary()
+    }
+
+    fn status(&self) -> Status {
+        self.status.to_binary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    fn ts() -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    #[test]
+    fn constructor_validates_ordering() {
+        assert!(FuzzyInterpreter::new(sl(1.0), sl(2.0)).is_ok());
+        assert!(FuzzyInterpreter::new(sl(2.0), sl(2.0)).is_err());
+        assert!(FuzzyInterpreter::new(sl(3.0), sl(2.0)).is_err());
+    }
+
+    #[test]
+    fn three_bands_classify_correctly() {
+        let mut f = FuzzyInterpreter::new(sl(1.0), sl(3.0)).unwrap();
+        assert_eq!(f.classify(ts(), sl(1.0)), FuzzyStatus::Trusted); // boundary inclusive
+        assert_eq!(f.classify(ts(), sl(1.1)), FuzzyStatus::Fuzzy);
+        assert_eq!(f.classify(ts(), sl(3.0)), FuzzyStatus::Fuzzy);
+        assert_eq!(f.classify(ts(), sl(3.1)), FuzzyStatus::Suspected);
+        assert_eq!(f.fuzzy_status(), FuzzyStatus::Suspected);
+    }
+
+    #[test]
+    fn binary_view_treats_fuzzy_as_trusted() {
+        let mut f = FuzzyInterpreter::new(sl(1.0), sl(3.0)).unwrap();
+        assert_eq!(f.observe(ts(), sl(2.0)), Status::Trusted);
+        assert_eq!(f.observe(ts(), sl(4.0)), Status::Suspected);
+        assert_eq!(f.status(), Status::Suspected);
+    }
+
+    #[test]
+    fn monotone_escalation_with_rising_level() {
+        // A rising suspicion level walks through the states in order.
+        let mut f = FuzzyInterpreter::new(sl(1.0), sl(3.0)).unwrap();
+        let seq: Vec<FuzzyStatus> = (0..50)
+            .map(|k| f.classify(ts(), sl(k as f64 * 0.1)))
+            .collect();
+        let first_fuzzy = seq.iter().position(|s| *s == FuzzyStatus::Fuzzy).unwrap();
+        let first_susp = seq.iter().position(|s| *s == FuzzyStatus::Suspected).unwrap();
+        assert!(first_fuzzy < first_susp);
+        assert!(seq[..first_fuzzy].iter().all(|s| *s == FuzzyStatus::Trusted));
+        assert!(seq[first_susp..].iter().all(|s| *s == FuzzyStatus::Suspected));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let f = FuzzyInterpreter::new(sl(0.5), sl(2.5)).unwrap();
+        assert_eq!(f.lower(), sl(0.5));
+        assert_eq!(f.upper(), sl(2.5));
+        assert_eq!(FuzzyStatus::Fuzzy.to_string(), "fuzzy");
+        assert_eq!(FuzzyStatus::Trusted.to_string(), "trusted");
+        assert_eq!(FuzzyStatus::Suspected.to_string(), "suspected");
+    }
+}

@@ -1,0 +1,124 @@
+//! The P_ac → P transformation (§4.3): interpretation with a *known*
+//! bound.
+//!
+//! The class P_ac strengthens the Upper Bound property: the bound
+//! `SL_max` on correct processes' suspicion levels is *known*. §4.3 notes
+//! that the transformation to a perfect binary detector then degenerates:
+//! run Algorithm 1 with the suspicion threshold initialized to the known
+//! bound — every level above the bound certainly indicates a crash, so no
+//! S-transition is ever wrong, while Accruement still guarantees the level
+//! eventually exceeds any bound for a faulty process.
+
+use crate::binary::Status;
+use crate::suspicion::SuspicionLevel;
+use crate::time::Timestamp;
+
+use super::Interpreter;
+
+/// The known-bound interpreter: suspect permanently once the level exceeds
+/// the known `SL_max` of the P_ac detector feeding it.
+///
+/// Unlike [`super::ThresholdInterpreter`], suspicion is *sticky*: with a
+/// known bound, a level above it proves the process faulty (faulty
+/// processes never recover in the crash-stop model), so there is no
+/// T-transition — this is what makes the resulting detector *perfect*
+/// rather than eventually perfect.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::binary::Status;
+/// use afd_core::suspicion::SuspicionLevel;
+/// use afd_core::time::Timestamp;
+/// use afd_core::transform::{Interpreter, KnownBoundInterpreter};
+///
+/// let bound = SuspicionLevel::new(5.0)?;
+/// let mut interp = KnownBoundInterpreter::new(bound);
+/// let t = Timestamp::ZERO;
+/// assert_eq!(interp.observe(t, SuspicionLevel::new(4.9)?), Status::Trusted);
+/// assert_eq!(interp.observe(t, SuspicionLevel::new(5.1)?), Status::Suspected);
+/// // Sticky: even if the level were to drop, the verdict stands.
+/// assert_eq!(interp.observe(t, SuspicionLevel::ZERO), Status::Suspected);
+/// # Ok::<(), afd_core::error::InvalidSuspicionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownBoundInterpreter {
+    bound: SuspicionLevel,
+    status: Status,
+}
+
+impl KnownBoundInterpreter {
+    /// Creates the interpreter for a P_ac detector whose correct-process
+    /// levels are known to stay at or below `bound`.
+    pub fn new(bound: SuspicionLevel) -> Self {
+        KnownBoundInterpreter {
+            bound,
+            status: Status::Trusted,
+        }
+    }
+
+    /// The known bound.
+    pub fn bound(&self) -> SuspicionLevel {
+        self.bound
+    }
+}
+
+impl Interpreter for KnownBoundInterpreter {
+    fn observe(&mut self, _at: Timestamp, level: SuspicionLevel) -> Status {
+        if level > self.bound {
+            self.status = Status::Suspected;
+        }
+        self.status
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    fn ts() -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    #[test]
+    fn trusts_below_and_at_the_bound() {
+        let mut i = KnownBoundInterpreter::new(sl(3.0));
+        assert_eq!(i.observe(ts(), sl(0.0)), Status::Trusted);
+        assert_eq!(i.observe(ts(), sl(3.0)), Status::Trusted); // bound inclusive
+        assert_eq!(i.status(), Status::Trusted);
+    }
+
+    #[test]
+    fn suspicion_is_permanent() {
+        let mut i = KnownBoundInterpreter::new(sl(3.0));
+        assert_eq!(i.observe(ts(), sl(3.5)), Status::Suspected);
+        // Levels dropping afterwards cannot rescind a proof of crash.
+        for v in [0.0, 1.0, 2.9] {
+            assert_eq!(i.observe(ts(), sl(v)), Status::Suspected);
+        }
+    }
+
+    #[test]
+    fn no_wrong_suspicion_when_bound_is_respected() {
+        // A P_ac-compliant correct-process level stream never exceeds the
+        // bound, so the interpreter never suspects: strong accuracy.
+        let mut i = KnownBoundInterpreter::new(sl(2.0));
+        for k in 0..1000 {
+            let level = sl((k % 20) as f64 / 10.0); // oscillates in [0, 1.9]
+            assert_eq!(i.observe(ts(), level), Status::Trusted);
+        }
+    }
+
+    #[test]
+    fn bound_accessor() {
+        assert_eq!(KnownBoundInterpreter::new(sl(7.0)).bound(), sl(7.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Transformations between accrual and binary failure detectors (§4).
+//!
+//! The paper's central computational result is that the accrual class
+//! ◊P_ac and the binary class ◊P are equivalent, shown by two
+//! transformation algorithms:
+//!
+//! - [`AccrualToBinary`] — *Algorithm 1*: interprets a suspicion-level
+//!   stream with self-adapting thresholds, yielding a ◊P binary detector
+//!   (Theorem 9).
+//! - [`BinaryToAccrual`] — *Algorithm 2*: accrues ε per suspected query on
+//!   top of a binary detector, yielding a ◊P_ac accrual detector
+//!   (Theorem 12).
+//!
+//! §4.4 additionally studies fixed *interpretation policies*:
+//!
+//! - [`ThresholdInterpreter`] — `D_T`: suspect iff `sl > T(t)` (Equation 2).
+//! - [`HysteresisInterpreter`] — *Algorithm 3*, `D'_T`: an upper threshold
+//!   `T(t)` triggers S-transitions and a shared lower threshold `T₀(t)`
+//!   triggers T-transitions, which is what makes the T_MR/λ_M/T_G
+//!   orderings of Corollaries 5–6 hold.
+//!
+//! All interpreters implement [`Interpreter`], a pure state machine over
+//! `(time, suspicion level)` observations. That reflects the paper's
+//! architecture (Fig. 2): one *monitor* produces levels, and any number of
+//! independent interpreters — one per application — consume them.
+//! [`InterpretedBinary`] bundles a monitor and one interpreter into a
+//! self-contained [`BinaryFailureDetector`] for callers that want the
+//! classical interface (Fig. 1).
+
+mod accrual_to_binary;
+mod binary_to_accrual;
+mod fuzzy;
+mod known_bound;
+mod threshold;
+
+pub use accrual_to_binary::AccrualToBinary;
+pub use binary_to_accrual::BinaryToAccrual;
+pub use fuzzy::{FuzzyInterpreter, FuzzyStatus};
+pub use known_bound::KnownBoundInterpreter;
+pub use threshold::{
+    ConstantThreshold, HysteresisInterpreter, ThresholdFn, ThresholdInterpreter,
+};
+
+use crate::accrual::AccrualFailureDetector;
+use crate::binary::{BinaryFailureDetector, Status};
+use crate::suspicion::SuspicionLevel;
+use crate::time::Timestamp;
+
+/// A policy that turns a stream of suspicion-level observations into
+/// trusted/suspected verdicts.
+///
+/// Implementations are deterministic state machines; observation times must
+/// be non-decreasing.
+pub trait Interpreter {
+    /// Feeds one observation and returns the resulting status.
+    fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status;
+
+    /// The status after the most recent observation (trusted before any).
+    fn status(&self) -> Status;
+}
+
+impl<I: Interpreter + ?Sized> Interpreter for &mut I {
+    fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status {
+        (**self).observe(at, level)
+    }
+    fn status(&self) -> Status {
+        (**self).status()
+    }
+}
+
+impl<I: Interpreter + ?Sized> Interpreter for Box<I> {
+    fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status {
+        (**self).observe(at, level)
+    }
+    fn status(&self) -> Status {
+        (**self).status()
+    }
+}
+
+/// An accrual monitor plus one interpretation policy, packaged as a binary
+/// failure detector.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::accrual::ScriptedAccrualDetector;
+/// use afd_core::binary::{BinaryFailureDetector, Status};
+/// use afd_core::suspicion::SuspicionLevel;
+/// use afd_core::time::Timestamp;
+/// use afd_core::transform::{InterpretedBinary, ThresholdInterpreter};
+///
+/// let monitor = ScriptedAccrualDetector::from_values(&[0.0, 5.0]);
+/// let policy = ThresholdInterpreter::new(SuspicionLevel::new(1.0)?);
+/// let mut detector = InterpretedBinary::new(monitor, policy);
+/// assert_eq!(detector.query(Timestamp::ZERO), Status::Trusted);
+/// assert_eq!(detector.query(Timestamp::from_secs(1)), Status::Suspected);
+/// # Ok::<(), afd_core::error::InvalidSuspicionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterpretedBinary<D, I> {
+    monitor: D,
+    interpreter: I,
+}
+
+impl<D: AccrualFailureDetector, I: Interpreter> InterpretedBinary<D, I> {
+    /// Bundles `monitor` with `interpreter`.
+    pub fn new(monitor: D, interpreter: I) -> Self {
+        InterpretedBinary {
+            monitor,
+            interpreter,
+        }
+    }
+
+    /// Feeds a heartbeat to the underlying monitor.
+    pub fn record_heartbeat(&mut self, arrival: Timestamp) {
+        self.monitor.record_heartbeat(arrival);
+    }
+
+    /// The underlying monitor.
+    pub fn monitor(&self) -> &D {
+        &self.monitor
+    }
+
+    /// The interpretation policy.
+    pub fn interpreter(&self) -> &I {
+        &self.interpreter
+    }
+
+    /// Consumes the bundle, returning the parts.
+    pub fn into_inner(self) -> (D, I) {
+        (self.monitor, self.interpreter)
+    }
+}
+
+impl<D: AccrualFailureDetector, I: Interpreter> BinaryFailureDetector
+    for InterpretedBinary<D, I>
+{
+    fn query(&mut self, now: Timestamp) -> Status {
+        let level = self.monitor.suspicion_level(now);
+        self.interpreter.observe(now, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accrual::ScriptedAccrualDetector;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    #[test]
+    fn interpreted_binary_forwards_heartbeats_and_queries() {
+        let monitor = ScriptedAccrualDetector::from_values(&[0.0, 2.0, 0.5]);
+        let mut d = InterpretedBinary::new(monitor, ThresholdInterpreter::new(sl(1.0)));
+        d.record_heartbeat(Timestamp::ZERO);
+        assert_eq!(d.query(Timestamp::from_secs(1)), Status::Trusted);
+        assert_eq!(d.query(Timestamp::from_secs(2)), Status::Suspected);
+        assert_eq!(d.query(Timestamp::from_secs(3)), Status::Trusted);
+        let (_monitor, interp) = d.into_inner();
+        assert_eq!(interp.status(), Status::Trusted);
+    }
+
+    #[test]
+    fn interpreter_trait_objects_forward() {
+        let mut boxed: Box<dyn Interpreter> =
+            Box::new(ThresholdInterpreter::new(sl(1.0)));
+        assert_eq!(boxed.observe(Timestamp::ZERO, sl(2.0)), Status::Suspected);
+        assert_eq!(boxed.status(), Status::Suspected);
+        let mut concrete = ThresholdInterpreter::new(sl(1.0));
+        let mut r: &mut ThresholdInterpreter<SuspicionLevel> = &mut concrete;
+        let _ = Interpreter::observe(&mut r, Timestamp::ZERO, sl(0.0));
+        assert_eq!(Interpreter::status(&r), Status::Trusted);
+    }
+}

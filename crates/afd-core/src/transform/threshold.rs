@@ -1,0 +1,224 @@
+//! Threshold-based interpretation of suspicion levels (§4.4, Algorithm 3).
+
+use crate::binary::Status;
+use crate::suspicion::SuspicionLevel;
+use crate::time::Timestamp;
+
+use super::Interpreter;
+
+/// A (possibly time-varying) threshold function `T : T → R⁺` (§4.4).
+///
+/// Implemented by [`SuspicionLevel`] (a constant threshold), by
+/// [`ConstantThreshold`], and by any `Fn(Timestamp) -> SuspicionLevel`
+/// closure for fully dynamic policies.
+pub trait ThresholdFn {
+    /// The threshold in force at time `at`.
+    fn threshold(&self, at: Timestamp) -> SuspicionLevel;
+}
+
+impl ThresholdFn for SuspicionLevel {
+    fn threshold(&self, _at: Timestamp) -> SuspicionLevel {
+        *self
+    }
+}
+
+/// A constant threshold with an explicit name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantThreshold(pub SuspicionLevel);
+
+impl ThresholdFn for ConstantThreshold {
+    fn threshold(&self, _at: Timestamp) -> SuspicionLevel {
+        self.0
+    }
+}
+
+impl<F: Fn(Timestamp) -> SuspicionLevel> ThresholdFn for F {
+    fn threshold(&self, at: Timestamp) -> SuspicionLevel {
+        self(at)
+    }
+}
+
+/// The memoryless interpreter `D_T` (Equation 2): suspect iff
+/// `sl(t) > T(t)`.
+///
+/// Lower thresholds give *aggressive* detection (faster, more mistakes),
+/// higher thresholds *conservative* detection — the tradeoff quantified by
+/// Corollaries 2 and 3 of the paper.
+#[derive(Debug, Clone)]
+pub struct ThresholdInterpreter<T> {
+    threshold: T,
+    status: Status,
+}
+
+impl<T: ThresholdFn> ThresholdInterpreter<T> {
+    /// Creates the interpreter `D_T` for threshold function `threshold`.
+    pub fn new(threshold: T) -> Self {
+        ThresholdInterpreter {
+            threshold,
+            status: Status::Trusted,
+        }
+    }
+
+    /// The threshold function.
+    pub fn threshold_fn(&self) -> &T {
+        &self.threshold
+    }
+}
+
+impl<T: ThresholdFn> Interpreter for ThresholdInterpreter<T> {
+    fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status {
+        self.status = if level > self.threshold.threshold(at) {
+            Status::Suspected
+        } else {
+            Status::Trusted
+        };
+        self.status
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+}
+
+/// The hysteresis interpreter `D'_T` (Algorithm 3): an S-transition fires
+/// when `sl > T(t)` while trusted; a T-transition fires when `sl ≤ T₀(t)`
+/// while suspected.
+///
+/// Using a *shared* low threshold `T₀` across applications is what makes
+/// the mistake-recurrence, mistake-rate, and good-period orderings of
+/// Theorem 4 / Corollaries 5–6 hold between interpreters with
+/// `T₁(t) ≤ T₂(t)`.
+#[derive(Debug, Clone)]
+pub struct HysteresisInterpreter<TH, TL> {
+    high: TH,
+    low: TL,
+    status: Status,
+}
+
+impl<TH: ThresholdFn, TL: ThresholdFn> HysteresisInterpreter<TH, TL> {
+    /// Creates the interpreter `D'_T` with S-threshold `high` and
+    /// T-threshold `low`.
+    ///
+    /// §4.4 requires `T₀(t) < T(t)` at all times; this is asserted at each
+    /// observation (debug builds) rather than at construction, since both
+    /// may vary with time.
+    pub fn new(high: TH, low: TL) -> Self {
+        HysteresisInterpreter {
+            high,
+            low,
+            status: Status::Trusted,
+        }
+    }
+
+    /// The S-transition (upper) threshold function.
+    pub fn high_fn(&self) -> &TH {
+        &self.high
+    }
+
+    /// The T-transition (lower) threshold function.
+    pub fn low_fn(&self) -> &TL {
+        &self.low
+    }
+}
+
+impl<TH: ThresholdFn, TL: ThresholdFn> Interpreter for HysteresisInterpreter<TH, TL> {
+    fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status {
+        let high = self.high.threshold(at);
+        let low = self.low.threshold(at);
+        debug_assert!(
+            low < high,
+            "hysteresis requires T₀(t) < T(t): {low} vs {high} at {at}"
+        );
+        match self.status {
+            Status::Trusted if level > high => self.status = Status::Suspected,
+            Status::Suspected if level <= low => self.status = Status::Trusted,
+            _ => {}
+        }
+        self.status
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn plain_threshold_is_memoryless() {
+        let mut i = ThresholdInterpreter::new(sl(1.0));
+        assert_eq!(i.observe(ts(0), sl(0.5)), Status::Trusted);
+        assert_eq!(i.observe(ts(1), sl(1.0)), Status::Trusted); // strict >
+        assert_eq!(i.observe(ts(2), sl(1.1)), Status::Suspected);
+        assert_eq!(i.observe(ts(3), sl(0.9)), Status::Trusted);
+        assert_eq!(i.status(), Status::Trusted);
+    }
+
+    #[test]
+    fn time_varying_threshold_via_closure() {
+        // Threshold grows 1.0 per second.
+        let f = |at: Timestamp| sl(at.as_secs_f64());
+        let mut i = ThresholdInterpreter::new(f);
+        assert_eq!(i.observe(ts(1), sl(2.0)), Status::Suspected);
+        assert_eq!(i.observe(ts(5), sl(2.0)), Status::Trusted);
+    }
+
+    #[test]
+    fn hysteresis_holds_suspicion_until_low_threshold() {
+        let mut i = HysteresisInterpreter::new(sl(2.0), sl(0.5));
+        assert_eq!(i.observe(ts(0), sl(1.0)), Status::Trusted); // below high
+        assert_eq!(i.observe(ts(1), sl(2.5)), Status::Suspected); // S-transition
+        assert_eq!(i.observe(ts(2), sl(1.0)), Status::Suspected); // between: hold
+        assert_eq!(i.observe(ts(3), sl(0.5)), Status::Trusted); // ≤ low: T-transition
+        assert_eq!(i.observe(ts(4), sl(1.0)), Status::Trusted); // below high again
+    }
+
+    #[test]
+    fn containment_theorem_1_on_shared_levels() {
+        // D_{T2} suspects ⟹ D_{T1} suspects whenever T1 ≤ T2 (Theorem 1),
+        // both for plain and for hysteresis interpreters sharing T0.
+        let levels = [0.0, 0.8, 1.6, 2.4, 1.2, 0.4, 3.0, 0.1, 2.0];
+        let mut d1 = ThresholdInterpreter::new(sl(1.0));
+        let mut d2 = ThresholdInterpreter::new(sl(2.0));
+        let mut h1 = HysteresisInterpreter::new(sl(1.0), sl(0.2));
+        let mut h2 = HysteresisInterpreter::new(sl(2.0), sl(0.2));
+        for (k, &v) in levels.iter().enumerate() {
+            let at = ts(k as u64);
+            let s1 = d1.observe(at, sl(v));
+            let s2 = d2.observe(at, sl(v));
+            if s2.is_suspected() {
+                assert!(s1.is_suspected(), "containment violated at {k}");
+            }
+            let hs1 = h1.observe(at, sl(v));
+            let hs2 = h2.observe(at, sl(v));
+            if hs2.is_suspected() {
+                assert!(hs1.is_suspected(), "hysteresis containment violated at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_threshold_newtype() {
+        let c = ConstantThreshold(sl(3.0));
+        assert_eq!(c.threshold(ts(0)), sl(3.0));
+        assert_eq!(c.threshold(ts(100)), sl(3.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "hysteresis requires")]
+    fn hysteresis_rejects_inverted_thresholds() {
+        let mut i = HysteresisInterpreter::new(sl(0.5), sl(2.0));
+        let _ = i.observe(ts(0), sl(1.0));
+    }
+}

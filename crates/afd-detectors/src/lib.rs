@@ -1,0 +1,50 @@
+//! Implementations of accrual failure detectors (§5 of the paper).
+//!
+//! Four detectors, in increasing sophistication, exactly as the paper
+//! presents them:
+//!
+//! | Module | Detector | Suspicion level |
+//! |--------|----------|-----------------|
+//! | [`simple`] | elapsed time (§5.1, Algorithm 4) | `t − t_last` |
+//! | [`chen`] | Chen's estimator as accrual (§5.2) | `max(0, t − EA)` |
+//! | [`bertier`] | Bertier et al.'s dynamic margin (ref. [3]) | `max(0, t − (EA + α))` |
+//! | [`phi`] | the φ detector (§5.3) | `−log₁₀ P_later(t − t_last)` |
+//! | [`kappa`] | the κ framework (§5.4) | Σ contributions of missed heartbeats |
+//!
+//! Plus the architectural and adversarial pieces:
+//!
+//! - [`service`]: one-monitor-per-peer, one-interpreter-per-application
+//!   (Fig. 2);
+//! - [`adversary`]: the Appendix A.5 adversary showing Weak Accruement is
+//!   not enough.
+//!
+//! All detectors implement [`afd_core::accrual::AccrualFailureDetector`]:
+//! they take explicit timestamps, never read clocks, and can therefore be
+//! driven identically by real time or by `afd-sim` traces. Combine any of
+//! them with `afd_core::transform::{ThresholdInterpreter,
+//! HysteresisInterpreter, AccrualToBinary}` to obtain binary detectors.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+pub mod bertier;
+pub mod chen;
+pub mod kappa;
+pub mod kappa_seq;
+pub mod phi;
+pub mod service;
+pub mod shared;
+pub mod simple;
+pub mod slowness;
+
+pub use bertier::{BertierAccrual, BertierConfig};
+pub use chen::{ChenAccrual, ChenConfig};
+pub use kappa_seq::{SeqKappaAccrual, SeqKappaConfig};
+pub use kappa::{KappaAccrual, KappaConfig};
+pub use phi::{PhiAccrual, PhiConfig, PhiModel};
+pub use service::{InterpreterBank, MonitoringService};
+pub use shared::SharedMonitoringService;
+pub use simple::SimpleAccrual;
+pub use slowness::SlownessOracle;

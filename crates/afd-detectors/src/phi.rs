@@ -1,0 +1,449 @@
+//! The φ accrual failure detector (§5.3).
+//!
+//! Where Chen's detector estimates only the *mean* of the next arrival
+//! time, φ estimates the full distribution of inter-arrival times — mean
+//! and variance over a sliding window, plus an assumed shape — and outputs
+//!
+//! `φ(t) = −log₁₀( P_later(t − t_last) )`
+//!
+//! where `P_later(x)` is the probability that a heartbeat arrives more than
+//! `x` after the previous one. The threshold semantics are probabilistic:
+//! suspecting at `φ > Φ` means the chance of a wrong suspicion is about
+//! `10^−Φ`, assuming the network is probabilistically stable.
+//!
+//! Three tail shapes are provided (the paper names normal inter-arrivals
+//! and Erlang transmission times; deployed descendants use others):
+//!
+//! - [`PhiModel::Normal`] — the original detector (Hayashibara et al.) and
+//!   Akka's implementation;
+//! - [`PhiModel::Exponential`] — the tail Cassandra uses, linear in the
+//!   elapsed time;
+//! - [`PhiModel::Empirical`] — a non-parametric histogram estimate with
+//!   Laplace smoothing.
+//!
+//! Tail evaluation happens in log space, so φ keeps growing (and
+//! Accruement keeps holding) long after the raw probability underflows.
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::dist::{ArrivalDistribution, Empirical, Exponential, Normal};
+use afd_core::error::ConfigError;
+use afd_core::stats::SlidingWindow;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::{Duration, Timestamp};
+
+/// The assumed inter-arrival distribution shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhiModel {
+    /// Normal inter-arrival times (the original φ detector).
+    Normal,
+    /// Exponential tail on the elapsed time (Cassandra's variant):
+    /// `φ = (t − t_last) / mean · log₁₀ e`.
+    Exponential,
+    /// Non-parametric histogram of past gaps with add-one smoothing.
+    Empirical {
+        /// Number of histogram bins.
+        bins: usize,
+        /// Histogram range, in multiples of the expected interval.
+        max_intervals: f64,
+    },
+}
+
+/// Configuration for [`PhiAccrual`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhiConfig {
+    /// Sliding-window capacity for inter-arrival samples (default 1000,
+    /// as in the original implementation).
+    pub window_size: usize,
+    /// Minimum number of samples before the windowed estimate is trusted;
+    /// below it, a prior of `N(initial_interval, (initial_interval/4)²)`
+    /// is used (the bootstrap Akka popularized).
+    pub min_samples: usize,
+    /// Floor on the estimated standard deviation, guarding against a
+    /// degenerate (near-zero-variance) window making φ explode on the
+    /// first slightly-late heartbeat.
+    pub min_std_dev: Duration,
+    /// The assumed heartbeat interval before any data arrives.
+    pub initial_interval: Duration,
+    /// The distribution shape.
+    pub model: PhiModel,
+}
+
+impl Default for PhiConfig {
+    fn default() -> Self {
+        PhiConfig {
+            window_size: 1000,
+            min_samples: 5,
+            min_std_dev: Duration::from_millis(10),
+            initial_interval: Duration::from_secs(1),
+            model: PhiModel::Normal,
+        }
+    }
+}
+
+impl PhiConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an empty window, a zero initial
+    /// interval, a zero std-dev floor, or a degenerate empirical histogram.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window_size == 0 {
+            return Err(ConfigError::new("phi window size must be positive"));
+        }
+        if self.initial_interval.is_zero() {
+            return Err(ConfigError::new("phi initial interval must be positive"));
+        }
+        if self.min_std_dev.is_zero() {
+            return Err(ConfigError::new("phi min std dev must be positive"));
+        }
+        if let PhiModel::Empirical { bins, max_intervals } = self.model {
+            if bins == 0 {
+                return Err(ConfigError::new("phi empirical model needs at least one bin"));
+            }
+            if !(max_intervals.is_finite() && max_intervals > 0.0) {
+                return Err(ConfigError::new(
+                    "phi empirical range must be a positive number of intervals",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The φ accrual failure detector.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::accrual::AccrualFailureDetector;
+/// use afd_core::time::Timestamp;
+/// use afd_detectors::phi::{PhiAccrual, PhiConfig};
+///
+/// let mut fd = PhiAccrual::new(PhiConfig::default())?;
+/// for s in 1..=20 {
+///     fd.record_heartbeat(Timestamp::from_secs(s));
+/// }
+/// // Right after a heartbeat the suspicion is negligible…
+/// let low = fd.suspicion_level(Timestamp::from_secs_f64(20.1));
+/// // …and five intervals of silence later it is large.
+/// let high = fd.suspicion_level(Timestamp::from_secs(25));
+/// assert!(low.value() < 0.5);
+/// assert!(high.value() > 5.0);
+/// # Ok::<(), afd_core::error::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhiAccrual {
+    config: PhiConfig,
+    gaps: SlidingWindow,
+    empirical: Option<Empirical>,
+    last_heartbeat: Option<Timestamp>,
+}
+
+impl PhiAccrual {
+    /// Creates the detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `config` is invalid.
+    pub fn new(config: PhiConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let empirical = match config.model {
+            PhiModel::Empirical { bins, max_intervals } => Some(
+                Empirical::new(
+                    0.0,
+                    config.initial_interval.as_secs_f64() * max_intervals,
+                    bins,
+                )
+                .expect("validated empirical parameters"),
+            ),
+            _ => None,
+        };
+        Ok(PhiAccrual {
+            config,
+            gaps: SlidingWindow::new(config.window_size),
+            empirical,
+            last_heartbeat: None,
+        })
+    }
+
+    /// The detector with default (normal-model) configuration.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the default configuration is valid.
+    pub fn with_defaults() -> Self {
+        PhiAccrual::new(PhiConfig::default()).expect("default config is valid")
+    }
+
+    /// The most recent heartbeat arrival, if any.
+    pub fn last_heartbeat(&self) -> Option<Timestamp> {
+        self.last_heartbeat
+    }
+
+    /// The current estimate of the mean inter-arrival time, in seconds.
+    pub fn mean_interval(&self) -> f64 {
+        if self.gaps.len() < self.config.min_samples {
+            self.config.initial_interval.as_secs_f64()
+        } else {
+            self.gaps.mean()
+        }
+    }
+
+    /// The current estimate of the inter-arrival standard deviation,
+    /// in seconds (with the configured floor applied).
+    pub fn std_dev(&self) -> f64 {
+        let floor = self.config.min_std_dev.as_secs_f64();
+        if self.gaps.len() < self.config.min_samples {
+            (self.config.initial_interval.as_secs_f64() / 4.0).max(floor)
+        } else {
+            self.gaps.population_std_dev().max(floor)
+        }
+    }
+
+    /// Number of inter-arrival samples in the window.
+    pub fn samples(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// The raw φ value at `now` (equal to the suspicion level, exposed for
+    /// callers that think in φ units).
+    pub fn phi(&self, now: Timestamp) -> f64 {
+        let Some(last) = self.last_heartbeat else {
+            return 0.0;
+        };
+        let elapsed = now.saturating_duration_since(last).as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let log_tail = match self.config.model {
+            PhiModel::Normal => {
+                let dist = Normal::new(self.mean_interval(), self.std_dev())
+                    .expect("estimator yields finite positive parameters");
+                dist.log10_sf(elapsed)
+            }
+            PhiModel::Exponential => {
+                let dist = Exponential::from_mean(self.mean_interval().max(f64::MIN_POSITIVE))
+                    .expect("positive mean");
+                dist.log10_sf(elapsed)
+            }
+            PhiModel::Empirical { .. } => {
+                let hist = self.empirical.as_ref().expect("empirical model present");
+                if (hist.count() as usize) < self.config.min_samples {
+                    // Fall back to the bootstrap normal prior.
+                    let dist = Normal::new(self.mean_interval(), self.std_dev())
+                        .expect("bootstrap parameters valid");
+                    dist.log10_sf(elapsed)
+                } else {
+                    hist.log10_sf(elapsed)
+                }
+            }
+        };
+        (-log_tail).max(0.0)
+    }
+}
+
+impl AccrualFailureDetector for PhiAccrual {
+    fn record_heartbeat(&mut self, arrival: Timestamp) {
+        if let Some(last) = self.last_heartbeat {
+            debug_assert!(arrival >= last, "heartbeat arrivals must be non-decreasing");
+            let gap = arrival.saturating_duration_since(last).as_secs_f64();
+            self.gaps.push(gap);
+            if let Some(hist) = &mut self.empirical {
+                hist.record(gap);
+            }
+        }
+        self.last_heartbeat = Some(self.last_heartbeat.map_or(arrival, |l| l.max(arrival)));
+    }
+
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        SuspicionLevel::clamped(self.phi(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs_f64(s)
+    }
+
+    fn regular(n: usize) -> PhiAccrual {
+        let mut fd = PhiAccrual::with_defaults();
+        for k in 1..=n {
+            fd.record_heartbeat(ts(k as f64));
+        }
+        fd
+    }
+
+    #[test]
+    fn zero_before_any_heartbeat() {
+        let mut fd = PhiAccrual::with_defaults();
+        assert_eq!(fd.suspicion_level(ts(100.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn phi_grows_with_silence() {
+        let mut fd = regular(30);
+        let p1 = fd.suspicion_level(ts(31.0)).value();
+        let p2 = fd.suspicion_level(ts(32.0)).value();
+        let p3 = fd.suspicion_level(ts(35.0)).value();
+        assert!(p1 < p2 && p2 < p3, "({p1}, {p2}, {p3})");
+        assert!(p3 > 10.0, "five intervals late should be conclusive, got {p3}");
+    }
+
+    #[test]
+    fn phi_is_small_right_after_heartbeat() {
+        let mut fd = regular(30);
+        assert!(fd.suspicion_level(ts(30.05)).value() < 0.1);
+    }
+
+    #[test]
+    fn phi_threshold_has_probabilistic_meaning() {
+        // With a perfectly regular cadence (std floored at 10 ms), the
+        // elapsed time at which φ crosses 1.0 is where the tail is 10%.
+        let fd = regular(30);
+        let elapsed_at_phi1 = {
+            // Solve by scanning.
+            let mut t = 1.0;
+            while fd.phi(ts(30.0 + t)) < 1.0 {
+                t += 1e-4;
+            }
+            t
+        };
+        let dist = Normal::new(fd.mean_interval(), fd.std_dev()).unwrap();
+        let tail = dist.sf(elapsed_at_phi1);
+        assert!((tail - 0.1).abs() < 0.01, "tail at φ=1 should be ≈0.1, got {tail}");
+    }
+
+    #[test]
+    fn adapts_to_jitter() {
+        // A jittery cadence widens the distribution, so the same lateness
+        // yields a smaller φ than under a regular cadence.
+        let mut regular_fd = PhiAccrual::with_defaults();
+        let mut jitter_fd = PhiAccrual::with_defaults();
+        let mut t_r = 0.0;
+        let mut t_j = 0.0;
+        for k in 0..60 {
+            t_r += 1.0;
+            t_j += if k % 2 == 0 { 0.5 } else { 1.5 };
+            regular_fd.record_heartbeat(ts(t_r));
+            jitter_fd.record_heartbeat(ts(t_j));
+        }
+        let lateness = 2.0;
+        let phi_regular = regular_fd.phi(ts(t_r + lateness));
+        let phi_jitter = jitter_fd.phi(ts(t_j + lateness));
+        assert!(
+            phi_jitter < phi_regular / 2.0,
+            "jitter-adapted φ {phi_jitter} should be far below {phi_regular}"
+        );
+    }
+
+    #[test]
+    fn bootstrap_prior_applies_before_min_samples() {
+        let mut fd = PhiAccrual::new(PhiConfig {
+            min_samples: 10,
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        fd.record_heartbeat(ts(1.0));
+        // Only 0 gaps: estimates come from the prior.
+        assert_eq!(fd.mean_interval(), 1.0);
+        assert_eq!(fd.std_dev(), 0.25);
+        // And φ is already meaningful: late by 3 intervals is suspicious.
+        assert!(fd.phi(ts(4.0)) > 5.0);
+    }
+
+    #[test]
+    fn min_std_floor_prevents_explosion() {
+        // Perfectly regular arrivals would estimate σ = 0; the floor keeps
+        // φ finite for small lateness.
+        let mut fd = regular(100);
+        let phi = fd.suspicion_level(ts(100.0 + 1.02)).value();
+        assert!(phi.is_finite());
+        assert!(phi < 100.0, "φ should be tempered by the σ floor, got {phi}");
+    }
+
+    #[test]
+    fn exponential_model_is_linear_in_elapsed() {
+        let mut fd = PhiAccrual::new(PhiConfig {
+            model: PhiModel::Exponential,
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        for k in 1..=20 {
+            fd.record_heartbeat(ts(k as f64));
+        }
+        let p2 = fd.phi(ts(22.0)); // 2 s late
+        let p4 = fd.phi(ts(24.0)); // 4 s late
+        assert!((p4 - 2.0 * p2).abs() < 1e-9, "exponential φ must be linear");
+        // φ = elapsed/mean · log10(e).
+        assert!((p2 - 2.0 * std::f64::consts::LOG10_E).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_model_tracks_observed_gaps() {
+        let mut fd = PhiAccrual::new(PhiConfig {
+            model: PhiModel::Empirical {
+                bins: 100,
+                max_intervals: 8.0,
+            },
+            min_samples: 5,
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        for k in 1..=200 {
+            fd.record_heartbeat(ts(k as f64));
+        }
+        // All gaps are 1 s; being 2 s late leaves only the smoothing mass.
+        let phi_late = fd.phi(ts(202.5));
+        assert!(phi_late > 2.0, "late φ should be large, got {phi_late}");
+        let phi_fresh = fd.phi(ts(200.5));
+        assert!(phi_fresh < 0.1, "fresh φ should be small, got {phi_fresh}");
+    }
+
+    #[test]
+    fn unbounded_growth_for_accruement() {
+        // φ must keep increasing far past f64 tail underflow.
+        let mut fd = regular(30);
+        let a = fd.suspicion_level(ts(100.0)).value();
+        let b = fd.suspicion_level(ts(1_000.0)).value();
+        let c = fd.suspicion_level(ts(10_000.0)).value();
+        assert!(a < b && b < c, "({a}, {b}, {c})");
+        assert!(c > 1e6, "far-future φ should be enormous, got {c}");
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PhiConfig { window_size: 0, ..PhiConfig::default() }.validate().is_err());
+        assert!(PhiConfig {
+            initial_interval: Duration::ZERO,
+            ..PhiConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PhiConfig {
+            min_std_dev: Duration::ZERO,
+            ..PhiConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PhiConfig {
+            model: PhiModel::Empirical { bins: 0, max_intervals: 4.0 },
+            ..PhiConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PhiConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let fd = regular(10);
+        assert_eq!(fd.samples(), 9);
+        assert_eq!(fd.last_heartbeat(), Some(ts(10.0)));
+        assert!((fd.mean_interval() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! A thread-safe monitoring service handle.
+//!
+//! §7 of the paper envisions monitoring "implemented as a daemon, a
+//! linked library or a kernel service", shared by many application
+//! processes. Within one OS process, the sharing unit is a thread:
+//! [`SharedMonitoringService`] wraps a [`MonitoringService`] so that a
+//! receiver thread can feed heartbeats while any number of application
+//! threads query levels and run their own interpreters concurrently.
+//!
+//! The lock is coarse (one mutex around the whole service). That is the
+//! right default here: detector updates are sub-microsecond (see
+//! `bench_detectors`), so contention is negligible next to network
+//! cadence, and a single lock keeps snapshots consistent across
+//! processes — an application never observes a torn view of the system.
+
+use std::sync::{Arc, Mutex};
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+
+use crate::service::MonitoringService;
+
+/// A cloneable, thread-safe handle to a monitoring service.
+///
+/// All methods lock internally; clones share the same underlying service.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::process::ProcessId;
+/// use afd_core::time::Timestamp;
+/// use afd_detectors::phi::PhiAccrual;
+/// use afd_detectors::shared::SharedMonitoringService;
+///
+/// let service = SharedMonitoringService::new(|_| PhiAccrual::with_defaults());
+/// let receiver = service.clone();
+/// let worker = ProcessId::new(1);
+/// service.watch(worker);
+///
+/// let t = std::thread::spawn(move || {
+///     receiver.heartbeat(worker, Timestamp::from_secs(1));
+/// });
+/// t.join().unwrap();
+/// assert!(service.suspicion_level(worker, Timestamp::from_secs(2)).is_some());
+/// ```
+pub struct SharedMonitoringService<D, F> {
+    inner: Arc<Mutex<MonitoringService<D, F>>>,
+}
+
+impl<D, F> Clone for SharedMonitoringService<D, F> {
+    fn clone(&self) -> Self {
+        SharedMonitoringService {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<D, F> std::fmt::Debug for SharedMonitoringService<D, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMonitoringService").finish_non_exhaustive()
+    }
+}
+
+impl<D, F> SharedMonitoringService<D, F>
+where
+    D: AccrualFailureDetector,
+    F: FnMut(ProcessId) -> D,
+{
+    /// Creates a shared service with the given detector factory.
+    pub fn new(factory: F) -> Self {
+        SharedMonitoringService {
+            inner: Arc::new(Mutex::new(MonitoringService::new(factory))),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MonitoringService<D, F>> {
+        // Lock poisoning means a panic mid-update; the service state is a
+        // detector map whose per-call updates are atomic with respect to
+        // the lock, so continuing with the recovered guard is safe.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Starts monitoring `process`; returns `true` if newly watched.
+    pub fn watch(&self, process: ProcessId) -> bool {
+        self.lock().watch(process)
+    }
+
+    /// Stops monitoring `process`; returns `true` if it was watched.
+    pub fn unwatch(&self, process: ProcessId) -> bool {
+        self.lock().unwatch(process).is_some()
+    }
+
+    /// `true` if `process` is currently watched.
+    pub fn is_watching(&self, process: ProcessId) -> bool {
+        self.lock().is_watching(process)
+    }
+
+    /// Records a heartbeat; returns `false` if `process` is not watched.
+    pub fn heartbeat(&self, process: ProcessId, arrival: Timestamp) -> bool {
+        self.lock().heartbeat(process, arrival)
+    }
+
+    /// The suspicion level of `process` at `now`, if watched.
+    pub fn suspicion_level(&self, process: ProcessId, now: Timestamp) -> Option<SuspicionLevel> {
+        self.lock().suspicion_level(process, now)
+    }
+
+    /// A consistent snapshot of every watched process's level.
+    pub fn snapshot(&self, now: Timestamp) -> Vec<(ProcessId, SuspicionLevel)> {
+        self.lock().snapshot(now)
+    }
+
+    /// Watched processes ranked most-trustworthy first.
+    pub fn rank(&self, now: Timestamp) -> Vec<(ProcessId, SuspicionLevel)> {
+        self.lock().rank(now)
+    }
+
+    /// Number of watched processes.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` if nothing is watched.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::SimpleAccrual;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    type Factory = fn(ProcessId) -> SimpleAccrual;
+
+    fn shared() -> SharedMonitoringService<SimpleAccrual, Factory> {
+        SharedMonitoringService::new((|_| SimpleAccrual::new(Timestamp::ZERO)) as Factory)
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedMonitoringService<SimpleAccrual, Factory>>();
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = shared();
+        let b = a.clone();
+        let p = ProcessId::new(1);
+        assert!(a.watch(p));
+        assert!(b.is_watching(p));
+        b.heartbeat(p, Timestamp::from_secs(3));
+        assert_eq!(
+            a.suspicion_level(p, Timestamp::from_secs(5)).unwrap().value(),
+            2.0
+        );
+        assert!(a.unwatch(p));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn concurrent_heartbeats_and_queries() {
+        let service = shared();
+        for i in 0..4 {
+            service.watch(ProcessId::new(i));
+        }
+        let ticks = Arc::new(AtomicU64::new(1));
+
+        std::thread::scope(|scope| {
+            // One receiver thread per process feeding heartbeats…
+            for i in 0..4u32 {
+                let handle = service.clone();
+                let ticks = Arc::clone(&ticks);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        let t = ticks.fetch_add(1, Ordering::Relaxed);
+                        handle.heartbeat(ProcessId::new(i), Timestamp::from_millis(t));
+                    }
+                });
+            }
+            // …while two application threads snapshot and rank.
+            for _ in 0..2 {
+                let handle = service.clone();
+                let ticks = Arc::clone(&ticks);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let t = ticks.load(Ordering::Relaxed) + 10_000;
+                        let snap = handle.snapshot(Timestamp::from_millis(t));
+                        assert_eq!(snap.len(), 4);
+                        let ranked = handle.rank(Timestamp::from_millis(t));
+                        assert_eq!(ranked.len(), 4);
+                        // Ranked output is sorted.
+                        for w in ranked.windows(2) {
+                            assert!(w[0].1 <= w[1].1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(service.len(), 4);
+    }
+
+    #[test]
+    fn unwatched_heartbeat_is_dropped() {
+        let service = shared();
+        assert!(!service.heartbeat(ProcessId::new(9), Timestamp::ZERO));
+        assert_eq!(service.suspicion_level(ProcessId::new(9), Timestamp::ZERO), None);
+    }
+}

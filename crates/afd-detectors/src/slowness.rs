@@ -1,0 +1,176 @@
+//! A slowness oracle built on accrual suspicion levels (§6 of the paper).
+//!
+//! Sampaio et al. define a *slowness oracle*: an oracle that outputs the
+//! processes ordered by perceived responsiveness. The paper remarks that
+//! accrual detectors "also quantify responsiveness, hence their output
+//! values could be used to establish this order" — this module is that
+//! construction.
+//!
+//! Responsiveness is scored with an exponentially weighted moving average
+//! of each process's suspicion level sampled at queries, so a process that
+//! was briefly late recovers its rank quickly while a consistently slow
+//! one sinks. The instantaneous level alone would rank a process that just
+//! heartbeated above one that is merely mid-interval; the smoothing makes
+//! the order reflect *recent history*, which is what a scheduler wants.
+
+use std::collections::BTreeMap;
+
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+
+/// A slowness oracle: ranks processes by smoothed suspicion level.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::process::ProcessId;
+/// use afd_core::suspicion::SuspicionLevel;
+/// use afd_core::time::Timestamp;
+/// use afd_detectors::slowness::SlownessOracle;
+///
+/// let mut oracle = SlownessOracle::new(0.5)?;
+/// let t = Timestamp::ZERO;
+/// oracle.observe(ProcessId::new(0), t, SuspicionLevel::new(0.1)?);
+/// oracle.observe(ProcessId::new(1), t, SuspicionLevel::new(2.0)?);
+/// let order = oracle.order();
+/// assert_eq!(order[0].0, ProcessId::new(0)); // most responsive first
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlownessOracle {
+    alpha: f64,
+    scores: BTreeMap<ProcessId, f64>,
+}
+
+impl SlownessOracle {
+    /// Creates an oracle with EWMA smoothing factor `alpha ∈ (0, 1]`
+    /// (1.0 = no smoothing: rank by the latest level only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`afd_core::error::ConfigError`] if `alpha` is outside
+    /// `(0, 1]`.
+    pub fn new(alpha: f64) -> Result<Self, afd_core::error::ConfigError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(afd_core::error::ConfigError::new(format!(
+                "slowness smoothing factor must be in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(SlownessOracle {
+            alpha,
+            scores: BTreeMap::new(),
+        })
+    }
+
+    /// Feeds one suspicion-level observation for `process`.
+    pub fn observe(&mut self, process: ProcessId, _at: Timestamp, level: SuspicionLevel) {
+        let score = self.scores.entry(process).or_insert(0.0);
+        *score = self.alpha * level.value().min(f64::MAX) + (1.0 - self.alpha) * *score;
+    }
+
+    /// Feeds a whole monitoring-service snapshot.
+    pub fn observe_snapshot(&mut self, at: Timestamp, snapshot: &[(ProcessId, SuspicionLevel)]) {
+        for &(p, level) in snapshot {
+            self.observe(p, at, level);
+        }
+    }
+
+    /// Forgets a process (e.g. after it leaves the system).
+    pub fn forget(&mut self, process: ProcessId) -> bool {
+        self.scores.remove(&process).is_some()
+    }
+
+    /// The current smoothed score of `process`, if observed.
+    pub fn score(&self, process: ProcessId) -> Option<f64> {
+        self.scores.get(&process).copied()
+    }
+
+    /// The slowness order: most responsive (lowest smoothed suspicion)
+    /// first, ties broken by process id.
+    pub fn order(&self) -> Vec<(ProcessId, f64)> {
+        let mut v: Vec<(ProcessId, f64)> =
+            self.scores.iter().map(|(&p, &s)| (p, s)).collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The most responsive process, if any.
+    pub fn fastest(&self) -> Option<ProcessId> {
+        self.order().first().map(|&(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ts() -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    #[test]
+    fn constructor_validates_alpha() {
+        assert!(SlownessOracle::new(0.5).is_ok());
+        assert!(SlownessOracle::new(1.0).is_ok());
+        assert!(SlownessOracle::new(0.0).is_err());
+        assert!(SlownessOracle::new(1.5).is_err());
+    }
+
+    #[test]
+    fn orders_by_smoothed_level() {
+        let mut o = SlownessOracle::new(1.0).unwrap();
+        o.observe(p(0), ts(), sl(3.0));
+        o.observe(p(1), ts(), sl(1.0));
+        o.observe(p(2), ts(), sl(2.0));
+        let order: Vec<u32> = o.order().iter().map(|(q, _)| q.as_u32()).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+        assert_eq!(o.fastest(), Some(p(1)));
+    }
+
+    #[test]
+    fn smoothing_damps_transients() {
+        let mut o = SlownessOracle::new(0.2).unwrap();
+        // p0 is steadily slightly suspicious; p1 has one huge spike.
+        for _ in 0..20 {
+            o.observe(p(0), ts(), sl(1.0));
+            o.observe(p(1), ts(), sl(0.1));
+        }
+        o.observe(p(1), ts(), sl(3.0)); // one spike
+        // One spike does not leapfrog a consistently slower process.
+        assert!(o.score(p(1)).unwrap() < o.score(p(0)).unwrap());
+        // But repeated spikes do.
+        for _ in 0..20 {
+            o.observe(p(1), ts(), sl(3.0));
+        }
+        assert!(o.score(p(1)).unwrap() > o.score(p(0)).unwrap());
+    }
+
+    #[test]
+    fn snapshot_ingestion_and_forget() {
+        let mut o = SlownessOracle::new(0.5).unwrap();
+        o.observe_snapshot(ts(), &[(p(0), sl(0.5)), (p(1), sl(1.5))]);
+        assert_eq!(o.order().len(), 2);
+        assert!(o.forget(p(0)));
+        assert!(!o.forget(p(0)));
+        assert_eq!(o.order().len(), 1);
+        assert_eq!(o.score(p(0)), None);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut o = SlownessOracle::new(1.0).unwrap();
+        o.observe(p(5), ts(), sl(1.0));
+        o.observe(p(2), ts(), sl(1.0));
+        let order: Vec<u32> = o.order().iter().map(|(q, _)| q.as_u32()).collect();
+        assert_eq!(order, vec![2, 5]);
+    }
+}

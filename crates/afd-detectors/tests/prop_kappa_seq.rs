@@ -1,0 +1,124 @@
+//! Property-based tests for the sequence-numbered κ detector: invariants
+//! over arbitrary delivery subsets, orders, and query times.
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::time::{Duration, Timestamp};
+use afd_detectors::kappa::{PhiContribution, StepContribution};
+use afd_detectors::kappa_seq::{SeqKappaAccrual, SeqKappaConfig};
+use proptest::prelude::*;
+
+fn step_detector(tracking: u64) -> SeqKappaAccrual<StepContribution> {
+    SeqKappaAccrual::new(
+        SeqKappaConfig {
+            tracking_window: tracking,
+            ..SeqKappaConfig::default()
+        },
+        StepContribution::new(0.25),
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Suspicion never exceeds the tracking window, for any delivery
+    /// pattern and any query time.
+    #[test]
+    fn bounded_by_tracking_window(
+        delivered in prop::collection::btree_set(1u64..200, 1..100),
+        tracking in 5u64..50,
+        probe in 1.0..5_000.0f64,
+    ) {
+        let mut fd = step_detector(tracking);
+        for &seq in &delivered {
+            fd.record_heartbeat_with_seq(seq, Timestamp::from_secs(seq));
+        }
+        let v = fd.kappa(Timestamp::from_secs_f64(200.0 + probe));
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= tracking as f64 + 1.0, "kappa {v} exceeds window {tracking}");
+    }
+
+    /// Receiving strictly more heartbeats (a superset) never increases
+    /// suspicion at the same query time.
+    #[test]
+    fn more_deliveries_never_raise_suspicion(
+        base in prop::collection::btree_set(1u64..100, 1..40),
+        extra in prop::collection::btree_set(1u64..100, 1..20),
+        probe_offset in 0.1..20.0f64,
+    ) {
+        let superset: std::collections::BTreeSet<u64> =
+            base.union(&extra).copied().collect();
+        // Only compare when both sets share the same maximum: otherwise
+        // the superset legitimately expects more heartbeats by the probe
+        // time (a later anchor also moves the expectation window).
+        prop_assume!(base.iter().max() == superset.iter().max());
+
+        let feed = |seqs: &std::collections::BTreeSet<u64>| {
+            let mut fd = step_detector(100);
+            for &seq in seqs {
+                fd.record_heartbeat_with_seq(seq, Timestamp::from_secs(seq));
+            }
+            let max = *seqs.iter().max().unwrap();
+            fd.kappa(Timestamp::from_secs_f64(max as f64 + probe_offset))
+        };
+        let with_base = feed(&base);
+        let with_more = feed(&superset);
+        prop_assert!(
+            with_more <= with_base + 1e-9,
+            "superset raised kappa: {with_base} → {with_more}"
+        );
+    }
+
+    /// Delivery order does not matter: any permutation of the same
+    /// delivery set yields the same suspicion level.
+    #[test]
+    fn order_independence(
+        mut seqs in prop::collection::vec(1u64..80, 2..40),
+        swaps in prop::collection::vec((0usize..40, 0usize..40), 0..20),
+    ) {
+        seqs.sort_unstable();
+        seqs.dedup();
+        let in_order = {
+            let mut fd = step_detector(100);
+            for &s in &seqs {
+                fd.record_heartbeat_with_seq(s, Timestamp::from_secs(s));
+            }
+            fd.kappa(Timestamp::from_secs(100))
+        };
+        // Shuffle deterministically via the swap list; arrival times stay
+        // tied to the sequence number (the network reordered them).
+        let mut shuffled = seqs.clone();
+        for &(a, b) in &swaps {
+            let (a, b) = (a % shuffled.len(), b % shuffled.len());
+            shuffled.swap(a, b);
+        }
+        let out_of_order = {
+            let mut fd = step_detector(100);
+            for &s in &shuffled {
+                fd.record_heartbeat_with_seq(s, Timestamp::from_secs(s));
+            }
+            fd.kappa(Timestamp::from_secs(100))
+        };
+        prop_assert!((in_order - out_of_order).abs() < 1e-9);
+    }
+
+    /// The inferred-sequence trait API agrees with explicit consecutive
+    /// sequence numbers.
+    #[test]
+    fn trait_api_matches_explicit_consecutive(gaps in prop::collection::vec(0.2..3.0f64, 2..40)) {
+        let mut implicit =
+            SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap();
+        let mut explicit =
+            SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap();
+        let mut t = 0.0;
+        for (i, &g) in gaps.iter().enumerate() {
+            t += g;
+            let at = Timestamp::from_secs_f64(t);
+            implicit.record_heartbeat(at);
+            explicit.record_heartbeat_with_seq(i as u64 + 1, at);
+        }
+        let probe = Timestamp::from_secs_f64(t) + Duration::from_secs(5);
+        prop_assert_eq!(
+            implicit.suspicion_level(probe),
+            explicit.suspicion_level(probe)
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! The Ω elector: eventual leader election over accrual detectors.
+
+use std::collections::BTreeMap;
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+use afd_core::transform::{AccrualToBinary, Interpreter};
+
+/// One process's Ω module: monitors every peer through an accrual
+/// detector, interprets each with its own Algorithm 1 transformer, and
+/// outputs the smallest-id unsuspected process as leader.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::process::ProcessId;
+/// use afd_core::time::Timestamp;
+/// use afd_detectors::simple::SimpleAccrual;
+/// use afd_omega::OmegaElector;
+///
+/// let me = ProcessId::new(2);
+/// let peers = [ProcessId::new(0), ProcessId::new(1)];
+/// let mut omega = OmegaElector::new(me, peers, 0.1, |_| {
+///     SimpleAccrual::new(Timestamp::ZERO)
+/// });
+/// // With no heartbeats yet everyone is still trusted (Algorithm 1
+/// // starts trusting): the lowest id leads.
+/// assert_eq!(omega.leader(Timestamp::from_millis(1)), ProcessId::new(0));
+/// ```
+#[derive(Debug)]
+pub struct OmegaElector<D> {
+    me: ProcessId,
+    peers: BTreeMap<ProcessId, PeerState<D>>,
+    /// Consecutive queries the current candidate must differ from the
+    /// output before the output changes (1 = raw min-trusted).
+    stability: u32,
+    output: Option<ProcessId>,
+    streak: u32,
+    streak_candidate: Option<ProcessId>,
+}
+
+#[derive(Debug)]
+struct PeerState<D> {
+    detector: D,
+    interpreter: AccrualToBinary,
+}
+
+impl<D: AccrualFailureDetector> OmegaElector<D> {
+    /// Creates the elector for process `me` monitoring `peers`, building
+    /// one accrual detector per peer with `factory` and one Algorithm 1
+    /// transformer (resolution `epsilon`) on top of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` contains `me`, or `epsilon` is not finite and
+    /// positive.
+    pub fn new(
+        me: ProcessId,
+        peers: impl IntoIterator<Item = ProcessId>,
+        epsilon: f64,
+        mut factory: impl FnMut(ProcessId) -> D,
+    ) -> Self {
+        let peers: BTreeMap<ProcessId, PeerState<D>> = peers
+            .into_iter()
+            .map(|p| {
+                assert_ne!(p, me, "a process does not monitor itself");
+                (
+                    p,
+                    PeerState {
+                        detector: factory(p),
+                        interpreter: AccrualToBinary::new(epsilon),
+                    },
+                )
+            })
+            .collect();
+        OmegaElector {
+            me,
+            peers,
+            stability: 1,
+            output: None,
+            streak: 0,
+            streak_candidate: None,
+        }
+    }
+
+    /// Returns a copy demanding that a new leader candidate persist for
+    /// `queries` consecutive queries before the output changes.
+    ///
+    /// Ω only promises *eventual* agreement; the underlying ◊P verdicts
+    /// may still flap briefly long after a run has mostly stabilized
+    /// (Algorithm 1's mistakes become rare, not instantly impossible).
+    /// A stability requirement — the standard smoothing in deployed
+    /// leader elections — absorbs those blips without affecting the
+    /// eventual guarantee: once the candidate is eventually constant,
+    /// the output converges to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is zero.
+    pub fn with_stability(mut self, queries: u32) -> Self {
+        assert!(queries > 0, "stability must be at least one query");
+        self.stability = queries;
+        self
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Records a heartbeat from `from` (ignored if `from` is unknown).
+    pub fn heartbeat(&mut self, from: ProcessId, arrival: Timestamp) -> bool {
+        match self.peers.get_mut(&from) {
+            Some(state) => {
+                state.detector.record_heartbeat(arrival);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One Ω query: steps every peer's detector + Algorithm 1 transformer
+    /// and returns the current leader — the smallest-id process not
+    /// currently suspected (`me` always trusts itself), smoothed by the
+    /// configured stability requirement.
+    pub fn leader(&mut self, now: Timestamp) -> ProcessId {
+        let mut candidate = self.me;
+        for (&p, state) in self.peers.iter_mut() {
+            let level = state.detector.suspicion_level(now);
+            let status = state.interpreter.observe(now, level);
+            if status.is_trusted() && p < candidate {
+                candidate = p;
+            }
+        }
+
+        let current = *self.output.get_or_insert(candidate);
+        if candidate == current {
+            self.streak = 0;
+            self.streak_candidate = None;
+        } else {
+            if self.streak_candidate == Some(candidate) {
+                self.streak += 1;
+            } else {
+                self.streak_candidate = Some(candidate);
+                self.streak = 1;
+            }
+            if self.streak >= self.stability {
+                self.output = Some(candidate);
+                self.streak = 0;
+                self.streak_candidate = None;
+                return candidate;
+            }
+        }
+        current
+    }
+
+    /// The peers currently trusted (as of their last query), plus `me`.
+    pub fn trusted(&self) -> Vec<ProcessId> {
+        let mut out: Vec<ProcessId> = self
+            .peers
+            .iter()
+            .filter(|(_, s)| s.interpreter.status().is_trusted())
+            .map(|(&p, _)| p)
+            .collect();
+        out.push(self.me);
+        out.sort();
+        out
+    }
+
+    /// The current suspicion level of `peer`, if monitored.
+    pub fn suspicion_of(&mut self, peer: ProcessId, now: Timestamp) -> Option<SuspicionLevel> {
+        self.peers
+            .get_mut(&peer)
+            .map(|s| s.detector.suspicion_level(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_detectors::simple::SimpleAccrual;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs_f64(s)
+    }
+
+    fn elector(me: u32, peers: &[u32]) -> OmegaElector<SimpleAccrual> {
+        OmegaElector::new(
+            p(me),
+            peers.iter().map(|&i| p(i)),
+            0.1,
+            |_| SimpleAccrual::new(Timestamp::ZERO),
+        )
+    }
+
+    /// Drives heartbeats from `alive` peers each second starting at
+    /// `start` and queries the leader; returns the final leader.
+    fn run(
+        elector: &mut OmegaElector<SimpleAccrual>,
+        alive: &[u32],
+        start: u64,
+        secs: u64,
+    ) -> ProcessId {
+        let mut leader = elector.id();
+        for k in start..start + secs {
+            for &a in alive {
+                elector.heartbeat(p(a), ts(k as f64));
+            }
+            leader = elector.leader(ts(k as f64 + 0.5));
+        }
+        leader
+    }
+
+    #[test]
+    fn lowest_alive_id_wins() {
+        let mut omega = elector(2, &[0, 1]);
+        assert_eq!(run(&mut omega, &[0, 1], 1, 30), p(0));
+    }
+
+    #[test]
+    fn leader_moves_up_when_lowest_crashes() {
+        let mut omega = elector(2, &[0, 1]);
+        assert_eq!(run(&mut omega, &[0, 1], 1, 30), p(0));
+        // p0 stops heartbeating: eventually p1 takes over.
+        let leader = run(&mut omega, &[1], 31, 60);
+        assert_eq!(leader, p(1));
+    }
+
+    #[test]
+    fn self_leads_when_alone() {
+        let mut omega = elector(2, &[0, 1]);
+        let _ = run(&mut omega, &[0, 1], 1, 20);
+        let leader = run(&mut omega, &[], 21, 120);
+        assert_eq!(leader, p(2), "with every peer silent, me leads");
+        assert_eq!(omega.trusted(), vec![p(2)]);
+    }
+
+    #[test]
+    fn stability_absorbs_single_query_blips() {
+        let mut omega = elector(2, &[0, 1]).with_stability(3);
+        assert_eq!(run(&mut omega, &[0, 1], 1, 30), p(0));
+        // One missed heartbeat round: the raw candidate flips briefly but
+        // the output must hold.
+        run(&mut omega, &[1], 31, 2);
+        assert_eq!(run(&mut omega, &[0, 1], 33, 5), p(0));
+        // A sustained outage does change the output.
+        assert_eq!(run(&mut omega, &[1], 38, 40), p(1));
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_process_is_dropped() {
+        let mut omega = elector(1, &[0]);
+        assert!(!omega.heartbeat(p(9), ts(1.0)));
+        assert!(omega.heartbeat(p(0), ts(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not monitor itself")]
+    fn self_in_peer_set_rejected() {
+        let _ = elector(1, &[0, 1]);
+    }
+
+    #[test]
+    fn suspicion_levels_visible() {
+        let mut omega = elector(1, &[0]);
+        omega.heartbeat(p(0), ts(5.0));
+        let sl = omega.suspicion_of(p(0), ts(8.0)).unwrap();
+        assert_eq!(sl.value(), 3.0);
+        assert_eq!(omega.suspicion_of(p(7), ts(8.0)), None);
+        assert_eq!(omega.id(), p(1));
+    }
+}

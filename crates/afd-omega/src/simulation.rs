@@ -1,0 +1,250 @@
+//! Whole-system Ω runs over the simulated network.
+//!
+//! Every ordered pair of processes gets an independent simulated link;
+//! every process runs an [`OmegaElector`] over its
+//! incoming heartbeats. The run records each correct process's leader
+//! timeline, and [`OmegaRun::stable_leader`] checks the Ω property: from
+//! some point on, every correct process trusts the *same correct*
+//! process.
+
+use std::collections::BTreeMap;
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::failure::FailurePattern;
+use afd_core::process::ProcessId;
+use afd_core::time::{Duration, Timestamp};
+use afd_sim::scenario::Scenario;
+use afd_sim::simulate;
+
+use crate::elector::OmegaElector;
+
+/// Configuration of a system-wide Ω run.
+#[derive(Debug, Clone)]
+pub struct OmegaRunConfig {
+    /// Number of processes (ids `0..n`).
+    pub processes: u32,
+    /// Per-link scenario template; its `crash_at` and `horizon` are
+    /// overridden per link / by `pattern`.
+    pub link_template: Scenario,
+    /// Who crashes, and when.
+    pub pattern: FailurePattern,
+    /// End of the run.
+    pub horizon: Timestamp,
+    /// How often each process queries its Ω module.
+    pub query_interval: Duration,
+    /// Resolution ε for the per-peer Algorithm 1 transformers.
+    pub epsilon: f64,
+    /// Leader-stability requirement in queries (see
+    /// [`OmegaElector::with_stability`]).
+    pub stability: u32,
+}
+
+/// The leader timelines of one Ω run.
+#[derive(Debug, Clone)]
+pub struct OmegaRun {
+    timelines: BTreeMap<ProcessId, Vec<(Timestamp, ProcessId)>>,
+    pattern: FailurePattern,
+}
+
+impl OmegaRun {
+    /// The leader timeline of `process` (empty if it never queried).
+    pub fn timeline(&self, process: ProcessId) -> &[(Timestamp, ProcessId)] {
+        self.timelines
+            .get(&process)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// The Ω check: if, over the trailing `tail_fraction` of each correct
+    /// process's timeline, every correct process outputs one constant
+    /// leader and they all agree on a *correct* process, returns that
+    /// leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail_fraction` is not in `(0, 1]`.
+    pub fn stable_leader(&self, tail_fraction: f64) -> Option<ProcessId> {
+        assert!(
+            tail_fraction > 0.0 && tail_fraction <= 1.0,
+            "tail fraction must be in (0, 1]"
+        );
+        let mut agreed: Option<ProcessId> = None;
+        for q in self.pattern.correct() {
+            let timeline = self.timelines.get(&q)?;
+            if timeline.is_empty() {
+                return None;
+            }
+            let start = timeline.len() - ((timeline.len() as f64 * tail_fraction) as usize).max(1);
+            let tail = &timeline[start..];
+            let leader = tail[0].1;
+            if !tail.iter().all(|&(_, l)| l == leader) {
+                return None; // still flapping
+            }
+            match agreed {
+                None => agreed = Some(leader),
+                Some(l) if l != leader => return None, // disagreement
+                _ => {}
+            }
+        }
+        // The agreed leader must itself be correct.
+        agreed.filter(|&l| self.pattern.is_correct(l))
+    }
+}
+
+/// Runs the whole system: n processes, all-to-all heartbeat links, one
+/// elector per process.
+///
+/// Each ordered link `(sender, receiver)` is simulated independently from
+/// `link_template` with its own derived seed; a sender's crash silences
+/// all its outgoing links at the same instant. Crashed processes stop
+/// querying at their crash time.
+pub fn run_omega<D, F>(config: &OmegaRunConfig, seed: u64, mut factory: F) -> OmegaRun
+where
+    D: AccrualFailureDetector,
+    F: FnMut(ProcessId, ProcessId) -> D,
+{
+    let n = config.processes;
+    assert!(n >= 2, "need at least two processes");
+    assert!(!config.query_interval.is_zero(), "query interval must be positive");
+
+    // Simulate every ordered link.
+    let mut deliveries: BTreeMap<(ProcessId, ProcessId), Vec<(u64, Timestamp)>> = BTreeMap::new();
+    for sender in 0..n {
+        let sender_id = ProcessId::new(sender);
+        for receiver in 0..n {
+            if sender == receiver {
+                continue;
+            }
+            let receiver_id = ProcessId::new(receiver);
+            let mut scenario = config.link_template.clone().with_horizon(config.horizon);
+            scenario.crash_at = config.pattern.crash_time(sender_id);
+            let link_seed = seed ^ (u64::from(sender) << 24) ^ (u64::from(receiver) << 8);
+            let trace = simulate(&scenario, link_seed);
+            deliveries.insert(
+                (sender_id, receiver_id),
+                trace.deliveries_in_arrival_order(),
+            );
+        }
+    }
+
+    // One elector per process.
+    let mut electors: BTreeMap<ProcessId, OmegaElector<D>> = (0..n)
+        .map(|q| {
+            let me = ProcessId::new(q);
+            let peers = (0..n).filter(|&p| p != q).map(ProcessId::new);
+            let elector = OmegaElector::new(me, peers, config.epsilon, |peer| {
+                factory(me, peer)
+            })
+            .with_stability(config.stability);
+            (me, elector)
+        })
+        .collect();
+
+    // Per-link delivery cursor and freshness watermark (Algorithm 4
+    // lines 8–10: a reordered heartbeat with a stale sequence number is
+    // dropped, across the whole run).
+    let mut cursors: BTreeMap<(ProcessId, ProcessId), (usize, u64)> =
+        deliveries.keys().map(|&k| (k, (0, 0))).collect();
+    let mut timelines: BTreeMap<ProcessId, Vec<(Timestamp, ProcessId)>> =
+        (0..n).map(|q| (ProcessId::new(q), Vec::new())).collect();
+
+    let mut now = Timestamp::ZERO + config.query_interval;
+    while now <= config.horizon {
+        for (me, elector) in electors.iter_mut() {
+            if config.pattern.has_failed_by(*me, now) {
+                continue; // crashed processes take no steps
+            }
+            // Deliver everything that arrived on my incoming links.
+            for sender in 0..n {
+                let sender_id = ProcessId::new(sender);
+                if sender_id == *me {
+                    continue;
+                }
+                let key = (sender_id, *me);
+                let list = &deliveries[&key];
+                let (cursor, highest) = cursors.get_mut(&key).expect("cursor exists");
+                while *cursor < list.len() && list[*cursor].1 <= now {
+                    let (seq, at) = list[*cursor];
+                    *cursor += 1;
+                    if seq > *highest {
+                        *highest = seq;
+                        elector.heartbeat(sender_id, at);
+                    }
+                }
+            }
+            let leader = elector.leader(now);
+            timelines.get_mut(me).expect("timeline exists").push((now, leader));
+        }
+        now += config.query_interval;
+    }
+
+    OmegaRun {
+        timelines,
+        pattern: config.pattern.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_detectors::phi::PhiAccrual;
+
+    fn config(n: u32, crashes: &[(u32, u64)]) -> OmegaRunConfig {
+        let mut pattern = FailurePattern::all_correct(n);
+        for &(p, at) in crashes {
+            pattern.crash(ProcessId::new(p), Timestamp::from_secs(at));
+        }
+        OmegaRunConfig {
+            processes: n,
+            link_template: Scenario::wan_jitter(),
+            pattern,
+            horizon: Timestamp::from_secs(300),
+            query_interval: Duration::from_millis(500),
+            epsilon: 0.1,
+            stability: 8, // 4 s of persistence before the output moves
+        }
+    }
+
+    fn phi_factory(_me: ProcessId, _peer: ProcessId) -> PhiAccrual {
+        PhiAccrual::with_defaults()
+    }
+
+    #[test]
+    fn all_correct_system_elects_p0() {
+        let run = run_omega(&config(4, &[]), 11, phi_factory);
+        assert_eq!(run.stable_leader(0.5), Some(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn leader_crash_triggers_re_election() {
+        // p0 crashes at t=80: everyone must converge on p1.
+        let run = run_omega(&config(4, &[(0, 80)]), 13, phi_factory);
+        assert_eq!(run.stable_leader(0.3), Some(ProcessId::new(1)));
+        // Before the crash, p0 led.
+        let early = run.timeline(ProcessId::new(3));
+        let pre_crash: Vec<_> = early
+            .iter()
+            .filter(|(t, _)| *t < Timestamp::from_secs(60))
+            .collect();
+        assert!(pre_crash.iter().all(|(_, l)| *l == ProcessId::new(0)));
+    }
+
+    #[test]
+    fn cascading_crashes_settle_on_lowest_survivor() {
+        let run = run_omega(&config(5, &[(0, 60), (1, 120), (3, 90)]), 17, phi_factory);
+        assert_eq!(run.stable_leader(0.25), Some(ProcessId::new(2)));
+    }
+
+    #[test]
+    fn crashed_processes_stop_querying() {
+        let run = run_omega(&config(3, &[(1, 50)]), 19, phi_factory);
+        let t1 = run.timeline(ProcessId::new(1));
+        assert!(!t1.is_empty());
+        assert!(t1.last().unwrap().0 < Timestamp::from_secs(51));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two processes")]
+    fn single_process_rejected() {
+        let _ = run_omega(&config(1, &[]), 1, phi_factory);
+    }
+}

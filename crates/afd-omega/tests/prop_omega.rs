@@ -1,0 +1,90 @@
+//! Property-based tests for Ω: for arbitrary crash subsets and times, the
+//! system must converge on the smallest surviving id.
+
+use afd_core::failure::FailurePattern;
+use afd_core::process::ProcessId;
+use afd_core::time::{Duration, Timestamp};
+use afd_detectors::phi::PhiAccrual;
+use afd_omega::{run_omega, OmegaRunConfig};
+use afd_sim::scenario::Scenario;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case simulates n²−n links; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn omega_converges_on_lowest_survivor(
+        n in 3u32..6,
+        crash_ids in prop::collection::btree_set(0u32..6, 0..3),
+        crash_base in 40u64..120,
+        seed in 0u64..1_000,
+    ) {
+        // Keep at least one process alive.
+        let crash_ids: Vec<u32> = crash_ids.into_iter().filter(|&c| c < n).collect();
+        prop_assume!((crash_ids.len() as u32) < n);
+
+        let mut pattern = FailurePattern::all_correct(n);
+        for (i, &c) in crash_ids.iter().enumerate() {
+            pattern.crash(
+                ProcessId::new(c),
+                Timestamp::from_secs(crash_base + 20 * i as u64),
+            );
+        }
+        let expected = (0..n)
+            .map(ProcessId::new)
+            .find(|p| pattern.is_correct(*p))
+            .expect("someone survives");
+
+        let config = OmegaRunConfig {
+            processes: n,
+            link_template: Scenario::wan_jitter(),
+            pattern,
+            horizon: Timestamp::from_secs(crash_base + 20 * crash_ids.len() as u64 + 140),
+            query_interval: Duration::from_millis(500),
+            epsilon: 0.1,
+            stability: 8,
+        };
+        let run = run_omega(&config, seed, |_, _| PhiAccrual::with_defaults());
+        prop_assert_eq!(
+            run.stable_leader(0.2),
+            Some(expected),
+            "crashes {:?} should leave {} leading",
+            crash_ids,
+            expected
+        );
+    }
+
+    /// Leadership timelines never name a process that is already known
+    /// crashed for longer than the detection + stability horizon.
+    #[test]
+    fn dead_leaders_are_abandoned_promptly(
+        seed in 0u64..500,
+        crash_at in 50u64..100,
+    ) {
+        let n = 4;
+        let mut pattern = FailurePattern::all_correct(n);
+        pattern.crash(ProcessId::new(0), Timestamp::from_secs(crash_at));
+        let config = OmegaRunConfig {
+            processes: n,
+            link_template: Scenario::wan_jitter(),
+            pattern,
+            horizon: Timestamp::from_secs(crash_at + 120),
+            query_interval: Duration::from_millis(500),
+            epsilon: 0.1,
+            stability: 8,
+        };
+        let run = run_omega(&config, seed, |_, _| PhiAccrual::with_defaults());
+        // Generous bound: detection (a few seconds at φ-threshold scale)
+        // plus stability (4 s), with margin.
+        let deadline = Timestamp::from_secs(crash_at + 60);
+        for q in 1..n {
+            let stale = run
+                .timeline(ProcessId::new(q))
+                .iter()
+                .filter(|(t, l)| *t > deadline && *l == ProcessId::new(0))
+                .count();
+            prop_assert_eq!(stale, 0, "p{} still names the dead leader after {}", q, deadline);
+        }
+    }
+}

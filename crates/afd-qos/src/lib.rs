@@ -1,0 +1,46 @@
+//! Quality-of-service metrics for failure detectors, and the experiment
+//! harness that sweeps them.
+//!
+//! §2 of the paper adopts the Chen–Toueg–Aguilera QoS metrics; §4.4 proves
+//! ordering theorems about them across interpretation thresholds. This
+//! crate computes those metrics from recorded detector histories:
+//!
+//! - [`metrics`]: T_D, T_MR, T_M, λ_M, P_A, T_G from a
+//!   [`afd_core::history::BinaryTrace`] plus a crash time.
+//! - [`experiment`]: seeded repetition, aggregation, and table rendering
+//!   shared by the reproduction experiments (E1–E12 in DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use afd_core::binary::Status;
+//! use afd_core::history::BinaryTrace;
+//! use afd_core::time::Timestamp;
+//! use afd_qos::metrics::analyze;
+//!
+//! // A detector that wrongly suspects during seconds 5–6 and then detects
+//! // a crash at t = 20 with 2 s latency.
+//! let mut trace = BinaryTrace::new();
+//! for s in 1..=30u64 {
+//!     let suspected = (5..7).contains(&s) || s >= 22;
+//!     trace.push(
+//!         Timestamp::from_secs(s),
+//!         if suspected { Status::Suspected } else { Status::Trusted },
+//!     );
+//! }
+//! let report = analyze(&trace, Some(Timestamp::from_secs(20)));
+//! assert_eq!(report.mistakes, 1);
+//! assert_eq!(report.detection_time, Some(2.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod tuning;
+
+pub use experiment::{aggregate, run_seeds, AggregatedQos, Table};
+pub use metrics::{analyze, analyze_at_threshold, QosReport};
+pub use tuning::{quantile_threshold, smallest_threshold_meeting_rate, sweep_thresholds};

@@ -1,0 +1,325 @@
+//! The Chen et al. quality-of-service metrics (§2 of the paper).
+//!
+//! All metrics are defined for a pair *(q monitors p)* over a binary
+//! failure-detector history:
+//!
+//! - **T_D (detection time)** — from p's crash until q suspects p
+//!   *permanently* (the final S-transition). Defined on crash runs.
+//! - **T_MR (mistake recurrence time)** — time between consecutive
+//!   S-transitions while p is correct.
+//! - **T_M (mistake duration)** — from an S-transition to the next
+//!   T-transition.
+//! - **λ_M (average mistake rate)** — S-transitions per time unit.
+//! - **P_A (query accuracy probability)** — probability the output is
+//!   correct (trusted, for a correct p) at a random time.
+//! - **T_G (good period duration)** — from a T-transition to the next
+//!   S-transition.
+//!
+//! [`analyze`] computes all of them from a [`BinaryTrace`]: accuracy
+//! metrics over the portion of the run where p is alive, detection time
+//! from the crash onward. Query times are assumed (and asserted elsewhere)
+//! to be evenly spaced, making the query-fraction estimate of `P_A` a
+//! time-average.
+
+use afd_core::binary::Transition;
+use afd_core::history::BinaryTrace;
+use afd_core::time::Timestamp;
+
+/// The QoS metrics of one run, in seconds where dimensional.
+///
+/// Metrics that require an event that never happened are `None` — e.g.
+/// `mistake_recurrence` needs at least two mistakes, `detection_time`
+/// needs a crash that was permanently detected within the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QosReport {
+    /// T_D: crash → permanent suspicion, seconds.
+    pub detection_time: Option<f64>,
+    /// Number of wrong S-transitions (mistakes) while the process was alive.
+    pub mistakes: u64,
+    /// T_MR: mean seconds between consecutive mistakes.
+    pub mistake_recurrence: Option<f64>,
+    /// T_M: mean seconds a mistake lasted.
+    pub mistake_duration: Option<f64>,
+    /// λ_M: mistakes per second of alive time.
+    pub mistake_rate: f64,
+    /// P_A: fraction of queries (≈ time, on an even schedule) with correct
+    /// output while the process was alive.
+    pub query_accuracy: f64,
+    /// T_G: mean seconds of a good period (T-transition → next
+    /// S-transition).
+    pub good_period: Option<f64>,
+    /// Length of the alive (accuracy) observation window, seconds.
+    pub observed_alive: f64,
+}
+
+/// Computes the QoS metrics of `trace` for a monitored process that
+/// crashes at `crash` (or never, if `None`).
+///
+/// Queries at or after the crash time are judged for completeness
+/// (detection); queries strictly before it are judged for accuracy.
+///
+/// Returns a default (all-`None`/zero) report for an empty trace.
+pub fn analyze(trace: &BinaryTrace, crash: Option<Timestamp>) -> QosReport {
+    let samples = trace.samples();
+    if samples.is_empty() {
+        return QosReport::default();
+    }
+
+    let start = samples[0].at;
+    let end = samples[samples.len() - 1].at;
+    let alive_end = crash.map_or(end, |c| c.min(end));
+
+    // --- Accuracy metrics over the alive window ---------------------------
+    let alive: Vec<_> = samples.iter().take_while(|s| s.at < alive_end || crash.is_none()).collect();
+    let mut s_times: Vec<Timestamp> = Vec::new();
+    let mut t_times: Vec<Timestamp> = Vec::new();
+    {
+        let mut det = afd_core::binary::TransitionDetector::new();
+        for s in &alive {
+            match det.observe(s.status) {
+                Some(Transition::Suspect) => s_times.push(s.at),
+                Some(Transition::Trust) => t_times.push(s.at),
+                None => {}
+            }
+        }
+    }
+
+    let observed_alive = if alive.is_empty() {
+        0.0
+    } else {
+        (alive[alive.len() - 1].at.saturating_duration_since(start)).as_secs_f64()
+    };
+
+    let mistakes = s_times.len() as u64;
+    let mistake_rate = if observed_alive > 0.0 {
+        mistakes as f64 / observed_alive
+    } else {
+        0.0
+    };
+
+    let mistake_recurrence = if s_times.len() >= 2 {
+        let total: f64 = s_times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .sum();
+        Some(total / (s_times.len() - 1) as f64)
+    } else {
+        None
+    };
+
+    // Pair each S-transition with the next T-transition after it.
+    let mut durations = Vec::new();
+    let mut good_periods = Vec::new();
+    {
+        let mut ti = 0;
+        for &s_at in &s_times {
+            while ti < t_times.len() && t_times[ti] <= s_at {
+                ti += 1;
+            }
+            if ti < t_times.len() {
+                durations.push((t_times[ti] - s_at).as_secs_f64());
+            }
+        }
+        // Good periods: T-transition → next S-transition.
+        let mut si = 0;
+        for &t_at in &t_times {
+            while si < s_times.len() && s_times[si] <= t_at {
+                si += 1;
+            }
+            if si < s_times.len() {
+                good_periods.push((s_times[si] - t_at).as_secs_f64());
+            }
+        }
+    }
+    let mistake_duration = mean(&durations);
+    let good_period = mean(&good_periods);
+
+    let correct_queries = alive.iter().filter(|s| s.status.is_trusted()).count();
+    let query_accuracy = if alive.is_empty() {
+        1.0
+    } else {
+        correct_queries as f64 / alive.len() as f64
+    };
+
+    // --- Completeness: detection time -------------------------------------
+    let detection_time = crash.and_then(|c| {
+        if c > end {
+            return None; // crash outside the trace
+        }
+        // Find the final S-transition over the WHOLE trace; detection
+        // requires the trace to end suspected.
+        trace
+            .permanent_suspicion_start()
+            .map(|at| {
+                // Suspicion that predates the crash means the detector was
+                // already (rightly or wrongly) suspecting at crash time:
+                // detection is instantaneous from the crash onward.
+                at.saturating_duration_since(c).as_secs_f64()
+            })
+    });
+
+    QosReport {
+        detection_time,
+        mistakes,
+        mistake_recurrence,
+        mistake_duration,
+        mistake_rate,
+        query_accuracy,
+        good_period,
+        observed_alive,
+    }
+}
+
+fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Converts a suspicion-level history into QoS metrics through a constant
+/// threshold (the detector `D_T` of Equation 2).
+///
+/// Convenience for experiments: `analyze(trace.threshold(T), crash)`.
+pub fn analyze_at_threshold(
+    levels: &afd_core::history::SuspicionTrace,
+    threshold: afd_core::suspicion::SuspicionLevel,
+    crash: Option<Timestamp>,
+) -> QosReport {
+    analyze(&levels.threshold(threshold), crash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::binary::Status;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs_f64(s)
+    }
+
+    /// Builds a trace with one query per second; `suspect_at` lists the
+    /// (whole) seconds at which the detector output "suspected".
+    fn trace(horizon: u64, suspected: &[u64]) -> BinaryTrace {
+        let mut t = BinaryTrace::new();
+        for s in 1..=horizon {
+            let status = if suspected.contains(&s) {
+                Status::Suspected
+            } else {
+                Status::Trusted
+            };
+            t.push(Timestamp::from_secs(s), status);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_trace_gives_default() {
+        assert_eq!(analyze(&BinaryTrace::new(), None), QosReport::default());
+    }
+
+    #[test]
+    fn perfect_run_has_full_accuracy() {
+        let r = analyze(&trace(100, &[]), None);
+        assert_eq!(r.mistakes, 0);
+        assert_eq!(r.query_accuracy, 1.0);
+        assert_eq!(r.mistake_rate, 0.0);
+        assert_eq!(r.mistake_recurrence, None);
+        assert_eq!(r.mistake_duration, None);
+        assert_eq!(r.detection_time, None);
+        assert!((r.observed_alive - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_mistake_metrics() {
+        // Suspected during seconds 10–12 → S at 10, T at 13.
+        let r = analyze(&trace(100, &[10, 11, 12]), None);
+        assert_eq!(r.mistakes, 1);
+        assert_eq!(r.mistake_recurrence, None); // needs two mistakes
+        assert_eq!(r.mistake_duration, Some(3.0));
+        assert!((r.query_accuracy - 0.97).abs() < 1e-9);
+        assert!((r.mistake_rate - 1.0 / 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recurrence_and_good_periods() {
+        // Mistakes at 10 and 50 (each 1 s long).
+        let r = analyze(&trace(100, &[10, 50]), None);
+        assert_eq!(r.mistakes, 2);
+        assert_eq!(r.mistake_recurrence, Some(40.0));
+        assert_eq!(r.mistake_duration, Some(1.0));
+        // Good period: T at 11 → S at 50 = 39 s.
+        assert_eq!(r.good_period, Some(39.0));
+    }
+
+    #[test]
+    fn detection_time_measured_from_crash() {
+        // Crash at t = 60; detector suspects permanently from t = 63.
+        let suspected: Vec<u64> = (63..=100).collect();
+        let r = analyze(&trace(100, &suspected), Some(ts(60.0)));
+        assert_eq!(r.detection_time, Some(3.0));
+        // No mistakes before the crash.
+        assert_eq!(r.mistakes, 0);
+        assert_eq!(r.query_accuracy, 1.0);
+    }
+
+    #[test]
+    fn detection_requires_permanence() {
+        // Suspects at 63 but trusts again at 80: the FINAL S-transition is
+        // what counts (at 90 here).
+        let mut suspected: Vec<u64> = (63..80).collect();
+        suspected.extend(90..=100);
+        let r = analyze(&trace(100, &suspected), Some(ts(60.0)));
+        assert_eq!(r.detection_time, Some(30.0));
+    }
+
+    #[test]
+    fn undetected_crash_has_no_detection_time() {
+        let r = analyze(&trace(100, &[]), Some(ts(60.0)));
+        assert_eq!(r.detection_time, None);
+    }
+
+    #[test]
+    fn crash_beyond_trace_is_ignored() {
+        let r = analyze(&trace(100, &(40..=100).collect::<Vec<_>>()), Some(ts(500.0)));
+        assert_eq!(r.detection_time, None);
+    }
+
+    #[test]
+    fn pre_crash_mistakes_do_not_count_against_detection() {
+        // A mistake at 20, recovery, then crash at 60 detected at 64.
+        let mut suspected = vec![20, 21];
+        suspected.extend(64..=100);
+        let r = analyze(&trace(100, &suspected), Some(ts(60.0)));
+        assert_eq!(r.mistakes, 1);
+        assert_eq!(r.detection_time, Some(4.0));
+        assert!(r.query_accuracy < 1.0);
+    }
+
+    #[test]
+    fn suspicion_already_active_at_crash_gives_zero_detection() {
+        // Wrongly suspecting from t=50 onward; crash at 60. The final
+        // S-transition (50) predates the crash → detection time 0.
+        let suspected: Vec<u64> = (50..=100).collect();
+        let r = analyze(&trace(100, &suspected), Some(ts(60.0)));
+        assert_eq!(r.detection_time, Some(0.0));
+    }
+
+    #[test]
+    fn threshold_helper_matches_manual_analysis() {
+        use afd_core::history::SuspicionTrace;
+        use afd_core::suspicion::SuspicionLevel;
+
+        let mut levels = SuspicionTrace::new();
+        for s in 1..=10u64 {
+            let v = if s >= 5 { 3.0 } else { 0.5 };
+            levels.push(Timestamp::from_secs(s), SuspicionLevel::new(v).unwrap());
+        }
+        let thr = SuspicionLevel::new(1.0).unwrap();
+        let direct = analyze(&levels.threshold(thr), Some(ts(4.0)));
+        let helper = analyze_at_threshold(&levels, thr, Some(ts(4.0)));
+        assert_eq!(direct, helper);
+        assert_eq!(helper.detection_time, Some(1.0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Choosing interpretation thresholds from observed behaviour.
+//!
+//! The paper leaves interpretation to applications; these helpers are the
+//! pragmatic toolkit an application uses to *pick* its threshold:
+//!
+//! - [`quantile_threshold`]: the classical recipe — set the threshold
+//!   above the `q`-quantile of levels observed while the peer was healthy
+//!   (e.g. `q = 0.999` ⇒ roughly one wrong suspicion per thousand
+//!   queries, assuming stationarity).
+//! - [`sweep_thresholds`]: evaluate a threshold grid against a recorded
+//!   level history, yielding the full QoS report per candidate.
+//! - [`smallest_threshold_meeting_rate`]: the aggressive end of the §4.4
+//!   tradeoff — the lowest (fastest-detecting) threshold whose mistake
+//!   rate on the calibration trace stays within budget.
+
+use afd_core::history::SuspicionTrace;
+use afd_core::stats::quantile;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+
+use crate::metrics::{analyze_at_threshold, QosReport};
+
+/// The threshold sitting at the `q`-quantile of the observed levels.
+///
+/// Returns `None` if the trace is empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_threshold(levels: &SuspicionTrace, q: f64) -> Option<SuspicionLevel> {
+    let values: Vec<f64> = levels
+        .iter()
+        .map(|s| s.level.value())
+        .filter(|v| v.is_finite())
+        .collect();
+    quantile(&values, q).map(SuspicionLevel::clamped)
+}
+
+/// Evaluates each candidate threshold against the recorded history.
+///
+/// `crash` is forwarded to the QoS analysis (pass `None` for a healthy
+/// calibration trace).
+pub fn sweep_thresholds(
+    levels: &SuspicionTrace,
+    candidates: &[SuspicionLevel],
+    crash: Option<Timestamp>,
+) -> Vec<(SuspicionLevel, QosReport)> {
+    candidates
+        .iter()
+        .map(|&thr| (thr, analyze_at_threshold(levels, thr, crash)))
+        .collect()
+}
+
+/// The smallest candidate whose mistake rate on the (healthy) calibration
+/// trace is at most `max_rate` mistakes per second.
+///
+/// Returns `None` if no candidate qualifies. Candidates are tried in
+/// ascending order, so the result is the most aggressive acceptable
+/// threshold (fastest detection by Corollary 2).
+pub fn smallest_threshold_meeting_rate(
+    levels: &SuspicionTrace,
+    candidates: &[SuspicionLevel],
+    max_rate: f64,
+) -> Option<SuspicionLevel> {
+    let mut sorted = candidates.to_vec();
+    sorted.sort();
+    sorted
+        .into_iter()
+        .find(|&thr| analyze_at_threshold(levels, thr, None).mistake_rate <= max_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(v: f64) -> SuspicionLevel {
+        SuspicionLevel::new(v).unwrap()
+    }
+
+    /// A sawtooth level trace: ramps 0..peak repeatedly, one query per
+    /// second.
+    fn sawtooth(peaks: &[f64]) -> SuspicionTrace {
+        let mut trace = SuspicionTrace::new();
+        let mut t = 1u64;
+        for &peak in peaks {
+            let steps = (peak * 2.0) as u64 + 1;
+            for k in 0..steps {
+                trace.push(
+                    Timestamp::from_secs(t),
+                    sl((k as f64 * 0.5).min(peak)),
+                );
+                t += 1;
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn quantile_threshold_bounds_levels() {
+        let trace = sawtooth(&[2.0, 3.0, 2.5]);
+        let t100 = quantile_threshold(&trace, 1.0).unwrap();
+        assert_eq!(t100, sl(3.0));
+        let t50 = quantile_threshold(&trace, 0.5).unwrap();
+        assert!(t50 < t100);
+        assert_eq!(quantile_threshold(&SuspicionTrace::new(), 0.5), None);
+    }
+
+    #[test]
+    fn sweep_reports_monotone_accuracy() {
+        let trace = sawtooth(&[2.0, 4.0, 3.0]);
+        let grid: Vec<SuspicionLevel> = [0.5, 1.5, 2.5, 3.5, 4.5].iter().map(|&v| sl(v)).collect();
+        let sweep = sweep_thresholds(&trace, &grid, None);
+        assert_eq!(sweep.len(), 5);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1.query_accuracy >= pair[0].1.query_accuracy - 1e-12);
+        }
+        // Above every level: no mistakes at all.
+        assert_eq!(sweep[4].1.mistakes, 0);
+    }
+
+    #[test]
+    fn smallest_threshold_is_aggressive_but_compliant() {
+        let trace = sawtooth(&[2.0; 20]);
+        let grid: Vec<SuspicionLevel> = (0..10).map(|k| sl(k as f64 * 0.5)).collect();
+        // Demand zero mistakes: only thresholds ≥ 2.0 qualify.
+        let thr = smallest_threshold_meeting_rate(&trace, &grid, 0.0).unwrap();
+        assert_eq!(thr, sl(2.0));
+        // A lenient budget admits a lower threshold.
+        let lenient = smallest_threshold_meeting_rate(&trace, &grid, 1.0).unwrap();
+        assert!(lenient < thr);
+        // An impossible budget with an inadequate grid yields None.
+        let low_grid = [sl(0.1)];
+        assert_eq!(
+            smallest_threshold_meeting_rate(&trace, &low_grid, 0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn unsorted_candidates_are_handled() {
+        let trace = sawtooth(&[2.0; 5]);
+        let grid = [sl(5.0), sl(2.0), sl(9.0)];
+        let thr = smallest_threshold_meeting_rate(&trace, &grid, 0.0).unwrap();
+        assert_eq!(thr, sl(2.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! A unidirectional message channel: loss, delay, and partial synchrony.
+
+use afd_core::time::{Duration, Timestamp};
+
+use crate::delay::DelayModel;
+use crate::loss::LossModel;
+use crate::rng::SimRng;
+
+/// Pre-GST chaos for the partially synchronous model (Appendix A.4).
+///
+/// Before the global stabilization time, message delays and losses are
+/// unbounded in the model; we approximate that with extra uniform delay and
+/// extra independent loss that both vanish at GST. After GST the channel's
+/// base models apply unchanged, giving the bounded `Δ` the proofs use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialSynchrony {
+    /// The global stabilization time.
+    pub gst: Timestamp,
+    /// Maximum extra delay added to messages sent before GST.
+    pub pre_gst_extra_delay: Duration,
+    /// Extra independent loss probability for messages sent before GST.
+    pub pre_gst_loss: f64,
+}
+
+impl PartialSynchrony {
+    /// Creates the pre-GST chaos configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre_gst_loss` is outside `[0, 1]`.
+    pub fn new(gst: Timestamp, pre_gst_extra_delay: Duration, pre_gst_loss: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&pre_gst_loss),
+            "pre-GST loss must be in [0, 1], got {pre_gst_loss}"
+        );
+        PartialSynchrony {
+            gst,
+            pre_gst_extra_delay,
+            pre_gst_loss,
+        }
+    }
+}
+
+/// A unidirectional channel combining a delay model, a loss model, and
+/// optional pre-GST chaos.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::time::{Duration, Timestamp};
+/// use afd_sim::channel::Channel;
+/// use afd_sim::delay::ConstantDelay;
+/// use afd_sim::loss::NoLoss;
+/// use afd_sim::rng::SimRng;
+///
+/// let mut ch = Channel::new(ConstantDelay::new(Duration::from_millis(10)), NoLoss);
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let arrival = ch.transmit(Timestamp::from_secs(1), &mut rng);
+/// assert_eq!(arrival, Some(Timestamp::from_secs(1) + Duration::from_millis(10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel<D, L> {
+    delay: D,
+    loss: L,
+    partial_synchrony: Option<PartialSynchrony>,
+}
+
+impl<D: DelayModel, L: LossModel> Channel<D, L> {
+    /// Creates a channel with the given delay and loss models and no
+    /// pre-GST chaos.
+    pub fn new(delay: D, loss: L) -> Self {
+        Channel {
+            delay,
+            loss,
+            partial_synchrony: None,
+        }
+    }
+
+    /// Adds pre-GST chaos to the channel.
+    pub fn with_partial_synchrony(mut self, ps: PartialSynchrony) -> Self {
+        self.partial_synchrony = Some(ps);
+        self
+    }
+
+    /// Transmits a message sent at `sent_at`; returns its arrival time, or
+    /// `None` if the network drops it.
+    pub fn transmit(&mut self, sent_at: Timestamp, rng: &mut SimRng) -> Option<Timestamp> {
+        let mut extra = Duration::ZERO;
+        if let Some(ps) = &self.partial_synchrony {
+            if sent_at < ps.gst {
+                if rng.bernoulli(ps.pre_gst_loss) {
+                    return None;
+                }
+                let max = ps.pre_gst_extra_delay.as_secs_f64();
+                extra = Duration::from_secs_f64(rng.uniform_in(0.0, max.max(f64::MIN_POSITIVE)));
+            }
+        }
+        if self.loss.is_lost(rng) {
+            return None;
+        }
+        let delay = self.delay.sample(rng);
+        Some(sent_at + delay + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{ConstantDelay, NormalDelay};
+    use crate::loss::{BernoulliLoss, NoLoss};
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn lossless_constant_channel_is_deterministic() {
+        let mut ch = Channel::new(ConstantDelay::new(Duration::from_millis(5)), NoLoss);
+        let mut r = rng();
+        for s in 0..10u64 {
+            let sent = Timestamp::from_secs(s);
+            assert_eq!(ch.transmit(sent, &mut r), Some(sent + Duration::from_millis(5)));
+        }
+    }
+
+    #[test]
+    fn lossy_channel_drops_at_rate() {
+        let mut ch = Channel::new(
+            ConstantDelay::new(Duration::from_millis(5)),
+            BernoulliLoss::new(0.3),
+        );
+        let mut r = rng();
+        let delivered = (0..20_000)
+            .filter(|_| ch.transmit(Timestamp::from_secs(1), &mut r).is_some())
+            .count();
+        let rate = delivered as f64 / 20_000.0;
+        assert!((rate - 0.7).abs() < 0.02, "delivery rate = {rate}");
+    }
+
+    #[test]
+    fn pre_gst_chaos_vanishes_after_gst() {
+        let ps = PartialSynchrony::new(
+            Timestamp::from_secs(100),
+            Duration::from_secs(5),
+            0.5,
+        );
+        let mut ch = Channel::new(ConstantDelay::new(Duration::from_millis(10)), NoLoss)
+            .with_partial_synchrony(ps);
+        let mut r = rng();
+
+        // Before GST: extra delay and loss both visible.
+        let mut lost = 0;
+        let mut max_delay = Duration::ZERO;
+        for _ in 0..2000 {
+            match ch.transmit(Timestamp::from_secs(1), &mut r) {
+                None => lost += 1,
+                Some(arrival) => {
+                    max_delay = max_delay.max(arrival - Timestamp::from_secs(1));
+                }
+            }
+        }
+        assert!(lost > 800, "pre-GST loss should be ~50%, saw {lost}/2000");
+        assert!(max_delay > Duration::from_secs(1), "expected inflated delays");
+
+        // After GST: deterministic again.
+        let sent = Timestamp::from_secs(100);
+        assert_eq!(ch.transmit(sent, &mut r), Some(sent + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn arrival_order_can_invert_with_jitter() {
+        // With large jitter relative to spacing, a later send can arrive
+        // earlier — the reordering Algorithm 4's sequence check handles.
+        let mut ch = Channel::new(
+            NormalDelay::new(
+                Duration::from_millis(100),
+                Duration::from_millis(80),
+                Duration::from_millis(1),
+            ),
+            NoLoss,
+        );
+        let mut r = rng();
+        let mut inversions = 0;
+        let mut prev_arrival: Option<Timestamp> = None;
+        for k in 0..1000u64 {
+            let sent = Timestamp::from_millis(10 * k);
+            let arrival = ch.transmit(sent, &mut r).unwrap();
+            if let Some(p) = prev_arrival {
+                if arrival < p {
+                    inversions += 1;
+                }
+            }
+            prev_arrival = Some(arrival);
+        }
+        assert!(inversions > 0, "expected at least one reordering");
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn partial_synchrony_validates_loss() {
+        let _ = PartialSynchrony::new(Timestamp::ZERO, Duration::ZERO, 2.0);
+    }
+}

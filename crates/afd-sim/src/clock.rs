@@ -1,0 +1,131 @@
+//! Drifting local clocks (Appendix A.4 of the paper).
+//!
+//! The partially synchronous model assumes each process reads a *local*
+//! clock whose drift relative to global time is bounded after GST:
+//! `now(t′) − now(t) > θ·(t′ − t)` for some `θ > 0`. [`DriftingClock`]
+//! models an affine local clock `local(t) = offset + rate·t`, which
+//! satisfies that bound with `θ` slightly below `rate`.
+
+use afd_core::time::{Duration, Timestamp};
+
+/// An affine local clock: `local(t) = offset + rate·t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftingClock {
+    offset: Duration,
+    rate: f64,
+}
+
+impl DriftingClock {
+    /// A clock that reads exactly global time.
+    pub fn perfect() -> Self {
+        DriftingClock {
+            offset: Duration::ZERO,
+            rate: 1.0,
+        }
+    }
+
+    /// Creates a clock with the given initial `offset` and `rate`
+    /// (1.0 = perfect, 1.001 = runs 0.1% fast, 0.999 = 0.1% slow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and strictly positive (a stopped or
+    /// backwards clock violates the model's progress assumption).
+    pub fn new(offset: Duration, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive, got {rate}"
+        );
+        DriftingClock { offset, rate }
+    }
+
+    /// The clock's rate relative to global time.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The clock's offset at global time zero.
+    pub fn offset(&self) -> Duration {
+        self.offset
+    }
+
+    /// Reads the local clock at global time `global`.
+    pub fn local_time(&self, global: Timestamp) -> Timestamp {
+        let scaled = Duration::from_nanos(global.as_nanos()).mul_f64(self.rate);
+        Timestamp::ZERO + self.offset + scaled
+    }
+
+    /// Converts a local duration measurement back to global time units
+    /// (what a `rate`-fast clock measures as `d` took `d / rate` globally).
+    pub fn to_global_duration(&self, local: Duration) -> Duration {
+        local.mul_f64(1.0 / self.rate)
+    }
+}
+
+impl Default for DriftingClock {
+    fn default() -> Self {
+        DriftingClock::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = DriftingClock::perfect();
+        assert_eq!(c.local_time(ts(5)), ts(5));
+        assert_eq!(c.rate(), 1.0);
+        assert_eq!(DriftingClock::default(), c);
+    }
+
+    #[test]
+    fn fast_clock_runs_ahead() {
+        let c = DriftingClock::new(Duration::ZERO, 1.01);
+        let local = c.local_time(ts(100));
+        assert_eq!(local, Timestamp::from_secs_f64(101.0));
+    }
+
+    #[test]
+    fn slow_clock_lags() {
+        let c = DriftingClock::new(Duration::ZERO, 0.99);
+        assert_eq!(c.local_time(ts(100)), Timestamp::from_secs_f64(99.0));
+    }
+
+    #[test]
+    fn offset_shifts_origin() {
+        let c = DriftingClock::new(Duration::from_secs(7), 1.0);
+        assert_eq!(c.local_time(Timestamp::ZERO), ts(7));
+        assert_eq!(c.offset(), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn drift_bound_theta_holds() {
+        // For any t' > t, local(t') − local(t) = rate·(t' − t) > θ·(t' − t)
+        // for θ < rate.
+        let c = DriftingClock::new(Duration::from_millis(3), 0.98);
+        let (t1, t2) = (ts(10), ts(20));
+        let elapsed_local = c.local_time(t2) - c.local_time(t1);
+        let elapsed_global = t2 - t1;
+        let theta = 0.97;
+        assert!(elapsed_local.as_secs_f64() > theta * elapsed_global.as_secs_f64());
+    }
+
+    #[test]
+    fn global_duration_roundtrip() {
+        let c = DriftingClock::new(Duration::ZERO, 2.0);
+        let local = Duration::from_secs(10);
+        assert_eq!(c.to_global_duration(local), Duration::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = DriftingClock::new(Duration::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Message-delay models.
+//!
+//! The paper's adaptive detectors (§5.2–5.3) exist because real networks
+//! jitter; the κ framework (§5.4) exists because they also lose messages in
+//! bursts. The delay models here generate the transmission-time processes
+//! those sections reason about: constant (the idealized LAN), uniform and
+//! normal jitter (the φ paper's assumed shapes), and shifted-exponential
+//! (a common WAN heavy-ish tail).
+
+use afd_core::time::Duration;
+
+use crate::rng::SimRng;
+
+/// A model of per-message network transmission delay.
+///
+/// Implementations are object-safe; the channel samples one delay per sent
+/// message.
+pub trait DelayModel {
+    /// Samples the delay for the next message.
+    fn sample(&mut self, rng: &mut SimRng) -> Duration;
+}
+
+impl<D: DelayModel + ?Sized> DelayModel for Box<D> {
+    fn sample(&mut self, rng: &mut SimRng) -> Duration {
+        (**self).sample(rng)
+    }
+}
+
+/// Every message takes exactly the same time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantDelay {
+    delay: Duration,
+}
+
+impl ConstantDelay {
+    /// Creates a constant-delay model.
+    pub fn new(delay: Duration) -> Self {
+        ConstantDelay { delay }
+    }
+}
+
+impl DelayModel for ConstantDelay {
+    fn sample(&mut self, _rng: &mut SimRng) -> Duration {
+        self.delay
+    }
+}
+
+/// Delay uniformly distributed in `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformDelay {
+    min: Duration,
+    max: Duration,
+}
+
+impl UniformDelay {
+    /// Creates a uniform-delay model over `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "uniform delay needs min ≤ max");
+        UniformDelay { min, max }
+    }
+}
+
+impl DelayModel for UniformDelay {
+    fn sample(&mut self, rng: &mut SimRng) -> Duration {
+        let secs = rng.uniform_in(self.min.as_secs_f64(), self.max.as_secs_f64());
+        Duration::from_secs_f64(secs)
+    }
+}
+
+/// Delay normally distributed around `mean` with deviation `std`,
+/// truncated below at `floor` (a physical propagation minimum).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalDelay {
+    mean: Duration,
+    std: Duration,
+    floor: Duration,
+}
+
+impl NormalDelay {
+    /// Creates a truncated-normal delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor > mean` (the truncation would dominate the shape).
+    pub fn new(mean: Duration, std: Duration, floor: Duration) -> Self {
+        assert!(floor <= mean, "delay floor must not exceed the mean");
+        NormalDelay { mean, std, floor }
+    }
+}
+
+impl DelayModel for NormalDelay {
+    fn sample(&mut self, rng: &mut SimRng) -> Duration {
+        let secs = rng.normal(self.mean.as_secs_f64(), self.std.as_secs_f64());
+        Duration::from_secs_f64(secs.max(self.floor.as_secs_f64()))
+    }
+}
+
+/// Delay with a fixed base plus an exponentially distributed excess —
+/// a simple heavy-ish tail for WAN-like conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftedExponentialDelay {
+    base: Duration,
+    mean_excess: Duration,
+}
+
+impl ShiftedExponentialDelay {
+    /// Creates the model: `delay = base + Exp(mean_excess)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_excess` is zero.
+    pub fn new(base: Duration, mean_excess: Duration) -> Self {
+        assert!(!mean_excess.is_zero(), "mean excess must be positive");
+        ShiftedExponentialDelay { base, mean_excess }
+    }
+}
+
+impl DelayModel for ShiftedExponentialDelay {
+    fn sample(&mut self, rng: &mut SimRng) -> Duration {
+        let excess = rng.exponential(self.mean_excess.as_secs_f64());
+        self.base + Duration::from_secs_f64(excess)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut d = ConstantDelay::new(Duration::from_millis(10));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let (lo, hi) = (Duration::from_millis(5), Duration::from_millis(15));
+        let mut d = UniformDelay::new(lo, hi);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!(s >= lo && s <= hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min ≤ max")]
+    fn uniform_rejects_inverted_range() {
+        let _ = UniformDelay::new(Duration::from_secs(2), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn normal_respects_floor_and_mean() {
+        let mut d = NormalDelay::new(
+            Duration::from_millis(100),
+            Duration::from_millis(20),
+            Duration::from_millis(50),
+        );
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r).as_secs_f64()).collect();
+        assert!(samples.iter().all(|&s| s >= 0.05));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.1).abs() < 0.003, "mean = {mean}");
+    }
+
+    #[test]
+    fn shifted_exponential_exceeds_base() {
+        let base = Duration::from_millis(30);
+        let mut d = ShiftedExponentialDelay::new(base, Duration::from_millis(10));
+        let mut r = rng();
+        let samples: Vec<Duration> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&s| s >= base));
+        let mean = samples.iter().map(|s| s.as_secs_f64()).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.04).abs() < 0.002, "mean = {mean}");
+    }
+
+    #[test]
+    fn boxed_model_forwards() {
+        let mut d: Box<dyn DelayModel> = Box::new(ConstantDelay::new(Duration::from_secs(1)));
+        assert_eq!(d.sample(&mut rng()), Duration::from_secs(1));
+    }
+}

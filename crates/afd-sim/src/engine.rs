@@ -1,0 +1,243 @@
+//! The discrete-event simulation engine.
+//!
+//! [`simulate`] runs one monitored pair through a [`Scenario`]: the sender
+//! broadcasts sequenced heartbeats on its local schedule until it crashes
+//! (Algorithm 4's sender side), the channel delays or drops each message,
+//! and every delivery is recorded with both global and monitor-local
+//! timestamps. The output [`ArrivalTrace`] is the complete arrival process;
+//! feeding it to detectors is the job of [`crate::replay()`].
+//!
+//! Separating *arrival generation* from *detector evaluation* mirrors how
+//! the φ paper evaluates detectors on recorded traces, and guarantees every
+//! detector/threshold in a comparison sees exactly the same network sample.
+
+use afd_core::time::{Duration, Timestamp};
+
+use crate::channel::Channel;
+use crate::event::EventQueue;
+use crate::rng::SimRng;
+use crate::scenario::Scenario;
+use crate::trace::{ArrivalTrace, HeartbeatRecord};
+
+/// Engine events for the monitored-pair simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The sender attempts to broadcast the heartbeat with this sequence
+    /// number.
+    Send { seq: u64 },
+    /// A heartbeat arrives at the monitor.
+    Deliver { seq: u64 },
+}
+
+/// Runs `scenario` with the given `seed`, producing the heartbeat arrival
+/// trace observed by the monitor.
+///
+/// Deterministic: the same `(scenario, seed)` always yields the same trace.
+///
+/// # Panics
+///
+/// Panics if the scenario's heartbeat interval is zero.
+pub fn simulate(scenario: &Scenario, seed: u64) -> ArrivalTrace {
+    assert!(
+        !scenario.heartbeat_interval.is_zero(),
+        "heartbeat interval must be positive"
+    );
+
+    // Independent random streams so that e.g. adding send jitter does not
+    // perturb the channel's loss pattern.
+    let mut send_rng = SimRng::derive(seed, 1);
+    let mut net_rng = SimRng::derive(seed, 2);
+
+    let mut channel = Channel::new(scenario.delay, scenario.loss);
+    if let Some(ps) = scenario.partial_synchrony {
+        channel = channel.with_partial_synchrony(ps);
+    }
+
+    // The nominal interval is defined on the sender's clock; convert to the
+    // global spacing the rest of the system observes.
+    let global_interval = scenario
+        .sender_clock
+        .to_global_duration(scenario.heartbeat_interval);
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    // First heartbeat goes out after one interval (plus jitter).
+    queue.schedule(
+        jittered(Timestamp::ZERO + global_interval, scenario, &mut send_rng),
+        Event::Send { seq: 1 },
+    );
+
+    let mut records: Vec<HeartbeatRecord> = Vec::new();
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            // Sends stop at the horizon; in-flight deliveries are allowed
+            // to complete so they count as delivered, not lost.
+            Event::Send { seq: _ } if now > scenario.horizon => continue,
+            Event::Send { seq } => {
+                let crashed = scenario.crash_at.is_some_and(|c| now >= c);
+                if !crashed {
+                    records.push(HeartbeatRecord {
+                        seq,
+                        sent_at: now,
+                        delivered_at: None,
+                        delivered_local: None,
+                    });
+                    if let Some(arrival) = channel.transmit(now, &mut net_rng) {
+                        queue.schedule(arrival, Event::Deliver { seq });
+                    }
+                    // Schedule the next broadcast.
+                    let next = jittered(now + global_interval, scenario, &mut send_rng);
+                    let next = next.max(now + Duration::from_nanos(1));
+                    if next <= scenario.horizon {
+                        queue.schedule(next, Event::Send { seq: seq + 1 });
+                    }
+                }
+            }
+            Event::Deliver { seq } => {
+                let idx = seq as usize - 1;
+                let record = &mut records[idx];
+                debug_assert_eq!(record.seq, seq);
+                record.delivered_at = Some(now);
+                record.delivered_local = Some(scenario.monitor_clock.local_time(now));
+            }
+        }
+    }
+
+    ArrivalTrace::new(
+        records,
+        scenario.crash_at,
+        scenario.horizon,
+        scenario.heartbeat_interval,
+    )
+}
+
+/// Applies send jitter around the nominal broadcast time.
+fn jittered(nominal: Timestamp, scenario: &Scenario, rng: &mut SimRng) -> Timestamp {
+    let std = scenario.send_jitter_std.as_secs_f64();
+    if std == 0.0 {
+        return nominal;
+    }
+    let offset = rng.normal(0.0, std);
+    if offset >= 0.0 {
+        nominal + Duration::from_secs_f64(offset)
+    } else {
+        nominal.checked_sub(Duration::from_secs_f64(-offset)).unwrap_or(nominal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::DriftingClock;
+    use crate::delay::ConstantDelay;
+    use crate::loss::{BernoulliLoss, NoLoss};
+    use crate::scenario::{DelayKind, LossKind};
+
+    fn quiet_scenario() -> Scenario {
+        Scenario {
+            send_jitter_std: Duration::ZERO,
+            delay: DelayKind::Constant(ConstantDelay::new(Duration::from_millis(10))),
+            loss: LossKind::None(NoLoss),
+            ..Scenario::lan()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = Scenario::wan_jitter().with_horizon(Timestamp::from_secs(60));
+        let a = simulate(&s, 42);
+        let b = simulate(&s, 42);
+        assert_eq!(a, b);
+        let c = simulate(&s, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quiet_run_delivers_everything_on_schedule() {
+        let s = quiet_scenario().with_horizon(Timestamp::from_secs(10));
+        let t = simulate(&s, 1);
+        // 100 ms interval over 10 s → ~99 heartbeats (first at t=0.1).
+        assert!(t.sent_count() >= 98 && t.sent_count() <= 100, "{}", t.sent_count());
+        assert_eq!(t.loss_rate(), 0.0);
+        for r in t.records() {
+            assert_eq!(r.delivered_at, Some(r.sent_at + Duration::from_millis(10)));
+        }
+        // Inter-arrival times equal the interval exactly.
+        for gap in t.inter_arrival_seconds() {
+            assert!((gap - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crash_stops_heartbeats() {
+        let s = quiet_scenario()
+            .with_horizon(Timestamp::from_secs(10))
+            .with_crash_at(Timestamp::from_secs(5));
+        let t = simulate(&s, 1);
+        assert!(t.records().iter().all(|r| r.sent_at < Timestamp::from_secs(5)));
+        assert!(t.sent_count() >= 48 && t.sent_count() <= 50, "{}", t.sent_count());
+        assert_eq!(t.crash_time(), Some(Timestamp::from_secs(5)));
+    }
+
+    #[test]
+    fn loss_rate_matches_model() {
+        let s = Scenario {
+            loss: LossKind::Bernoulli(BernoulliLoss::new(0.2)),
+            ..quiet_scenario()
+        }
+        .with_horizon(Timestamp::from_secs(600));
+        let t = simulate(&s, 7);
+        assert!((t.loss_rate() - 0.2).abs() < 0.02, "loss = {}", t.loss_rate());
+    }
+
+    #[test]
+    fn sender_drift_stretches_global_spacing() {
+        // A sender whose clock runs 10% fast sends (globally) every
+        // interval/1.1 ≈ 90.9 ms.
+        let s = Scenario {
+            sender_clock: DriftingClock::new(Duration::ZERO, 1.1),
+            ..quiet_scenario()
+        }
+        .with_horizon(Timestamp::from_secs(10));
+        let t = simulate(&s, 1);
+        let gaps = t.inter_arrival_seconds();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 0.0909).abs() < 0.001, "mean gap = {mean}");
+    }
+
+    #[test]
+    fn monitor_drift_shows_in_local_times() {
+        let s = Scenario {
+            monitor_clock: DriftingClock::new(Duration::from_secs(100), 1.0),
+            ..quiet_scenario()
+        }
+        .with_horizon(Timestamp::from_secs(5));
+        let t = simulate(&s, 1);
+        let r = &t.records()[0];
+        assert_eq!(
+            r.delivered_local.unwrap(),
+            r.delivered_at.unwrap() + Duration::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn no_event_after_horizon() {
+        let s = quiet_scenario().with_horizon(Timestamp::from_secs(3));
+        let t = simulate(&s, 1);
+        for r in t.records() {
+            assert!(r.sent_at <= t.horizon());
+            if let Some(d) = r.delivered_at {
+                assert!(d <= t.horizon() + Duration::from_secs(1));
+            }
+        }
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_and_ascending() {
+        let s = Scenario::wan_jitter().with_horizon(Timestamp::from_secs(30));
+        let t = simulate(&s, 99);
+        for (i, r) in t.records().iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! A deterministic discrete-event queue.
+//!
+//! The simulation engine advances global time by popping events in
+//! timestamp order. Ties are broken by insertion sequence, which keeps runs
+//! fully deterministic regardless of payload type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use afd_core::time::Timestamp;
+
+/// A scheduled event with its firing time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by time, with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use afd_core::time::Timestamp;
+/// use afd_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Timestamp::from_secs(2), "second");
+/// q.schedule(Timestamp::from_secs(1), "first");
+/// assert_eq!(q.pop(), Some((Timestamp::from_secs(1), "first")));
+/// assert_eq!(q.pop(), Some((Timestamp::from_secs(2), "second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Timestamp,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Timestamp::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time (events
+    /// cannot fire in the past).
+    pub fn schedule(&mut self, at: Timestamp, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the simulation
+    /// clock to its firing time.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// The firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The current simulation time (the time of the last popped event).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(ts(3), 'c');
+        q.schedule(ts(1), 'a');
+        q.schedule(ts(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(ts(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(ts(4), ());
+        assert_eq!(q.now(), Timestamp::ZERO);
+        assert_eq!(q.peek_time(), Some(ts(4)));
+        q.pop();
+        assert_eq!(q.now(), ts(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(ts(5), ());
+        q.pop();
+        q.schedule(ts(4), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(ts(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(ts(1), 1);
+        q.schedule(ts(10), 3);
+        assert_eq!(q.pop(), Some((ts(1), 1)));
+        q.schedule(ts(5), 2); // between the popped and the pending event
+        assert_eq!(q.pop(), Some((ts(5), 2)));
+        assert_eq!(q.pop(), Some((ts(10), 3)));
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic discrete-event network simulator for failure detectors.
+//!
+//! The paper's detectors are pure functions of heartbeat arrival times;
+//! this crate generates those arrival processes under controlled, seeded
+//! network conditions so that every property, theorem, and QoS claim can be
+//! checked reproducibly:
+//!
+//! - [`event`]: the future-event queue driving simulations.
+//! - [`rng`]: seeded randomness (uniform/normal/exponential/Bernoulli).
+//! - [`clock`]: drifting local clocks (Appendix A.4's partially
+//!   synchronous model).
+//! - [`delay`] / [`loss`] / [`channel`]: network models — constant, uniform,
+//!   normal, and shifted-exponential delay; Bernoulli and Gilbert–Elliott
+//!   burst loss; pre-GST chaos.
+//! - [`scenario`]: declarative run configurations with named presets
+//!   (`lan`, `wan_jitter`, `bursty_loss`, `partially_synchronous`).
+//! - [`engine`]: runs a scenario into an [`trace::ArrivalTrace`].
+//! - [`replay`](mod@replay): drives any accrual detector over a recorded trace,
+//!   yielding the suspicion-level history (with Algorithm 4's stale-
+//!   heartbeat filtering).
+//!
+//! # Example
+//!
+//! ```
+//! use afd_core::time::{Duration, Timestamp};
+//! use afd_sim::engine::simulate;
+//! use afd_sim::scenario::Scenario;
+//!
+//! let scenario = Scenario::lan().with_crash_at(Timestamp::from_secs(30));
+//! let trace = simulate(&scenario, 42);
+//! assert!(trace.sent_count() > 0);
+//! assert!(trace.records().iter().all(|r| r.sent_at < Timestamp::from_secs(30)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod clock;
+pub mod delay;
+pub mod engine;
+pub mod event;
+pub mod loss;
+pub mod replay;
+pub mod rng;
+pub mod scenario;
+pub mod trace;
+pub mod trace_io;
+
+pub use engine::simulate;
+pub use replay::{replay, ReplayConfig};
+pub use scenario::Scenario;
+pub use trace::ArrivalTrace;
+pub use trace_io::{read_csv, write_csv};

@@ -1,0 +1,89 @@
+//! The Bag-of-Tasks scenario of §1.3: binary timeouts vs. the accrual
+//! policy, under bursty heartbeat loss.
+//!
+//! A master farms 200 tasks out to 32 workers; a quarter of the workers
+//! crash mid-run, and the network drops heartbeats in bursts (~4 in a
+//! row). A binary detector forces a dilemma:
+//!
+//! - a short timeout detects crashes fast but aborts live work on every
+//!   loss burst;
+//! - a long timeout survives bursts but leaves crashed workers' tasks in
+//!   limbo for a long time.
+//!
+//! The accrual policy escapes the dilemma: it monitors with κ (which
+//! counts missed heartbeats instead of panicking about elapsed time) and
+//! scales the abort threshold with the CPU time at stake — fresh tasks
+//! abort as fast as the short timeout, invested tasks ride bursts out.
+//!
+//! ```text
+//! cargo run --example bag_of_tasks
+//! ```
+
+use accrual_fd::bot::{run_bot, AccrualPolicy, BinaryTimeoutPolicy, BotConfig, BotOutcome};
+use accrual_fd::prelude::*;
+use accrual_fd::sim::loss::GilbertElliottLoss;
+use accrual_fd::sim::scenario::LossKind;
+use accrual_fd::detectors::kappa::PhiContribution;
+
+fn main() {
+    let config = BotConfig {
+        tasks: 40,
+        mean_task_secs: 120.0,
+        crash_fraction: 0.3,
+        crash_window_secs: (20.0, 300.0),
+        loss: LossKind::GilbertElliott(GilbertElliottLoss::bursts(0.02, 8.0)),
+        ..BotConfig::default()
+    };
+    println!(
+        "{} workers ({}% will crash), {} tasks of ~{} s, bursty heartbeat loss\n",
+        config.workers,
+        (config.crash_fraction * 100.0) as u32,
+        config.tasks,
+        config.mean_task_secs,
+    );
+
+    let seeds: Vec<u64> = (0..10).collect();
+    let mut rows: Vec<(String, Vec<BotOutcome>)> = Vec::new();
+
+    for timeout in [3.0, 10.0, 16.0, 25.0] {
+        let policy = BinaryTimeoutPolicy::new(SuspicionLevel::new(timeout).expect("valid"));
+        let outs: Vec<BotOutcome> = seeds
+            .iter()
+            .map(|&s| run_bot(&config, |_| SimpleAccrual::new(Timestamp::ZERO), &policy, s))
+            .collect();
+        rows.push((format!("binary timeout {timeout:>4.0} s"), outs));
+    }
+
+    let accrual = AccrualPolicy::new(
+        SuspicionLevel::new(1.5).expect("valid"),
+        SuspicionLevel::new(2.5).expect("valid"),
+        8.0,
+    );
+    let outs: Vec<BotOutcome> = seeds
+        .iter()
+        .map(|&s| {
+            run_bot(
+                &config,
+                |_| KappaAccrual::new(KappaConfig::default(), PhiContribution).expect("valid"),
+                &accrual,
+                s,
+            )
+        })
+        .collect();
+    rows.push(("accrual (κ, cost-aware)".to_string(), outs));
+
+    println!("policy                     makespan   wasted CPU (wrong aborts)   wrong aborts");
+    for (name, outs) in &rows {
+        let n = outs.len() as f64;
+        let makespan = outs.iter().map(|o| o.makespan_secs).sum::<f64>() / n;
+        let wasted = outs.iter().map(|o| o.wasted_cpu_wrong_aborts).sum::<f64>() / n;
+        let aborts = outs.iter().map(|o| o.wrong_aborts as f64).sum::<f64>() / n;
+        println!("{name:<26} {makespan:>7.1} s  {wasted:>15.1} s  {aborts:>17.1}");
+    }
+
+    println!(
+        "\nThe short timeout wastes completed work on every loss burst; the\n\
+         long one inflates the makespan by reacting slowly to real crashes.\n\
+         The accrual policy gets the best of both (§1.3 + §5.4)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Eventual leader election (Ω) end to end: heartbeats → φ suspicion
+//! levels → Algorithm 1 binary verdicts → "smallest trusted id wins".
+//!
+//! This is the paper's §4 equivalence result doing real work: Ω is the
+//! weakest failure detector for consensus, and here it is built from
+//! nothing but accrual machinery. Five processes run over a jittery WAN;
+//! the leader (p0) crashes at t = 100 s, its successor (p1) at t = 200 s.
+//! Watch every correct process converge to the same new leader after each
+//! crash.
+//!
+//! ```text
+//! cargo run --example leader_election
+//! ```
+
+use accrual_fd::core::failure::FailurePattern;
+use accrual_fd::omega::{run_omega, OmegaRunConfig};
+use accrual_fd::prelude::*;
+use accrual_fd::sim::scenario::Scenario;
+
+fn main() {
+    let n = 5;
+    let mut pattern = FailurePattern::all_correct(n);
+    pattern.crash(ProcessId::new(0), Timestamp::from_secs(100));
+    pattern.crash(ProcessId::new(1), Timestamp::from_secs(200));
+
+    let config = OmegaRunConfig {
+        processes: n,
+        link_template: Scenario::wan_jitter(),
+        pattern,
+        horizon: Timestamp::from_secs(300),
+        query_interval: Duration::from_millis(500),
+        epsilon: 0.1,
+        stability: 8,
+    };
+    let run = run_omega(&config, 7, |_, _| PhiAccrual::with_defaults());
+
+    println!("  t(s)  leader as seen by each correct process");
+    for probe in [30u64, 90, 101, 103, 110, 190, 201, 204, 220, 290] {
+        let at = Timestamp::from_secs(probe);
+        let mut views = Vec::new();
+        for q in 0..n {
+            let process = ProcessId::new(q);
+            if config.pattern.has_failed_by(process, at) {
+                views.push(format!("{process}:†"));
+                continue;
+            }
+            let leader = run
+                .timeline(process)
+                .iter()
+                .rev()
+                .find(|(t, _)| *t <= at)
+                .map(|(_, l)| l.to_string())
+                .unwrap_or_else(|| "?".into());
+            views.push(format!("{process}→{leader}"));
+        }
+        println!("  {probe:>4}  {}", views.join("  "));
+    }
+
+    match run.stable_leader(0.25) {
+        Some(leader) => println!(
+            "\nΩ holds: every correct process settled on {leader} (the lowest\n\
+             surviving id) and stayed there — leadership built from suspicion\n\
+             levels alone, via Algorithm 1 (§4.1) per peer."
+        ),
+        None => println!("\nΩ did not stabilize within the horizon (unexpected)"),
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end test of the Fig. 2 architecture: one monitoring service,
+//! several workers over simulated links, multiple applications with
+//! independent interpretation — including a worker crash seen differently
+//! by each application.
+
+use accrual_fd::core::transform::{HysteresisInterpreter, ThresholdInterpreter};
+use accrual_fd::detectors::service::{InterpreterBank, MonitoringService};
+use accrual_fd::prelude::*;
+use accrual_fd::sim::scenario::Scenario;
+use accrual_fd::sim::simulate;
+
+#[test]
+fn one_service_many_applications_over_simulated_links() {
+    // Three workers; worker 1 crashes at t = 60.
+    let horizon = Timestamp::from_secs(120);
+    let crash = Timestamp::from_secs(60);
+    let scenarios = [
+        Scenario::wan_jitter().with_horizon(horizon),
+        Scenario::wan_jitter().with_horizon(horizon).with_crash_at(crash),
+        Scenario::wan_jitter().with_horizon(horizon),
+    ];
+    let traces: Vec<_> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| simulate(s, 100 + i as u64))
+        .collect();
+
+    let mut service = MonitoringService::new(|_| PhiAccrual::with_defaults());
+    for i in 0..3 {
+        service.watch(ProcessId::new(i));
+    }
+
+    // Two applications: an aggressive one (Φ=1) and a conservative one
+    // with hysteresis (suspect at 5, un-suspect at 0.5).
+    let mut aggressive = InterpreterBank::new(|_| {
+        ThresholdInterpreter::new(SuspicionLevel::new(1.0).unwrap())
+    });
+    let mut conservative = InterpreterBank::new(|_| {
+        HysteresisInterpreter::new(
+            SuspicionLevel::new(5.0).unwrap(),
+            SuspicionLevel::new(0.5).unwrap(),
+        )
+    });
+
+    // Drive everything from one loop: deliveries + 1 Hz snapshots.
+    let mut next = [0usize; 3];
+    let mut agg_detected = None;
+    let mut cons_detected = None;
+    for tick in 1..=120u64 {
+        let now = Timestamp::from_secs(tick);
+        for (w, trace) in traces.iter().enumerate() {
+            let deliveries = trace.deliveries_in_arrival_order();
+            while next[w] < deliveries.len() && deliveries[next[w]].1 <= now {
+                service.heartbeat(ProcessId::new(w as u32), deliveries[next[w]].1);
+                next[w] += 1;
+            }
+        }
+        let snapshot = service.snapshot(now);
+        assert_eq!(snapshot.len(), 3);
+        let agg = aggressive.observe_snapshot(now, &snapshot);
+        let cons = conservative.observe_snapshot(now, &snapshot);
+        // Theorem 1 containment, application-wide: everything the
+        // conservative app suspects, the aggressive one suspects.
+        for p in &cons {
+            assert!(
+                agg.contains(p),
+                "containment violated at t={tick}s for {p}"
+            );
+        }
+        if now >= crash {
+            if agg_detected.is_none() && agg.contains(&ProcessId::new(1)) {
+                agg_detected = Some(tick);
+            }
+            if cons_detected.is_none() && cons.contains(&ProcessId::new(1)) {
+                cons_detected = Some(tick);
+            }
+        }
+    }
+
+    // Both applications eventually notice the crash; the aggressive one
+    // is never slower.
+    let agg_at = agg_detected.expect("aggressive app detects the crash");
+    let cons_at = cons_detected.expect("conservative app detects the crash");
+    assert!(agg_at <= cons_at, "aggressive {agg_at}s vs conservative {cons_at}s");
+
+    // The ranking puts the crashed worker last by the end.
+    let ranked = service.rank(horizon);
+    assert_eq!(ranked.last().unwrap().0, ProcessId::new(1));
+    // And the healthy workers are not suspected by the conservative app.
+    assert!(conservative.status(ProcessId::new(0)).is_trusted());
+    assert!(conservative.status(ProcessId::new(2)).is_trusted());
+}
+
+#[test]
+fn binary_facade_for_legacy_applications() {
+    // §1.5: a library can still expose a classical binary interface — one
+    // InterpretedBinary per application, sharing nothing but the heartbeat
+    // stream semantics.
+    use accrual_fd::core::transform::InterpretedBinary;
+
+    let crash = Timestamp::from_secs(40);
+    let scenario = Scenario::lan()
+        .with_horizon(Timestamp::from_secs(80))
+        .with_crash_at(crash);
+    let trace = simulate(&scenario, 55);
+
+    let mut legacy = InterpretedBinary::new(
+        PhiAccrual::with_defaults(),
+        ThresholdInterpreter::new(SuspicionLevel::new(3.0).unwrap()),
+    );
+
+    let deliveries = trace.deliveries_in_arrival_order();
+    let mut next = 0;
+    let mut verdicts = Vec::new();
+    for tick in 1..=80u64 {
+        let now = Timestamp::from_secs(tick);
+        while next < deliveries.len() && deliveries[next].1 <= now {
+            legacy.record_heartbeat(deliveries[next].1);
+            next += 1;
+        }
+        verdicts.push(legacy.query(now));
+    }
+    // Trusted while alive, suspected after the crash.
+    assert!(verdicts[..39].iter().all(|s| s.is_trusted()));
+    assert!(verdicts[45..].iter().all(|s| s.is_suspected()));
+}

@@ -1,0 +1,175 @@
+//! The §4.4 QoS ordering theorems, verified end-to-end on simulated runs:
+//! heartbeats → φ levels → thresholded verdicts → Chen metrics.
+
+use accrual_fd::core::history::SuspicionTrace;
+use accrual_fd::prelude::*;
+use accrual_fd::qos::metrics::{analyze, analyze_at_threshold, QosReport};
+use accrual_fd::sim::replay::{replay, ReplayConfig};
+use accrual_fd::sim::scenario::Scenario;
+use accrual_fd::sim::simulate;
+
+const THRESHOLDS: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+
+fn phi_levels(scenario: &Scenario, seed: u64) -> SuspicionTrace {
+    let arrivals = simulate(scenario, seed);
+    let mut monitor = PhiAccrual::with_defaults();
+    replay(
+        &arrivals,
+        &mut monitor,
+        ReplayConfig::every(Duration::from_millis(200)),
+    )
+}
+
+#[test]
+fn corollary_2_detection_time_is_monotone_in_threshold() {
+    let crash = Timestamp::from_secs(150);
+    let scenario = Scenario::wan_jitter()
+        .with_horizon(Timestamp::from_secs(300))
+        .with_crash_at(crash);
+    for seed in [3, 5, 8] {
+        let levels = phi_levels(&scenario, seed);
+        let mut last = -1.0;
+        for thr in THRESHOLDS {
+            let report = analyze_at_threshold(
+                &levels,
+                SuspicionLevel::new(thr).unwrap(),
+                Some(crash),
+            );
+            let td = report
+                .detection_time
+                .unwrap_or_else(|| panic!("threshold {thr} failed to detect (seed {seed})"));
+            assert!(
+                td >= last - 1e-9,
+                "T_D must not decrease with the threshold: {td} after {last} (Φ={thr}, seed {seed})"
+            );
+            last = td;
+        }
+    }
+}
+
+#[test]
+fn corollary_3_query_accuracy_is_monotone_in_threshold() {
+    let scenario = Scenario::wan_jitter().with_horizon(Timestamp::from_secs(600));
+    for seed in [3, 5, 8] {
+        let levels = phi_levels(&scenario, seed);
+        let mut last = -1.0;
+        for thr in THRESHOLDS {
+            let report =
+                analyze_at_threshold(&levels, SuspicionLevel::new(thr).unwrap(), None);
+            assert!(
+                report.query_accuracy >= last - 1e-12,
+                "P_A must not decrease with the threshold (Φ={thr}, seed {seed})"
+            );
+            last = report.query_accuracy;
+        }
+    }
+}
+
+/// Runs the hysteresis interpreter D'_T over a level trace.
+fn hysteresis_report(
+    levels: &SuspicionTrace,
+    high: f64,
+    low: f64,
+    crash: Option<Timestamp>,
+) -> QosReport {
+    let bin = levels.hysteresis(
+        SuspicionLevel::new(high).unwrap(),
+        SuspicionLevel::new(low).unwrap(),
+    );
+    analyze(&bin, crash)
+}
+
+#[test]
+fn corollaries_5_and_6_hysteresis_orderings() {
+    // With a shared low threshold T0, a higher S-threshold must not
+    // increase the mistake rate and must not shorten good periods.
+    // A noisier network is used so that mistakes actually occur.
+    let scenario = Scenario::bursty_loss().with_horizon(Timestamp::from_secs(900));
+    let t0 = 0.2;
+    for seed in [2, 4] {
+        let levels = phi_levels(&scenario, seed);
+        let mut last_rate = f64::INFINITY;
+        let mut last_good: Option<f64> = None;
+        for thr in THRESHOLDS {
+            let report = hysteresis_report(&levels, thr, t0, None);
+            assert!(
+                report.mistake_rate <= last_rate + 1e-12,
+                "λ_M must not increase with the threshold (Φ={thr}, seed {seed})"
+            );
+            last_rate = report.mistake_rate;
+            if let (Some(good), Some(prev)) = (report.good_period, last_good) {
+                assert!(
+                    good >= prev - 1e-9,
+                    "T_G must not shrink with the threshold (Φ={thr}, seed {seed})"
+                );
+            }
+            if report.good_period.is_some() {
+                last_good = report.good_period;
+            }
+        }
+    }
+}
+
+#[test]
+fn aggressive_detectors_make_more_mistakes_but_detect_faster() {
+    // The overall §4.4 tradeoff on one noisy run with a crash: going up
+    // the thresholds, mistakes weakly decrease while detection weakly
+    // slows — and the extremes genuinely differ.
+    let crash = Timestamp::from_secs(600);
+    let scenario = Scenario::bursty_loss()
+        .with_horizon(Timestamp::from_secs(900))
+        .with_crash_at(crash);
+    let levels = phi_levels(&scenario, 6);
+
+    // Under burst loss φ leaps to the hundreds per burst, so spanning the
+    // aggressive↔conservative spectrum requires decades of thresholds (a
+    // burst of k lost heartbeats scores roughly quadratically in k).
+    let thresholds = [0.5, 2.0, 20.0, 200.0, 2000.0];
+    let mut mistakes = Vec::new();
+    let mut detections = Vec::new();
+    for thr in thresholds {
+        let report = analyze_at_threshold(&levels, SuspicionLevel::new(thr).unwrap(), Some(crash));
+        mistakes.push(report.mistakes);
+        detections.push(report.detection_time.expect("detected"));
+    }
+    assert!(
+        mistakes.first().unwrap() > mistakes.last().unwrap(),
+        "the aggressive end should make more mistakes: {mistakes:?}"
+    );
+    assert!(
+        detections.first().unwrap() < detections.last().unwrap(),
+        "the aggressive end should detect faster: {detections:?}"
+    );
+    // Monotonicity of mistakes (plain thresholds share S-transition
+    // containment by Theorem 1).
+    for pair in mistakes.windows(2) {
+        assert!(pair[0] >= pair[1], "mistakes not monotone: {mistakes:?}");
+    }
+}
+
+#[test]
+fn detection_plus_accuracy_summaries_are_consistent() {
+    // Cross-check analyze() against first principles on a simulated run:
+    // P_A equals 1 − (suspected query fraction) and the detection time
+    // matches a hand search for the final S-transition.
+    let crash = Timestamp::from_secs(100);
+    let scenario = Scenario::lan()
+        .with_horizon(Timestamp::from_secs(200))
+        .with_crash_at(crash);
+    let levels = phi_levels(&scenario, 9);
+    let thr = SuspicionLevel::new(2.0).unwrap();
+    let bin = levels.threshold(thr);
+    let report = analyze(&bin, Some(crash));
+
+    let alive: Vec<_> = bin.samples().iter().filter(|s| s.at < crash).collect();
+    let suspected = alive.iter().filter(|s| s.status.is_suspected()).count();
+    let expect_pa = 1.0 - suspected as f64 / alive.len() as f64;
+    assert!((report.query_accuracy - expect_pa).abs() < 1e-12);
+
+    let hand_td = bin
+        .permanent_suspicion_start()
+        .unwrap()
+        .saturating_duration_since(crash)
+        .as_secs_f64();
+    assert_eq!(report.detection_time, Some(hand_td));
+}

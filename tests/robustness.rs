@@ -1,0 +1,191 @@
+//! Fault-injection robustness: adversarial network inputs that a
+//! production failure detector must shrug off — extreme reordering,
+//! duplicate deliveries, total loss, pathological cadences, and
+//! degenerate configurations.
+
+use accrual_fd::core::accrual::AccrualFailureDetector;
+use accrual_fd::core::properties::{check_upper_bound, AccruementCheck};
+use accrual_fd::detectors::kappa::PhiContribution;
+use accrual_fd::detectors::kappa_seq::{SeqKappaAccrual, SeqKappaConfig};
+use accrual_fd::prelude::*;
+use accrual_fd::sim::replay::{replay, ReplayConfig};
+use accrual_fd::sim::trace::{ArrivalTrace, HeartbeatRecord};
+use accrual_fd::sim::rng::SimRng;
+
+fn all_detectors() -> Vec<(&'static str, Box<dyn AccrualFailureDetector>)> {
+    vec![
+        ("simple", Box::new(SimpleAccrual::new(Timestamp::ZERO))),
+        ("chen", Box::new(ChenAccrual::with_defaults())),
+        (
+            "bertier",
+            Box::new(accrual_fd::detectors::bertier::BertierAccrual::with_defaults()),
+        ),
+        ("phi", Box::new(PhiAccrual::with_defaults())),
+        (
+            "kappa",
+            Box::new(KappaAccrual::new(KappaConfig::default(), PhiContribution).unwrap()),
+        ),
+        (
+            "kappa-seq",
+            Box::new(
+                SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap(),
+            ),
+        ),
+    ]
+}
+
+/// Builds a hand-crafted trace from (seq, sent, delivered) tuples.
+fn trace(records: Vec<(u64, f64, Option<f64>)>, horizon: f64) -> ArrivalTrace {
+    let records = records
+        .into_iter()
+        .map(|(seq, sent, delivered)| HeartbeatRecord {
+            seq,
+            sent_at: Timestamp::from_secs_f64(sent),
+            delivered_at: delivered.map(Timestamp::from_secs_f64),
+            delivered_local: delivered.map(Timestamp::from_secs_f64),
+        })
+        .collect();
+    ArrivalTrace::new(
+        records,
+        None,
+        Timestamp::from_secs_f64(horizon),
+        Duration::from_secs(1),
+    )
+}
+
+#[test]
+fn heavy_reordering_never_rewinds_detectors() {
+    // Heartbeats delivered in near-reverse order within a 5 s jumble: the
+    // replay freshness filter must keep every detector's view monotone,
+    // and levels must stay finite and small while deliveries keep coming.
+    let mut records = Vec::new();
+    for k in 1..=60u64 {
+        // Sent at k, delivered at k + jitter where jitter is adversarial:
+        // every 5th heartbeat is delayed by 4.5 s (overtaken by 4 others).
+        let delay = if k % 5 == 0 { 4.5 } else { 0.1 };
+        records.push((k, k as f64, Some(k as f64 + delay)));
+    }
+    let t = trace(records, 70.0);
+    for (name, mut d) in all_detectors() {
+        let levels = replay(&t, d.as_mut(), ReplayConfig::every(Duration::from_millis(500)));
+        let bound = check_upper_bound(&levels, None)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            bound.observed_bound.value() < 30.0,
+            "{name}: reordering inflated the level to {}",
+            bound.observed_bound
+        );
+    }
+}
+
+#[test]
+fn total_blackout_accrues_for_every_detector() {
+    // Healthy for 60 heartbeats, then NOTHING (but no crash marker): the
+    // level must accrue anyway — detectors cannot tell blackout from
+    // crash, and must not wedge.
+    let mut records: Vec<(u64, f64, Option<f64>)> =
+        (1..=60).map(|k| (k, k as f64, Some(k as f64 + 0.05))).collect();
+    for k in 61..=180u64 {
+        records.push((k, k as f64, None));
+    }
+    let t = trace(records, 180.0);
+    let check = AccruementCheck {
+        epsilon: 1e-6,
+        min_increases: 10,
+        min_suffix_fraction: 0.2,
+    };
+    for (name, mut d) in all_detectors() {
+        let levels = replay(&t, d.as_mut(), ReplayConfig::every(Duration::from_millis(500)));
+        check
+            .run(&levels)
+            .unwrap_or_else(|e| panic!("{name} wedged during blackout: {e}"));
+    }
+}
+
+#[test]
+fn zero_gap_heartbeat_storm_is_survived() {
+    // 1000 heartbeats delivered at the SAME instant (a queue flush), then
+    // normal cadence: estimators must not divide by zero or panic, and
+    // must recover a sane level afterwards.
+    let mut records: Vec<(u64, f64, Option<f64>)> =
+        (1..=1000).map(|k| (k, 1.0, Some(10.0))).collect();
+    for k in 1001..=1060u64 {
+        let at = 10.0 + (k - 1000) as f64;
+        records.push((k, at, Some(at)));
+    }
+    let t = trace(records, 75.0);
+    for (name, mut d) in all_detectors() {
+        let levels = replay(&t, d.as_mut(), ReplayConfig::every(Duration::from_millis(500)));
+        for s in levels.iter() {
+            assert!(
+                !s.level.is_infinite(),
+                "{name}: infinite level after zero-gap storm at {}",
+                s.at
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_stale_sequence_numbers_are_ignored() {
+    // The seq-κ detector receives duplicates and decades-old numbers.
+    let mut fd = SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap();
+    for k in 1..=50u64 {
+        fd.record_heartbeat_with_seq(k, Timestamp::from_secs(k));
+    }
+    let baseline = fd.kappa(Timestamp::from_secs_f64(50.5));
+    // Replays of old heartbeats must not change anything.
+    for k in 1..=50u64 {
+        fd.record_heartbeat_with_seq(k, Timestamp::from_secs(50));
+    }
+    let after = fd.kappa(Timestamp::from_secs_f64(50.5));
+    assert_eq!(baseline, after);
+    assert_eq!(fd.highest_seq(), Some(50));
+}
+
+#[test]
+fn extreme_cadences_do_not_break_estimators() {
+    // 10 kHz heartbeats and 1-per-hour heartbeats: levels stay finite,
+    // non-negative, and responsive at both extremes.
+    for (gap, probe_mult) in [(1e-4f64, 10.0f64), (3600.0, 1.5)] {
+        for (name, mut d) in all_detectors() {
+            let mut t = 0.0;
+            for _ in 0..200 {
+                t += gap;
+                d.record_heartbeat(Timestamp::from_secs_f64(t));
+            }
+            let fresh = d.suspicion_level(Timestamp::from_secs_f64(t + gap * 0.5));
+            let late = d.suspicion_level(Timestamp::from_secs_f64(t + gap * probe_mult * 10.0));
+            assert!(!fresh.is_infinite(), "{name} at gap {gap}: fresh level infinite");
+            assert!(!late.is_infinite(), "{name} at gap {gap}: late level infinite");
+            assert!(
+                late >= fresh,
+                "{name} at gap {gap}: level not monotone ({fresh} → {late})"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_garbage_traces_never_panic() {
+    // Fuzz-ish: random subsets delivered with random delays, in every
+    // detector, across many seeds. Nothing may panic; all levels finite
+    // while deliveries continue.
+    let mut rng = SimRng::seed_from_u64(99);
+    for _ in 0..20 {
+        let n = 20 + rng.index(100) as u64;
+        let mut records = Vec::new();
+        for k in 1..=n {
+            let delivered = if rng.bernoulli(0.7) {
+                Some(k as f64 + rng.uniform_in(0.0, 3.0))
+            } else {
+                None
+            };
+            records.push((k, k as f64, delivered));
+        }
+        let t = trace(records, n as f64 + 10.0);
+        for (_name, mut d) in all_detectors() {
+            let _ = replay(&t, d.as_mut(), ReplayConfig::every(Duration::from_secs(1)));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end checks of the §4 transformations over simulated networks:
+//! the full pipeline heartbeats → accrual detector → Algorithm 1 → binary
+//! verdicts, and its converse.
+
+use accrual_fd::core::history::SuspicionTrace;
+use accrual_fd::core::properties::{check_accruement, check_upper_bound};
+use accrual_fd::core::transform::{AccrualToBinary, BinaryToAccrual, Interpreter};
+use accrual_fd::prelude::*;
+use accrual_fd::sim::replay::{replay, ReplayConfig};
+use accrual_fd::sim::scenario::Scenario;
+use accrual_fd::sim::simulate;
+
+/// Runs Algorithm 1 over a φ detector fed by a simulated scenario and
+/// returns the per-query statuses (4 queries per second).
+fn algorithm_1_statuses(scenario: &Scenario, seed: u64, epsilon: f64) -> Vec<(Timestamp, Status)> {
+    let arrivals = simulate(scenario, seed);
+    let mut monitor = PhiAccrual::with_defaults();
+    let levels = replay(
+        &arrivals,
+        &mut monitor,
+        ReplayConfig::every(Duration::from_millis(250)),
+    );
+    let mut alg1 = AccrualToBinary::new(epsilon);
+    levels
+        .iter()
+        .map(|s| (s.at, alg1.observe(s.at, s.level)))
+        .collect()
+}
+
+#[test]
+fn algorithm_1_strong_completeness_on_simulated_crashes() {
+    // Every crash run must end with permanent suspicion.
+    let crash = Timestamp::from_secs(120);
+    let scenario = Scenario::wan_jitter()
+        .with_horizon(Timestamp::from_secs(400))
+        .with_crash_at(crash);
+    for seed in [1, 7, 21, 42, 99] {
+        let statuses = algorithm_1_statuses(&scenario, seed, 0.1);
+        // Find the last T-transition; everything after must be suspected.
+        let last_trust = statuses
+            .iter()
+            .rposition(|&(_, s)| s.is_trusted())
+            .expect("some trusted prefix exists");
+        let last_trust_time = statuses[last_trust].0;
+        assert!(
+            last_trust < statuses.len() - 1,
+            "seed {seed}: trace must end suspected"
+        );
+        // Permanent suspicion must begin within a minute of the crash.
+        assert!(
+            last_trust_time < crash + Duration::from_secs(60),
+            "seed {seed}: suspicion stabilized too late ({last_trust_time})"
+        );
+    }
+}
+
+#[test]
+fn algorithm_1_eventual_accuracy_on_correct_runs() {
+    // ◊P promises that mistakes *eventually* cease, with no bound on when:
+    // Algorithm 1 stops once its dynamic threshold SL_susp outgrows the
+    // run's suspicion bound SL_max, which it approaches from below as new
+    // record-high levels appear. The empirical signature on a finite run
+    // is a sharply decreasing mistake rate: the bulk of S-transitions land
+    // in the first third, and the final third sees at most stragglers.
+    let scenario = Scenario::wan_jitter().with_horizon(Timestamp::from_secs(900));
+    for seed in [1, 7, 21] {
+        let statuses = algorithm_1_statuses(&scenario, seed, 0.1);
+        let n = statuses.len();
+        let s_transitions_in = |range: std::ops::Range<usize>| {
+            let mut prev = Status::Trusted;
+            let mut count = 0u32;
+            for &(_, s) in &statuses[range] {
+                if s.is_suspected() && prev.is_trusted() {
+                    count += 1;
+                }
+                prev = s;
+            }
+            count
+        };
+        let early = s_transitions_in(0..n / 3);
+        let late = s_transitions_in(2 * n / 3..n);
+        assert!(
+            late <= 2,
+            "seed {seed}: {late} S-transitions in the final third (early: {early})"
+        );
+        assert!(
+            late < early || (late == 0 && early == 0),
+            "seed {seed}: mistake rate not decreasing (early {early}, late {late})"
+        );
+        // And the run must end trusted.
+        assert!(statuses.last().unwrap().1.is_trusted(), "seed {seed}");
+    }
+}
+
+#[test]
+fn algorithm_2_roundtrip_preserves_class_properties() {
+    // Binary ◊P oracle → Algorithm 2 accrual → Properties 1 and 2 hold;
+    // then Algorithm 1 on top recovers a ◊P-shaped verdict stream.
+    use accrual_fd::core::binary::ScriptedBinaryDetector;
+
+    // Faulty-process oracle: flip-flops, then suspects forever.
+    let mut prefix = Vec::new();
+    for k in 0..40 {
+        prefix.push(if k % 3 == 0 { Status::Suspected } else { Status::Trusted });
+    }
+    let oracle = ScriptedBinaryDetector::new(prefix, Status::Suspected);
+    let mut accrual = BinaryToAccrual::new(oracle, 0.5);
+
+    let mut levels = SuspicionTrace::new();
+    for k in 0..2_000u64 {
+        let at = Timestamp::from_millis(100 * k);
+        levels.push(at, accrual.suspicion_level(at));
+    }
+    check_accruement(&levels).expect("Accruement must hold for the faulty oracle");
+
+    let mut alg1 = AccrualToBinary::new(0.5);
+    let last_status = levels
+        .iter()
+        .map(|s| alg1.observe(s.at, s.level))
+        .last()
+        .unwrap();
+    assert!(last_status.is_suspected(), "roundtrip must end suspected");
+
+    // Correct-process oracle: mistakes, then trusts forever.
+    let oracle = ScriptedBinaryDetector::new(
+        vec![Status::Suspected; 25],
+        Status::Trusted,
+    );
+    let mut accrual = BinaryToAccrual::new(oracle, 0.5);
+    let mut levels = SuspicionTrace::new();
+    for k in 0..2_000u64 {
+        let at = Timestamp::from_millis(100 * k);
+        levels.push(at, accrual.suspicion_level(at));
+    }
+    let bound = check_upper_bound(&levels, None).expect("Upper Bound must hold");
+    assert_eq!(bound.observed_bound.value(), 12.5); // 25 steps of ε=0.5
+
+    let mut alg1 = AccrualToBinary::new(0.5);
+    let statuses: Vec<Status> = levels.iter().map(|s| alg1.observe(s.at, s.level)).collect();
+    let tail_suspicions = statuses[statuses.len() / 2..]
+        .iter()
+        .filter(|s| s.is_suspected())
+        .count();
+    assert_eq!(tail_suspicions, 0, "roundtrip must stabilize to trust");
+}
+
+#[test]
+fn adversary_scaling_transitions_grow_with_horizon() {
+    // E9's core claim: against the A.5 adversary, Algorithm 1's transition
+    // count keeps growing with the horizon (no stabilization), whereas on a
+    // genuine Property-1 input transitions stop.
+    use accrual_fd::detectors::adversary::WeakAccruementAdversary;
+
+    let mut counts = Vec::new();
+    for horizon in [10_000usize, 100_000] {
+        let mut adv = WeakAccruementAdversary::new(1.0);
+        let mut alg = AccrualToBinary::new(1.0);
+        let t = Timestamp::ZERO;
+        let mut transitions = 0u64;
+        let mut prev = Status::Trusted;
+        for _ in 0..horizon {
+            let sl = {
+                use accrual_fd::core::accrual::AccrualFailureDetector;
+                adv.suspicion_level(t)
+            };
+            let status = alg.observe(t, sl);
+            adv.observe_verdict(status);
+            if status != prev {
+                transitions += 1;
+            }
+            prev = status;
+        }
+        counts.push(transitions);
+    }
+    assert!(
+        counts[1] > counts[0] * 2,
+        "transitions must keep accumulating against the adversary: {counts:?}"
+    );
+}
