@@ -49,7 +49,13 @@ fn main() {
 
     let mut table = Table::new(
         "E1: one phi monitor, per-application thresholds (30 seeds, crash at t=300s)",
-        &["phi threshold", "wrong suspicions/run", "P_A", "T_D (s)", "detected"],
+        &[
+            "phi threshold",
+            "wrong suspicions/run",
+            "P_A",
+            "T_D (s)",
+            "detected",
+        ],
     );
     for (phi, agg) in &rows {
         table.push_row(vec![

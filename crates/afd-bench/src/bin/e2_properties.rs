@@ -50,8 +50,7 @@ fn main() {
                     accrue_pass += 1;
                     max_plateau = max_plateau.max(w.max_constant_run);
                     let q = w.max_constant_run + 1;
-                    if check_rate_bound(&trace, checker.epsilon, w.stabilization_index, q).is_ok()
-                    {
+                    if check_rate_bound(&trace, checker.epsilon, w.stabilization_index, q).is_ok() {
                         rate_pass += 1;
                     }
                 }

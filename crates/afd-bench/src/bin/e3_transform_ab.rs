@@ -41,7 +41,10 @@ fn main() {
             Some(i) if i < statuses.len() - 1 => {
                 detected += 1;
                 latencies.push(
-                    statuses[i + 1].0.saturating_duration_since(crash).as_secs_f64(),
+                    statuses[i + 1]
+                        .0
+                        .saturating_duration_since(crash)
+                        .as_secs_f64(),
                 );
             }
             _ => {}
@@ -49,7 +52,11 @@ fn main() {
     }
     let mut t1 = Table::new(
         "E3a: Algorithm 1 completeness on crash runs (30 seeds, crash at t=200s)",
-        &["permanently suspected", "mean latency (s)", "max latency (s)"],
+        &[
+            "permanently suspected",
+            "mean latency (s)",
+            "max latency (s)",
+        ],
     );
     let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
     let max = latencies.iter().cloned().fold(0.0, f64::max);
@@ -63,7 +70,14 @@ fn main() {
     // --- Accuracy ----------------------------------------------------------
     let mut t2 = Table::new(
         "E3b: Algorithm 1 accuracy on correct runs (S-transitions per run third)",
-        &["seed", "1st third", "2nd third", "3rd third", "final SL_susp", "ends trusted"],
+        &[
+            "seed",
+            "1st third",
+            "2nd third",
+            "3rd third",
+            "final SL_susp",
+            "ends trusted",
+        ],
     );
     for seed in SEEDS.take(10) {
         let levels = level_trace(&healthy, seed, DetectorKind::PhiNormal);

@@ -53,7 +53,13 @@ fn main() {
 
     let mut t1 = Table::new(
         "E4a: Algorithm 2 over a faulty-process oracle (Accruement, Lemma 10)",
-        &["run", "pre-stab mistakes", "witness K", "witness plateau", "accruement"],
+        &[
+            "run",
+            "pre-stab mistakes",
+            "witness K",
+            "witness plateau",
+            "accruement",
+        ],
     );
     for run in 0..10 {
         let mistakes = 5 + run;
@@ -70,7 +76,10 @@ fn main() {
         // The checker's suffix starts at the last drop-to-zero, so it can
         // still contain the tail of the oracle's final mistake streak (a
         // constant-zero run); the plateau is bounded by that streak.
-        assert!(q < longest_wrong.max(1), "plateau {q} vs streak {longest_wrong}");
+        assert!(
+            q < longest_wrong.max(1),
+            "plateau {q} vs streak {longest_wrong}"
+        );
         assert!(k <= prefix_len, "stabilization within the oracle prefix");
         // Once the oracle stabilizes, Q = 1 exactly: the level strictly
         // increases on every query over the entire post-prefix tail.
@@ -91,7 +100,13 @@ fn main() {
 
     let mut t2 = Table::new(
         "E4b: Algorithm 2 over a correct-process oracle (Upper Bound, Lemma 11)",
-        &["run", "longest wrong streak", "predicted bound", "observed SL_max", "final level"],
+        &[
+            "run",
+            "longest wrong streak",
+            "predicted bound",
+            "observed SL_max",
+            "final level",
+        ],
     );
     for run in 0..10 {
         let (prefix, longest) = noisy_prefix(&mut rng, 5 + run, Status::Suspected);
@@ -104,7 +119,10 @@ fn main() {
             "bound must match the longest streak"
         );
         let last = trace.samples().last().unwrap().level;
-        assert!(last.is_zero(), "level resets to zero once the oracle trusts");
+        assert!(
+            last.is_zero(),
+            "level resets to zero once the oracle trusts"
+        );
         t2.push_row(vec![
             run.to_string(),
             longest.to_string(),

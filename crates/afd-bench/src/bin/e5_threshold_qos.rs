@@ -36,7 +36,14 @@ fn main() {
 
         let mut table = Table::new(
             format!("E5: phi threshold sweep, delay jitter sigma = {std_ms} ms (30 seeds)"),
-            &["phi thr", "T_D mean (s)", "T_D p95", "P_A", "mistakes/run", "detected"],
+            &[
+                "phi thr",
+                "T_D mean (s)",
+                "T_D p95",
+                "P_A",
+                "mistakes/run",
+                "detected",
+            ],
         );
         let mut prev_td = -1.0f64;
         let mut prev_pa = -1.0f64;
@@ -58,7 +65,10 @@ fn main() {
             let healthy_agg = aggregate(&healthy_reports);
 
             let td = crash_agg.detection_time.map(|s| s.mean).unwrap_or(f64::NAN);
-            let pa = healthy_agg.query_accuracy.map(|s| s.mean).unwrap_or(f64::NAN);
+            let pa = healthy_agg
+                .query_accuracy
+                .map(|s| s.mean)
+                .unwrap_or(f64::NAN);
             assert!(td >= prev_td - 1e-9, "Corollary 2 violated at Φ={thr}");
             assert!(pa >= prev_pa - 1e-9, "Corollary 3 violated at Φ={thr}");
             prev_td = td;

@@ -22,7 +22,14 @@ fn main() {
 
     let mut table = Table::new(
         "E6: hysteresis D'_T sweep, shared T0 = 0.2, bursty loss (30 seeds)",
-        &["high thr", "lambda_M (/s)", "T_MR (s)", "T_G (s)", "T_M (s, no ordering)", "mistakes/run"],
+        &[
+            "high thr",
+            "lambda_M (/s)",
+            "T_MR (s)",
+            "T_G (s)",
+            "T_M (s, no ordering)",
+            "mistakes/run",
+        ],
     );
 
     let mut prev_rate = f64::INFINITY;

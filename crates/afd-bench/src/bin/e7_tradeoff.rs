@@ -101,7 +101,12 @@ fn nonstationary() {
 
     let mut table = Table::new(
         "E7b: nonstationary network — jitter sigma 50 ms → 200 ms at heartbeat 1000 (10 seeds)",
-        &["detector", "threshold (quiet-tuned)", "quiet-phase mistakes", "noisy-phase mistakes"],
+        &[
+            "detector",
+            "threshold (quiet-tuned)",
+            "quiet-phase mistakes",
+            "noisy-phase mistakes",
+        ],
     );
     // Quiet-tuned thresholds with equal quiet-phase detection latency
     // (~1.2 s): simple timeout 1.2 s, chen alpha 0.2 s, phi 3.

@@ -23,15 +23,19 @@ use afd_sim::scenario::{LossKind, Scenario};
 
 fn burst_trace() {
     let mut phi = PhiAccrual::with_defaults();
-    let mut kappa_phi =
-        KappaAccrual::new(KappaConfig::default(), PhiContribution).expect("valid");
+    let mut kappa_phi = KappaAccrual::new(KappaConfig::default(), PhiContribution).expect("valid");
     let mut kappa_step =
         KappaAccrual::new(KappaConfig::default(), StepContribution::new(0.5)).expect("valid");
 
     // 60 healthy heartbeats, then 8 lost ones, then recovery.
     let mut table = Table::new(
         "E8a: suspicion level during an 8-heartbeat loss burst",
-        &["missed so far", "phi", "kappa (phi contrib)", "kappa (step contrib)"],
+        &[
+            "missed so far",
+            "phi",
+            "kappa (phi contrib)",
+            "kappa (step contrib)",
+        ],
     );
     for k in 1..=60u64 {
         let at = Timestamp::from_secs(k);

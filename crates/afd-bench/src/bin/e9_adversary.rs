@@ -83,7 +83,10 @@ fn main() {
         let (adv_total, adv_late) = against_adversary(horizon);
         let (hon_total, hon_late) = against_honest_staircase(horizon);
         assert!(adv_late > 0, "adversary must keep forcing transitions");
-        assert!(adv_total > last_adv, "transitions must grow with the horizon");
+        assert!(
+            adv_total > last_adv,
+            "transitions must grow with the horizon"
+        );
         assert_eq!(hon_late, 0, "honest input must stabilize");
         last_adv = adv_total;
         table.push_row(vec![

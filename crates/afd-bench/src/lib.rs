@@ -81,9 +81,7 @@ impl DetectorKind {
     /// Builds a fresh detector of this kind.
     pub fn build(self) -> Box<dyn AccrualFailureDetector> {
         match self {
-            DetectorKind::Simple => {
-                Box::new(SimpleAccrual::new(afd_core::time::Timestamp::ZERO))
-            }
+            DetectorKind::Simple => Box::new(SimpleAccrual::new(afd_core::time::Timestamp::ZERO)),
             DetectorKind::Chen => Box::new(ChenAccrual::with_defaults()),
             DetectorKind::Bertier => Box::new(BertierAccrual::with_defaults()),
             DetectorKind::PhiNormal => Box::new(PhiAccrual::with_defaults()),

@@ -24,10 +24,7 @@ pub trait MasterPolicy {
     fn allow_dispatch(&self, level: SuspicionLevel) -> bool;
 
     /// Orders idle candidate workers for dispatch, best first.
-    fn rank_for_dispatch(
-        &self,
-        candidates: &[(ProcessId, SuspicionLevel)],
-    ) -> Vec<ProcessId>;
+    fn rank_for_dispatch(&self, candidates: &[(ProcessId, SuspicionLevel)]) -> Vec<ProcessId>;
 
     /// `true` if the task running on a worker with suspicion `level` and
     /// `invested_secs` of completed work should be aborted and rescheduled.
@@ -61,10 +58,7 @@ impl MasterPolicy for BinaryTimeoutPolicy {
         level <= self.threshold
     }
 
-    fn rank_for_dispatch(
-        &self,
-        candidates: &[(ProcessId, SuspicionLevel)],
-    ) -> Vec<ProcessId> {
+    fn rank_for_dispatch(&self, candidates: &[(ProcessId, SuspicionLevel)]) -> Vec<ProcessId> {
         // A binary detector offers no ordering: id order.
         let mut ids: Vec<ProcessId> = candidates.iter().map(|&(p, _)| p).collect();
         ids.sort();
@@ -148,10 +142,7 @@ impl MasterPolicy for AccrualPolicy {
         level <= self.dispatch_threshold
     }
 
-    fn rank_for_dispatch(
-        &self,
-        candidates: &[(ProcessId, SuspicionLevel)],
-    ) -> Vec<ProcessId> {
+    fn rank_for_dispatch(&self, candidates: &[(ProcessId, SuspicionLevel)]) -> Vec<ProcessId> {
         let mut sorted: Vec<_> = candidates.to_vec();
         if self.ranked_dispatch {
             sorted.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));

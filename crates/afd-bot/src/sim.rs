@@ -210,13 +210,20 @@ where
         }
 
         // 2. Query suspicion levels.
-        let levels: Vec<SuspicionLevel> =
-            detectors.iter_mut().map(|d| d.suspicion_level(now)).collect();
+        let levels: Vec<SuspicionLevel> = detectors
+            .iter_mut()
+            .map(|d| d.suspicion_level(now))
+            .collect();
 
         // 3. Task completions and crash handling.
         for w in 0..n {
             let crashed = crash_times[w].is_some_and(|c| now >= c);
-            if let WorkerState::Running { task, started, duration } = states[w] {
+            if let WorkerState::Running {
+                task,
+                started,
+                duration,
+            } = states[w]
+            {
                 if crashed {
                     // Work stops at the crash instant; the master does not
                     // know yet — it will learn through the detector.

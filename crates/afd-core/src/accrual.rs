@@ -90,7 +90,10 @@ impl ScriptedAccrualDetector {
     ///
     /// Panics if `levels` is empty.
     pub fn new(levels: Vec<SuspicionLevel>) -> Self {
-        assert!(!levels.is_empty(), "scripted detector needs at least one level");
+        assert!(
+            !levels.is_empty(),
+            "scripted detector needs at least one level"
+        );
         ScriptedAccrualDetector { levels, next: 0 }
     }
 

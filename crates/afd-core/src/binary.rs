@@ -217,10 +217,8 @@ mod tests {
 
     #[test]
     fn scripted_detector_replays_then_holds() {
-        let mut d = ScriptedBinaryDetector::new(
-            vec![Status::Trusted, Status::Suspected],
-            Status::Trusted,
-        );
+        let mut d =
+            ScriptedBinaryDetector::new(vec![Status::Trusted, Status::Suspected], Status::Trusted);
         let t = Timestamp::ZERO;
         assert_eq!(d.query(t), Status::Trusted);
         assert_eq!(d.query(t), Status::Suspected);

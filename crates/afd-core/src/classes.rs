@@ -71,7 +71,10 @@ impl AccrualClass {
     /// correct processes (P_ac and ◊P_ac), as opposed to only w.r.t. some
     /// single correct process (S_ac and ◊S_ac).
     pub fn holds_for_all_pairs(self) -> bool {
-        matches!(self, AccrualClass::Perfect | AccrualClass::EventuallyPerfect)
+        matches!(
+            self,
+            AccrualClass::Perfect | AccrualClass::EventuallyPerfect
+        )
     }
 }
 
@@ -107,8 +110,14 @@ mod tests {
             AccrualClass::EventuallyPerfect.binary_equivalent(),
             BinaryClass::EventuallyPerfect
         );
-        assert_eq!(AccrualClass::Perfect.binary_equivalent(), BinaryClass::Perfect);
-        assert_eq!(AccrualClass::Strong.binary_equivalent(), BinaryClass::Strong);
+        assert_eq!(
+            AccrualClass::Perfect.binary_equivalent(),
+            BinaryClass::Perfect
+        );
+        assert_eq!(
+            AccrualClass::Strong.binary_equivalent(),
+            BinaryClass::Strong
+        );
         assert_eq!(
             AccrualClass::EventuallyStrong.binary_equivalent(),
             BinaryClass::EventuallyStrong

@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn tail_tracks_data() {
-        let mut e = Empirical::new(0.0, 10.0, 100) .unwrap();
+        let mut e = Empirical::new(0.0, 10.0, 100).unwrap();
         // Half the samples at 2, half at 8.
         for _ in 0..500 {
             e.record(2.0);

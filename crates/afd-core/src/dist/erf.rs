@@ -146,10 +146,7 @@ mod tests {
     fn erf_matches_reference() {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-14,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-14, "erf({x}) = {got}, want {want}");
         }
     }
 
@@ -194,7 +191,10 @@ mod tests {
         let got = ln_erfc(x);
         let asymptotic = -x * x - (x * PI.sqrt()).ln();
         assert!(got.is_finite());
-        assert!((got - asymptotic).abs() < 1e-3, "got {got}, asym {asymptotic}");
+        assert!(
+            (got - asymptotic).abs() < 1e-3,
+            "got {got}, asym {asymptotic}"
+        );
         // Strictly decreasing far into the tail.
         assert!(ln_erfc(50.0) < ln_erfc(40.0));
         assert!(ln_erfc(40.0) < ln_erfc(30.0));

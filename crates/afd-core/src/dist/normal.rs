@@ -38,7 +38,9 @@ impl Normal {
     /// finite positive number.
     pub fn new(mean: f64, std: f64) -> Result<Self, ConfigError> {
         if !mean.is_finite() {
-            return Err(ConfigError::new(format!("normal mean must be finite, got {mean}")));
+            return Err(ConfigError::new(format!(
+                "normal mean must be finite, got {mean}"
+            )));
         }
         if !std.is_finite() || std <= 0.0 {
             return Err(ConfigError::new(format!(

@@ -62,8 +62,14 @@ mod tests {
     #[test]
     fn display_messages() {
         let e = InvalidSuspicionError { value: -1.0 };
-        assert_eq!(e.to_string(), "suspicion level must be a non-negative number, got -1");
+        assert_eq!(
+            e.to_string(),
+            "suspicion level must be a non-negative number, got -1"
+        );
         let c = ConfigError::new("window size must be positive");
-        assert_eq!(c.to_string(), "invalid configuration: window size must be positive");
+        assert_eq!(
+            c.to_string(),
+            "invalid configuration: window size must be positive"
+        );
     }
 }

@@ -149,7 +149,10 @@ mod tests {
     fn recrash_replaces_time() {
         let mut f = pattern();
         f.crash(ProcessId::new(1), Timestamp::from_secs(7));
-        assert_eq!(f.crash_time(ProcessId::new(1)), Some(Timestamp::from_secs(7)));
+        assert_eq!(
+            f.crash_time(ProcessId::new(1)),
+            Some(Timestamp::from_secs(7))
+        );
     }
 
     #[test]

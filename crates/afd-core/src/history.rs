@@ -277,9 +277,18 @@ mod tests {
     #[test]
     fn threshold_produces_binary_history() {
         let trace: SuspicionTrace = [
-            SuspicionSample { at: ts(1), level: sl(0.5) },
-            SuspicionSample { at: ts(2), level: sl(2.0) },
-            SuspicionSample { at: ts(3), level: sl(1.0) },
+            SuspicionSample {
+                at: ts(1),
+                level: sl(0.5),
+            },
+            SuspicionSample {
+                at: ts(2),
+                level: sl(2.0),
+            },
+            SuspicionSample {
+                at: ts(3),
+                level: sl(1.0),
+            },
         ]
         .into_iter()
         .collect();
@@ -294,11 +303,26 @@ mod tests {
     #[test]
     fn hysteresis_holds_between_thresholds() {
         let trace: SuspicionTrace = [
-            SuspicionSample { at: ts(1), level: sl(0.0) },
-            SuspicionSample { at: ts(2), level: sl(3.0) }, // S (above high 2)
-            SuspicionSample { at: ts(3), level: sl(1.0) }, // between: hold
-            SuspicionSample { at: ts(4), level: sl(0.4) }, // ≤ low 0.5: T
-            SuspicionSample { at: ts(5), level: sl(1.0) }, // below high: trusted
+            SuspicionSample {
+                at: ts(1),
+                level: sl(0.0),
+            },
+            SuspicionSample {
+                at: ts(2),
+                level: sl(3.0),
+            }, // S (above high 2)
+            SuspicionSample {
+                at: ts(3),
+                level: sl(1.0),
+            }, // between: hold
+            SuspicionSample {
+                at: ts(4),
+                level: sl(0.4),
+            }, // ≤ low 0.5: T
+            SuspicionSample {
+                at: ts(5),
+                level: sl(1.0),
+            }, // below high: trusted
         ]
         .into_iter()
         .collect();
@@ -319,11 +343,26 @@ mod tests {
     #[test]
     fn transitions_and_permanent_suspicion() {
         let bin: BinaryTrace = [
-            StatusSample { at: ts(1), status: Status::Trusted },
-            StatusSample { at: ts(2), status: Status::Suspected },
-            StatusSample { at: ts(3), status: Status::Trusted },
-            StatusSample { at: ts(4), status: Status::Suspected },
-            StatusSample { at: ts(5), status: Status::Suspected },
+            StatusSample {
+                at: ts(1),
+                status: Status::Trusted,
+            },
+            StatusSample {
+                at: ts(2),
+                status: Status::Suspected,
+            },
+            StatusSample {
+                at: ts(3),
+                status: Status::Trusted,
+            },
+            StatusSample {
+                at: ts(4),
+                status: Status::Suspected,
+            },
+            StatusSample {
+                at: ts(5),
+                status: Status::Suspected,
+            },
         ]
         .into_iter()
         .collect();
@@ -342,8 +381,14 @@ mod tests {
     #[test]
     fn permanent_suspicion_absent_when_trace_ends_trusted() {
         let bin: BinaryTrace = [
-            StatusSample { at: ts(1), status: Status::Suspected },
-            StatusSample { at: ts(2), status: Status::Trusted },
+            StatusSample {
+                at: ts(1),
+                status: Status::Suspected,
+            },
+            StatusSample {
+                at: ts(2),
+                status: Status::Trusted,
+            },
         ]
         .into_iter()
         .collect();

@@ -193,9 +193,7 @@ impl AccruementCheck {
 /// assert_eq!(witness.stabilization_index, 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn check_accruement(
-    trace: &SuspicionTrace,
-) -> Result<AccruementWitness, AccruementViolation> {
+pub fn check_accruement(trace: &SuspicionTrace) -> Result<AccruementWitness, AccruementViolation> {
     AccruementCheck::default().run(trace)
 }
 
@@ -299,7 +297,10 @@ pub fn check_weak_accruement(
 ) -> Result<WeakAccruementWitness, AccruementViolation> {
     let n = trace.len();
     if n < 4 {
-        return Err(AccruementViolation::TraceTooShort { len: n, required: 4 });
+        return Err(AccruementViolation::TraceTooShort {
+            len: n,
+            required: 4,
+        });
     }
     let levels: Vec<SuspicionLevel> = trace.iter().map(|s| s.level).collect();
     let half = n / 2;
@@ -575,7 +576,10 @@ mod tests {
 
     #[test]
     fn violations_display() {
-        let v = AccruementViolation::TooFewIncreases { observed: 0, required: 3 };
+        let v = AccruementViolation::TooFewIncreases {
+            observed: 0,
+            required: 3,
+        };
         assert!(v.to_string().contains("strict increases"));
         let r = RateBoundViolation {
             from: 1,

@@ -39,7 +39,10 @@ impl Histogram {
     ///
     /// Panics if `lo >= hi`, either bound is not finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need finite lo < hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "need finite lo < hi"
+        );
         assert!(bins > 0, "need at least one bin");
         Histogram {
             lo,
@@ -145,7 +148,10 @@ impl Histogram {
 ///
 /// Panics if `q` is outside `[0, 1]` or the slice contains NaN.
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     if values.is_empty() {
         return None;
     }

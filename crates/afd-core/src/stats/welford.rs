@@ -175,7 +175,9 @@ mod tests {
 
     #[test]
     fn known_moments() {
-        let m: RunningMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let m: RunningMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((m.mean() - 5.0).abs() < 1e-12);
         assert!((m.population_variance() - 4.0).abs() < 1e-12);
         assert!((m.sample_variance() - 32.0 / 7.0).abs() < 1e-12);

@@ -65,7 +65,7 @@ impl SlidingWindow {
     /// Panics if `x` is not finite.
     pub fn push(&mut self, x: f64) -> Option<f64> {
         assert!(x.is_finite(), "samples must be finite, got {x}");
-        
+
         if self.len == self.capacity {
             let old = self.buf[self.head];
             self.buf[self.head] = x;

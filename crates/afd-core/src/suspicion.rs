@@ -256,7 +256,10 @@ mod tests {
         assert_eq!(sl.quantize(0.5).value(), 1.0);
         // Nearest multiple of 0.1 (up to float representation of 12 × 0.1).
         assert!((sl.quantize(0.1).value() - 1.2).abs() < 1e-12);
-        assert_eq!(SuspicionLevel::INFINITE.quantize(0.5), SuspicionLevel::INFINITE);
+        assert_eq!(
+            SuspicionLevel::INFINITE.quantize(0.5),
+            SuspicionLevel::INFINITE
+        );
     }
 
     #[test]

@@ -94,10 +94,8 @@ pub fn check_classes(
 ) -> ClassReport {
     let mut accruement_violations = Vec::new();
     let mut bound_violations = Vec::new();
-    let mut bounded_ok: BTreeMap<crate::process::ProcessId, bool> = pattern
-        .correct()
-        .map(|p| (p, true))
-        .collect();
+    let mut bounded_ok: BTreeMap<crate::process::ProcessId, bool> =
+        pattern.correct().map(|p| (p, true)).collect();
 
     for (&pair, trace) in observation.iter() {
         if pattern.is_faulty(pair.monitored) {
@@ -117,10 +115,8 @@ pub fn check_classes(
 
     // Only count correct processes that were actually observed by some
     // monitor as potential witnesses.
-    let observed: std::collections::BTreeSet<_> = observation
-        .iter()
-        .map(|(pair, _)| pair.monitored)
-        .collect();
+    let observed: std::collections::BTreeSet<_> =
+        observation.iter().map(|(pair, _)| pair.monitored).collect();
     let bounded_correct_processes = bounded_ok
         .into_iter()
         .filter(|(p, ok)| *ok && observed.contains(p))

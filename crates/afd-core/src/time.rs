@@ -249,7 +249,10 @@ impl Duration {
             "duration factor must be finite and non-negative, got {factor}"
         );
         let nanos = self.0 as f64 * factor;
-        assert!(nanos <= u64::MAX as f64, "duration overflows u64 nanoseconds");
+        assert!(
+            nanos <= u64::MAX as f64,
+            "duration overflows u64 nanoseconds"
+        );
         Duration(nanos.round() as u64)
     }
 }
@@ -318,7 +321,11 @@ impl Add for Duration {
     type Output = Duration;
     #[inline]
     fn add(self, rhs: Duration) -> Duration {
-        Duration(self.0.checked_add(rhs.0).expect("duration addition overflowed"))
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("duration addition overflowed"),
+        )
     }
 }
 
@@ -487,7 +494,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(Timestamp::MAX.saturating_add(Duration::from_secs(1)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_secs(1)),
+            Timestamp::MAX
+        );
         assert_eq!(
             Duration::from_secs(1).saturating_sub(Duration::from_secs(2)),
             Duration::ZERO

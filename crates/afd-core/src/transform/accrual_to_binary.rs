@@ -136,9 +136,7 @@ impl Interpreter for AccrualToBinary {
 
         // Lines 15–17: trust when the level decreases, or stays constant
         // longer than the dynamic run-length threshold.
-        if (sl < sl_prev || self.run_length > self.l_trust)
-            && self.status == Status::Suspected
-        {
+        if (sl < sl_prev || self.run_length > self.l_trust) && self.status == Status::Suspected {
             self.status = Status::Trusted;
             self.l_trust += 1;
             self.t_transitions += 1;

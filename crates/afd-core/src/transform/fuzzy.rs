@@ -185,10 +185,17 @@ mod tests {
             .map(|k| f.classify(ts(), sl(k as f64 * 0.1)))
             .collect();
         let first_fuzzy = seq.iter().position(|s| *s == FuzzyStatus::Fuzzy).unwrap();
-        let first_susp = seq.iter().position(|s| *s == FuzzyStatus::Suspected).unwrap();
+        let first_susp = seq
+            .iter()
+            .position(|s| *s == FuzzyStatus::Suspected)
+            .unwrap();
         assert!(first_fuzzy < first_susp);
-        assert!(seq[..first_fuzzy].iter().all(|s| *s == FuzzyStatus::Trusted));
-        assert!(seq[first_susp..].iter().all(|s| *s == FuzzyStatus::Suspected));
+        assert!(seq[..first_fuzzy]
+            .iter()
+            .all(|s| *s == FuzzyStatus::Trusted));
+        assert!(seq[first_susp..]
+            .iter()
+            .all(|s| *s == FuzzyStatus::Suspected));
     }
 
     #[test]

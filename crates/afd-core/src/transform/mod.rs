@@ -37,9 +37,7 @@ pub use accrual_to_binary::AccrualToBinary;
 pub use binary_to_accrual::BinaryToAccrual;
 pub use fuzzy::{FuzzyInterpreter, FuzzyStatus};
 pub use known_bound::KnownBoundInterpreter;
-pub use threshold::{
-    ConstantThreshold, HysteresisInterpreter, ThresholdFn, ThresholdInterpreter,
-};
+pub use threshold::{ConstantThreshold, HysteresisInterpreter, ThresholdFn, ThresholdInterpreter};
 
 use crate::accrual::AccrualFailureDetector;
 use crate::binary::{BinaryFailureDetector, Status};
@@ -132,9 +130,7 @@ impl<D: AccrualFailureDetector, I: Interpreter> InterpretedBinary<D, I> {
     }
 }
 
-impl<D: AccrualFailureDetector, I: Interpreter> BinaryFailureDetector
-    for InterpretedBinary<D, I>
-{
+impl<D: AccrualFailureDetector, I: Interpreter> BinaryFailureDetector for InterpretedBinary<D, I> {
     fn query(&mut self, now: Timestamp) -> Status {
         let level = self.monitor.suspicion_level(now);
         self.interpreter.observe(now, level)
@@ -164,8 +160,7 @@ mod tests {
 
     #[test]
     fn interpreter_trait_objects_forward() {
-        let mut boxed: Box<dyn Interpreter> =
-            Box::new(ThresholdInterpreter::new(sl(1.0)));
+        let mut boxed: Box<dyn Interpreter> = Box::new(ThresholdInterpreter::new(sl(1.0)));
         assert_eq!(boxed.observe(Timestamp::ZERO, sl(2.0)), Status::Suspected);
         assert_eq!(boxed.status(), Status::Suspected);
         let mut concrete = ThresholdInterpreter::new(sl(1.0));

@@ -57,7 +57,11 @@ impl BertierConfig {
     /// Returns [`ConfigError`] if a gain/weight is not finite and
     /// positive, `gamma` exceeds 1, or the initial interval is zero.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        for (name, v) in [("gamma", self.gamma), ("beta", self.beta), ("phi", self.phi)] {
+        for (name, v) in [
+            ("gamma", self.gamma),
+            ("beta", self.beta),
+            ("phi", self.phi),
+        ] {
             if !v.is_finite() || v <= 0.0 {
                 return Err(ConfigError::new(format!(
                     "bertier {name} must be finite and positive, got {v}"
@@ -71,7 +75,9 @@ impl BertierConfig {
             )));
         }
         if self.initial_interval.is_zero() {
-            return Err(ConfigError::new("bertier initial interval must be positive"));
+            return Err(ConfigError::new(
+                "bertier initial interval must be positive",
+            ));
         }
         Ok(())
     }
@@ -165,8 +171,7 @@ impl AccrualFailureDetector for BertierAccrual {
             self.var = self.var.max(0.0);
             // Chen-style smoothed interval for the next EA.
             let smoothed = self.smoothed_interval.unwrap_or(gap);
-            self.smoothed_interval =
-                Some(smoothed + self.config.gamma * (gap - smoothed));
+            self.smoothed_interval = Some(smoothed + self.config.gamma * (gap - smoothed));
         }
         self.last_heartbeat = Some(self.last_heartbeat.map_or(arrival, |l| l.max(arrival)));
     }
@@ -176,9 +181,7 @@ impl AccrualFailureDetector for BertierAccrual {
             None => SuspicionLevel::ZERO,
             Some(ea) => {
                 let deadline = ea + Duration::from_secs_f64(self.margin());
-                SuspicionLevel::clamped(
-                    now.saturating_duration_since(deadline).as_secs_f64(),
-                )
+                SuspicionLevel::clamped(now.saturating_duration_since(deadline).as_secs_f64())
             }
         }
     }
@@ -207,10 +210,18 @@ mod tests {
         assert!(BertierConfig { gamma: 0.0, ..ok }.validate().is_err());
         assert!(BertierConfig { gamma: 1.5, ..ok }.validate().is_err());
         assert!(BertierConfig { beta: -1.0, ..ok }.validate().is_err());
-        assert!(BertierConfig { phi: f64::NAN, ..ok }.validate().is_err());
-        assert!(BertierConfig { initial_interval: Duration::ZERO, ..ok }
-            .validate()
-            .is_err());
+        assert!(BertierConfig {
+            phi: f64::NAN,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(BertierConfig {
+            initial_interval: Duration::ZERO,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

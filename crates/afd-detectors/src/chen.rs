@@ -140,9 +140,7 @@ impl AccrualFailureDetector for ChenAccrual {
             // Before any heartbeat there is no estimate; Chen's detector
             // starts trusting (level 0) until evidence accumulates.
             None => SuspicionLevel::ZERO,
-            Some(ea) => {
-                SuspicionLevel::clamped(now.saturating_duration_since(ea).as_secs_f64())
-            }
+            Some(ea) => SuspicionLevel::clamped(now.saturating_duration_since(ea).as_secs_f64()),
         }
     }
 }
@@ -222,7 +220,12 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(ChenConfig { window_size: 0, ..ChenConfig::default() }.validate().is_err());
+        assert!(ChenConfig {
+            window_size: 0,
+            ..ChenConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(ChenConfig {
             initial_interval: Duration::ZERO,
             ..ChenConfig::default()

@@ -276,7 +276,10 @@ impl<C: ContributionFunction> KappaAccrual<C> {
         let mut sum = 0.0;
         for j in 1..=pending {
             let overdue = elapsed - j as f64 * interval;
-            sum += self.contribution.contribution(overdue, &ctx).clamp(0.0, 1.0);
+            sum += self
+                .contribution
+                .contribution(overdue, &ctx)
+                .clamp(0.0, 1.0);
         }
         sum
     }
@@ -342,7 +345,10 @@ mod tests {
         let fd = regular(PhiContribution, 20);
         let a = fd.kappa(ts(25.0));
         let b = fd.kappa(ts(30.0));
-        assert!((b / a - 2.0).abs() < 0.3, "κ growth should be linear: {a} → {b}");
+        assert!(
+            (b / a - 2.0).abs() < 0.3,
+            "κ growth should be linear: {a} → {b}"
+        );
     }
 
     #[test]
@@ -374,7 +380,10 @@ mod tests {
             let v = fd.kappa(ts(k as f64 + 0.9));
             max_between = max_between.max(v);
         }
-        assert!(max_between < 1.5, "κ should stay low on a healthy link, got {max_between}");
+        assert!(
+            max_between < 1.5,
+            "κ should stay low on a healthy link, got {max_between}"
+        );
     }
 
     #[test]
@@ -417,10 +426,30 @@ mod tests {
     fn config_validation() {
         let ok = KappaConfig::default();
         assert!(ok.validate().is_ok());
-        assert!(KappaConfig { window_size: 0, ..ok }.validate().is_err());
-        assert!(KappaConfig { initial_interval: Duration::ZERO, ..ok }.validate().is_err());
-        assert!(KappaConfig { min_std_dev: Duration::ZERO, ..ok }.validate().is_err());
-        assert!(KappaConfig { max_pending: 0, ..ok }.validate().is_err());
+        assert!(KappaConfig {
+            window_size: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(KappaConfig {
+            initial_interval: Duration::ZERO,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(KappaConfig {
+            min_std_dev: Duration::ZERO,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(KappaConfig {
+            max_pending: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -63,16 +63,22 @@ impl SeqKappaConfig {
     /// tracking span.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.estimation_window == 0 {
-            return Err(ConfigError::new("seq-kappa estimation window must be positive"));
+            return Err(ConfigError::new(
+                "seq-kappa estimation window must be positive",
+            ));
         }
         if self.initial_interval.is_zero() {
-            return Err(ConfigError::new("seq-kappa initial interval must be positive"));
+            return Err(ConfigError::new(
+                "seq-kappa initial interval must be positive",
+            ));
         }
         if self.min_std_dev.is_zero() {
             return Err(ConfigError::new("seq-kappa min std dev must be positive"));
         }
         if self.tracking_window == 0 {
-            return Err(ConfigError::new("seq-kappa tracking window must be positive"));
+            return Err(ConfigError::new(
+                "seq-kappa tracking window must be positive",
+            ));
         }
         Ok(())
     }
@@ -205,7 +211,10 @@ impl<C: ContributionFunction> SeqKappaAccrual<C> {
             let offset = (j as f64 - anchor_seq as f64) * interval;
             let expected = anchor_at.as_secs_f64() + offset;
             let overdue = now.as_secs_f64() - expected;
-            sum += self.contribution.contribution(overdue, &ctx).clamp(0.0, 1.0);
+            sum += self
+                .contribution
+                .contribution(overdue, &ctx)
+                .clamp(0.0, 1.0);
         }
         sum
     }
@@ -242,10 +251,30 @@ mod tests {
     fn config_validation() {
         let ok = SeqKappaConfig::default();
         assert!(ok.validate().is_ok());
-        assert!(SeqKappaConfig { estimation_window: 0, ..ok }.validate().is_err());
-        assert!(SeqKappaConfig { initial_interval: Duration::ZERO, ..ok }.validate().is_err());
-        assert!(SeqKappaConfig { min_std_dev: Duration::ZERO, ..ok }.validate().is_err());
-        assert!(SeqKappaConfig { tracking_window: 0, ..ok }.validate().is_err());
+        assert!(SeqKappaConfig {
+            estimation_window: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SeqKappaConfig {
+            initial_interval: Duration::ZERO,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SeqKappaConfig {
+            min_std_dev: Duration::ZERO,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SeqKappaConfig {
+            tracking_window: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -342,8 +371,7 @@ mod tests {
     fn steady_loss_rate_stays_bounded() {
         // 20% loss forever: without the tracking window the residue would
         // grow without bound; with it, suspicion stays small.
-        let mut fd =
-            SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap();
+        let mut fd = SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap();
         let mut max_seen = 0.0f64;
         for seq in 1..=2_000u64 {
             if seq % 5 != 0 {
@@ -353,8 +381,14 @@ mod tests {
         }
         // ~20 of the last 100 tracked are missing and saturated, plus the
         // in-flight one; bounded well below the tracking window.
-        assert!(max_seen < 40.0, "suspicion must stay bounded, got {max_seen}");
-        assert!(max_seen > 5.0, "persistent loss should register, got {max_seen}");
+        assert!(
+            max_seen < 40.0,
+            "suspicion must stay bounded, got {max_seen}"
+        );
+        assert!(
+            max_seen > 5.0,
+            "persistent loss should register, got {max_seen}"
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod slowness;
 
 pub use bertier::{BertierAccrual, BertierConfig};
 pub use chen::{ChenAccrual, ChenConfig};
-pub use kappa_seq::{SeqKappaAccrual, SeqKappaConfig};
 pub use kappa::{KappaAccrual, KappaConfig};
+pub use kappa_seq::{SeqKappaAccrual, SeqKappaConfig};
 pub use phi::{PhiAccrual, PhiConfig, PhiModel};
 pub use service::{InterpreterBank, MonitoringService};
 pub use shared::SharedMonitoringService;

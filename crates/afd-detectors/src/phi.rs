@@ -60,7 +60,10 @@ pub struct PhiConfig {
     pub min_samples: usize,
     /// Floor on the estimated standard deviation, guarding against a
     /// degenerate (near-zero-variance) window making φ explode on the
-    /// first slightly-late heartbeat.
+    /// first slightly-late heartbeat. A zero floor is allowed and means
+    /// "trust the window exactly": over a constant-interval window the
+    /// detector substitutes the smallest σ the mean's precision can
+    /// represent, so φ is huge for any lateness but always finite.
     pub min_std_dev: Duration,
     /// The assumed heartbeat interval before any data arrives.
     pub initial_interval: Duration,
@@ -86,7 +89,7 @@ impl PhiConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError`] for an empty window, a zero initial
-    /// interval, a zero std-dev floor, or a degenerate empirical histogram.
+    /// interval, or a degenerate empirical histogram.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.window_size == 0 {
             return Err(ConfigError::new("phi window size must be positive"));
@@ -94,12 +97,15 @@ impl PhiConfig {
         if self.initial_interval.is_zero() {
             return Err(ConfigError::new("phi initial interval must be positive"));
         }
-        if self.min_std_dev.is_zero() {
-            return Err(ConfigError::new("phi min std dev must be positive"));
-        }
-        if let PhiModel::Empirical { bins, max_intervals } = self.model {
+        if let PhiModel::Empirical {
+            bins,
+            max_intervals,
+        } = self.model
+        {
             if bins == 0 {
-                return Err(ConfigError::new("phi empirical model needs at least one bin"));
+                return Err(ConfigError::new(
+                    "phi empirical model needs at least one bin",
+                ));
             }
             if !(max_intervals.is_finite() && max_intervals > 0.0) {
                 return Err(ConfigError::new(
@@ -149,7 +155,10 @@ impl PhiAccrual {
     pub fn new(config: PhiConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let empirical = match config.model {
-            PhiModel::Empirical { bins, max_intervals } => Some(
+            PhiModel::Empirical {
+                bins,
+                max_intervals,
+            } => Some(
                 Empirical::new(
                     0.0,
                     config.initial_interval.as_secs_f64() * max_intervals,
@@ -194,10 +203,20 @@ impl PhiAccrual {
     /// in seconds (with the configured floor applied).
     pub fn std_dev(&self) -> f64 {
         let floor = self.config.min_std_dev.as_secs_f64();
-        if self.gaps.len() < self.config.min_samples {
+        let est = if self.gaps.len() < self.config.min_samples {
             (self.config.initial_interval.as_secs_f64() / 4.0).max(floor)
         } else {
             self.gaps.population_std_dev().max(floor)
+        };
+        if est > 0.0 {
+            est
+        } else {
+            // A zero floor over a constant-interval window collapses the
+            // estimate to exactly zero, which Normal rejects (division by
+            // zero in the z-score). Substitute the smallest σ the mean's
+            // own precision can distinguish: φ is then huge for any real
+            // lateness yet finite at every representable timestamp.
+            self.mean_interval().abs().max(1.0) * f64::EPSILON
         }
     }
 
@@ -290,7 +309,10 @@ mod tests {
         let p2 = fd.suspicion_level(ts(32.0)).value();
         let p3 = fd.suspicion_level(ts(35.0)).value();
         assert!(p1 < p2 && p2 < p3, "({p1}, {p2}, {p3})");
-        assert!(p3 > 10.0, "five intervals late should be conclusive, got {p3}");
+        assert!(
+            p3 > 10.0,
+            "five intervals late should be conclusive, got {p3}"
+        );
     }
 
     #[test]
@@ -314,7 +336,10 @@ mod tests {
         };
         let dist = Normal::new(fd.mean_interval(), fd.std_dev()).unwrap();
         let tail = dist.sf(elapsed_at_phi1);
-        assert!((tail - 0.1).abs() < 0.01, "tail at φ=1 should be ≈0.1, got {tail}");
+        assert!(
+            (tail - 0.1).abs() < 0.01,
+            "tail at φ=1 should be ≈0.1, got {tail}"
+        );
     }
 
     #[test]
@@ -362,7 +387,34 @@ mod tests {
         let mut fd = regular(100);
         let phi = fd.suspicion_level(ts(100.0 + 1.02)).value();
         assert!(phi.is_finite());
-        assert!(phi < 100.0, "φ should be tempered by the σ floor, got {phi}");
+        assert!(
+            phi < 100.0,
+            "φ should be tempered by the σ floor, got {phi}"
+        );
+    }
+
+    #[test]
+    fn zero_min_std_dev_on_constant_window_stays_finite() {
+        // With no σ floor, a perfectly regular cadence collapses the
+        // variance estimate to zero; φ must degrade to "huge but finite"
+        // rather than NaN, ∞, or a constructor panic.
+        let mut fd = PhiAccrual::new(PhiConfig {
+            min_std_dev: Duration::ZERO,
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        for k in 1..=100 {
+            fd.record_heartbeat(ts(k as f64));
+        }
+        assert_eq!(fd.gaps.population_std_dev(), 0.0);
+        assert!(fd.std_dev() > 0.0);
+        // On time: no suspicion. Slightly late: conclusive but finite.
+        let on_time = fd.suspicion_level(ts(100.5)).value();
+        let late = fd.suspicion_level(ts(101.02)).value();
+        let very_late = fd.suspicion_level(ts(200.0)).value();
+        assert!(on_time.is_finite() && !on_time.is_nan());
+        assert!(late.is_finite() && late > 10.0, "late φ = {late}");
+        assert!(very_late.is_finite() && very_late > late);
     }
 
     #[test]
@@ -417,21 +469,30 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(PhiConfig { window_size: 0, ..PhiConfig::default() }.validate().is_err());
+        assert!(PhiConfig {
+            window_size: 0,
+            ..PhiConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(PhiConfig {
             initial_interval: Duration::ZERO,
             ..PhiConfig::default()
         }
         .validate()
         .is_err());
+        // A zero σ floor is a valid "trust the window exactly" setting.
         assert!(PhiConfig {
             min_std_dev: Duration::ZERO,
             ..PhiConfig::default()
         }
         .validate()
-        .is_err());
+        .is_ok());
         assert!(PhiConfig {
-            model: PhiModel::Empirical { bins: 0, max_intervals: 4.0 },
+            model: PhiModel::Empirical {
+                bins: 0,
+                max_intervals: 4.0
+            },
             ..PhiConfig::default()
         }
         .validate()

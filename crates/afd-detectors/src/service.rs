@@ -115,8 +115,14 @@ where
     }
 
     /// The suspicion level of `process` at `now`, or `None` if not watched.
-    pub fn suspicion_level(&mut self, process: ProcessId, now: Timestamp) -> Option<SuspicionLevel> {
-        self.detectors.get_mut(&process).map(|d| d.suspicion_level(now))
+    pub fn suspicion_level(
+        &mut self,
+        process: ProcessId,
+        now: Timestamp,
+    ) -> Option<SuspicionLevel> {
+        self.detectors
+            .get_mut(&process)
+            .map(|d| d.suspicion_level(now))
     }
 
     /// The full accrual output `H(q, now)`: every watched process and its
@@ -291,7 +297,10 @@ mod tests {
 
         let snap = s.snapshot(ts(5)); // level = 4
         assert_eq!(app_a.observe_snapshot(ts(5), &snap), vec![p]);
-        assert_eq!(app_b.observe_snapshot(ts(5), &snap), Vec::<ProcessId>::new());
+        assert_eq!(
+            app_b.observe_snapshot(ts(5), &snap),
+            Vec::<ProcessId>::new()
+        );
         assert_eq!(app_a.status(p), Status::Suspected);
         assert_eq!(app_b.status(p), Status::Trusted);
 

@@ -59,7 +59,8 @@ impl<D, F> Clone for SharedMonitoringService<D, F> {
 
 impl<D, F> std::fmt::Debug for SharedMonitoringService<D, F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedMonitoringService").finish_non_exhaustive()
+        f.debug_struct("SharedMonitoringService")
+            .finish_non_exhaustive()
     }
 }
 
@@ -158,7 +159,9 @@ mod tests {
         assert!(b.is_watching(p));
         b.heartbeat(p, Timestamp::from_secs(3));
         assert_eq!(
-            a.suspicion_level(p, Timestamp::from_secs(5)).unwrap().value(),
+            a.suspicion_level(p, Timestamp::from_secs(5))
+                .unwrap()
+                .value(),
             2.0
         );
         assert!(a.unwatch(p));
@@ -211,6 +214,9 @@ mod tests {
     fn unwatched_heartbeat_is_dropped() {
         let service = shared();
         assert!(!service.heartbeat(ProcessId::new(9), Timestamp::ZERO));
-        assert_eq!(service.suspicion_level(ProcessId::new(9), Timestamp::ZERO), None);
+        assert_eq!(
+            service.suspicion_level(ProcessId::new(9), Timestamp::ZERO),
+            None
+        );
     }
 }

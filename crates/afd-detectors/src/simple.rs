@@ -81,7 +81,10 @@ impl AccrualFailureDetector for SimpleAccrual {
     }
 
     fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
-        SuspicionLevel::clamped(now.saturating_duration_since(self.last_heartbeat).as_secs_f64())
+        SuspicionLevel::clamped(
+            now.saturating_duration_since(self.last_heartbeat)
+                .as_secs_f64(),
+        )
     }
 }
 

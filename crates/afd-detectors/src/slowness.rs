@@ -89,8 +89,7 @@ impl SlownessOracle {
     /// The slowness order: most responsive (lowest smoothed suspicion)
     /// first, ties broken by process id.
     pub fn order(&self) -> Vec<(ProcessId, f64)> {
-        let mut v: Vec<(ProcessId, f64)> =
-            self.scores.iter().map(|(&p, &s)| (p, s)).collect();
+        let mut v: Vec<(ProcessId, f64)> = self.scores.iter().map(|(&p, &s)| (p, s)).collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -145,7 +144,7 @@ mod tests {
             o.observe(p(1), ts(), sl(0.1));
         }
         o.observe(p(1), ts(), sl(3.0)); // one spike
-        // One spike does not leapfrog a consistently slower process.
+                                        // One spike does not leapfrog a consistently slower process.
         assert!(o.score(p(1)).unwrap() < o.score(p(0)).unwrap());
         // But repeated spikes do.
         for _ in 0..20 {

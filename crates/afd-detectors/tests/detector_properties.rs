@@ -120,7 +120,11 @@ fn upper_bound_holds_for_correct_process_for_every_detector() {
             // decades of tail probability and legitimately spikes into the
             // hundreds when 1% loss stretches a gap (exactly the §5.4
             // critique that motivates κ).
-            let cap = if name.starts_with("phi") { 2_000.0 } else { 60.0 };
+            let cap = if name.starts_with("phi") {
+                2_000.0
+            } else {
+                60.0
+            };
             assert!(
                 witness.observed_bound.value() < cap,
                 "{name} (seed {seed}): implausible bound {}",
@@ -144,7 +148,12 @@ fn observed_bound_does_not_grow_with_run_length() {
                 .find(|(n, _)| *n == name)
                 .unwrap();
             let trace = run_trace(&scenario, 7, detector.as_mut());
-            bounds.push(check_upper_bound(&trace, None).unwrap().observed_bound.value());
+            bounds.push(
+                check_upper_bound(&trace, None)
+                    .unwrap()
+                    .observed_bound
+                    .value(),
+            );
         }
         assert!(
             bounds[1] <= bounds[0] * 2.0 + 1.0,
@@ -207,7 +216,10 @@ fn crash_raises_level_above_healthy_maximum() {
         .with_horizon(Timestamp::from_secs(200))
         .with_crash_at(Timestamp::from_secs(100));
     for (name, mut d1) in all_detectors() {
-        let (_, mut d2) = all_detectors().into_iter().find(|(n, _)| *n == name).unwrap();
+        let (_, mut d2) = all_detectors()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap();
         let healthy_max = check_upper_bound(&run_trace(&healthy, 5, d1.as_mut()), None)
             .unwrap()
             .observed_bound;

@@ -191,12 +191,9 @@ mod tests {
     }
 
     fn elector(me: u32, peers: &[u32]) -> OmegaElector<SimpleAccrual> {
-        OmegaElector::new(
-            p(me),
-            peers.iter().map(|&i| p(i)),
-            0.1,
-            |_| SimpleAccrual::new(Timestamp::ZERO),
-        )
+        OmegaElector::new(p(me), peers.iter().map(|&i| p(i)), 0.1, |_| {
+            SimpleAccrual::new(Timestamp::ZERO)
+        })
     }
 
     /// Drives heartbeats from `alive` peers each second starting at

@@ -49,9 +49,7 @@ pub struct OmegaRun {
 impl OmegaRun {
     /// The leader timeline of `process` (empty if it never queried).
     pub fn timeline(&self, process: ProcessId) -> &[(Timestamp, ProcessId)] {
-        self.timelines
-            .get(&process)
-            .map_or(&[], |v| v.as_slice())
+        self.timelines.get(&process).map_or(&[], |v| v.as_slice())
     }
 
     /// The Ω check: if, over the trailing `tail_fraction` of each correct
@@ -104,7 +102,10 @@ where
 {
     let n = config.processes;
     assert!(n >= 2, "need at least two processes");
-    assert!(!config.query_interval.is_zero(), "query interval must be positive");
+    assert!(
+        !config.query_interval.is_zero(),
+        "query interval must be positive"
+    );
 
     // Simulate every ordered link.
     let mut deliveries: BTreeMap<(ProcessId, ProcessId), Vec<(u64, Timestamp)>> = BTreeMap::new();
@@ -131,10 +132,8 @@ where
         .map(|q| {
             let me = ProcessId::new(q);
             let peers = (0..n).filter(|&p| p != q).map(ProcessId::new);
-            let elector = OmegaElector::new(me, peers, config.epsilon, |peer| {
-                factory(me, peer)
-            })
-            .with_stability(config.stability);
+            let elector = OmegaElector::new(me, peers, config.epsilon, |peer| factory(me, peer))
+                .with_stability(config.stability);
             (me, elector)
         })
         .collect();
@@ -172,7 +171,10 @@ where
                 }
             }
             let leader = elector.leader(now);
-            timelines.get_mut(me).expect("timeline exists").push((now, leader));
+            timelines
+                .get_mut(me)
+                .expect("timeline exists")
+                .push((now, leader));
         }
         now += config.query_interval;
     }

@@ -58,19 +58,31 @@ pub fn aggregate(reports: &[QosReport]) -> AggregatedQos {
             &reports.iter().map(|r| r.query_accuracy).collect::<Vec<_>>(),
         ),
         mistake_recurrence: Summary::from_samples(
-            &reports.iter().filter_map(|r| r.mistake_recurrence).collect::<Vec<_>>(),
+            &reports
+                .iter()
+                .filter_map(|r| r.mistake_recurrence)
+                .collect::<Vec<_>>(),
         ),
         mistake_duration: Summary::from_samples(
-            &reports.iter().filter_map(|r| r.mistake_duration).collect::<Vec<_>>(),
+            &reports
+                .iter()
+                .filter_map(|r| r.mistake_duration)
+                .collect::<Vec<_>>(),
         ),
         good_period: Summary::from_samples(
-            &reports.iter().filter_map(|r| r.good_period).collect::<Vec<_>>(),
+            &reports
+                .iter()
+                .filter_map(|r| r.good_period)
+                .collect::<Vec<_>>(),
         ),
     }
 }
 
 /// Runs `f` once per seed and aggregates the reports.
-pub fn run_seeds(seeds: impl IntoIterator<Item = u64>, mut f: impl FnMut(u64) -> QosReport) -> AggregatedQos {
+pub fn run_seeds(
+    seeds: impl IntoIterator<Item = u64>,
+    mut f: impl FnMut(u64) -> QosReport,
+) -> AggregatedQos {
     let reports: Vec<QosReport> = seeds.into_iter().map(&mut f).collect();
     aggregate(&reports)
 }

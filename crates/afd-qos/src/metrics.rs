@@ -70,7 +70,10 @@ pub fn analyze(trace: &BinaryTrace, crash: Option<Timestamp>) -> QosReport {
     let alive_end = crash.map_or(end, |c| c.min(end));
 
     // --- Accuracy metrics over the alive window ---------------------------
-    let alive: Vec<_> = samples.iter().take_while(|s| s.at < alive_end || crash.is_none()).collect();
+    let alive: Vec<_> = samples
+        .iter()
+        .take_while(|s| s.at < alive_end || crash.is_none())
+        .collect();
     let mut s_times: Vec<Timestamp> = Vec::new();
     let mut t_times: Vec<Timestamp> = Vec::new();
     {
@@ -148,14 +151,12 @@ pub fn analyze(trace: &BinaryTrace, crash: Option<Timestamp>) -> QosReport {
         }
         // Find the final S-transition over the WHOLE trace; detection
         // requires the trace to end suspected.
-        trace
-            .permanent_suspicion_start()
-            .map(|at| {
-                // Suspicion that predates the crash means the detector was
-                // already (rightly or wrongly) suspecting at crash time:
-                // detection is instantaneous from the crash onward.
-                at.saturating_duration_since(c).as_secs_f64()
-            })
+        trace.permanent_suspicion_start().map(|at| {
+            // Suspicion that predates the crash means the detector was
+            // already (rightly or wrongly) suspecting at crash time:
+            // detection is instantaneous from the crash onward.
+            at.saturating_duration_since(c).as_secs_f64()
+        })
     });
 
     QosReport {
@@ -282,7 +283,10 @@ mod tests {
 
     #[test]
     fn crash_beyond_trace_is_ignored() {
-        let r = analyze(&trace(100, &(40..=100).collect::<Vec<_>>()), Some(ts(500.0)));
+        let r = analyze(
+            &trace(100, &(40..=100).collect::<Vec<_>>()),
+            Some(ts(500.0)),
+        );
         assert_eq!(r.detection_time, None);
     }
 

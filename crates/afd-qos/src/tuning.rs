@@ -85,10 +85,7 @@ mod tests {
         for &peak in peaks {
             let steps = (peak * 2.0) as u64 + 1;
             for k in 0..steps {
-                trace.push(
-                    Timestamp::from_secs(t),
-                    sl((k as f64 * 0.5).min(peak)),
-                );
+                trace.push(Timestamp::from_secs(t), sl((k as f64 * 0.5).min(peak)));
                 t += 1;
             }
         }

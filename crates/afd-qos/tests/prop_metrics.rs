@@ -14,7 +14,11 @@ fn trace_from(bits: &[bool]) -> BinaryTrace {
     for (i, &b) in bits.iter().enumerate() {
         t.push(
             Timestamp::from_secs(i as u64 + 1),
-            if b { Status::Suspected } else { Status::Trusted },
+            if b {
+                Status::Suspected
+            } else {
+                Status::Trusted
+            },
         );
     }
     t

@@ -1,0 +1,352 @@
+//! A deterministic chaos harness: the whole runtime in virtual time.
+//!
+//! One lock-step loop drives a [`SenderCore`], a [`FaultInjector`]-wrapped
+//! channel transport, and a [`RuntimeMonitor`] holding three
+//! degradation-wrapped detectors (simple, Chen, φ) over a scripted
+//! scenario of partitions, burst loss, and crash/recover cycles. All
+//! randomness flows from the scenario seed through [`SimRng`] streams and
+//! all time from a [`VirtualClock`], so a `(scenario, seed)` pair yields a
+//! bit-identical suspicion timeline on every run — chaos tests assert on
+//! exact replays, not on sleeps and hope.
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::history::SuspicionTrace;
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::{Duration, Timestamp};
+use afd_detectors::chen::ChenAccrual;
+use afd_detectors::phi::PhiAccrual;
+use afd_detectors::simple::SimpleAccrual;
+use afd_sim::delay::UniformDelay;
+use afd_sim::loss::{BernoulliLoss, GilbertElliottLoss};
+
+use crate::clock::VirtualClock;
+use crate::degrade::{DegradeConfig, GracefulDegradation};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
+use crate::monitor::{MonitorStats, RuntimeMonitor};
+use crate::sender::{SenderConfig, SenderCore};
+use crate::transport::ChannelTransport;
+
+/// A scripted chaos run: what the network and the monitored process do,
+/// and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScenario {
+    /// Total virtual run length.
+    pub horizon: Duration,
+    /// Heartbeat cadence (Algorithm 4's Δ_i).
+    pub heartbeat_interval: Duration,
+    /// How often suspicion levels are sampled into the report traces.
+    pub query_every: Duration,
+    /// Simulation step; smaller ticks resolve fault edges more finely.
+    pub tick: Duration,
+    /// Network partitions `[from, to)` during which every frame is lost.
+    pub partitions: Vec<(Timestamp, Timestamp)>,
+    /// Gilbert–Elliott burst loss as `(burst_start_probability,
+    /// mean_burst_len)`; bursts drop everything while active.
+    pub burst_loss: Option<(f64, f64)>,
+    /// Independent per-frame loss probability.
+    pub bernoulli_loss: Option<f64>,
+    /// Per-frame duplication probability.
+    pub duplicate: f64,
+    /// Per-frame byte-corruption probability (corrupt frames are caught by
+    /// the wire checksum and dropped by the monitor).
+    pub corrupt: f64,
+    /// Uniform per-frame delivery jitter `(min, max)`.
+    pub jitter: Option<(Duration, Duration)>,
+    /// Crash episodes `(crash_at, recover_at)`; `None` recovery means the
+    /// process stays down for the rest of the run.
+    pub crashes: Vec<(Timestamp, Option<Timestamp>)>,
+}
+
+impl ChaosScenario {
+    /// A quiet scenario over `horizon`: 1 s heartbeats, 250 ms queries,
+    /// 50 ms ticks, no faults.
+    pub fn new(horizon: Duration) -> Self {
+        ChaosScenario {
+            horizon,
+            heartbeat_interval: Duration::from_secs(1),
+            query_every: Duration::from_millis(250),
+            tick: Duration::from_millis(50),
+            partitions: Vec::new(),
+            burst_loss: None,
+            bernoulli_loss: None,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            jitter: None,
+            crashes: Vec::new(),
+        }
+    }
+
+    fn build_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        if let Some((start, len)) = self.burst_loss {
+            plan = plan.with_loss(GilbertElliottLoss::bursts(start, len));
+        } else if let Some(p) = self.bernoulli_loss {
+            plan = plan.with_loss(BernoulliLoss::new(p));
+        }
+        if let Some((lo, hi)) = self.jitter {
+            plan = plan.with_delay(UniformDelay::new(lo, hi));
+        }
+        if self.duplicate > 0.0 {
+            plan = plan.with_duplicate(self.duplicate);
+        }
+        if self.corrupt > 0.0 {
+            plan = plan.with_corrupt(self.corrupt);
+        }
+        for &(from, to) in &self.partitions {
+            plan = plan.with_partition(from, to);
+        }
+        plan
+    }
+
+    fn crashed_at(&self, t: Timestamp) -> bool {
+        self.crashes
+            .iter()
+            .any(|&(c, r)| t >= c && r.is_none_or(|r| t < r))
+    }
+}
+
+/// The three reference detectors, each behind its own graceful-degradation
+/// wrapper, observing the same heartbeat stream.
+#[derive(Debug)]
+pub struct DetectorTrio {
+    simple: GracefulDegradation<SimpleAccrual>,
+    chen: GracefulDegradation<ChenAccrual>,
+    phi: GracefulDegradation<PhiAccrual>,
+}
+
+impl DetectorTrio {
+    /// Creates the trio with a shared degradation policy.
+    pub fn new(start: Timestamp, degrade: DegradeConfig) -> Self {
+        DetectorTrio {
+            simple: GracefulDegradation::new(SimpleAccrual::new(start), degrade),
+            chen: GracefulDegradation::new(ChenAccrual::with_defaults(), degrade),
+            phi: GracefulDegradation::new(PhiAccrual::with_defaults(), degrade),
+        }
+    }
+
+    /// The simple elapsed-time detector.
+    pub fn simple(&mut self) -> &mut GracefulDegradation<SimpleAccrual> {
+        &mut self.simple
+    }
+
+    /// Chen's estimator.
+    pub fn chen(&mut self) -> &mut GracefulDegradation<ChenAccrual> {
+        &mut self.chen
+    }
+
+    /// The φ detector.
+    pub fn phi(&mut self) -> &mut GracefulDegradation<PhiAccrual> {
+        &mut self.phi
+    }
+
+    /// Total degraded-mode entries across the trio.
+    pub fn degrade_events(&self) -> u64 {
+        self.simple.degrade_events() + self.chen.degrade_events() + self.phi.degrade_events()
+    }
+}
+
+impl AccrualFailureDetector for DetectorTrio {
+    fn record_heartbeat(&mut self, arrival: Timestamp) {
+        self.simple.record_heartbeat(arrival);
+        self.chen.record_heartbeat(arrival);
+        self.phi.record_heartbeat(arrival);
+    }
+
+    /// The trio's headline level is φ's (the others are sampled
+    /// individually by the harness).
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        self.phi.suspicion_level(now)
+    }
+}
+
+/// Everything a chaos run produced.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Suspicion timeline of the simple detector.
+    pub simple: SuspicionTrace,
+    /// Suspicion timeline of Chen's detector.
+    pub chen: SuspicionTrace,
+    /// Suspicion timeline of the φ detector.
+    pub phi: SuspicionTrace,
+    /// What the fault injector did.
+    pub fault_stats: FaultStats,
+    /// What the monitor's intake saw.
+    pub monitor_stats: MonitorStats,
+    /// Degraded-mode entries across all detectors.
+    pub degrade_events: u64,
+    /// Heartbeats the sender emitted.
+    pub heartbeats_sent: u64,
+    /// Transport errors the steady-state loop absorbed (expected 0 for the
+    /// in-process transport).
+    pub transport_errors: u64,
+}
+
+impl ChaosReport {
+    /// The three traces with their detector names.
+    pub fn traces(&self) -> [(&'static str, &SuspicionTrace); 3] {
+        [
+            ("simple", &self.simple),
+            ("chen", &self.chen),
+            ("phi", &self.phi),
+        ]
+    }
+
+    /// A compact fingerprint of the full suspicion timeline: exact
+    /// (timestamp, level-bits) pairs, suitable for determinism assertions.
+    pub fn fingerprint(&self) -> Vec<(u64, u64)> {
+        self.traces()
+            .iter()
+            .flat_map(|(_, trace)| {
+                trace
+                    .iter()
+                    .map(|s| (s.at.as_nanos(), s.level.value().to_bits()))
+            })
+            .collect()
+    }
+}
+
+/// Runs `scenario` under `seed` to completion in virtual time.
+pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
+    let clock = VirtualClock::new();
+    let (mut sender_side, monitor_side) = ChannelTransport::pair();
+    let injector = FaultInjector::new(
+        monitor_side,
+        clock.clone(),
+        scenario.build_plan(),
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+    );
+    let degrade = DegradeConfig::for_interval(scenario.heartbeat_interval, 3);
+    let mut monitor = RuntimeMonitor::new(injector, clock.clone(), move |_| {
+        DetectorTrio::new(Timestamp::ZERO, degrade)
+    });
+    let process = ProcessId::new(1);
+    monitor.watch(process);
+
+    let mut core = SenderCore::new(
+        SenderConfig::new(process, scenario.heartbeat_interval),
+        Timestamp::ZERO,
+        seed,
+    );
+
+    let mut simple = SuspicionTrace::new();
+    let mut chen = SuspicionTrace::new();
+    let mut phi = SuspicionTrace::new();
+    let mut transport_errors = 0u64;
+    let mut next_query = Timestamp::ZERO;
+
+    let mut t = Timestamp::ZERO;
+    let end = Timestamp::ZERO + scenario.horizon;
+    while t <= end {
+        clock.set(t);
+
+        if scenario.crashed_at(t) {
+            if !core.is_crashed() {
+                core.crash();
+            }
+        } else if core.is_crashed() {
+            core.recover(t);
+        }
+        // Backoff pauses are skipped in virtual time; the in-process
+        // channel cannot transiently fail anyway.
+        if core.poll(t, &mut sender_side, |_| {}).is_err() {
+            transport_errors += 1;
+        }
+        // Drain deliveries due at this tick.
+        loop {
+            match monitor.poll() {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => {
+                    transport_errors += 1;
+                    break;
+                }
+            }
+        }
+
+        if t >= next_query {
+            let trio = monitor.detector_mut(process).expect("watched");
+            simple.push(t, trio.simple().suspicion_level(t));
+            chen.push(t, trio.chen().suspicion_level(t));
+            phi.push(t, trio.phi().suspicion_level(t));
+            next_query += scenario.query_every;
+        }
+        t += scenario.tick;
+    }
+
+    let degrade_events = monitor
+        .detector_mut(process)
+        .map_or(0, |trio| trio.degrade_events());
+    let monitor_stats = monitor.stats();
+    let fault_stats = monitor.transport().stats();
+    ChaosReport {
+        simple,
+        chen,
+        phi,
+        fault_stats,
+        monitor_stats,
+        degrade_events,
+        heartbeats_sent: core.sent(),
+        transport_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_run_keeps_levels_low() {
+        let scenario = ChaosScenario::new(Duration::from_secs(30));
+        let report = run_chaos(&scenario, 1);
+        assert!(report.heartbeats_sent >= 29);
+        assert_eq!(report.transport_errors, 0);
+        assert_eq!(report.monitor_stats.corrupt, 0);
+        for (name, trace) in report.traces() {
+            let max = trace.max_level().unwrap();
+            assert!(
+                max.value() < 5.0,
+                "{name}: quiet run should stay calm, peaked at {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_makes_every_detector_accrue() {
+        let mut scenario = ChaosScenario::new(Duration::from_secs(60));
+        scenario.crashes.push((Timestamp::from_secs(30), None));
+        let report = run_chaos(&scenario, 2);
+        for (name, trace) in report.traces() {
+            let last = trace.samples().last().unwrap();
+            let at_crash = trace
+                .iter()
+                .find(|s| s.at >= Timestamp::from_secs(30))
+                .unwrap();
+            assert!(
+                last.level.value() > at_crash.level.value(),
+                "{name}: no accrual after crash"
+            );
+        }
+        assert!(
+            report.degrade_events > 0,
+            "long silence must trigger fallback"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let mut scenario = ChaosScenario::new(Duration::from_secs(40));
+        scenario.burst_loss = Some((0.05, 4.0));
+        scenario.jitter = Some((Duration::from_millis(5), Duration::from_millis(80)));
+        scenario.duplicate = 0.1;
+        scenario.corrupt = 0.05;
+        scenario
+            .partitions
+            .push((Timestamp::from_secs(10), Timestamp::from_secs(15)));
+        let a = run_chaos(&scenario, 42);
+        let b = run_chaos(&scenario, 42);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = run_chaos(&scenario, 43);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed must matter");
+    }
+}

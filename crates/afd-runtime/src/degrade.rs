@@ -1,0 +1,273 @@
+//! Graceful degradation for adaptive detectors under sample starvation.
+//!
+//! Adaptive detectors (Chen, φ, κ) extrapolate from a window of recent
+//! inter-arrival samples. When the network starves that window — a long
+//! partition, a burst of loss, a crashed sender — the window's contents go
+//! stale and the estimate is no longer trustworthy. This wrapper detects
+//! the starvation and falls back to the one detector that needs no window
+//! at all: the simple elapsed-time detector of §5.1 (Algorithm 4).
+//!
+//! The fallback is *offset-continuous*: at the moment of the switch the
+//! degraded output starts from the inner detector's current level and adds
+//! elapsed time since the last heartbeat. The emitted level therefore never
+//! decreases during continued silence, so Accruement (Property 1) is
+//! preserved across the switch; and the moment heartbeats refill the
+//! window, the wrapper hands back to the inner detector.
+
+use std::collections::VecDeque;
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::{Duration, Timestamp};
+
+/// When to consider the sampling window starved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Minimum number of heartbeats inside `horizon` for the inner
+    /// detector's estimate to be trusted.
+    pub min_samples: usize,
+    /// How far back a heartbeat still counts as "recent".
+    pub horizon: Duration,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            min_samples: 3,
+            horizon: Duration::from_secs(10),
+        }
+    }
+}
+
+impl DegradeConfig {
+    /// A config sized for a known heartbeat cadence: the window counts as
+    /// healthy while at least `min_samples` heartbeats arrived within
+    /// `min_samples + 2` expected intervals.
+    pub fn for_interval(interval: Duration, min_samples: usize) -> Self {
+        DegradeConfig {
+            min_samples,
+            horizon: interval * (min_samples as u32 + 2),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Nominal,
+    Degraded {
+        /// Inner level at the moment of the switch — the floor of all
+        /// degraded output.
+        offset: f64,
+        /// When the switch happened (reference point if no heartbeat was
+        /// ever seen).
+        since: Timestamp,
+    },
+}
+
+/// An [`AccrualFailureDetector`] wrapper with a starved-window fallback.
+#[derive(Debug, Clone)]
+pub struct GracefulDegradation<D> {
+    inner: D,
+    config: DegradeConfig,
+    recent: VecDeque<Timestamp>,
+    last_heartbeat: Option<Timestamp>,
+    mode: Mode,
+    degrade_events: u64,
+}
+
+impl<D: AccrualFailureDetector> GracefulDegradation<D> {
+    /// Wraps `inner` with the given starvation policy.
+    pub fn new(inner: D, config: DegradeConfig) -> Self {
+        GracefulDegradation {
+            inner,
+            config,
+            recent: VecDeque::new(),
+            last_heartbeat: None,
+            mode: Mode::Nominal,
+            degrade_events: 0,
+        }
+    }
+
+    /// `true` while the fallback is active.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.mode, Mode::Degraded { .. })
+    }
+
+    /// How many times the wrapper has entered degraded mode.
+    pub fn degrade_events(&self) -> u64 {
+        self.degrade_events
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped detector, mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    fn prune(&mut self, now: Timestamp) {
+        while let Some(&front) = self.recent.front() {
+            if now.saturating_duration_since(front) > self.config.horizon {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn starved(&self) -> bool {
+        self.recent.len() < self.config.min_samples
+    }
+}
+
+impl<D: AccrualFailureDetector> AccrualFailureDetector for GracefulDegradation<D> {
+    fn record_heartbeat(&mut self, arrival: Timestamp) {
+        self.inner.record_heartbeat(arrival);
+        self.last_heartbeat = Some(self.last_heartbeat.map_or(arrival, |l| l.max(arrival)));
+        self.recent.push_back(arrival);
+        self.prune(arrival);
+    }
+
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        self.prune(now);
+        let starved = self.starved();
+        match self.mode {
+            Mode::Nominal if starved => {
+                // Capture the inner level as the continuity offset before
+                // abandoning its estimate.
+                let offset = self.inner.suspicion_level(now).value();
+                self.mode = Mode::Degraded { offset, since: now };
+                self.degrade_events += 1;
+            }
+            Mode::Degraded { .. } if !starved => {
+                // Window refilled: the inner estimate is trustworthy again.
+                self.mode = Mode::Nominal;
+            }
+            _ => {}
+        }
+        match self.mode {
+            Mode::Nominal => self.inner.suspicion_level(now),
+            Mode::Degraded { offset, since } => {
+                // Simple elapsed-time accrual from the switch point. The
+                // output is clamped below by `offset`, so it never dips
+                // under what was already reported.
+                let anchor = self.last_heartbeat.unwrap_or(since);
+                let elapsed = now.saturating_duration_since(anchor).as_secs_f64();
+                SuspicionLevel::clamped(offset + elapsed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_detectors::phi::{PhiAccrual, PhiConfig};
+    use afd_detectors::simple::SimpleAccrual;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs_f64(s)
+    }
+
+    fn wrapped_phi() -> GracefulDegradation<PhiAccrual> {
+        GracefulDegradation::new(
+            PhiAccrual::new(PhiConfig::default()).unwrap(),
+            DegradeConfig {
+                min_samples: 3,
+                horizon: Duration::from_secs(5),
+            },
+        )
+    }
+
+    #[test]
+    fn nominal_while_window_is_healthy() {
+        let mut d = wrapped_phi();
+        for k in 1..=20 {
+            d.record_heartbeat(ts(k as f64));
+        }
+        let level = d.suspicion_level(ts(20.5));
+        assert!(!d.is_degraded());
+        assert!(level.value() < 1.0);
+    }
+
+    #[test]
+    fn starvation_triggers_fallback_and_recovery_exits_it() {
+        let mut d = wrapped_phi();
+        for k in 1..=20 {
+            d.record_heartbeat(ts(k as f64));
+        }
+        // Silence for longer than the 5 s horizon: the window starves.
+        let l1 = d.suspicion_level(ts(27.0));
+        assert!(d.is_degraded());
+        assert_eq!(d.degrade_events(), 1);
+        assert!(l1.value() > 0.0);
+
+        // Heartbeats resume; once 3 land inside the horizon, nominal again.
+        for k in [28.0, 29.0, 30.0] {
+            d.record_heartbeat(ts(k));
+        }
+        let l2 = d.suspicion_level(ts(30.5));
+        assert!(!d.is_degraded());
+        assert!(l2.value() < l1.value(), "recovered level should drop");
+    }
+
+    #[test]
+    fn degraded_output_is_monotone_during_silence() {
+        let mut d = wrapped_phi();
+        for k in 1..=10 {
+            d.record_heartbeat(ts(k as f64));
+        }
+        let mut prev = -1.0;
+        for q in 0..200 {
+            let t = 10.0 + q as f64 * 0.5;
+            let level = d.suspicion_level(ts(t)).value();
+            assert!(
+                level >= prev,
+                "level decreased during silence at t={t}: {prev} → {level}"
+            );
+            assert!(level.is_finite());
+            prev = level;
+        }
+        assert!(d.is_degraded());
+    }
+
+    #[test]
+    fn switch_is_offset_continuous() {
+        let mut d = wrapped_phi();
+        for k in 1..=10 {
+            d.record_heartbeat(ts(k as f64));
+        }
+        // Query while the window is still healthy ({8, 9, 10} in horizon).
+        let before = d.suspicion_level(ts(12.0)).value();
+        assert!(!d.is_degraded());
+        // First starved query: must not be below the last nominal answer.
+        let after = d.suspicion_level(ts(16.1)).value();
+        assert!(d.is_degraded());
+        assert!(
+            after >= before,
+            "degraded output {after} fell below nominal {before}"
+        );
+    }
+
+    #[test]
+    fn never_heartbeated_process_still_accrues() {
+        let mut d = GracefulDegradation::new(
+            SimpleAccrual::new(Timestamp::ZERO),
+            DegradeConfig::default(),
+        );
+        let a = d.suspicion_level(ts(1.0)).value();
+        let b = d.suspicion_level(ts(5.0)).value();
+        assert!(d.is_degraded(), "empty window is starved by definition");
+        assert!(b > a);
+    }
+
+    #[test]
+    fn for_interval_sizes_horizon() {
+        let c = DegradeConfig::for_interval(Duration::from_millis(100), 3);
+        assert_eq!(c.horizon, Duration::from_millis(500));
+        assert_eq!(c.min_samples, 3);
+    }
+}

@@ -1,0 +1,369 @@
+//! A composable, seeded fault injector over any [`Transport`].
+//!
+//! Wraps a transport's *receive* side and applies a reproducible schedule
+//! of network mischief: drop (Bernoulli or Gilbert–Elliott bursts, reusing
+//! `afd-sim`'s loss models), duplicate, delay/reorder, corrupt, and timed
+//! partitions. All randomness comes from one [`SimRng`] stream, so a given
+//! `(plan, seed)` produces the identical fault schedule on every run —
+//! chaos tests are replayable bit-for-bit.
+//!
+//! Faults are applied when frames are *pulled* from the inner transport:
+//! delayed frames sit in a staging heap keyed by virtual delivery time and
+//! surface once the injector's clock passes them, which is also how
+//! reordering arises (a delayed frame is overtaken by later ones).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use afd_core::time::Timestamp;
+use afd_sim::delay::DelayModel;
+use afd_sim::loss::LossModel;
+use afd_sim::rng::SimRng;
+
+use crate::clock::Clock;
+use crate::error::TransportError;
+use crate::transport::Transport;
+
+/// What faults to inject, and when.
+///
+/// The default plan injects nothing; chain the builder methods to add
+/// faults. Loss and delay models are the `afd-sim` traits, so anything the
+/// simulator can model, the live runtime can suffer.
+pub struct FaultPlan {
+    loss: Option<Box<dyn LossModel + Send>>,
+    delay: Option<Box<dyn DelayModel + Send>>,
+    duplicate: f64,
+    corrupt: f64,
+    partitions: Vec<(Timestamp, Timestamp)>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("loss", &self.loss.is_some())
+            .field("delay", &self.delay.is_some())
+            .field("duplicate", &self.duplicate)
+            .field("corrupt", &self.corrupt)
+            .field("partitions", &self.partitions)
+            .finish()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            loss: None,
+            delay: None,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Drops frames per `model` (e.g. `BernoulliLoss`, `GilbertElliottLoss`).
+    pub fn with_loss(mut self, model: impl LossModel + Send + 'static) -> Self {
+        self.loss = Some(Box::new(model));
+        self
+    }
+
+    /// Delays frames per `model`; delayed frames may be overtaken
+    /// (reordering).
+    pub fn with_delay(mut self, model: impl DelayModel + Send + 'static) -> Self {
+        self.delay = Some(Box::new(model));
+        self
+    }
+
+    /// Duplicates each delivered frame with probability `p` (the copy gets
+    /// its own delay sample).
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Flips one random byte of a frame with probability `p`.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Drops *everything* received during `[from, to)` — a network
+    /// partition between the peers.
+    pub fn with_partition(mut self, from: Timestamp, to: Timestamp) -> Self {
+        self.partitions.push((from, to));
+        self
+    }
+
+    fn partitioned_at(&self, now: Timestamp) -> bool {
+        self.partitions.iter().any(|&(a, b)| now >= a && now < b)
+    }
+}
+
+/// Counters describing what the injector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames passed through to the consumer.
+    pub delivered: u64,
+    /// Frames dropped by the loss model.
+    pub dropped_loss: u64,
+    /// Frames dropped inside a partition window.
+    pub dropped_partition: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Frames with a flipped byte.
+    pub corrupted: u64,
+}
+
+struct Staged {
+    deliver_at: u64,
+    tie: u64,
+    frame: Vec<u8>,
+}
+
+impl PartialEq for Staged {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.tie == other.tie
+    }
+}
+impl Eq for Staged {}
+impl PartialOrd for Staged {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Staged {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert so the earliest delivery wins.
+        (other.deliver_at, other.tie).cmp(&(self.deliver_at, self.tie))
+    }
+}
+
+/// A [`Transport`] wrapper injecting a seeded fault schedule on receive.
+pub struct FaultInjector<T, C> {
+    inner: T,
+    clock: C,
+    plan: FaultPlan,
+    rng: SimRng,
+    staged: BinaryHeap<Staged>,
+    tie: u64,
+    stats: FaultStats,
+}
+
+impl<T, C> std::fmt::Debug for FaultInjector<T, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("staged", &self.staged.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Transport, C: Clock> FaultInjector<T, C> {
+    /// Wraps `inner`, applying `plan` with randomness seeded by `seed`.
+    pub fn new(inner: T, clock: C, plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            inner,
+            clock,
+            plan,
+            rng: SimRng::seed_from_u64(seed),
+            staged: BinaryHeap::new(),
+            tie: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// What the injector has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Frames currently held back waiting for their delivery time.
+    pub fn in_flight(&self) -> usize {
+        self.staged.len()
+    }
+
+    fn stage(&mut self, frame: Vec<u8>, now: Timestamp) {
+        if self.plan.partitioned_at(now) {
+            self.stats.dropped_partition += 1;
+            return;
+        }
+        if let Some(loss) = &mut self.plan.loss {
+            if loss.is_lost(&mut self.rng) {
+                self.stats.dropped_loss += 1;
+                return;
+            }
+        }
+        let copies = if self.plan.duplicate > 0.0 && self.rng.bernoulli(self.plan.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let deliver_at = match &mut self.plan.delay {
+                Some(delay) => now + delay.sample(&mut self.rng),
+                None => now,
+            };
+            let mut frame = frame.clone();
+            if self.plan.corrupt > 0.0 && self.rng.bernoulli(self.plan.corrupt) {
+                if !frame.is_empty() {
+                    let i = self.rng.index(frame.len());
+                    frame[i] ^= 0xFF;
+                }
+                self.stats.corrupted += 1;
+            }
+            self.tie += 1;
+            self.staged.push(Staged {
+                deliver_at: deliver_at.as_nanos(),
+                tie: self.tie,
+                frame,
+            });
+        }
+    }
+}
+
+impl<T: Transport, C: Clock> Transport for FaultInjector<T, C> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        // Faults are modeled on the receive path only; sends pass through.
+        self.inner.send(frame)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let now = self.clock.now();
+        // Pull everything the medium has and run it through the plan.
+        while let Some(frame) = self.inner.try_recv()? {
+            self.stage(frame, now);
+        }
+        // Surface the earliest staged frame whose time has come.
+        if let Some(next) = self.staged.peek() {
+            if next.deliver_at <= now.as_nanos() {
+                let staged = self.staged.pop().expect("peeked");
+                self.stats.delivered += 1;
+                return Ok(Some(staged.frame));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::transport::ChannelTransport;
+    use afd_core::time::Duration;
+    use afd_sim::delay::ConstantDelay;
+    use afd_sim::loss::BernoulliLoss;
+
+    fn rig(
+        plan: FaultPlan,
+        seed: u64,
+    ) -> (
+        ChannelTransport,
+        FaultInjector<ChannelTransport, VirtualClock>,
+        VirtualClock,
+    ) {
+        let (a, b) = ChannelTransport::pair();
+        let clock = VirtualClock::new();
+        let inj = FaultInjector::new(b, clock.clone(), plan, seed);
+        (a, inj, clock)
+    }
+
+    #[test]
+    fn clean_plan_passes_everything_through() {
+        let (mut tx, mut rx, _clock) = rig(FaultPlan::new(), 1);
+        for k in 0..10u8 {
+            tx.send(&[k]).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(f) = rx.try_recv().unwrap() {
+            got.push(f[0]);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+        assert_eq!(rx.stats().delivered, 10);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let (mut tx, mut rx, _clock) = rig(FaultPlan::new().with_loss(BernoulliLoss::new(1.0)), 2);
+        for _ in 0..50 {
+            tx.send(b"x").unwrap();
+        }
+        assert_eq!(rx.try_recv().unwrap(), None);
+        assert_eq!(rx.stats().dropped_loss, 50);
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let plan =
+            FaultPlan::new().with_partition(Timestamp::from_secs(10), Timestamp::from_secs(20));
+        let (mut tx, mut rx, clock) = rig(plan, 3);
+
+        clock.set(Timestamp::from_secs(5));
+        tx.send(b"before").unwrap();
+        assert!(rx.try_recv().unwrap().is_some());
+
+        clock.set(Timestamp::from_secs(15));
+        tx.send(b"inside").unwrap();
+        assert_eq!(rx.try_recv().unwrap(), None);
+
+        clock.set(Timestamp::from_secs(25));
+        tx.send(b"after").unwrap();
+        assert_eq!(rx.try_recv().unwrap(), Some(b"after".to_vec()));
+        assert_eq!(rx.stats().dropped_partition, 1);
+    }
+
+    #[test]
+    fn delay_holds_frames_until_due() {
+        let plan = FaultPlan::new().with_delay(ConstantDelay::new(Duration::from_secs(2)));
+        let (mut tx, mut rx, clock) = rig(plan, 4);
+        tx.send(b"slow").unwrap();
+        assert_eq!(rx.try_recv().unwrap(), None, "not due yet");
+        assert_eq!(rx.in_flight(), 1);
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(rx.try_recv().unwrap(), Some(b"slow".to_vec()));
+    }
+
+    #[test]
+    fn duplication_and_corruption_are_counted() {
+        let plan = FaultPlan::new().with_duplicate(1.0).with_corrupt(1.0);
+        let (mut tx, mut rx, _clock) = rig(plan, 5);
+        tx.send(&[0x00, 0x00]).unwrap();
+        let first = rx.try_recv().unwrap().expect("original");
+        let second = rx.try_recv().unwrap().expect("duplicate");
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 2);
+        // Corruption flips one byte of each copy.
+        assert!(first.contains(&0xFF));
+        assert!(second.contains(&0xFF));
+        let stats = rx.stats();
+        assert_eq!(stats.duplicated, 1);
+        assert_eq!(stats.corrupted, 2);
+        assert_eq!(stats.delivered, 2);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let (mut tx, mut rx, _clock) =
+                rig(FaultPlan::new().with_loss(BernoulliLoss::new(0.5)), seed);
+            for k in 0..100u8 {
+                tx.send(&[k]).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Some(f) = rx.try_recv().unwrap() {
+                got.push(f[0]);
+            }
+            got
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+}

@@ -1,0 +1,51 @@
+//! Live runtime for accrual failure detectors: Algorithm 4 over real
+//! transports, with fault injection and robustness machinery.
+//!
+//! Where `afd-sim` replays scripted heartbeat histories offline, this crate
+//! runs the monitor/monitored protocol of Défago et al. §5.1 *live*:
+//! threaded heartbeat senders push framed, checksummed heartbeats through a
+//! pluggable [`Transport`](transport::Transport) (in-process channels or
+//! UDP loopback), and a [`RuntimeMonitor`](monitor::RuntimeMonitor) drains
+//! them into the existing `MonitoringService` machinery.
+//!
+//! Robustness is the point, not an afterthought:
+//!
+//! - transport hiccups get bounded retry with exponential backoff and
+//!   jitter ([`retry`]), surfacing typed errors once the budget is spent;
+//! - a [`Watchdog`](supervisor::Watchdog) restarts wedged or dead monitor
+//!   threads ([`supervisor`]);
+//! - adaptive detectors behind
+//!   [`GracefulDegradation`](degrade::GracefulDegradation) fall back to
+//!   simple elapsed-time accrual when faults starve their sampling window,
+//!   without ever violating Accruement (Property 1);
+//! - the [`FaultInjector`](fault::FaultInjector) transport wrapper replays
+//!   seeded drop/duplicate/reorder/delay/corrupt/partition schedules so
+//!   every failure mode is exercised reproducibly, and the [`chaos`]
+//!   harness turns whole scenarios into deterministic virtual-time runs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chaos;
+pub mod clock;
+pub mod degrade;
+pub mod error;
+pub mod fault;
+pub mod monitor;
+pub mod retry;
+pub mod sender;
+pub mod supervisor;
+pub mod transport;
+pub mod wire;
+
+pub use chaos::{run_chaos, ChaosReport, ChaosScenario, DetectorTrio};
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use degrade::{DegradeConfig, GracefulDegradation};
+pub use error::{RuntimeError, TransportError};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use monitor::{MonitorStats, RuntimeMonitor};
+pub use retry::RetryPolicy;
+pub use sender::{spawn_sender, SenderConfig, SenderCore, SenderHandle};
+pub use supervisor::{SupervisedThread, Supervisor, Watchdog};
+pub use transport::{ChannelTransport, Transport, UdpTransport};
+pub use wire::{Heartbeat, WireError, FRAME_LEN};

@@ -1,0 +1,298 @@
+//! The receiving half of Algorithm 4, run live over a [`Transport`].
+//!
+//! [`RuntimeMonitor`] drains frames from a transport, decodes and
+//! validates them ([`Heartbeat::decode`] — corrupt frames are counted and
+//! dropped, never panicked on), filters stale and duplicate sequence
+//! numbers (Algorithm 4, lines 8–10), and feeds surviving arrivals into
+//! the existing [`MonitoringService`] so that everything built on the
+//! service — snapshots, ranking, interpreter banks — works unchanged over
+//! a live network.
+//!
+//! Every poll bumps a shared liveness counter that the
+//! [`supervisor`](crate::supervisor) watchdog observes; a wedged monitor
+//! loop is detected and restarted from outside.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::Timestamp;
+use afd_detectors::service::MonitoringService;
+
+use crate::clock::Clock;
+use crate::error::TransportError;
+use crate::transport::Transport;
+use crate::wire::Heartbeat;
+
+type DetectorFactory<D> = Box<dyn FnMut(ProcessId) -> D + Send>;
+
+/// Counters describing what the monitor has seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Valid, fresh heartbeats fed to detectors.
+    pub accepted: u64,
+    /// Frames that failed decoding (bad length, checksum, …).
+    pub corrupt: u64,
+    /// Valid frames whose sequence number was stale or duplicated.
+    pub stale: u64,
+    /// Valid frames from processes nobody watches.
+    pub unwatched: u64,
+}
+
+/// A live heartbeat monitor over a transport.
+pub struct RuntimeMonitor<T, C, D> {
+    transport: T,
+    clock: C,
+    service: MonitoringService<D, DetectorFactory<D>>,
+    highest_seq: BTreeMap<ProcessId, u64>,
+    stats: MonitorStats,
+    liveness: Arc<AtomicU64>,
+}
+
+impl<T, C, D> std::fmt::Debug for RuntimeMonitor<T, C, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeMonitor")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, C, D> RuntimeMonitor<T, C, D>
+where
+    T: Transport,
+    C: Clock,
+    D: AccrualFailureDetector,
+{
+    /// Creates a monitor that builds one detector per watched process.
+    ///
+    /// Compose resilience in the factory: e.g.
+    /// `|p| GracefulDegradation::new(PhiAccrual::with_defaults(), cfg)`
+    /// gives every watched process the starved-window fallback.
+    pub fn new(
+        transport: T,
+        clock: C,
+        factory: impl FnMut(ProcessId) -> D + Send + 'static,
+    ) -> Self {
+        RuntimeMonitor {
+            transport,
+            clock,
+            service: MonitoringService::new(Box::new(factory)),
+            highest_seq: BTreeMap::new(),
+            stats: MonitorStats::default(),
+            liveness: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Starts monitoring `process`.
+    pub fn watch(&mut self, process: ProcessId) -> bool {
+        self.service.watch(process)
+    }
+
+    /// Stops monitoring `process`.
+    pub fn unwatch(&mut self, process: ProcessId) -> Option<D> {
+        self.highest_seq.remove(&process);
+        self.service.unwatch(process)
+    }
+
+    /// Drains every available frame once; returns how many heartbeats were
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the transport itself failed; decode
+    /// failures and stale frames are absorbed into [`MonitorStats`].
+    pub fn poll(&mut self) -> Result<usize, TransportError> {
+        self.liveness.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now();
+        let mut accepted = 0;
+        while let Some(frame) = self.transport.try_recv()? {
+            match Heartbeat::decode(&frame) {
+                Ok(hb) => {
+                    if self.accept(hb, now) {
+                        accepted += 1;
+                    }
+                }
+                Err(_) => self.stats.corrupt += 1,
+            }
+        }
+        Ok(accepted)
+    }
+
+    fn accept(&mut self, hb: Heartbeat, now: Timestamp) -> bool {
+        // Algorithm 4, lines 8–10: only heartbeats fresher than the
+        // freshest seen so far update the detector. Duplicates and
+        // out-of-date (reordered) frames are dropped here, so detectors
+        // always see non-decreasing arrival times.
+        if let Some(&highest) = self.highest_seq.get(&hb.sender) {
+            if hb.seq <= highest {
+                self.stats.stale += 1;
+                return false;
+            }
+        }
+        if !self.service.heartbeat(hb.sender, now) {
+            self.stats.unwatched += 1;
+            return false;
+        }
+        self.highest_seq.insert(hb.sender, hb.seq);
+        self.stats.accepted += 1;
+        true
+    }
+
+    /// The suspicion level of `process` right now.
+    pub fn level(&mut self, process: ProcessId) -> Option<SuspicionLevel> {
+        let now = self.clock.now();
+        self.service.suspicion_level(process, now)
+    }
+
+    /// The full accrual snapshot `H(q, now)` of every watched process.
+    pub fn snapshot(&mut self) -> Vec<(ProcessId, SuspicionLevel)> {
+        let now = self.clock.now();
+        self.service.snapshot(now)
+    }
+
+    /// Direct access to the detector for `process`.
+    pub fn detector_mut(&mut self, process: ProcessId) -> Option<&mut D> {
+        self.service.detector_mut(process)
+    }
+
+    /// The underlying monitoring service.
+    pub fn service_mut(&mut self) -> &mut MonitoringService<D, DetectorFactory<D>> {
+        &mut self.service
+    }
+
+    /// The transport the monitor reads from (e.g. to inspect a
+    /// [`FaultInjector`](crate::fault::FaultInjector)'s statistics).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// The transport, mutably.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Intake counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// A handle to the liveness counter, bumped on every [`poll`](Self::poll).
+    /// Hand it to a [`Watchdog`](crate::supervisor::Watchdog).
+    pub fn liveness(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.liveness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::transport::ChannelTransport;
+    use afd_core::time::Duration;
+    use afd_detectors::simple::SimpleAccrual;
+
+    fn rig() -> (
+        ChannelTransport,
+        RuntimeMonitor<ChannelTransport, VirtualClock, SimpleAccrual>,
+        VirtualClock,
+    ) {
+        let (a, b) = ChannelTransport::pair();
+        let clock = VirtualClock::new();
+        let mon = RuntimeMonitor::new(b, clock.clone(), |_| SimpleAccrual::new(Timestamp::ZERO));
+        (a, mon, clock)
+    }
+
+    fn frame(sender: u32, seq: u64) -> Vec<u8> {
+        Heartbeat {
+            sender: ProcessId::new(sender),
+            seq,
+            sent_at: Timestamp::from_secs(seq),
+        }
+        .encode()
+        .to_vec()
+    }
+
+    #[test]
+    fn heartbeats_reach_the_service() {
+        let (mut tx, mut mon, clock) = rig();
+        let p = ProcessId::new(1);
+        mon.watch(p);
+        clock.set(Timestamp::from_secs(5));
+        tx.send(&frame(1, 1)).unwrap();
+        assert_eq!(mon.poll().unwrap(), 1);
+        // Level measures elapsed since the arrival the monitor recorded.
+        clock.set(Timestamp::from_secs(8));
+        assert_eq!(mon.level(p).unwrap().value(), 3.0);
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_not_panicked() {
+        let (mut tx, mut mon, _clock) = rig();
+        mon.watch(ProcessId::new(1));
+        tx.send(b"garbage").unwrap();
+        let mut bad = frame(1, 1);
+        bad[10] ^= 0xFF;
+        tx.send(&bad).unwrap();
+        assert_eq!(mon.poll().unwrap(), 0);
+        assert_eq!(mon.stats().corrupt, 2);
+    }
+
+    #[test]
+    fn stale_and_duplicate_sequences_are_filtered() {
+        let (mut tx, mut mon, clock) = rig();
+        let p = ProcessId::new(1);
+        mon.watch(p);
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(1, 5)).unwrap();
+        tx.send(&frame(1, 5)).unwrap(); // duplicate
+        tx.send(&frame(1, 3)).unwrap(); // reordered stale
+        tx.send(&frame(1, 6)).unwrap(); // fresh
+        assert_eq!(mon.poll().unwrap(), 2);
+        let s = mon.stats();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.stale, 2);
+    }
+
+    #[test]
+    fn unwatched_senders_are_ignored() {
+        let (mut tx, mut mon, _clock) = rig();
+        mon.watch(ProcessId::new(1));
+        tx.send(&frame(9, 1)).unwrap();
+        assert_eq!(mon.poll().unwrap(), 0);
+        assert_eq!(mon.stats().unwatched, 1);
+    }
+
+    #[test]
+    fn poll_bumps_liveness() {
+        let (_tx, mut mon, _clock) = rig();
+        let liveness = mon.liveness();
+        assert_eq!(liveness.load(Ordering::Relaxed), 0);
+        mon.poll().unwrap();
+        mon.poll().unwrap();
+        assert_eq!(liveness.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn disconnected_transport_surfaces_typed_error() {
+        let (tx, mut mon, _clock) = rig();
+        drop(tx);
+        assert_eq!(mon.poll(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn snapshot_spans_watched_processes() {
+        let (mut tx, mut mon, clock) = rig();
+        mon.watch(ProcessId::new(1));
+        mon.watch(ProcessId::new(2));
+        clock.set(Timestamp::from_secs(2));
+        tx.send(&frame(1, 1)).unwrap();
+        mon.poll().unwrap();
+        clock.advance(Duration::from_secs(1));
+        let snap = mon.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].1 < snap[1].1, "heartbeated process less suspected");
+    }
+}

@@ -1,0 +1,177 @@
+//! Bounded retry with exponential backoff and jitter.
+//!
+//! Transport faults are expected, not exceptional: the steady-state loop
+//! retries them a bounded number of times with exponentially growing,
+//! jittered pauses, and only then surfaces a typed
+//! [`RuntimeError::RetriesExhausted`]. Sleeping is delegated to the caller
+//! so the same policy runs against real time (`thread::sleep`) and against
+//! the chaos harness's virtual clock.
+
+use afd_core::time::Duration;
+use afd_sim::rng::SimRng;
+
+use crate::error::{RuntimeError, TransportError};
+
+/// A bounded exponential-backoff policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so 1 means "no retries").
+    pub max_attempts: u32,
+    /// Pause after the first failure; doubles per subsequent failure.
+    pub base_delay: Duration,
+    /// Cap on any single pause.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each pause is scaled by a factor drawn
+    /// uniformly from `[1 − jitter, 1 + jitter]`, decorrelating retry
+    /// storms across senders.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause after failed attempt number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> Duration {
+        let exp = self.base_delay.mul_f64(2f64.powi(attempt.min(30) as i32));
+        let capped = if exp > self.max_delay {
+            self.max_delay
+        } else {
+            exp
+        };
+        let factor = if self.jitter > 0.0 {
+            rng.uniform_in(1.0 - self.jitter, 1.0 + self.jitter)
+        } else {
+            1.0
+        };
+        capped.mul_f64(factor.max(0.0))
+    }
+
+    /// Runs `op` under this policy, pausing via `sleep` between failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RetriesExhausted`] with the final transport
+    /// error once the attempt budget is spent.
+    pub fn run<T>(
+        &self,
+        rng: &mut SimRng,
+        mut sleep: impl FnMut(Duration),
+        mut op: impl FnMut() -> Result<T, TransportError>,
+    ) -> Result<T, RuntimeError> {
+        let attempts = self.max_attempts.max(1);
+        let mut last = TransportError::Disconnected;
+        for attempt in 0..attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last = e;
+                    if attempt + 1 < attempts {
+                        sleep(self.backoff(attempt, rng));
+                    }
+                }
+            }
+        }
+        Err(RuntimeError::RetriesExhausted { attempts, last })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_without_sleeping_when_op_succeeds() {
+        let policy = RetryPolicy::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut slept = Vec::new();
+        let out = policy.run(&mut rng, |d| slept.push(d), || Ok::<_, TransportError>(7));
+        assert_eq!(out, Ok(7));
+        assert!(slept.is_empty());
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let policy = RetryPolicy::default();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut calls = 0;
+        let out = policy.run(
+            &mut rng,
+            |_| {},
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(TransportError::Io("flaky".into()))
+                } else {
+                    Ok(calls)
+                }
+            },
+        );
+        assert_eq!(out, Ok(3));
+    }
+
+    #[test]
+    fn exhaustion_surfaces_last_error_and_attempt_count() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut slept = Vec::new();
+        let out: Result<(), _> = policy.run(
+            &mut rng,
+            |d| slept.push(d),
+            || Err(TransportError::Io("down".into())),
+        );
+        assert_eq!(
+            out,
+            Err(RuntimeError::RetriesExhausted {
+                attempts: 4,
+                last: TransportError::Io("down".into()),
+            })
+        );
+        // One pause between each attempt, none after the last.
+        assert_eq!(slept.len(), 3);
+        // Pauses grow roughly exponentially despite jitter.
+        assert!(slept[2] > slept[0]);
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::seed_from_u64(4);
+        assert_eq!(policy.backoff(0, &mut rng), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2, &mut rng), Duration::from_millis(40));
+        assert_eq!(policy.backoff(5, &mut rng), Duration::from_millis(100));
+        assert_eq!(policy.backoff(29, &mut rng), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let policy = RetryPolicy {
+            jitter: 0.2,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(10),
+            max_attempts: 5,
+        };
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let d = policy.backoff(0, &mut rng).as_secs_f64();
+            assert!((0.08..=0.12).contains(&d), "jittered pause {d} out of band");
+        }
+    }
+}

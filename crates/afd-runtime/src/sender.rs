@@ -1,0 +1,364 @@
+//! The sending half of Algorithm 4: periodic heartbeats with retry,
+//! crash/recover controls, and a thread wrapper for live use.
+//!
+//! [`SenderCore`] is the pure stepping logic — given "now", decide whether
+//! a heartbeat is due and push it through the transport under a
+//! [`RetryPolicy`]. The chaos harness drives a core directly in virtual
+//! time; [`spawn_sender`] wraps one in a thread against the real clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use afd_core::process::ProcessId;
+use afd_core::time::{Duration, Timestamp};
+use afd_sim::rng::SimRng;
+
+use crate::clock::Clock;
+use crate::error::RuntimeError;
+use crate::retry::RetryPolicy;
+use crate::transport::Transport;
+use crate::wire::Heartbeat;
+
+/// Static configuration of a heartbeat sender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenderConfig {
+    /// The identity stamped on every heartbeat.
+    pub id: ProcessId,
+    /// Target heartbeat cadence (Algorithm 4's Δ_i).
+    pub interval: Duration,
+    /// Retry policy for transport send failures.
+    pub retry: RetryPolicy,
+}
+
+impl SenderConfig {
+    /// A sender for `id` at `interval`, with the default retry policy.
+    pub fn new(id: ProcessId, interval: Duration) -> Self {
+        SenderConfig {
+            id,
+            interval,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// The deterministic heartbeat-sending state machine.
+#[derive(Debug)]
+pub struct SenderCore {
+    config: SenderConfig,
+    seq: u64,
+    next_due: Timestamp,
+    crashed: bool,
+    rng: SimRng,
+}
+
+impl SenderCore {
+    /// Creates a sender whose first heartbeat is due at `start`.
+    ///
+    /// `seed` drives retry-backoff jitter only.
+    pub fn new(config: SenderConfig, start: Timestamp, seed: u64) -> Self {
+        SenderCore {
+            config,
+            seq: 0,
+            next_due: start,
+            crashed: false,
+            rng: SimRng::derive(seed, u64::from(config.id.as_u32())),
+        }
+    }
+
+    /// Simulates a process crash: no heartbeats until
+    /// [`recover`](Self::recover).
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// Recovers from a crash; the next heartbeat is due immediately.
+    pub fn recover(&mut self, now: Timestamp) {
+        self.crashed = false;
+        self.next_due = now;
+    }
+
+    /// `true` while crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Heartbeats sent so far.
+    pub fn sent(&self) -> u64 {
+        self.seq
+    }
+
+    /// Sends a heartbeat if one is due at `now`; returns whether one was
+    /// sent. Pauses between retries are delegated to `sleep` so callers
+    /// choose real or virtual waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RetriesExhausted`] if the transport kept
+    /// failing through the whole retry budget. The heartbeat is then
+    /// dropped (the next one is still scheduled): heartbeats are
+    /// best-effort, and the monitor side accrues suspicion on its own.
+    pub fn poll<T: Transport>(
+        &mut self,
+        now: Timestamp,
+        transport: &mut T,
+        sleep: impl FnMut(Duration),
+    ) -> Result<bool, RuntimeError> {
+        if self.crashed || now < self.next_due {
+            return Ok(false);
+        }
+        // Schedule the next beat first so a failed send cannot wedge the
+        // cadence; skip any intervals already missed.
+        while self.next_due <= now {
+            self.next_due += self.config.interval;
+        }
+        self.seq += 1;
+        let frame = Heartbeat {
+            sender: self.config.id,
+            seq: self.seq,
+            sent_at: now,
+        }
+        .encode();
+        self.config
+            .retry
+            .run(&mut self.rng, sleep, || transport.send(&frame))?;
+        Ok(true)
+    }
+}
+
+/// Shared crash/stop switches for a threaded sender.
+#[derive(Debug, Default)]
+struct SenderCtrl {
+    crashed: AtomicBool,
+    stopped: AtomicBool,
+}
+
+/// A handle to a heartbeat sender running on its own thread.
+#[derive(Debug)]
+pub struct SenderHandle {
+    ctrl: Arc<SenderCtrl>,
+    handle: Option<JoinHandle<Result<(), RuntimeError>>>,
+}
+
+impl SenderHandle {
+    /// Simulates a crash of the monitored process.
+    pub fn crash(&self) {
+        self.ctrl.crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Recovers the monitored process.
+    pub fn recover(&self) {
+        self.ctrl.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Stops the thread and returns its final result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the thread's terminal [`RuntimeError`], or reports
+    /// [`RuntimeError::ThreadFailed`] if it panicked.
+    pub fn stop(mut self) -> Result<(), RuntimeError> {
+        self.ctrl.stopped.store(true, Ordering::SeqCst);
+        match self.handle.take().expect("not yet joined").join() {
+            Ok(result) => result,
+            Err(_) => Err(RuntimeError::ThreadFailed {
+                component: "sender",
+            }),
+        }
+    }
+}
+
+/// Spawns a heartbeat sender thread over `transport`.
+///
+/// The thread beats at `config.interval` until [`SenderHandle::stop`],
+/// simulating crashes while [`SenderHandle::crash`] is in effect. A send
+/// that exhausts its retry budget terminates the thread with the typed
+/// error (surfaced by `stop`).
+pub fn spawn_sender<T, C>(
+    mut transport: T,
+    clock: C,
+    config: SenderConfig,
+    seed: u64,
+) -> SenderHandle
+where
+    T: Transport + 'static,
+    C: Clock + 'static,
+{
+    let ctrl = Arc::new(SenderCtrl::default());
+    let thread_ctrl = Arc::clone(&ctrl);
+    let handle = std::thread::spawn(move || {
+        let mut core = SenderCore::new(config, clock.now(), seed);
+        // Poll a few times per interval; sleeping the whole interval would
+        // make crash/recover and stop reaction times sloppy.
+        let nap = std::time::Duration::from_nanos((config.interval.as_nanos() / 8).max(100_000));
+        loop {
+            if thread_ctrl.stopped.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let crashed = thread_ctrl.crashed.load(Ordering::SeqCst);
+            if crashed && !core.is_crashed() {
+                core.crash();
+            } else if !crashed && core.is_crashed() {
+                core.recover(clock.now());
+            }
+            core.poll(clock.now(), &mut transport, |d| {
+                std::thread::sleep(std::time::Duration::from_nanos(d.as_nanos()))
+            })?;
+            std::thread::sleep(nap);
+        }
+    });
+    SenderHandle {
+        ctrl,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SystemClock, VirtualClock};
+    use crate::error::TransportError;
+    use crate::transport::ChannelTransport;
+    use crate::wire::Heartbeat;
+
+    fn config() -> SenderConfig {
+        SenderConfig::new(ProcessId::new(1), Duration::from_secs(1))
+    }
+
+    #[test]
+    fn beats_on_schedule_in_virtual_time() {
+        let (mut side_a, mut side_b) = ChannelTransport::pair();
+        let mut core = SenderCore::new(config(), Timestamp::ZERO, 1);
+        for s in 0..10u64 {
+            let sent = core
+                .poll(Timestamp::from_secs(s), &mut side_a, |_| {})
+                .unwrap();
+            assert!(sent, "beat due at t={s}");
+        }
+        assert_eq!(core.sent(), 10);
+        let mut seqs = Vec::new();
+        while let Ok(Some(f)) = side_b.try_recv() {
+            seqs.push(Heartbeat::decode(&f).unwrap().seq);
+        }
+        assert_eq!(seqs, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn nothing_sent_while_crashed_then_resumes() {
+        let (mut side_a, mut side_b) = ChannelTransport::pair();
+        let mut core = SenderCore::new(config(), Timestamp::ZERO, 1);
+        core.poll(Timestamp::ZERO, &mut side_a, |_| {}).unwrap();
+        core.crash();
+        for s in 1..5u64 {
+            let sent = core
+                .poll(Timestamp::from_secs(s), &mut side_a, |_| {})
+                .unwrap();
+            assert!(!sent, "crashed sender must stay silent");
+        }
+        core.recover(Timestamp::from_secs(5));
+        assert!(core
+            .poll(Timestamp::from_secs(5), &mut side_a, |_| {})
+            .unwrap());
+        let mut count = 0;
+        while let Ok(Some(_)) = side_b.try_recv() {
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn missed_intervals_do_not_burst() {
+        let (mut side_a, mut side_b) = ChannelTransport::pair();
+        let mut core = SenderCore::new(config(), Timestamp::ZERO, 1);
+        // Wake up very late: exactly one beat goes out, not a backlog.
+        assert!(core
+            .poll(Timestamp::from_secs(100), &mut side_a, |_| {})
+            .unwrap());
+        assert!(!core
+            .poll(Timestamp::from_secs(100), &mut side_a, |_| {})
+            .unwrap());
+        let mut count = 0;
+        while let Ok(Some(_)) = side_b.try_recv() {
+            count += 1;
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn dead_transport_exhausts_retries_into_typed_error() {
+        let (side_a, side_b) = ChannelTransport::pair();
+        drop(side_b);
+        let mut side_a = side_a;
+        let mut core = SenderCore::new(config(), Timestamp::ZERO, 1);
+        let mut pauses = 0;
+        let err = core
+            .poll(Timestamp::ZERO, &mut side_a, |_| pauses += 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::RetriesExhausted {
+                attempts: 5,
+                last: TransportError::Disconnected,
+            }
+        );
+        assert_eq!(pauses, 4, "one backoff pause between each attempt");
+    }
+
+    #[test]
+    fn threaded_sender_beats_and_stops_cleanly() {
+        let (side_a, mut side_b) = ChannelTransport::pair();
+        let cfg = SenderConfig::new(ProcessId::new(3), Duration::from_millis(10));
+        let handle = spawn_sender(side_a, SystemClock::new(), cfg, 7);
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        handle.stop().expect("clean shutdown");
+        let mut count = 0;
+        while let Ok(Some(f)) = side_b.try_recv() {
+            let hb = Heartbeat::decode(&f).unwrap();
+            assert_eq!(hb.sender, ProcessId::new(3));
+            count += 1;
+        }
+        assert!(count >= 3, "expected several beats in 80 ms, got {count}");
+    }
+
+    #[test]
+    fn threaded_crash_recover_cycle() {
+        let (side_a, mut side_b) = ChannelTransport::pair();
+        let cfg = SenderConfig::new(ProcessId::new(4), Duration::from_millis(5));
+        let handle = spawn_sender(side_a, SystemClock::new(), cfg, 8);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        handle.crash();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Drain what was sent before/at the crash.
+        let mut before = 0;
+        while let Ok(Some(_)) = side_b.try_recv() {
+            before += 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let mut during = 0;
+        while let Ok(Some(_)) = side_b.try_recv() {
+            during += 1;
+        }
+        assert_eq!(during, 0, "no beats while crashed");
+        handle.recover();
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        handle.stop().expect("clean shutdown");
+        let mut after = 0;
+        while let Ok(Some(_)) = side_b.try_recv() {
+            after += 1;
+        }
+        assert!(before >= 1);
+        assert!(after >= 1, "beats must resume after recovery");
+    }
+
+    #[test]
+    fn virtual_clock_works_with_threaded_sender_api() {
+        // Not a timing test — just proves the clock abstraction composes.
+        let (side_a, _side_b) = ChannelTransport::pair();
+        let clock = VirtualClock::new();
+        let cfg = SenderConfig::new(ProcessId::new(5), Duration::from_millis(50));
+        let handle = spawn_sender(side_a, clock.clone(), cfg, 9);
+        clock.advance(Duration::from_millis(200));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        handle.stop().expect("clean shutdown");
+    }
+}

@@ -1,0 +1,207 @@
+//! Watchdog supervision for monitor threads.
+//!
+//! A monitoring loop that silently wedges is worse than one that dies: the
+//! detectors' levels freeze and every application above trusts a corpse.
+//! [`Watchdog`] is the pure stall-detection logic — it observes a liveness
+//! counter (bumped by [`RuntimeMonitor::poll`](crate::monitor::RuntimeMonitor::poll))
+//! and flags a loop whose counter stops moving. [`Supervisor`] owns a
+//! respawnable thread and uses a watchdog plus thread-exit detection to
+//! restart it, counting restarts so operators can see the churn.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use afd_core::time::{Duration, Timestamp};
+
+/// Pure stall detection over a monotone liveness counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    stall_after: Duration,
+    last_tick: u64,
+    last_progress: Timestamp,
+}
+
+impl Watchdog {
+    /// Creates a watchdog that calls a loop stalled once its counter has
+    /// not moved for `stall_after`.
+    pub fn new(stall_after: Duration, now: Timestamp) -> Self {
+        Watchdog {
+            stall_after,
+            last_tick: 0,
+            last_progress: now,
+        }
+    }
+
+    /// Feeds one observation; returns `true` while the loop counts as
+    /// alive.
+    pub fn observe(&mut self, tick: u64, now: Timestamp) -> bool {
+        if tick != self.last_tick {
+            self.last_tick = tick;
+            self.last_progress = now;
+            return true;
+        }
+        now.saturating_duration_since(self.last_progress) < self.stall_after
+    }
+}
+
+/// What a supervised spawn hands back to its [`Supervisor`].
+#[derive(Debug)]
+pub struct SupervisedThread {
+    /// Counter the thread bumps every loop iteration.
+    pub liveness: Arc<AtomicU64>,
+    /// Cooperative stop switch the thread honors.
+    pub stop: Arc<AtomicBool>,
+    /// The thread itself.
+    pub handle: JoinHandle<()>,
+}
+
+/// Restarts a worker thread when it dies or stalls.
+pub struct Supervisor {
+    spawn: Box<dyn FnMut() -> SupervisedThread + Send>,
+    current: SupervisedThread,
+    watchdog: Watchdog,
+    epoch: Instant,
+    stall_after: Duration,
+    restarts: u64,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("restarts", &self.restarts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Supervisor {
+    /// Spawns the first worker via `spawn` and supervises it.
+    pub fn new(
+        mut spawn: impl FnMut() -> SupervisedThread + Send + 'static,
+        stall_after: Duration,
+    ) -> Self {
+        let current = spawn();
+        let epoch = Instant::now();
+        Supervisor {
+            spawn: Box::new(spawn),
+            current,
+            watchdog: Watchdog::new(stall_after, Timestamp::ZERO),
+            epoch,
+            stall_after,
+            restarts: 0,
+        }
+    }
+
+    fn now(&self) -> Timestamp {
+        Timestamp::from_nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// Checks the worker once; call this periodically. Returns `true` if a
+    /// restart happened.
+    pub fn tick(&mut self) -> bool {
+        let now = self.now();
+        let tick = self.current.liveness.load(Ordering::Relaxed);
+        let dead = self.current.handle.is_finished();
+        let stalled = !self.watchdog.observe(tick, now);
+        if !(dead || stalled) {
+            return false;
+        }
+        // Ask the old thread to stop (a stalled-but-running loop may yet
+        // honor it), then replace it. The old handle is dropped, detaching
+        // the thread; a truly wedged one cannot be force-killed, only
+        // superseded.
+        self.current.stop.store(true, Ordering::SeqCst);
+        self.current = (self.spawn)();
+        self.watchdog = Watchdog::new(self.stall_after, self.now());
+        self.restarts += 1;
+        true
+    }
+
+    /// How many times the worker was restarted.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Stops the current worker and joins it.
+    pub fn shutdown(self) {
+        self.current.stop.store(true, Ordering::SeqCst);
+        let _ = self.current.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn watchdog_tracks_progress() {
+        let mut w = Watchdog::new(Duration::from_secs(5), ts(0));
+        assert!(w.observe(1, ts(1)));
+        assert!(w.observe(2, ts(4)));
+        // No progress, but within the stall budget.
+        assert!(w.observe(2, ts(8)));
+        // 5 s with no movement: stalled.
+        assert!(!w.observe(2, ts(9)));
+        // Movement resurrects it.
+        assert!(w.observe(3, ts(10)));
+    }
+
+    fn looping_thread(iterations: Option<u64>) -> SupervisedThread {
+        let liveness = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_liveness = Arc::clone(&liveness);
+        let t_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut n = 0u64;
+            loop {
+                if t_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(limit) = iterations {
+                    if n >= limit {
+                        return; // simulated death
+                    }
+                }
+                n += 1;
+                t_liveness.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        SupervisedThread {
+            liveness,
+            stop,
+            handle,
+        }
+    }
+
+    #[test]
+    fn healthy_worker_is_left_alone() {
+        let mut sup = Supervisor::new(|| looping_thread(None), Duration::from_secs(5));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!sup.tick());
+        assert_eq!(sup.restarts(), 0);
+        sup.shutdown();
+    }
+
+    #[test]
+    fn dead_worker_is_restarted() {
+        let mut sup = Supervisor::new(|| looping_thread(Some(3)), Duration::from_secs(60));
+        // Wait for the worker to run off the end of its 3 iterations.
+        let mut restarted = false;
+        for _ in 0..200 {
+            if sup.tick() {
+                restarted = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(restarted, "supervisor never noticed the dead worker");
+        assert_eq!(sup.restarts(), 1);
+        sup.shutdown();
+    }
+}

@@ -1,0 +1,223 @@
+//! Pluggable heartbeat transports.
+//!
+//! A [`Transport`] moves opaque frames between a heartbeat sender and a
+//! monitor. Two implementations ship: [`ChannelTransport`] (in-process
+//! `mpsc`, used by the deterministic chaos harness and by same-process
+//! deployments) and [`UdpTransport`] (a non-blocking `std::net::UdpSocket`,
+//! the paper's actual deployment medium — heartbeats tolerate loss, so UDP
+//! is the right fit).
+//!
+//! Both are polling transports: `try_recv` never blocks, which lets one
+//! loop service the transport, the detectors, and the watchdog tick
+//! without extra threads.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+
+use crate::error::TransportError;
+
+/// A bidirectional, unreliable, frame-oriented transport.
+pub trait Transport: Send {
+    /// Sends one frame toward the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the frame could not be handed to the
+    /// medium. An `Ok` is *not* a delivery guarantee — the medium may still
+    /// lose the frame, which is exactly what failure detectors exist for.
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Receives one pending frame, if any, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the medium itself failed (as opposed
+    /// to simply having nothing to deliver).
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        (**self).send(frame)
+    }
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        (**self).try_recv()
+    }
+}
+
+/// An in-process transport over a pair of crossed `mpsc` channels.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl ChannelTransport {
+    /// Creates two connected endpoints: what one sends, the other receives.
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (a_tx, b_rx) = mpsc::channel();
+        let (b_tx, a_rx) = mpsc::channel();
+        (
+            ChannelTransport { tx: a_tx, rx: a_rx },
+            ChannelTransport { tx: b_tx, rx: b_rx },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+/// Maximum datagram size accepted by [`UdpTransport`].
+pub const MAX_DATAGRAM: usize = 1024;
+
+/// A non-blocking UDP transport between two socket addresses.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peer: SocketAddr,
+}
+
+impl UdpTransport {
+    /// Binds `local` and directs sends at `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the socket cannot be bound or put into
+    /// non-blocking mode.
+    pub fn bind(local: SocketAddr, peer: SocketAddr) -> Result<Self, TransportError> {
+        let socket = UdpSocket::bind(local)?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpTransport { socket, peer })
+    }
+
+    /// Creates two connected endpoints on loopback with OS-chosen ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if loopback sockets cannot be created.
+    pub fn loopback_pair() -> Result<(UdpTransport, UdpTransport), TransportError> {
+        let any: SocketAddr = "127.0.0.1:0".parse().expect("static loopback addr");
+        let a = UdpSocket::bind(any)?;
+        let b = UdpSocket::bind(any)?;
+        a.set_nonblocking(true)?;
+        b.set_nonblocking(true)?;
+        let a_addr = a.local_addr()?;
+        let b_addr = b.local_addr()?;
+        Ok((
+            UdpTransport {
+                socket: a,
+                peer: b_addr,
+            },
+            UdpTransport {
+                socket: b,
+                peer: a_addr,
+            },
+        ))
+    }
+
+    /// The local socket address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the OS cannot report the address.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.socket.local_addr()?)
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        match self.socket.send_to(frame, self.peer) {
+            Ok(_) => Ok(()),
+            // A full send buffer is a transient fault: report it as an I/O
+            // error and let the retry layer back off.
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut buf = [0u8; MAX_DATAGRAM];
+        loop {
+            return match self.socket.recv_from(&mut buf) {
+                Ok((n, from)) => {
+                    // Datagrams from strangers are noise, not heartbeats.
+                    if from != self.peer {
+                        continue;
+                    }
+                    Ok(Some(buf[..n].to_vec()))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                // A prior send to an unbound peer can surface here as
+                // ECONNREFUSED; the peer being down is the detector's
+                // business, not a transport failure.
+                Err(e) if e.kind() == ErrorKind::ConnectionRefused => Ok(None),
+                Err(e) => Err(e.into()),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_delivers_both_ways() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        a.send(b"ping").unwrap();
+        b.send(b"pong").unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(b"ping".to_vec()));
+        assert_eq!(a.try_recv().unwrap(), Some(b"pong".to_vec()));
+        assert_eq!(a.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn channel_disconnect_is_typed() {
+        let (mut a, b) = ChannelTransport::pair();
+        drop(b);
+        assert_eq!(a.send(b"x"), Err(TransportError::Disconnected));
+        assert_eq!(a.try_recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn udp_loopback_roundtrip() {
+        let (mut a, mut b) = UdpTransport::loopback_pair().expect("loopback sockets");
+        a.send(b"heartbeat").unwrap();
+        // Loopback delivery is fast but asynchronous; poll briefly.
+        let mut got = None;
+        for _ in 0..200 {
+            if let Some(frame) = b.try_recv().unwrap() {
+                got = Some(frame);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, Some(b"heartbeat".to_vec()));
+        assert_eq!(b.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn udp_ignores_frames_from_strangers() {
+        let (_a, mut b) = UdpTransport::loopback_pair().expect("loopback sockets");
+        let stranger = UdpSocket::bind("127.0.0.1:0").unwrap();
+        stranger
+            .send_to(b"mallory", b.local_addr().unwrap())
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(b.try_recv().unwrap(), None);
+    }
+}

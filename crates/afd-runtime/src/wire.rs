@@ -1,0 +1,164 @@
+//! The heartbeat wire format.
+//!
+//! A fixed 28-byte frame with an FNV-1a checksum, so that a corrupted
+//! datagram is *detected and dropped* instead of poisoning a detector's
+//! inter-arrival window. The format carries everything Algorithm 4 needs:
+//! who sent the heartbeat, its sequence number (for the stale-heartbeat
+//! filter of lines 8–10), and the sender-side send time.
+
+use std::error::Error;
+use std::fmt;
+
+use afd_core::process::ProcessId;
+use afd_core::time::Timestamp;
+
+/// Frame length in bytes: magic(2) + version(1) + kind(1) + sender(4) +
+/// seq(8) + sent_at(8) + checksum(4).
+pub const FRAME_LEN: usize = 28;
+
+const MAGIC: [u8; 2] = *b"AF";
+const VERSION: u8 = 1;
+const KIND_HEARTBEAT: u8 = 0;
+
+/// One heartbeat message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The sending (monitored) process.
+    pub sender: ProcessId,
+    /// Monotone per-sender sequence number.
+    pub seq: u64,
+    /// Send time on the sender's clock.
+    pub sent_at: Timestamp,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame is not exactly [`FRAME_LEN`] bytes.
+    BadLength(usize),
+    /// The magic bytes are wrong (not a heartbeat frame at all).
+    BadMagic,
+    /// The version byte is unknown.
+    BadVersion(u8),
+    /// The message-kind byte is unknown.
+    BadKind(u8),
+    /// The checksum does not match the payload (bit corruption).
+    ChecksumMismatch,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadLength(n) => write!(f, "frame is {n} bytes, expected {FRAME_LEN}"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unknown frame version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// FNV-1a over `bytes`, truncated to 32 bits.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash ^ (hash >> 32)) as u32
+}
+
+impl Heartbeat {
+    /// Encodes the heartbeat into its fixed-size frame.
+    pub fn encode(&self) -> [u8; FRAME_LEN] {
+        let mut buf = [0u8; FRAME_LEN];
+        buf[0..2].copy_from_slice(&MAGIC);
+        buf[2] = VERSION;
+        buf[3] = KIND_HEARTBEAT;
+        buf[4..8].copy_from_slice(&self.sender.as_u32().to_le_bytes());
+        buf[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.sent_at.as_nanos().to_le_bytes());
+        let sum = fnv1a(&buf[..24]);
+        buf[24..28].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a frame, verifying structure and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the frame is malformed or corrupted.
+    pub fn decode(frame: &[u8]) -> Result<Heartbeat, WireError> {
+        if frame.len() != FRAME_LEN {
+            return Err(WireError::BadLength(frame.len()));
+        }
+        if frame[0..2] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if frame[2] != VERSION {
+            return Err(WireError::BadVersion(frame[2]));
+        }
+        if frame[3] != KIND_HEARTBEAT {
+            return Err(WireError::BadKind(frame[3]));
+        }
+        let expected = u32::from_le_bytes(frame[24..28].try_into().expect("4 bytes"));
+        if fnv1a(&frame[..24]) != expected {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let sender = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+        let nanos = u64::from_le_bytes(frame[16..24].try_into().expect("8 bytes"));
+        Ok(Heartbeat {
+            sender: ProcessId::new(sender),
+            seq,
+            sent_at: Timestamp::from_nanos(nanos),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb() -> Heartbeat {
+        Heartbeat {
+            sender: ProcessId::new(7),
+            seq: 42,
+            sent_at: Timestamp::from_millis(1234),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let frame = hb().encode();
+        assert_eq!(Heartbeat::decode(&frame), Ok(hb()));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let frame = hb().encode();
+        for i in 0..FRAME_LEN {
+            for bit in 0..8 {
+                let mut bad = frame;
+                bad[i] ^= 1 << bit;
+                assert!(
+                    Heartbeat::decode(&bad).is_err(),
+                    "flip of byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_distinguished() {
+        assert_eq!(Heartbeat::decode(&[0u8; 5]), Err(WireError::BadLength(5)));
+        let mut f = hb().encode();
+        f[0] = b'X';
+        assert_eq!(Heartbeat::decode(&f), Err(WireError::BadMagic));
+        let mut f = hb().encode();
+        f[2] = 9;
+        assert_eq!(Heartbeat::decode(&f), Err(WireError::BadVersion(9)));
+    }
+}

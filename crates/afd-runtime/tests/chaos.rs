@@ -1,0 +1,120 @@
+//! The acceptance chaos scenario from the robustness issue: a 10 s
+//! partition that heals, 20 % burst loss throughout, one crash/recover
+//! cycle, and a final crash — run deterministically in virtual time, twice,
+//! with the paper's property checkers applied to every detector's timeline.
+
+use afd_core::properties::{check_upper_bound, AccruementCheck};
+use afd_core::time::{Duration, Timestamp};
+use afd_runtime::{run_chaos, ChaosScenario};
+
+/// Gilbert–Elliott bursts with mean length 4 and burst-start probability
+/// 1/16 have stationary loss 0.0625 / (0.0625 + 0.25) = 20 %.
+const BURST_START: f64 = 0.0625;
+const MEAN_BURST_LEN: f64 = 4.0;
+
+fn acceptance_scenario() -> ChaosScenario {
+    let mut s = ChaosScenario::new(Duration::from_secs(120));
+    s.burst_loss = Some((BURST_START, MEAN_BURST_LEN));
+    // Partition for 10 s, then heal.
+    s.partitions
+        .push((Timestamp::from_secs(20), Timestamp::from_secs(30)));
+    // One crash/recover cycle…
+    s.crashes
+        .push((Timestamp::from_secs(50), Some(Timestamp::from_secs(60))));
+    // …and a final crash so the run ends with a faulty process, giving
+    // Accruement a suffix to quantify over.
+    s.crashes.push((Timestamp::from_secs(90), None));
+    s
+}
+
+#[test]
+fn acceptance_scenario_is_deterministic() {
+    let scenario = acceptance_scenario();
+    let a = run_chaos(&scenario, 7);
+    let b = run_chaos(&scenario, 7);
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "same scenario + seed must replay the exact suspicion timeline"
+    );
+    assert_eq!(a.heartbeats_sent, b.heartbeats_sent);
+    assert_eq!(a.monitor_stats, b.monitor_stats);
+    assert_eq!(a.fault_stats, b.fault_stats);
+    assert_eq!(a.degrade_events, b.degrade_events);
+}
+
+#[test]
+fn acceptance_scenario_satisfies_accruement_and_upper_bound() {
+    let report = run_chaos(&acceptance_scenario(), 7);
+
+    // The faults actually happened.
+    assert!(report.fault_stats.dropped_partition > 0, "partition inert");
+    assert!(report.fault_stats.dropped_loss > 0, "burst loss inert");
+    assert!(report.monitor_stats.accepted > 0, "no heartbeat survived");
+    assert!(
+        report.degrade_events > 0,
+        "starvation fallback never engaged"
+    );
+    assert_eq!(report.transport_errors, 0, "in-process transport failed");
+
+    let check = AccruementCheck {
+        epsilon: 1e-6,
+        min_increases: 10,
+        min_suffix_fraction: 0.2,
+    };
+    for (name, trace) in report.traces() {
+        // Property 1 on the post-crash suffix: the level stabilizes into a
+        // monotone climb with regular strict increases.
+        let witness = check
+            .run(trace)
+            .unwrap_or_else(|e| panic!("{name}: Accruement violated: {e}"));
+        assert!(
+            witness.strict_increases >= 10,
+            "{name}: suffix too flat ({} increases)",
+            witness.strict_increases
+        );
+        // Property 2's finite-trace form: every emitted level is finite —
+        // partitions, loss bursts, and the degradation fallback never push
+        // any detector to an infinite level.
+        let bound = check_upper_bound(trace, None)
+            .unwrap_or_else(|e| panic!("{name}: Upper Bound violated: {e}"));
+        assert!(bound.observed_bound.value() > 0.0);
+    }
+}
+
+#[test]
+fn healed_faults_leave_a_correct_process_trusted() {
+    // Same faults, but the process recovers and stays up: by the end of the
+    // run every detector should have calmed down again.
+    let mut scenario = acceptance_scenario();
+    scenario.crashes.pop();
+    let report = run_chaos(&scenario, 7);
+    for (name, trace) in report.traces() {
+        check_upper_bound(trace, None)
+            .unwrap_or_else(|e| panic!("{name}: Upper Bound violated: {e}"));
+        let last = trace.samples().last().unwrap();
+        let max = trace.max_level().unwrap();
+        assert!(
+            last.level.value() < max.value() / 2.0,
+            "{name}: level never recovered after faults healed \
+             (last {}, peak {})",
+            last.level,
+            max
+        );
+    }
+}
+
+#[test]
+fn different_seeds_explore_different_schedules() {
+    let scenario = acceptance_scenario();
+    let a = run_chaos(&scenario, 1);
+    let b = run_chaos(&scenario, 2);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+    // But the structural outcome is seed-independent: faults fire and the
+    // protocol survives them.
+    for r in [&a, &b] {
+        assert!(r.fault_stats.dropped_loss > 0);
+        assert!(r.monitor_stats.accepted > 0);
+        assert_eq!(r.transport_errors, 0);
+    }
+}

@@ -119,7 +119,10 @@ mod tests {
         let mut r = rng();
         for s in 0..10u64 {
             let sent = Timestamp::from_secs(s);
-            assert_eq!(ch.transmit(sent, &mut r), Some(sent + Duration::from_millis(5)));
+            assert_eq!(
+                ch.transmit(sent, &mut r),
+                Some(sent + Duration::from_millis(5))
+            );
         }
     }
 
@@ -139,11 +142,7 @@ mod tests {
 
     #[test]
     fn pre_gst_chaos_vanishes_after_gst() {
-        let ps = PartialSynchrony::new(
-            Timestamp::from_secs(100),
-            Duration::from_secs(5),
-            0.5,
-        );
+        let ps = PartialSynchrony::new(Timestamp::from_secs(100), Duration::from_secs(5), 0.5);
         let mut ch = Channel::new(ConstantDelay::new(Duration::from_millis(10)), NoLoss)
             .with_partial_synchrony(ps);
         let mut r = rng();
@@ -160,11 +159,17 @@ mod tests {
             }
         }
         assert!(lost > 800, "pre-GST loss should be ~50%, saw {lost}/2000");
-        assert!(max_delay > Duration::from_secs(1), "expected inflated delays");
+        assert!(
+            max_delay > Duration::from_secs(1),
+            "expected inflated delays"
+        );
 
         // After GST: deterministic again.
         let sent = Timestamp::from_secs(100);
-        assert_eq!(ch.transmit(sent, &mut r), Some(sent + Duration::from_millis(10)));
+        assert_eq!(
+            ch.transmit(sent, &mut r),
+            Some(sent + Duration::from_millis(10))
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use afd_core::time::Duration;
 
+use crate::error::ModelError;
 use crate::rng::SimRng;
 
 /// A model of per-message network transmission delay.
@@ -57,10 +58,19 @@ impl UniformDelay {
     ///
     /// # Panics
     ///
-    /// Panics if `min > max`.
+    /// Panics if `min > max`; use [`try_new`](Self::try_new) to handle that
+    /// as a value instead.
     pub fn new(min: Duration, max: Duration) -> Self {
-        assert!(min <= max, "uniform delay needs min ≤ max");
-        UniformDelay { min, max }
+        Self::try_new(min, max).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a uniform-delay model, rejecting an inverted range with a
+    /// typed error.
+    pub fn try_new(min: Duration, max: Duration) -> Result<Self, ModelError> {
+        if min > max {
+            return Err(ModelError::InvertedDelayRange { min, max });
+        }
+        Ok(UniformDelay { min, max })
     }
 }
 
@@ -85,10 +95,19 @@ impl NormalDelay {
     ///
     /// # Panics
     ///
-    /// Panics if `floor > mean` (the truncation would dominate the shape).
+    /// Panics if `floor > mean` (the truncation would dominate the shape);
+    /// use [`try_new`](Self::try_new) to handle that as a value instead.
     pub fn new(mean: Duration, std: Duration, floor: Duration) -> Self {
-        assert!(floor <= mean, "delay floor must not exceed the mean");
-        NormalDelay { mean, std, floor }
+        Self::try_new(mean, std, floor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a truncated-normal delay model, rejecting a floor above the
+    /// mean with a typed error.
+    pub fn try_new(mean: Duration, std: Duration, floor: Duration) -> Result<Self, ModelError> {
+        if floor > mean {
+            return Err(ModelError::FloorAboveMean { floor, mean });
+        }
+        Ok(NormalDelay { mean, std, floor })
     }
 }
 
@@ -112,10 +131,18 @@ impl ShiftedExponentialDelay {
     ///
     /// # Panics
     ///
-    /// Panics if `mean_excess` is zero.
+    /// Panics if `mean_excess` is zero; use [`try_new`](Self::try_new) to
+    /// handle that as a value instead.
     pub fn new(base: Duration, mean_excess: Duration) -> Self {
-        assert!(!mean_excess.is_zero(), "mean excess must be positive");
-        ShiftedExponentialDelay { base, mean_excess }
+        Self::try_new(base, mean_excess).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates the model, rejecting a zero mean excess with a typed error.
+    pub fn try_new(base: Duration, mean_excess: Duration) -> Result<Self, ModelError> {
+        if mean_excess.is_zero() {
+            return Err(ModelError::ZeroMeanExcess);
+        }
+        Ok(ShiftedExponentialDelay { base, mean_excess })
     }
 }
 
@@ -161,6 +188,37 @@ mod tests {
     }
 
     #[test]
+    fn try_constructors_surface_typed_errors() {
+        use crate::error::ModelError;
+
+        assert!(matches!(
+            UniformDelay::try_new(Duration::from_secs(2), Duration::from_secs(1)),
+            Err(ModelError::InvertedDelayRange { .. })
+        ));
+        assert!(UniformDelay::try_new(Duration::from_secs(1), Duration::from_secs(1)).is_ok());
+
+        assert!(matches!(
+            NormalDelay::try_new(
+                Duration::from_millis(50),
+                Duration::from_millis(10),
+                Duration::from_millis(100),
+            ),
+            Err(ModelError::FloorAboveMean { .. })
+        ));
+        assert!(NormalDelay::try_new(
+            Duration::from_millis(100),
+            Duration::from_millis(10),
+            Duration::from_millis(100),
+        )
+        .is_ok());
+
+        assert!(matches!(
+            ShiftedExponentialDelay::try_new(Duration::from_secs(1), Duration::ZERO),
+            Err(ModelError::ZeroMeanExcess)
+        ));
+    }
+
+    #[test]
     fn normal_respects_floor_and_mean() {
         let mut d = NormalDelay::new(
             Duration::from_millis(100),
@@ -168,7 +226,9 @@ mod tests {
             Duration::from_millis(50),
         );
         let mut r = rng();
-        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r).as_secs_f64()).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| d.sample(&mut r).as_secs_f64())
+            .collect();
         assert!(samples.iter().all(|&s| s >= 0.05));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 0.1).abs() < 0.003, "mean = {mean}");

@@ -121,7 +121,9 @@ fn jittered(nominal: Timestamp, scenario: &Scenario, rng: &mut SimRng) -> Timest
     if offset >= 0.0 {
         nominal + Duration::from_secs_f64(offset)
     } else {
-        nominal.checked_sub(Duration::from_secs_f64(-offset)).unwrap_or(nominal)
+        nominal
+            .checked_sub(Duration::from_secs_f64(-offset))
+            .unwrap_or(nominal)
     }
 }
 
@@ -157,7 +159,11 @@ mod tests {
         let s = quiet_scenario().with_horizon(Timestamp::from_secs(10));
         let t = simulate(&s, 1);
         // 100 ms interval over 10 s → ~99 heartbeats (first at t=0.1).
-        assert!(t.sent_count() >= 98 && t.sent_count() <= 100, "{}", t.sent_count());
+        assert!(
+            t.sent_count() >= 98 && t.sent_count() <= 100,
+            "{}",
+            t.sent_count()
+        );
         assert_eq!(t.loss_rate(), 0.0);
         for r in t.records() {
             assert_eq!(r.delivered_at, Some(r.sent_at + Duration::from_millis(10)));
@@ -174,8 +180,15 @@ mod tests {
             .with_horizon(Timestamp::from_secs(10))
             .with_crash_at(Timestamp::from_secs(5));
         let t = simulate(&s, 1);
-        assert!(t.records().iter().all(|r| r.sent_at < Timestamp::from_secs(5)));
-        assert!(t.sent_count() >= 48 && t.sent_count() <= 50, "{}", t.sent_count());
+        assert!(t
+            .records()
+            .iter()
+            .all(|r| r.sent_at < Timestamp::from_secs(5)));
+        assert!(
+            t.sent_count() >= 48 && t.sent_count() <= 50,
+            "{}",
+            t.sent_count()
+        );
         assert_eq!(t.crash_time(), Some(Timestamp::from_secs(5)));
     }
 
@@ -187,7 +200,11 @@ mod tests {
         }
         .with_horizon(Timestamp::from_secs(600));
         let t = simulate(&s, 7);
-        assert!((t.loss_rate() - 0.2).abs() < 0.02, "loss = {}", t.loss_rate());
+        assert!(
+            (t.loss_rate() - 0.2).abs() < 0.02,
+            "loss = {}",
+            t.loss_rate()
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Typed construction errors for the network models.
+//!
+//! Every loss/delay model offers a fallible `try_new` constructor returning
+//! [`ModelError`]; the panicking `new` constructors delegate to it. Callers
+//! assembling scenarios from untrusted configuration (files, CLI flags)
+//! should prefer `try_new` so a bad parameter surfaces as a value instead of
+//! a panic. NaN parameters are always rejected: a NaN probability fails the
+//! `[0, 1]` range check, and a NaN burst length fails the `≥ 1` check.
+
+use std::error::Error;
+use std::fmt;
+
+use afd_core::time::Duration;
+
+/// A network-model parameter was rejected at construction time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelError {
+    /// A probability parameter was NaN or outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value (possibly NaN).
+        value: f64,
+    },
+    /// A mean burst length was NaN or below one message.
+    BurstLengthTooShort {
+        /// The offending value (possibly NaN).
+        value: f64,
+    },
+    /// A uniform delay range had `min > max`.
+    InvertedDelayRange {
+        /// The lower bound supplied.
+        min: Duration,
+        /// The upper bound supplied.
+        max: Duration,
+    },
+    /// A truncated-normal delay floor exceeded its mean.
+    FloorAboveMean {
+        /// The truncation floor supplied.
+        floor: Duration,
+        /// The mean supplied.
+        mean: Duration,
+    },
+    /// A shifted-exponential mean excess was zero.
+    ZeroMeanExcess,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModelError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "{name} must be in [0, 1], got {value}")
+            }
+            ModelError::BurstLengthTooShort { value } => {
+                write!(f, "mean burst length must be ≥ 1 message, got {value}")
+            }
+            ModelError::InvertedDelayRange { min, max } => {
+                write!(
+                    f,
+                    "uniform delay needs min ≤ max, got min {min} > max {max}"
+                )
+            }
+            ModelError::FloorAboveMean { floor, mean } => {
+                write!(
+                    f,
+                    "delay floor must not exceed the mean, got floor {floor} > mean {mean}"
+                )
+            }
+            ModelError::ZeroMeanExcess => write!(f, "mean excess must be positive"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Validates one named probability parameter.
+pub(crate) fn check_probability(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    // `contains` is false for NaN, so NaN is rejected here too.
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ModelError::ProbabilityOutOfRange { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_check_accepts_bounds() {
+        assert_eq!(check_probability("p", 0.0), Ok(0.0));
+        assert_eq!(check_probability("p", 1.0), Ok(1.0));
+        assert_eq!(check_probability("p", 0.5), Ok(0.5));
+    }
+
+    #[test]
+    fn probability_check_rejects_nan_and_out_of_range() {
+        for bad in [f64::NAN, -0.1, 1.1, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = check_probability("p", bad).unwrap_err();
+            assert!(matches!(
+                err,
+                ModelError::ProbabilityOutOfRange { name: "p", .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn display_messages_name_the_constraint() {
+        let e = check_probability("loss probability", 1.5).unwrap_err();
+        assert_eq!(e.to_string(), "loss probability must be in [0, 1], got 1.5");
+        let e = ModelError::InvertedDelayRange {
+            min: Duration::from_secs(2),
+            max: Duration::from_secs(1),
+        };
+        assert!(e.to_string().contains("min ≤ max"));
+        let e = ModelError::FloorAboveMean {
+            floor: Duration::from_secs(2),
+            mean: Duration::from_secs(1),
+        };
+        assert!(e.to_string().contains("must not exceed the mean"));
+        assert_eq!(
+            ModelError::ZeroMeanExcess.to_string(),
+            "mean excess must be positive"
+        );
+        let e = ModelError::BurstLengthTooShort { value: 0.5 };
+        assert!(e.to_string().contains("≥ 1 message"));
+    }
+
+    #[test]
+    fn model_error_is_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&ModelError::ZeroMeanExcess);
+    }
+}

@@ -40,6 +40,7 @@ pub mod channel;
 pub mod clock;
 pub mod delay;
 pub mod engine;
+pub mod error;
 pub mod event;
 pub mod loss;
 pub mod replay;
@@ -49,6 +50,7 @@ pub mod trace;
 pub mod trace_io;
 
 pub use engine::simulate;
+pub use error::ModelError;
 pub use replay::{replay, ReplayConfig};
 pub use scenario::Scenario;
 pub use trace::ArrivalTrace;

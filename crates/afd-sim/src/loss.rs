@@ -6,6 +6,7 @@
 //! Gilbert–Elliott two-state chain is the standard burst-loss model and is
 //! what experiment E8 sweeps.
 
+use crate::error::{check_probability, ModelError};
 use crate::rng::SimRng;
 
 /// A model deciding, per message, whether the network drops it.
@@ -41,10 +42,18 @@ impl BernoulliLoss {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `[0, 1]`.
+    /// Panics if `p` is NaN or not in `[0, 1]`; use [`try_new`](Self::try_new)
+    /// to handle that as a value instead.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1], got {p}");
-        BernoulliLoss { p }
+        Self::try_new(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an independent-loss model, rejecting NaN and out-of-range
+    /// probabilities with a typed error.
+    pub fn try_new(p: f64) -> Result<Self, ModelError> {
+        Ok(BernoulliLoss {
+            p: check_probability("loss probability", p)?,
+        })
     }
 
     /// The per-message loss probability.
@@ -89,23 +98,28 @@ impl GilbertElliottLoss {
     ///
     /// # Panics
     ///
-    /// Panics if any probability is outside `[0, 1]`.
+    /// Panics if any probability is NaN or outside `[0, 1]`; use
+    /// [`try_new`](Self::try_new) to handle that as a value instead.
     pub fn new(p_good_to_bad: f64, p_bad_to_good: f64, loss_good: f64, loss_bad: f64) -> Self {
-        for (name, p) in [
-            ("p_good_to_bad", p_good_to_bad),
-            ("p_bad_to_good", p_bad_to_good),
-            ("loss_good", loss_good),
-            ("loss_bad", loss_bad),
-        ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
-        }
-        GilbertElliottLoss {
-            p_good_to_bad,
-            p_bad_to_good,
-            loss_good,
-            loss_bad,
+        Self::try_new(p_good_to_bad, p_bad_to_good, loss_good, loss_bad)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates the model, rejecting NaN and out-of-range probabilities with
+    /// a typed error.
+    pub fn try_new(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Result<Self, ModelError> {
+        Ok(GilbertElliottLoss {
+            p_good_to_bad: check_probability("p_good_to_bad", p_good_to_bad)?,
+            p_bad_to_good: check_probability("p_bad_to_good", p_bad_to_good)?,
+            loss_good: check_probability("loss_good", loss_good)?,
+            loss_bad: check_probability("loss_bad", loss_bad)?,
             state: ChannelState::Good,
-        }
+        })
     }
 
     /// A convenient burst parameterization: bursts begin with probability
@@ -114,10 +128,22 @@ impl GilbertElliottLoss {
     ///
     /// # Panics
     ///
-    /// Panics if `burst_start` is outside `[0, 1]` or `mean_burst_len < 1`.
+    /// Panics if `burst_start` is NaN or outside `[0, 1]`, or if
+    /// `mean_burst_len` is NaN or below 1; use
+    /// [`try_bursts`](Self::try_bursts) to handle that as a value instead.
     pub fn bursts(burst_start: f64, mean_burst_len: f64) -> Self {
-        assert!(mean_burst_len >= 1.0, "mean burst length must be ≥ 1 message");
-        GilbertElliottLoss::new(burst_start, 1.0 / mean_burst_len, 0.0, 1.0)
+        Self::try_bursts(burst_start, mean_burst_len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The burst parameterization of [`bursts`](Self::bursts), rejecting bad
+    /// parameters with a typed error.
+    pub fn try_bursts(burst_start: f64, mean_burst_len: f64) -> Result<Self, ModelError> {
+        if mean_burst_len.is_nan() || mean_burst_len < 1.0 {
+            return Err(ModelError::BurstLengthTooShort {
+                value: mean_burst_len,
+            });
+        }
+        GilbertElliottLoss::try_new(burst_start, 1.0 / mean_burst_len, 0.0, 1.0)
     }
 
     /// The current channel state.
@@ -184,13 +210,53 @@ mod tests {
     }
 
     #[test]
+    fn try_constructors_reject_nan_and_out_of_range() {
+        use crate::error::ModelError;
+
+        for bad in [f64::NAN, -0.5, 2.0] {
+            assert!(matches!(
+                BernoulliLoss::try_new(bad),
+                Err(ModelError::ProbabilityOutOfRange {
+                    name: "loss probability",
+                    ..
+                })
+            ));
+            assert!(matches!(
+                GilbertElliottLoss::try_new(0.1, bad, 0.0, 1.0),
+                Err(ModelError::ProbabilityOutOfRange {
+                    name: "p_bad_to_good",
+                    ..
+                })
+            ));
+            assert!(matches!(
+                GilbertElliottLoss::try_bursts(bad, 5.0),
+                Err(ModelError::ProbabilityOutOfRange {
+                    name: "p_good_to_bad",
+                    ..
+                })
+            ));
+        }
+        for bad_len in [f64::NAN, 0.0, 0.99] {
+            assert!(matches!(
+                GilbertElliottLoss::try_bursts(0.1, bad_len),
+                Err(ModelError::BurstLengthTooShort { .. })
+            ));
+        }
+        assert!(BernoulliLoss::try_new(0.2).is_ok());
+        assert!(GilbertElliottLoss::try_bursts(0.02, 1.0).is_ok());
+    }
+
+    #[test]
     fn gilbert_elliott_matches_stationary_rate() {
         let mut m = GilbertElliottLoss::new(0.05, 0.25, 0.0, 1.0);
         let expect = m.stationary_bad(); // 0.05 / 0.30 ≈ 0.1667 of messages lost
         let mut r = rng();
         let losses = (0..100_000).filter(|_| m.is_lost(&mut r)).count();
         let rate = losses as f64 / 100_000.0;
-        assert!((rate - expect).abs() < 0.01, "rate = {rate}, expect {expect}");
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "rate = {rate}, expect {expect}"
+        );
     }
 
     #[test]

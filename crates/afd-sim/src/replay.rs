@@ -102,8 +102,8 @@ pub fn replay<D: AccrualFailureDetector + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afd_core::suspicion::SuspicionLevel;
     use crate::trace::HeartbeatRecord;
+    use afd_core::suspicion::SuspicionLevel;
 
     /// A minimal elapsed-time detector for exercising the replay loop
     /// (the real implementations live in `afd-detectors`).
@@ -144,8 +144,15 @@ mod tests {
             Timestamp::from_secs(5),
             Duration::from_secs(1),
         );
-        let out = replay(&trace, &mut Elapsed::default(), ReplayConfig::every(Duration::from_secs(1)));
-        let times: Vec<u64> = out.iter().map(|s| s.at.as_nanos() / 1_000_000_000).collect();
+        let out = replay(
+            &trace,
+            &mut Elapsed::default(),
+            ReplayConfig::every(Duration::from_secs(1)),
+        );
+        let times: Vec<u64> = out
+            .iter()
+            .map(|s| s.at.as_nanos() / 1_000_000_000)
+            .collect();
         assert_eq!(times, vec![1, 2, 3, 4, 5]);
     }
 
@@ -157,7 +164,11 @@ mod tests {
             Timestamp::from_secs(6),
             Duration::from_secs(1),
         );
-        let out = replay(&trace, &mut Elapsed::default(), ReplayConfig::every(Duration::from_secs(1)));
+        let out = replay(
+            &trace,
+            &mut Elapsed::default(),
+            ReplayConfig::every(Duration::from_secs(1)),
+        );
         let levels: Vec<f64> = out.iter().map(|s| s.level.value()).collect();
         // t=1: hb@1 arrived → 0; t=2: hb@2 → 0; then grows 1, 2, 3, 4.
         assert_eq!(levels, vec![0.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
@@ -189,7 +200,11 @@ mod tests {
             Timestamp::from_secs(3),
             Duration::from_secs(1),
         );
-        let out = replay(&trace, &mut Elapsed::default(), ReplayConfig::every(Duration::from_secs(1)));
+        let out = replay(
+            &trace,
+            &mut Elapsed::default(),
+            ReplayConfig::every(Duration::from_secs(1)),
+        );
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|s| s.level.is_zero()));
     }
@@ -204,7 +219,10 @@ mod tests {
         );
         let cfg = ReplayConfig::every(Duration::from_secs(2)).starting_at(Timestamp::from_secs(3));
         let out = replay(&trace, &mut Elapsed::default(), cfg);
-        let times: Vec<u64> = out.iter().map(|s| s.at.as_nanos() / 1_000_000_000).collect();
+        let times: Vec<u64> = out
+            .iter()
+            .map(|s| s.at.as_nanos() / 1_000_000_000)
+            .collect();
         assert_eq!(times, vec![3, 5]);
     }
 

@@ -50,7 +50,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "need finite lo ≤ hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "need finite lo ≤ hi"
+        );
         if lo == hi {
             return lo;
         }
@@ -91,7 +94,10 @@ impl SimRng {
     ///
     /// Panics if `std` is negative or either parameter is not finite.
     pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
-        assert!(mean.is_finite() && std.is_finite() && std >= 0.0, "bad normal parameters");
+        assert!(
+            mean.is_finite() && std.is_finite() && std >= 0.0,
+            "bad normal parameters"
+        );
         mean + std * self.standard_normal()
     }
 
@@ -101,7 +107,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not finite and positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         let u = 1.0 - self.uniform(); // in (0, 1]
         -mean * u.ln()
     }

@@ -10,9 +10,7 @@ use afd_core::time::{Duration, Timestamp};
 
 use crate::channel::PartialSynchrony;
 use crate::clock::DriftingClock;
-use crate::delay::{
-    ConstantDelay, DelayModel, NormalDelay, ShiftedExponentialDelay, UniformDelay,
-};
+use crate::delay::{ConstantDelay, DelayModel, NormalDelay, ShiftedExponentialDelay, UniformDelay};
 use crate::loss::{BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss};
 use crate::rng::SimRng;
 

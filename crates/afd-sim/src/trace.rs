@@ -94,7 +94,10 @@ impl ArrivalTrace {
 
     /// Number of heartbeats delivered.
     pub fn delivered_count(&self) -> usize {
-        self.records.iter().filter(|r| r.delivered_at.is_some()).count()
+        self.records
+            .iter()
+            .filter(|r| r.delivered_at.is_some())
+            .count()
     }
 
     /// The fraction of sent heartbeats that never arrived.
@@ -158,7 +161,12 @@ mod tests {
             record(2, 2, Some(2_500)), // overtakes
         ];
         records[0].delivered_local = Some(Timestamp::from_millis(5_000));
-        let t = ArrivalTrace::new(records, None, Timestamp::from_secs(60), Duration::from_secs(1));
+        let t = ArrivalTrace::new(
+            records,
+            None,
+            Timestamp::from_secs(60),
+            Duration::from_secs(1),
+        );
         let d = t.deliveries_in_arrival_order();
         assert_eq!(d[0].0, 2);
         assert_eq!(d[1].0, 1);

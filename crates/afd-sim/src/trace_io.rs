@@ -84,7 +84,9 @@ pub fn write_csv<W: Write>(trace: &ArrivalTrace, mut writer: W) -> io::Result<()
     )?;
     writeln!(writer, "seq,sent_ns,delivered_ns,delivered_local_ns")?;
     for r in trace.records() {
-        let d = r.delivered_at.map_or(String::new(), |t| t.as_nanos().to_string());
+        let d = r
+            .delivered_at
+            .map_or(String::new(), |t| t.as_nanos().to_string());
         let dl = r
             .delivered_local
             .map_or(String::new(), |t| t.as_nanos().to_string());
@@ -104,10 +106,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<ArrivalTrace, TraceReadError> {
     let mut lines = reader.lines().enumerate();
 
     // Metadata line.
-    let meta = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))?
-        .1?;
+    let meta = lines.next().ok_or_else(|| parse_err(1, "empty file"))?.1?;
     if !meta.starts_with("# accrual-fd-trace v1") {
         return Err(parse_err(1, "missing '# accrual-fd-trace v1' header"));
     }
@@ -146,7 +145,10 @@ pub fn read_csv<R: Read>(reader: R) -> Result<ArrivalTrace, TraceReadError> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 4 {
-            return Err(parse_err(line_no, format!("expected 4 fields, got {}", fields.len())));
+            return Err(parse_err(
+                line_no,
+                format!("expected 4 fields, got {}", fields.len()),
+            ));
         }
         let seq = parse_u64(fields[0], line_no)?;
         let sent_at = Timestamp::from_nanos(parse_u64(fields[1], line_no)?);
@@ -162,7 +164,10 @@ pub fn read_csv<R: Read>(reader: R) -> Result<ArrivalTrace, TraceReadError> {
     if let Some(pair) = records.windows(2).find(|p| p[0].seq >= p[1].seq) {
         return Err(parse_err(
             0,
-            format!("sequence numbers not strictly ascending near seq {}", pair[0].seq),
+            format!(
+                "sequence numbers not strictly ascending near seq {}",
+                pair[0].seq
+            ),
         ));
     }
     Ok(ArrivalTrace::new(records, crash, horizon, interval))
@@ -293,7 +298,8 @@ mod tests {
             }
         }
 
-        let text = "# accrual-fd-trace v1 crash_ns=- horizon_ns=5000000000 interval_ns=1000000000\n\
+        let text =
+            "# accrual-fd-trace v1 crash_ns=- horizon_ns=5000000000 interval_ns=1000000000\n\
                     seq,sent_ns,delivered_ns,delivered_local_ns\n\
                     1,1000000000,1100000000,1100000000\n\
                     2,2000000000,2100000000,2100000000\n";

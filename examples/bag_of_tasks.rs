@@ -20,10 +20,10 @@
 //! ```
 
 use accrual_fd::bot::{run_bot, AccrualPolicy, BinaryTimeoutPolicy, BotConfig, BotOutcome};
+use accrual_fd::detectors::kappa::PhiContribution;
 use accrual_fd::prelude::*;
 use accrual_fd::sim::loss::GilbertElliottLoss;
 use accrual_fd::sim::scenario::LossKind;
-use accrual_fd::detectors::kappa::PhiContribution;
 
 fn main() {
     let config = BotConfig {

@@ -15,8 +15,8 @@
 //! cargo run --example detector_comparison
 //! ```
 
-use accrual_fd::prelude::*;
 use accrual_fd::detectors::kappa::PhiContribution;
+use accrual_fd::prelude::*;
 
 fn main() {
     let mut simple = SimpleAccrual::new(Timestamp::ZERO);

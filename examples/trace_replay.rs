@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Re-import and replay through each detector with a threshold in
     //    its own units, roughly matched for clean-network detection time.
     let trace = read_csv(csv.as_slice())?;
-    let candidates: Vec<(&str, Box<dyn accrual_fd::core::accrual::AccrualFailureDetector>, f64)> = vec![
+    let candidates: Vec<(
+        &str,
+        Box<dyn accrual_fd::core::accrual::AccrualFailureDetector>,
+        f64,
+    )> = vec![
         ("simple", Box::new(SimpleAccrual::new(Timestamp::ZERO)), 3.5),
         ("chen", Box::new(ChenAccrual::with_defaults()), 2.5),
         ("phi", Box::new(PhiAccrual::with_defaults()), 8.0),

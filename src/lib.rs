@@ -18,6 +18,7 @@
 //! | [`core`] | the formalism: suspicion levels, detector traits, classes (◊P_ac …), Algorithms 1–3, property checkers, stats, distributions |
 //! | [`detectors`] | the four implementations of §5: simple, Chen, φ, κ — plus the monitoring service and the A.5 adversary |
 //! | [`sim`] | deterministic discrete-event network simulator: delay/loss models, clock drift, partial synchrony, heartbeat replay |
+//! | [`runtime`] | live Algorithm 4 over pluggable transports: heartbeat senders, fault injection, retry/backoff, watchdog supervision, graceful degradation, chaos harness |
 //! | [`qos`] | Chen et al. QoS metrics (T_D, T_MR, T_M, λ_M, P_A, T_G) and the experiment harness |
 //! | [`bot`] | the Bag-of-Tasks master/worker application of §1.3 |
 //! | [`omega`] | eventual leader election (Ω) via Algorithm 1 — the computational-equivalence demo |
@@ -63,10 +64,11 @@
 #![forbid(unsafe_code)]
 
 pub use afd_bot as bot;
-pub use afd_omega as omega;
 pub use afd_core as core;
 pub use afd_detectors as detectors;
+pub use afd_omega as omega;
 pub use afd_qos as qos;
+pub use afd_runtime as runtime;
 pub use afd_sim as sim;
 
 /// The most commonly used items, importable in one line.
@@ -86,6 +88,9 @@ pub mod prelude {
     pub use afd_detectors::phi::{PhiAccrual, PhiConfig, PhiModel};
     pub use afd_detectors::service::{InterpreterBank, MonitoringService};
     pub use afd_detectors::simple::SimpleAccrual;
+    pub use afd_runtime::{
+        DegradeConfig, FaultInjector, FaultPlan, GracefulDegradation, RuntimeMonitor, Transport,
+    };
 }
 
 #[cfg(test)]

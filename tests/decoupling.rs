@@ -16,7 +16,9 @@ fn one_service_many_applications_over_simulated_links() {
     let crash = Timestamp::from_secs(60);
     let scenarios = [
         Scenario::wan_jitter().with_horizon(horizon),
-        Scenario::wan_jitter().with_horizon(horizon).with_crash_at(crash),
+        Scenario::wan_jitter()
+            .with_horizon(horizon)
+            .with_crash_at(crash),
         Scenario::wan_jitter().with_horizon(horizon),
     ];
     let traces: Vec<_> = scenarios
@@ -32,9 +34,8 @@ fn one_service_many_applications_over_simulated_links() {
 
     // Two applications: an aggressive one (Φ=1) and a conservative one
     // with hysteresis (suspect at 5, un-suspect at 0.5).
-    let mut aggressive = InterpreterBank::new(|_| {
-        ThresholdInterpreter::new(SuspicionLevel::new(1.0).unwrap())
-    });
+    let mut aggressive =
+        InterpreterBank::new(|_| ThresholdInterpreter::new(SuspicionLevel::new(1.0).unwrap()));
     let mut conservative = InterpreterBank::new(|_| {
         HysteresisInterpreter::new(
             SuspicionLevel::new(5.0).unwrap(),
@@ -62,10 +63,7 @@ fn one_service_many_applications_over_simulated_links() {
         // Theorem 1 containment, application-wide: everything the
         // conservative app suspects, the aggressive one suspects.
         for p in &cons {
-            assert!(
-                agg.contains(p),
-                "containment violated at t={tick}s for {p}"
-            );
+            assert!(agg.contains(p), "containment violated at t={tick}s for {p}");
         }
         if now >= crash {
             if agg_detected.is_none() && agg.contains(&ProcessId::new(1)) {
@@ -81,7 +79,10 @@ fn one_service_many_applications_over_simulated_links() {
     // is never slower.
     let agg_at = agg_detected.expect("aggressive app detects the crash");
     let cons_at = cons_detected.expect("conservative app detects the crash");
-    assert!(agg_at <= cons_at, "aggressive {agg_at}s vs conservative {cons_at}s");
+    assert!(
+        agg_at <= cons_at,
+        "aggressive {agg_at}s vs conservative {cons_at}s"
+    );
 
     // The ranking puts the crashed worker last by the end.
     let ranked = service.rank(horizon);

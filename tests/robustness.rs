@@ -9,8 +9,8 @@ use accrual_fd::detectors::kappa::PhiContribution;
 use accrual_fd::detectors::kappa_seq::{SeqKappaAccrual, SeqKappaConfig};
 use accrual_fd::prelude::*;
 use accrual_fd::sim::replay::{replay, ReplayConfig};
-use accrual_fd::sim::trace::{ArrivalTrace, HeartbeatRecord};
 use accrual_fd::sim::rng::SimRng;
+use accrual_fd::sim::trace::{ArrivalTrace, HeartbeatRecord};
 
 fn all_detectors() -> Vec<(&'static str, Box<dyn AccrualFailureDetector>)> {
     vec![
@@ -27,9 +27,7 @@ fn all_detectors() -> Vec<(&'static str, Box<dyn AccrualFailureDetector>)> {
         ),
         (
             "kappa-seq",
-            Box::new(
-                SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap(),
-            ),
+            Box::new(SeqKappaAccrual::new(SeqKappaConfig::default(), PhiContribution).unwrap()),
         ),
     ]
 }
@@ -67,9 +65,12 @@ fn heavy_reordering_never_rewinds_detectors() {
     }
     let t = trace(records, 70.0);
     for (name, mut d) in all_detectors() {
-        let levels = replay(&t, d.as_mut(), ReplayConfig::every(Duration::from_millis(500)));
-        let bound = check_upper_bound(&levels, None)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let levels = replay(
+            &t,
+            d.as_mut(),
+            ReplayConfig::every(Duration::from_millis(500)),
+        );
+        let bound = check_upper_bound(&levels, None).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             bound.observed_bound.value() < 30.0,
             "{name}: reordering inflated the level to {}",
@@ -83,8 +84,9 @@ fn total_blackout_accrues_for_every_detector() {
     // Healthy for 60 heartbeats, then NOTHING (but no crash marker): the
     // level must accrue anyway — detectors cannot tell blackout from
     // crash, and must not wedge.
-    let mut records: Vec<(u64, f64, Option<f64>)> =
-        (1..=60).map(|k| (k, k as f64, Some(k as f64 + 0.05))).collect();
+    let mut records: Vec<(u64, f64, Option<f64>)> = (1..=60)
+        .map(|k| (k, k as f64, Some(k as f64 + 0.05)))
+        .collect();
     for k in 61..=180u64 {
         records.push((k, k as f64, None));
     }
@@ -95,7 +97,11 @@ fn total_blackout_accrues_for_every_detector() {
         min_suffix_fraction: 0.2,
     };
     for (name, mut d) in all_detectors() {
-        let levels = replay(&t, d.as_mut(), ReplayConfig::every(Duration::from_millis(500)));
+        let levels = replay(
+            &t,
+            d.as_mut(),
+            ReplayConfig::every(Duration::from_millis(500)),
+        );
         check
             .run(&levels)
             .unwrap_or_else(|e| panic!("{name} wedged during blackout: {e}"));
@@ -115,7 +121,11 @@ fn zero_gap_heartbeat_storm_is_survived() {
     }
     let t = trace(records, 75.0);
     for (name, mut d) in all_detectors() {
-        let levels = replay(&t, d.as_mut(), ReplayConfig::every(Duration::from_millis(500)));
+        let levels = replay(
+            &t,
+            d.as_mut(),
+            ReplayConfig::every(Duration::from_millis(500)),
+        );
         for s in levels.iter() {
             assert!(
                 !s.level.is_infinite(),
@@ -156,14 +166,58 @@ fn extreme_cadences_do_not_break_estimators() {
             }
             let fresh = d.suspicion_level(Timestamp::from_secs_f64(t + gap * 0.5));
             let late = d.suspicion_level(Timestamp::from_secs_f64(t + gap * probe_mult * 10.0));
-            assert!(!fresh.is_infinite(), "{name} at gap {gap}: fresh level infinite");
-            assert!(!late.is_infinite(), "{name} at gap {gap}: late level infinite");
+            assert!(
+                !fresh.is_infinite(),
+                "{name} at gap {gap}: fresh level infinite"
+            );
+            assert!(
+                !late.is_infinite(),
+                "{name} at gap {gap}: late level infinite"
+            );
             assert!(
                 late >= fresh,
                 "{name} at gap {gap}: level not monotone ({fresh} → {late})"
             );
         }
     }
+}
+
+#[test]
+fn phi_with_zero_std_floor_survives_constant_cadence() {
+    // A zero min_std_dev over a metronome-regular window collapses the
+    // variance estimate to exactly zero. φ must stay a finite, monotone
+    // accrual — no NaN, no ∞, no divide-by-zero panic — and the trace must
+    // still satisfy Accruement once heartbeats stop.
+    use accrual_fd::detectors::phi::PhiConfig;
+
+    let mut fd = PhiAccrual::new(PhiConfig {
+        min_std_dev: Duration::ZERO,
+        ..PhiConfig::default()
+    })
+    .expect("zero σ floor is a valid configuration");
+    let mut records: Vec<(u64, f64, Option<f64>)> =
+        (1..=120).map(|k| (k, k as f64, Some(k as f64))).collect();
+    for k in 121..=180u64 {
+        records.push((k, k as f64, None)); // blackout tail
+    }
+    let t = trace(records, 180.0);
+    let levels = replay(&t, &mut fd, ReplayConfig::every(Duration::from_millis(500)));
+    for s in levels.iter() {
+        assert!(
+            s.level.value().is_finite(),
+            "zero-floor φ must stay finite, got {} at {}",
+            s.level,
+            s.at
+        );
+        assert!(s.level.value() >= 0.0);
+    }
+    AccruementCheck {
+        epsilon: 1e-6,
+        min_increases: 10,
+        min_suffix_fraction: 0.2,
+    }
+    .run(&levels)
+    .expect("zero-floor φ must still accrue during the blackout");
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! — n processes, every monitor watching every peer — checked against the
 //! ◊P_ac and ◊S_ac definitions.
 
-use accrual_fd::core::process::MonitorPair;
 use accrual_fd::core::failure::FailurePattern;
+use accrual_fd::core::process::MonitorPair;
 use accrual_fd::core::properties::AccruementCheck;
 use accrual_fd::core::system::{check_classes, SystemObservation};
 use accrual_fd::prelude::*;

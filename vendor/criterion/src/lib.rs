@@ -1,0 +1,170 @@
+//! A minimal, dependency-free, offline stand-in for the subset of the
+//! `criterion` API this workspace's benches use.
+//!
+//! The workspace builds in hermetic environments with no registry access.
+//! This stub keeps every `benches/*.rs` compiling and *runnable* — each
+//! benchmark body executes a small, timed number of iterations and prints
+//! a one-line nanoseconds-per-iteration estimate — but performs none of
+//! criterion's statistical analysis, warm-up, or reporting.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque to the optimizer; identical role to `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures and reports a rough per-iteration time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    _private: (),
+}
+
+const ITERS: u32 = 10;
+
+impl Bencher {
+    /// Times `routine` over a few iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        report(start, ITERS);
+    }
+
+    /// Times `routine` over freshly set-up inputs.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let inputs: Vec<I> = (0..ITERS).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        report(start, ITERS);
+    }
+}
+
+fn report(start: Instant, iters: u32) {
+    let nanos = start.elapsed().as_nanos() / iters as u128;
+    println!("    ~{nanos} ns/iter ({iters} iters, smoke run — stub criterion)");
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench {name}");
+        let mut b = Bencher::default();
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _parent: self }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("  bench {}", id.label);
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+}
