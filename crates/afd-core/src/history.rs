@@ -128,8 +128,9 @@ impl SuspicionTrace {
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if `low >= high` — §4.4 requires
-    /// `T₀(t) < T(t)`.
+    /// Panics if `low >= high` (in all build profiles) — §4.4 requires
+    /// `T₀(t) < T(t)`. Only an empty trace escapes the check, since the
+    /// thresholds are validated per observation.
     pub fn hysteresis(&self, high: SuspicionLevel, low: SuspicionLevel) -> BinaryTrace {
         let mut interpreter = crate::transform::HysteresisInterpreter::new(high, low);
         let mut out = BinaryTrace::with_capacity(self.len());
@@ -338,6 +339,32 @@ mod tests {
                 Status::Trusted
             ]
         );
+    }
+
+    // The §4.4 precondition T₀ < T is enforced in every build profile,
+    // not only under debug assertions.
+    #[test]
+    #[should_panic(expected = "hysteresis requires")]
+    fn hysteresis_rejects_inverted_thresholds_in_release() {
+        let trace: SuspicionTrace = [SuspicionSample {
+            at: ts(1),
+            level: sl(1.0),
+        }]
+        .into_iter()
+        .collect();
+        let _ = trace.hysteresis(sl(0.5), sl(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis requires")]
+    fn hysteresis_rejects_equal_thresholds_in_release() {
+        let trace: SuspicionTrace = [SuspicionSample {
+            at: ts(1),
+            level: sl(1.0),
+        }]
+        .into_iter()
+        .collect();
+        let _ = trace.hysteresis(sl(1.0), sl(1.0));
     }
 
     #[test]

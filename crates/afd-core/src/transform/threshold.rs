@@ -100,8 +100,11 @@ impl<TH: ThresholdFn, TL: ThresholdFn> HysteresisInterpreter<TH, TL> {
     /// T-threshold `low`.
     ///
     /// §4.4 requires `T₀(t) < T(t)` at all times; this is asserted at each
-    /// observation (debug builds) rather than at construction, since both
-    /// may vary with time.
+    /// observation rather than at construction, since both may vary with
+    /// time. The check runs in release builds too: an inverted pair makes
+    /// the interpreter's transitions meaningless (a level can T-transition
+    /// and S-transition at once), which silently invalidates every QoS
+    /// ordering built on it.
     pub fn new(high: TH, low: TL) -> Self {
         HysteresisInterpreter {
             high,
@@ -122,10 +125,13 @@ impl<TH: ThresholdFn, TL: ThresholdFn> HysteresisInterpreter<TH, TL> {
 }
 
 impl<TH: ThresholdFn, TL: ThresholdFn> Interpreter for HysteresisInterpreter<TH, TL> {
+    /// # Panics
+    ///
+    /// Panics if the thresholds in force at `at` violate `T₀(t) < T(t)`.
     fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status {
         let high = self.high.threshold(at);
         let low = self.low.threshold(at);
-        debug_assert!(
+        assert!(
             low < high,
             "hysteresis requires T₀(t) < T(t): {low} vs {high} at {at}"
         );
@@ -214,11 +220,26 @@ mod tests {
         assert_eq!(c.threshold(ts(100)), sl(3.0));
     }
 
+    // No #[cfg(debug_assertions)]: the validation must hold in release
+    // builds too.
     #[test]
-    #[cfg(debug_assertions)]
     #[should_panic(expected = "hysteresis requires")]
     fn hysteresis_rejects_inverted_thresholds() {
         let mut i = HysteresisInterpreter::new(sl(0.5), sl(2.0));
         let _ = i.observe(ts(0), sl(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis requires")]
+    fn hysteresis_rejects_equal_thresholds() {
+        // `low == high` is also invalid: §4.4 requires strict T₀ < T.
+        let mut i = HysteresisInterpreter::new(sl(1.0), sl(1.0));
+        let _ = i.observe(ts(0), sl(1.0));
+    }
+
+    #[test]
+    fn hysteresis_accepts_correctly_ordered_thresholds() {
+        let mut i = HysteresisInterpreter::new(sl(2.0), sl(1.0));
+        assert_eq!(i.observe(ts(0), sl(1.5)), Status::Trusted);
     }
 }

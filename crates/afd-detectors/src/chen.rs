@@ -123,6 +123,11 @@ impl ChenAccrual {
     pub fn samples(&self) -> usize {
         self.gaps.len()
     }
+
+    /// The configuration this detector was built with.
+    pub fn config(&self) -> ChenConfig {
+        self.config
+    }
 }
 
 impl AccrualFailureDetector for ChenAccrual {

@@ -16,7 +16,10 @@
 //! - [`service`]: one-monitor-per-peer, one-interpreter-per-application
 //!   (Fig. 2);
 //! - [`adversary`]: the Appendix A.5 adversary showing Weak Accruement is
-//!   not enough.
+//!   not enough;
+//! - [`obs`]: pull-based export of detector internals (sample counts,
+//!   window occupancy, suspicion-level histograms) into an
+//!   [`afd_obs::Registry`].
 //!
 //! All detectors implement [`afd_core::accrual::AccrualFailureDetector`]:
 //! they take explicit timestamps, never read clocks, and can therefore be
@@ -33,6 +36,7 @@ pub mod bertier;
 pub mod chen;
 pub mod kappa;
 pub mod kappa_seq;
+pub mod obs;
 pub mod phi;
 pub mod service;
 pub mod shared;
@@ -43,6 +47,7 @@ pub use bertier::{BertierAccrual, BertierConfig};
 pub use chen::{ChenAccrual, ChenConfig};
 pub use kappa::{KappaAccrual, KappaConfig};
 pub use kappa_seq::{SeqKappaAccrual, SeqKappaConfig};
+pub use obs::{export_service, DetectorMetrics};
 pub use phi::{PhiAccrual, PhiConfig, PhiModel};
 pub use service::{InterpreterBank, MonitoringService};
 pub use shared::SharedMonitoringService;

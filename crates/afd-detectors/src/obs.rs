@@ -1,0 +1,184 @@
+//! Metric export for detectors and the monitoring service.
+//!
+//! Detectors themselves stay observation-free — they take timestamps and
+//! return levels, nothing else. Instrumentation is a *pull*: callers hold an
+//! [`afd_obs::Registry`] and periodically ask a detector (or a whole
+//! [`MonitoringService`]) to mirror its internal state into named metrics.
+//! This keeps the hot path (heartbeat recording, level queries) allocation-
+//! and lock-free, and means a process that never scrapes pays nothing.
+//!
+//! Naming convention: every metric is `{prefix}.{field}`, where the caller
+//! picks the prefix (`"phi"`, `"service.p3"`, …). [`export_service`] derives
+//! per-process prefixes as `{prefix}.{process}` using the `pN` rendering of
+//! [`ProcessId`].
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::time::Timestamp;
+use afd_obs::Registry;
+
+use crate::chen::ChenAccrual;
+use crate::phi::PhiAccrual;
+use crate::service::MonitoringService;
+use crate::simple::SimpleAccrual;
+
+/// Bucket bounds for suspicion-level / φ histograms.
+///
+/// Suspicion levels are unbounded above, so the buckets grow geometrically;
+/// everything past the last bound lands in the registry's overflow bucket.
+pub const SUSPICION_BUCKETS: [f64; 8] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// A detector that can mirror its internal state into an
+/// [`afd_obs::Registry`].
+///
+/// Implementations must be idempotent: exporting twice without intervening
+/// heartbeats leaves the registry unchanged (counters are `set`, not
+/// incremented, so repeated scrapes do not double-count).
+pub trait DetectorMetrics {
+    /// Writes this detector's state under the `{prefix}.` namespace.
+    fn export_metrics(&self, registry: &Registry, prefix: &str);
+}
+
+impl DetectorMetrics for SimpleAccrual {
+    fn export_metrics(&self, registry: &Registry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.heartbeats"))
+            .set(self.heartbeats_seen());
+    }
+}
+
+impl DetectorMetrics for ChenAccrual {
+    fn export_metrics(&self, registry: &Registry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.samples"))
+            .set(self.samples() as u64);
+        registry
+            .gauge(&format!("{prefix}.window_occupancy"))
+            .set(self.samples() as f64 / self.config().window_size as f64);
+    }
+}
+
+impl DetectorMetrics for PhiAccrual {
+    fn export_metrics(&self, registry: &Registry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.samples"))
+            .set(self.samples() as u64);
+        registry
+            .gauge(&format!("{prefix}.window_occupancy"))
+            .set(self.samples() as f64 / self.config().window_size as f64);
+        registry
+            .gauge(&format!("{prefix}.mean_interval_seconds"))
+            .set(self.mean_interval());
+    }
+}
+
+/// Exports a whole [`MonitoringService`]: a `{prefix}.watched` gauge, one
+/// observation per process in the `{prefix}.suspicion_level` histogram
+/// (sampled at `now`), and each detector's own metrics under
+/// `{prefix}.{process}.`.
+///
+/// Querying levels mutates adaptive detectors' bookkeeping, hence the
+/// `&mut` — treat a scrape like any other query site.
+pub fn export_service<D, F>(
+    service: &mut MonitoringService<D, F>,
+    registry: &Registry,
+    prefix: &str,
+    now: Timestamp,
+) where
+    D: AccrualFailureDetector + DetectorMetrics,
+    F: FnMut(ProcessId) -> D,
+{
+    registry
+        .gauge(&format!("{prefix}.watched"))
+        .set(service.len() as f64);
+    let levels = registry.histogram(&format!("{prefix}.suspicion_level"), &SUSPICION_BUCKETS);
+    for (process, level) in service.snapshot(now) {
+        levels.observe(level.value());
+        if let Some(detector) = service.detector(process) {
+            detector.export_metrics(registry, &format!("{prefix}.{process}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::time::Duration;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn simple_exports_heartbeat_count() {
+        let mut fd = SimpleAccrual::new(Timestamp::ZERO);
+        fd.record_heartbeat(ts(1));
+        fd.record_heartbeat(ts(2));
+        let registry = Registry::new();
+        fd.export_metrics(&registry, "simple");
+        assert_eq!(registry.snapshot().counter("simple.heartbeats"), Some(2));
+    }
+
+    #[test]
+    fn windowed_detectors_export_occupancy() {
+        let mut chen = ChenAccrual::new(crate::chen::ChenConfig {
+            window_size: 4,
+            initial_interval: Duration::from_secs(1),
+        })
+        .unwrap();
+        for s in 1..=3 {
+            chen.record_heartbeat(ts(s));
+        }
+        let registry = Registry::new();
+        chen.export_metrics(&registry, "chen");
+        let snap = registry.snapshot();
+        // Three arrivals give two inter-arrival gaps in a window of four.
+        assert_eq!(snap.counter("chen.samples"), Some(2));
+        assert_eq!(snap.gauge("chen.window_occupancy"), Some(0.5));
+    }
+
+    #[test]
+    fn phi_exports_mean_interval() {
+        let mut phi = PhiAccrual::with_defaults();
+        for s in 1..=10 {
+            phi.record_heartbeat(ts(s));
+        }
+        let registry = Registry::new();
+        phi.export_metrics(&registry, "phi");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("phi.samples"), Some(9));
+        assert_eq!(snap.gauge("phi.mean_interval_seconds"), Some(1.0));
+    }
+
+    #[test]
+    fn repeated_export_is_idempotent() {
+        let mut phi = PhiAccrual::with_defaults();
+        phi.record_heartbeat(ts(1));
+        phi.record_heartbeat(ts(2));
+        let registry = Registry::new();
+        phi.export_metrics(&registry, "phi");
+        phi.export_metrics(&registry, "phi");
+        assert_eq!(registry.snapshot().counter("phi.samples"), Some(1));
+    }
+
+    #[test]
+    fn service_export_covers_every_process() {
+        let mut service = MonitoringService::new(|_| PhiAccrual::with_defaults());
+        let (a, b) = (ProcessId::new(1), ProcessId::new(2));
+        service.watch(a);
+        service.watch(b);
+        for s in 1..=6 {
+            service.heartbeat(a, ts(s));
+            service.heartbeat(b, ts(s));
+        }
+        let registry = Registry::new();
+        export_service(&mut service, &registry, "service", ts(7));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("service.watched"), Some(2.0));
+        assert_eq!(snap.counter("service.p1.samples"), Some(5));
+        assert_eq!(snap.counter("service.p2.samples"), Some(5));
+        // Both processes' levels landed in the shared histogram.
+        let text = snap.to_text();
+        assert!(text.contains("service.suspicion_level"), "{text}");
+    }
+}

@@ -225,6 +225,11 @@ impl PhiAccrual {
         self.gaps.len()
     }
 
+    /// The configuration this detector was built with.
+    pub fn config(&self) -> PhiConfig {
+        self.config
+    }
+
     /// The raw φ value at `now` (equal to the suspicion level, exposed for
     /// callers that think in φ units).
     pub fn phi(&self, now: Timestamp) -> f64 {

@@ -20,163 +20,36 @@
 //! from the crash onward. Query times are assumed (and asserted elsewhere)
 //! to be evenly spaced, making the query-fraction estimate of `P_A` a
 //! time-average.
+//!
+//! The computation itself lives in `afd-obs`: [`analyze`] replays the
+//! recorded trace through the streaming [`OnlineQos`] estimator, so a live
+//! system's online numbers and a post-hoc analysis of the same run agree
+//! by construction.
+//!
+//! [`OnlineQos`]: afd_obs::OnlineQos
 
-use afd_core::binary::Transition;
 use afd_core::history::BinaryTrace;
 use afd_core::time::Timestamp;
+use afd_obs::OnlineQos;
 
-/// The QoS metrics of one run, in seconds where dimensional.
-///
-/// Metrics that require an event that never happened are `None` — e.g.
-/// `mistake_recurrence` needs at least two mistakes, `detection_time`
-/// needs a crash that was permanently detected within the trace.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct QosReport {
-    /// T_D: crash → permanent suspicion, seconds.
-    pub detection_time: Option<f64>,
-    /// Number of wrong S-transitions (mistakes) while the process was alive.
-    pub mistakes: u64,
-    /// T_MR: mean seconds between consecutive mistakes.
-    pub mistake_recurrence: Option<f64>,
-    /// T_M: mean seconds a mistake lasted.
-    pub mistake_duration: Option<f64>,
-    /// λ_M: mistakes per second of alive time.
-    pub mistake_rate: f64,
-    /// P_A: fraction of queries (≈ time, on an even schedule) with correct
-    /// output while the process was alive.
-    pub query_accuracy: f64,
-    /// T_G: mean seconds of a good period (T-transition → next
-    /// S-transition).
-    pub good_period: Option<f64>,
-    /// Length of the alive (accuracy) observation window, seconds.
-    pub observed_alive: f64,
-}
+pub use afd_obs::QosReport;
 
 /// Computes the QoS metrics of `trace` for a monitored process that
 /// crashes at `crash` (or never, if `None`).
 ///
 /// Queries at or after the crash time are judged for completeness
-/// (detection); queries strictly before it are judged for accuracy.
+/// (detection); queries strictly before it are judged for accuracy. The
+/// alive observation window runs from the first sample to the crash
+/// (clamped to the end of the trace), so λ_M and P_A are measured against
+/// the true alive duration, not merely up to the last pre-crash sample.
 ///
 /// Returns a default (all-`None`/zero) report for an empty trace.
 pub fn analyze(trace: &BinaryTrace, crash: Option<Timestamp>) -> QosReport {
-    let samples = trace.samples();
-    if samples.is_empty() {
-        return QosReport::default();
+    let mut qos = OnlineQos::new(crash);
+    for sample in trace.samples() {
+        qos.observe(sample.at, sample.status);
     }
-
-    let start = samples[0].at;
-    let end = samples[samples.len() - 1].at;
-    let alive_end = crash.map_or(end, |c| c.min(end));
-
-    // --- Accuracy metrics over the alive window ---------------------------
-    let alive: Vec<_> = samples
-        .iter()
-        .take_while(|s| s.at < alive_end || crash.is_none())
-        .collect();
-    let mut s_times: Vec<Timestamp> = Vec::new();
-    let mut t_times: Vec<Timestamp> = Vec::new();
-    {
-        let mut det = afd_core::binary::TransitionDetector::new();
-        for s in &alive {
-            match det.observe(s.status) {
-                Some(Transition::Suspect) => s_times.push(s.at),
-                Some(Transition::Trust) => t_times.push(s.at),
-                None => {}
-            }
-        }
-    }
-
-    let observed_alive = if alive.is_empty() {
-        0.0
-    } else {
-        (alive[alive.len() - 1].at.saturating_duration_since(start)).as_secs_f64()
-    };
-
-    let mistakes = s_times.len() as u64;
-    let mistake_rate = if observed_alive > 0.0 {
-        mistakes as f64 / observed_alive
-    } else {
-        0.0
-    };
-
-    let mistake_recurrence = if s_times.len() >= 2 {
-        let total: f64 = s_times
-            .windows(2)
-            .map(|w| (w[1] - w[0]).as_secs_f64())
-            .sum();
-        Some(total / (s_times.len() - 1) as f64)
-    } else {
-        None
-    };
-
-    // Pair each S-transition with the next T-transition after it.
-    let mut durations = Vec::new();
-    let mut good_periods = Vec::new();
-    {
-        let mut ti = 0;
-        for &s_at in &s_times {
-            while ti < t_times.len() && t_times[ti] <= s_at {
-                ti += 1;
-            }
-            if ti < t_times.len() {
-                durations.push((t_times[ti] - s_at).as_secs_f64());
-            }
-        }
-        // Good periods: T-transition → next S-transition.
-        let mut si = 0;
-        for &t_at in &t_times {
-            while si < s_times.len() && s_times[si] <= t_at {
-                si += 1;
-            }
-            if si < s_times.len() {
-                good_periods.push((s_times[si] - t_at).as_secs_f64());
-            }
-        }
-    }
-    let mistake_duration = mean(&durations);
-    let good_period = mean(&good_periods);
-
-    let correct_queries = alive.iter().filter(|s| s.status.is_trusted()).count();
-    let query_accuracy = if alive.is_empty() {
-        1.0
-    } else {
-        correct_queries as f64 / alive.len() as f64
-    };
-
-    // --- Completeness: detection time -------------------------------------
-    let detection_time = crash.and_then(|c| {
-        if c > end {
-            return None; // crash outside the trace
-        }
-        // Find the final S-transition over the WHOLE trace; detection
-        // requires the trace to end suspected.
-        trace.permanent_suspicion_start().map(|at| {
-            // Suspicion that predates the crash means the detector was
-            // already (rightly or wrongly) suspecting at crash time:
-            // detection is instantaneous from the crash onward.
-            at.saturating_duration_since(c).as_secs_f64()
-        })
-    });
-
-    QosReport {
-        detection_time,
-        mistakes,
-        mistake_recurrence,
-        mistake_duration,
-        mistake_rate,
-        query_accuracy,
-        good_period,
-        observed_alive,
-    }
-}
-
-fn mean(values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
-        None
-    } else {
-        Some(values.iter().sum::<f64>() / values.len() as f64)
-    }
+    qos.report()
 }
 
 /// Converts a suspicion-level history into QoS metrics through a constant
@@ -325,5 +198,104 @@ mod tests {
         let helper = analyze_at_threshold(&levels, thr, Some(ts(4.0)));
         assert_eq!(direct, helper);
         assert_eq!(helper.detection_time, Some(1.0));
+    }
+
+    // --- Regression: alive-window accounting -----------------------------
+    // `observed_alive` used to stop at the last sample that happened to
+    // land before the crash, biasing λ_M and the P_A denominator by up to
+    // one query period.
+
+    #[test]
+    fn alive_window_extends_to_a_mid_period_crash() {
+        // Crash at t = 60.5, between the queries at 60 and 61: the alive
+        // window is 59.5 s, not 59 s (last alive sample − first sample).
+        let suspected: Vec<u64> = (63..=100).collect();
+        let r = analyze(&trace(100, &suspected), Some(ts(60.5)));
+        assert!((r.observed_alive - 59.5).abs() < 1e-9, "{r:?}");
+        assert_eq!(r.mistakes, 0);
+        assert_eq!(r.detection_time, Some(2.5));
+    }
+
+    #[test]
+    fn mistake_rate_uses_the_crash_bounded_window() {
+        // One mistake (at 10) before a crash at 60.5 → λ_M = 1 / 59.5.
+        let mut suspected = vec![10];
+        suspected.extend(63..=100);
+        let r = analyze(&trace(100, &suspected), Some(ts(60.5)));
+        assert_eq!(r.mistakes, 1);
+        assert!((r.mistake_rate - 1.0 / 59.5).abs() < 1e-12, "{r:?}");
+    }
+
+    #[test]
+    fn crash_beyond_trace_keeps_the_final_sample_in_accuracy() {
+        // A crash scheduled past the horizon must not drop the last query
+        // from the accuracy window: a mistake at t = 100 still counts.
+        let r = analyze(&trace(100, &[100]), Some(ts(500.0)));
+        assert_eq!(r.mistakes, 1);
+        assert!((r.query_accuracy - 0.99).abs() < 1e-9, "{r:?}");
+        assert!((r.observed_alive - 99.0).abs() < 1e-9);
+    }
+
+    // --- Edge cases -------------------------------------------------------
+
+    #[test]
+    fn trace_ending_exactly_at_the_crash_instant() {
+        // The final query coincides with the crash: it belongs to the
+        // detection side (at >= crash), not the accuracy side, and the
+        // alive window spans first sample → crash.
+        let mut t = BinaryTrace::new();
+        for s in 1..=59u64 {
+            t.push(Timestamp::from_secs(s), Status::Trusted);
+        }
+        t.push(Timestamp::from_secs(60), Status::Suspected);
+        let r = analyze(&t, Some(ts(60.0)));
+        assert_eq!(r.mistakes, 0);
+        assert_eq!(r.query_accuracy, 1.0);
+        assert!((r.observed_alive - 59.0).abs() < 1e-9);
+        assert_eq!(r.detection_time, Some(0.0));
+    }
+
+    #[test]
+    fn single_sample_traces() {
+        let mut trusted = BinaryTrace::new();
+        trusted.push(Timestamp::from_secs(5), Status::Trusted);
+        let r = analyze(&trusted, None);
+        assert_eq!(r.observed_alive, 0.0);
+        assert_eq!(r.query_accuracy, 1.0);
+        assert_eq!(r.mistake_rate, 0.0);
+        assert_eq!(r.detection_time, None);
+
+        let mut suspected = BinaryTrace::new();
+        suspected.push(Timestamp::from_secs(5), Status::Suspected);
+        let r = analyze(&suspected, Some(ts(3.0)));
+        // The lone sample is post-crash: no alive queries, instant
+        // (well, 2 s) permanent detection.
+        assert_eq!(r.mistakes, 0);
+        assert_eq!(r.query_accuracy, 1.0);
+        assert_eq!(r.detection_time, Some(2.0));
+        let r = analyze(&suspected, None);
+        // Without a crash the sample is one alive mistake.
+        assert_eq!(r.mistakes, 1);
+        assert_eq!(r.query_accuracy, 0.0);
+    }
+
+    #[test]
+    fn online_estimator_agrees_with_offline_analyze() {
+        // Deterministic replay check (the property-style version over
+        // random traces lives in tests/online_offline.rs).
+        let scenarios: &[(Vec<u64>, Option<f64>)] = &[
+            ((63..=100).collect(), Some(60.5)),
+            (vec![10, 11, 40, 41, 42, 90], None),
+            (vec![1, 2, 3], Some(2.0)),
+        ];
+        for (suspected, crash) in scenarios {
+            let t = trace(100, suspected);
+            let crash = crash.map(ts);
+            let mut online = OnlineQos::new(crash);
+            for s in t.samples() {
+                online.observe(s.at, s.status);
+            }
+            assert_eq!(online.report(), analyze(&t, crash));
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! exact replays, not on sleeps and hope.
 
 use afd_core::accrual::AccrualFailureDetector;
+use afd_core::binary::{Status, Transition, TransitionDetector};
 use afd_core::history::SuspicionTrace;
 use afd_core::process::ProcessId;
 use afd_core::suspicion::SuspicionLevel;
@@ -17,6 +18,7 @@ use afd_core::time::{Duration, Timestamp};
 use afd_detectors::chen::ChenAccrual;
 use afd_detectors::phi::PhiAccrual;
 use afd_detectors::simple::SimpleAccrual;
+use afd_obs::{EventKind, EventRing, ObsEvent, OnlineQos, QosReport, Registry, Snapshot};
 use afd_sim::delay::UniformDelay;
 use afd_sim::loss::{BernoulliLoss, GilbertElliottLoss};
 
@@ -56,6 +58,10 @@ pub struct ChaosScenario {
     /// Crash episodes `(crash_at, recover_at)`; `None` recovery means the
     /// process stays down for the rest of the run.
     pub crashes: Vec<(Timestamp, Option<Timestamp>)>,
+    /// Threshold applied to sampled suspicion levels to produce the binary
+    /// stream the online QoS estimators and the event trace consume
+    /// (suspect iff level > threshold, Equation 2).
+    pub qos_threshold: SuspicionLevel,
 }
 
 impl ChaosScenario {
@@ -74,7 +80,18 @@ impl ChaosScenario {
             corrupt: 0.0,
             jitter: None,
             crashes: Vec::new(),
+            qos_threshold: SuspicionLevel::clamped(2.0),
         }
+    }
+
+    /// The QoS crash instant: the first crash the process never recovers
+    /// from, if any.
+    pub fn permanent_crash(&self) -> Option<Timestamp> {
+        self.crashes
+            .iter()
+            .filter(|&&(_, recover)| recover.is_none())
+            .map(|&(at, _)| at)
+            .min()
     }
 
     fn build_plan(&self) -> FaultPlan {
@@ -180,6 +197,19 @@ pub struct ChaosReport {
     /// Transport errors the steady-state loop absorbed (expected 0 for the
     /// in-process transport).
     pub transport_errors: u64,
+    /// Per-detector streaming QoS estimates, computed live at every query
+    /// point from the thresholded output (same order as [`traces`]).
+    ///
+    /// [`traces`]: ChaosReport::traces
+    pub online_qos: Vec<(&'static str, QosReport)>,
+    /// The structured event trace: S-/T-transitions and degradation
+    /// switches, in observation order.
+    pub events: Vec<ObsEvent>,
+    /// Events evicted from the bounded ring before the run ended.
+    pub events_dropped: u64,
+    /// Final metrics snapshot: monitor intake, fault injector, sender
+    /// retries, degradation counters.
+    pub metrics: Snapshot,
 }
 
 impl ChaosReport {
@@ -206,6 +236,74 @@ impl ChaosReport {
     }
 }
 
+/// Per-detector observability state: the suspicion trace, the live QoS
+/// estimator, and the transition/degradation trackers feeding the event
+/// ring.
+struct DetectorTracker {
+    name: &'static str,
+    trace: SuspicionTrace,
+    qos: OnlineQos,
+    transitions: TransitionDetector,
+    degraded: bool,
+}
+
+impl DetectorTracker {
+    fn new(name: &'static str, crash: Option<Timestamp>) -> Self {
+        DetectorTracker {
+            name,
+            trace: SuspicionTrace::new(),
+            qos: OnlineQos::new(crash),
+            transitions: TransitionDetector::new(),
+            degraded: false,
+        }
+    }
+
+    fn observe(
+        &mut self,
+        at: Timestamp,
+        level: SuspicionLevel,
+        degraded_now: bool,
+        threshold: SuspicionLevel,
+        process: ProcessId,
+        events: &mut EventRing,
+    ) {
+        self.trace.push(at, level);
+        // Same interpretation as SuspicionTrace::threshold (Equation 2),
+        // applied sample-by-sample so the online QoS numbers match an
+        // offline analysis of the recorded trace exactly.
+        let status = if level > threshold {
+            Status::Suspected
+        } else {
+            Status::Trusted
+        };
+        self.qos.observe(at, status);
+        if let Some(tr) = self.transitions.observe(status) {
+            events.push(ObsEvent {
+                at,
+                source: self.name,
+                process,
+                kind: match tr {
+                    Transition::Suspect => EventKind::Suspect,
+                    Transition::Trust => EventKind::Trust,
+                },
+            });
+        }
+        if degraded_now != self.degraded {
+            self.degraded = degraded_now;
+            events.push(ObsEvent {
+                at,
+                source: self.name,
+                process,
+                kind: if degraded_now {
+                    EventKind::DegradeEnter
+                } else {
+                    EventKind::DegradeExit
+                },
+            });
+        }
+    }
+}
+
 /// Runs `scenario` under `seed` to completion in virtual time.
 pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
     let clock = VirtualClock::new();
@@ -229,9 +327,13 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
         seed,
     );
 
-    let mut simple = SuspicionTrace::new();
-    let mut chen = SuspicionTrace::new();
-    let mut phi = SuspicionTrace::new();
+    let crash = scenario.permanent_crash();
+    let mut trackers = [
+        DetectorTracker::new("simple", crash),
+        DetectorTracker::new("chen", crash),
+        DetectorTracker::new("phi", crash),
+    ];
+    let mut events = EventRing::new(4096);
     let mut transport_errors = 0u64;
     let mut next_query = Timestamp::ZERO;
 
@@ -266,19 +368,38 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
 
         if t >= next_query {
             let trio = monitor.detector_mut(process).expect("watched");
-            simple.push(t, trio.simple().suspicion_level(t));
-            chen.push(t, trio.chen().suspicion_level(t));
-            phi.push(t, trio.phi().suspicion_level(t));
+            let thr = scenario.qos_threshold;
+            let level = trio.simple().suspicion_level(t);
+            let degraded = trio.simple().is_degraded();
+            trackers[0].observe(t, level, degraded, thr, process, &mut events);
+            let level = trio.chen().suspicion_level(t);
+            let degraded = trio.chen().is_degraded();
+            trackers[1].observe(t, level, degraded, thr, process, &mut events);
+            let level = trio.phi().suspicion_level(t);
+            let degraded = trio.phi().is_degraded();
+            trackers[2].observe(t, level, degraded, thr, process, &mut events);
             next_query += scenario.query_every;
         }
         t += scenario.tick;
     }
 
-    let degrade_events = monitor
-        .detector_mut(process)
-        .map_or(0, |trio| trio.degrade_events());
+    let registry = Registry::new();
+    monitor.export_metrics(&registry);
+    monitor.transport().export_metrics(&registry);
+    core.export_metrics(&registry);
+    let degrade_events = monitor.detector_mut(process).map_or(0, |trio| {
+        trio.simple().export_metrics(&registry, "simple");
+        trio.chen().export_metrics(&registry, "chen");
+        trio.phi().export_metrics(&registry, "phi");
+        trio.degrade_events()
+    });
     let monitor_stats = monitor.stats();
     let fault_stats = monitor.transport().stats();
+    let online_qos = trackers
+        .iter()
+        .map(|tr| (tr.name, tr.qos.report()))
+        .collect();
+    let [simple, chen, phi] = trackers.map(|tr| tr.trace);
     ChaosReport {
         simple,
         chen,
@@ -288,6 +409,10 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
         degrade_events,
         heartbeats_sent: core.sent(),
         transport_errors,
+        online_qos,
+        events_dropped: events.dropped(),
+        events: events.drain(),
+        metrics: registry.snapshot(),
     }
 }
 

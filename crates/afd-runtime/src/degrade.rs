@@ -98,6 +98,17 @@ impl<D: AccrualFailureDetector> GracefulDegradation<D> {
         self.degrade_events
     }
 
+    /// Publishes degradation counters into `registry` as
+    /// `degrade.<name>.events` and `degrade.<name>.active`.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry, name: &str) {
+        registry
+            .counter(&format!("degrade.{name}.events"))
+            .set(self.degrade_events);
+        registry
+            .gauge(&format!("degrade.{name}.active"))
+            .set(if self.is_degraded() { 1.0 } else { 0.0 });
+    }
+
     /// The wrapped detector.
     pub fn inner(&self) -> &D {
         &self.inner

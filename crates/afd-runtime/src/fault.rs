@@ -189,6 +189,28 @@ impl<T: Transport, C: Clock> FaultInjector<T, C> {
         self.staged.len()
     }
 
+    /// Publishes the injector counters into `registry` under `fault.*`.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        registry
+            .counter("fault.delivered")
+            .set(self.stats.delivered);
+        registry
+            .counter("fault.dropped_loss")
+            .set(self.stats.dropped_loss);
+        registry
+            .counter("fault.dropped_partition")
+            .set(self.stats.dropped_partition);
+        registry
+            .counter("fault.duplicated")
+            .set(self.stats.duplicated);
+        registry
+            .counter("fault.corrupted")
+            .set(self.stats.corrupted);
+        registry
+            .gauge("fault.in_flight")
+            .set(self.staged.len() as f64);
+    }
+
     fn stage(&mut self, frame: Vec<u8>, now: Timestamp) {
         if self.plan.partitioned_at(now) {
             self.stats.dropped_partition += 1;

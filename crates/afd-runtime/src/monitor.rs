@@ -92,8 +92,13 @@ where
     }
 
     /// Stops monitoring `process`.
+    ///
+    /// The highest sequence number seen from `process` is deliberately
+    /// retained: if the process is `watch`ed again later, replayed frames
+    /// from before the unwatch are still rejected as stale instead of
+    /// being accepted as fresh. The map grows with the number of distinct
+    /// senders ever seen, which is bounded by the system's `Π`.
     pub fn unwatch(&mut self, process: ProcessId) -> Option<D> {
-        self.highest_seq.remove(&process);
         self.service.unwatch(process)
     }
 
@@ -106,11 +111,15 @@ where
     /// failures and stale frames are absorbed into [`MonitorStats`].
     pub fn poll(&mut self) -> Result<usize, TransportError> {
         self.liveness.fetch_add(1, Ordering::Relaxed);
-        let now = self.clock.now();
         let mut accepted = 0;
         while let Some(frame) = self.transport.try_recv()? {
             match Heartbeat::decode(&frame) {
                 Ok(hb) => {
+                    // Re-read the clock per frame: stamping a whole
+                    // drained backlog (e.g. after a partition heals) with
+                    // one arrival time would collapse its inter-arrival
+                    // samples to zero and poison adaptive windows.
+                    let now = self.clock.now();
                     if self.accept(hb, now) {
                         accepted += 1;
                     }
@@ -177,6 +186,22 @@ where
     /// Intake counters.
     pub fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    /// Publishes the intake counters into `registry` under `monitor.*`,
+    /// plus a `monitor.watched` gauge with the current watch-set size.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        registry
+            .counter("monitor.accepted")
+            .set(self.stats.accepted);
+        registry.counter("monitor.corrupt").set(self.stats.corrupt);
+        registry.counter("monitor.stale").set(self.stats.stale);
+        registry
+            .counter("monitor.unwatched")
+            .set(self.stats.unwatched);
+        registry
+            .gauge("monitor.watched")
+            .set(self.service.len() as f64);
     }
 
     /// A handle to the liveness counter, bumped on every [`poll`](Self::poll).
@@ -254,6 +279,89 @@ mod tests {
         let s = mon.stats();
         assert_eq!(s.accepted, 2);
         assert_eq!(s.stale, 2);
+    }
+
+    /// A clock that advances by a fixed step on every read, exposing code
+    /// that caches "now" instead of re-reading it per frame.
+    #[derive(Clone)]
+    struct SteppingClock {
+        now: Arc<AtomicU64>,
+        step: u64,
+    }
+
+    impl crate::clock::Clock for SteppingClock {
+        fn now(&self) -> Timestamp {
+            Timestamp::from_nanos(self.now.fetch_add(self.step, Ordering::SeqCst))
+        }
+    }
+
+    #[test]
+    fn burst_frames_get_distinct_arrival_times() {
+        // Three frames drained in ONE poll must not share an arrival
+        // timestamp: each accepted frame re-reads the clock. With a cached
+        // "now" the detector's last arrival would stay at the first read.
+        let (mut tx, rx) = ChannelTransport::pair();
+        let clock = SteppingClock {
+            now: Arc::new(AtomicU64::new(Timestamp::from_secs(100).as_nanos())),
+            step: Duration::from_secs(1).as_nanos(),
+        };
+        let mut mon = RuntimeMonitor::new(rx, clock, |_| SimpleAccrual::new(Timestamp::ZERO));
+        let p = ProcessId::new(1);
+        mon.watch(p);
+        tx.send(&frame(1, 1)).unwrap();
+        tx.send(&frame(1, 2)).unwrap();
+        tx.send(&frame(1, 3)).unwrap();
+        assert_eq!(mon.poll().unwrap(), 3);
+        // Clock reads: 100 s, 101 s, 102 s — the last accepted heartbeat
+        // must carry the last read, not the first.
+        let last = mon.detector_mut(p).unwrap().last_heartbeat();
+        assert_eq!(last, Timestamp::from_secs(102));
+    }
+
+    #[test]
+    fn rewatched_process_rejects_replayed_sequences() {
+        let (mut tx, mut mon, clock) = rig();
+        let p = ProcessId::new(1);
+        mon.watch(p);
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(1, 5)).unwrap();
+        assert_eq!(mon.poll().unwrap(), 1);
+
+        // Unwatch and watch again: the highest seen sequence number must
+        // survive, or an attacker (or a confused network) could replay old
+        // frames as fresh.
+        mon.unwatch(p);
+        mon.watch(p);
+        clock.set(Timestamp::from_secs(2));
+        tx.send(&frame(1, 5)).unwrap(); // replay
+        tx.send(&frame(1, 4)).unwrap(); // even staler
+        assert_eq!(mon.poll().unwrap(), 0);
+        assert_eq!(mon.stats().stale, 2);
+
+        // Genuinely fresh frames still get through.
+        tx.send(&frame(1, 6)).unwrap();
+        assert_eq!(mon.poll().unwrap(), 1);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_stats() {
+        let (mut tx, mut mon, clock) = rig();
+        mon.watch(ProcessId::new(1));
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(1, 1)).unwrap();
+        tx.send(&frame(1, 1)).unwrap(); // duplicate → stale
+        tx.send(b"garbage").unwrap(); // corrupt
+        tx.send(&frame(9, 1)).unwrap(); // unwatched
+        mon.poll().unwrap();
+
+        let registry = afd_obs::Registry::new();
+        mon.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("monitor.accepted"), Some(1));
+        assert_eq!(snap.counter("monitor.stale"), Some(1));
+        assert_eq!(snap.counter("monitor.corrupt"), Some(1));
+        assert_eq!(snap.counter("monitor.unwatched"), Some(1));
+        assert_eq!(snap.gauge("monitor.watched"), Some(1.0));
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub struct SenderCore {
     next_due: Timestamp,
     crashed: bool,
     rng: SimRng,
+    retry_attempts: u64,
+    backoff_total: Duration,
 }
 
 impl SenderCore {
@@ -63,6 +65,8 @@ impl SenderCore {
             next_due: start,
             crashed: false,
             rng: SimRng::derive(seed, u64::from(config.id.as_u32())),
+            retry_attempts: 0,
+            backoff_total: Duration::ZERO,
         }
     }
 
@@ -88,6 +92,28 @@ impl SenderCore {
         self.seq
     }
 
+    /// Send attempts beyond the first, summed over all heartbeats — how
+    /// hard the retry machinery has had to work.
+    pub fn retry_attempts(&self) -> u64 {
+        self.retry_attempts
+    }
+
+    /// Total time handed to the `sleep` callback as retry backoff.
+    pub fn backoff_total(&self) -> Duration {
+        self.backoff_total
+    }
+
+    /// Publishes sender counters into `registry` under `sender.*`.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        registry.counter("sender.heartbeats_sent").set(self.seq);
+        registry
+            .counter("sender.retry_attempts")
+            .set(self.retry_attempts);
+        registry
+            .gauge("sender.backoff_seconds")
+            .set(self.backoff_total.as_secs_f64());
+    }
+
     /// Sends a heartbeat if one is due at `now`; returns whether one was
     /// sent. Pauses between retries are delegated to `sleep` so callers
     /// choose real or virtual waiting.
@@ -102,7 +128,7 @@ impl SenderCore {
         &mut self,
         now: Timestamp,
         transport: &mut T,
-        sleep: impl FnMut(Duration),
+        mut sleep: impl FnMut(Duration),
     ) -> Result<bool, RuntimeError> {
         if self.crashed || now < self.next_due {
             return Ok(false);
@@ -119,9 +145,24 @@ impl SenderCore {
             sent_at: now,
         }
         .encode();
-        self.config
-            .retry
-            .run(&mut self.rng, sleep, || transport.send(&frame))?;
+        let mut attempts = 0u64;
+        let mut backoff = Duration::ZERO;
+        let result = self.config.retry.run(
+            &mut self.rng,
+            |pause| {
+                backoff += pause;
+                sleep(pause);
+            },
+            || {
+                attempts += 1;
+                transport.send(&frame)
+            },
+        );
+        // Retry effort is recorded even when the budget is exhausted —
+        // that is exactly when an operator wants to see it.
+        self.retry_attempts += attempts.saturating_sub(1);
+        self.backoff_total += backoff;
+        result?;
         Ok(true)
     }
 }
@@ -302,6 +343,27 @@ mod tests {
             }
         );
         assert_eq!(pauses, 4, "one backoff pause between each attempt");
+        // The wasted effort is visible to observability even though the
+        // heartbeat was ultimately dropped.
+        assert_eq!(core.retry_attempts(), 4);
+        assert!(!core.backoff_total().is_zero());
+        let registry = afd_obs::Registry::new();
+        core.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sender.retry_attempts"), Some(4));
+        assert!(snap.gauge("sender.backoff_seconds").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn clean_sends_record_no_retry_effort() {
+        let (mut side_a, _side_b) = ChannelTransport::pair();
+        let mut core = SenderCore::new(config(), Timestamp::ZERO, 1);
+        for s in 0..5u64 {
+            core.poll(Timestamp::from_secs(s), &mut side_a, |_| {})
+                .unwrap();
+        }
+        assert_eq!(core.retry_attempts(), 0);
+        assert_eq!(core.backoff_total(), Duration::ZERO);
     }
 
     #[test]

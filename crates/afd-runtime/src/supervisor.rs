@@ -123,6 +123,11 @@ impl Supervisor {
         self.restarts
     }
 
+    /// Publishes the restart counter into `registry` under `supervisor.*`.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        registry.counter("supervisor.restarts").set(self.restarts);
+    }
+
     /// Stops the current worker and joins it.
     pub fn shutdown(self) {
         self.current.stop.store(true, Ordering::SeqCst);

@@ -3,9 +3,16 @@
 //! cycle, and a final crash — run deterministically in virtual time, twice,
 //! with the paper's property checkers applied to every detector's timeline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use afd_core::process::ProcessId;
 use afd_core::properties::{check_upper_bound, AccruementCheck};
 use afd_core::time::{Duration, Timestamp};
-use afd_runtime::{run_chaos, ChaosScenario};
+use afd_detectors::phi::PhiAccrual;
+use afd_runtime::{
+    run_chaos, ChannelTransport, ChaosScenario, Clock, Heartbeat, RuntimeMonitor, Transport,
+};
 
 /// Gilbert–Elliott bursts with mean length 4 and burst-start probability
 /// 1/16 have stationary loss 0.0625 / (0.0625 + 0.25) = 20 %.
@@ -102,6 +109,107 @@ fn healed_faults_leave_a_correct_process_trusted() {
             max
         );
     }
+}
+
+/// A real clock's time keeps moving while a backlog is drained; this stub
+/// models that by advancing on every read.
+#[derive(Clone)]
+struct SteppingClock {
+    now: Arc<AtomicU64>,
+    step: Duration,
+}
+
+impl Clock for SteppingClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_nanos(self.now.fetch_add(self.step.as_nanos(), Ordering::SeqCst))
+    }
+}
+
+/// Regression: a post-partition backlog drained in a single `poll()` used
+/// to stamp every frame with one arrival time, collapsing the adaptive
+/// window's inter-arrival samples to zero.
+#[test]
+fn backlog_drained_in_one_poll_keeps_interarrival_samples_positive() {
+    let (mut tx, rx) = ChannelTransport::pair();
+    let clock = SteppingClock {
+        now: Arc::new(AtomicU64::new(Timestamp::from_secs(10).as_nanos())),
+        step: Duration::from_millis(200),
+    };
+    let mut monitor = RuntimeMonitor::new(rx, clock, |_| PhiAccrual::with_defaults());
+    let process = ProcessId::new(1);
+    monitor.watch(process);
+
+    // Ten heartbeats pile up (e.g. a partition healing) before one poll.
+    for seq in 1..=10u64 {
+        tx.send(
+            &Heartbeat {
+                sender: process,
+                seq,
+                sent_at: Timestamp::from_secs(seq),
+            }
+            .encode(),
+        )
+        .unwrap();
+    }
+    assert_eq!(monitor.poll().unwrap(), 10);
+
+    let phi = monitor.detector_mut(process).unwrap();
+    assert!(
+        phi.samples() >= 9,
+        "window should hold the burst's intervals"
+    );
+    assert!(
+        phi.mean_interval() > 0.0,
+        "inter-arrival samples collapsed to zero: mean {}",
+        phi.mean_interval()
+    );
+}
+
+#[test]
+fn chaos_report_carries_observability_evidence() {
+    let report = run_chaos(&acceptance_scenario(), 7);
+
+    // The online QoS estimators ran for all three detectors and saw the
+    // whole run.
+    assert_eq!(report.online_qos.len(), 3);
+    for (name, qos) in &report.online_qos {
+        assert!(
+            qos.observed_alive > 0.0,
+            "{name}: empty alive window in online QoS"
+        );
+        assert!(
+            qos.detection_time.is_some(),
+            "{name}: final crash never detected online"
+        );
+    }
+
+    // The event ring captured transitions and degradation switches without
+    // overflowing, in non-decreasing time order.
+    assert_eq!(report.events_dropped, 0);
+    assert!(
+        report.events.iter().any(|e| e.source == "phi"),
+        "no phi events recorded"
+    );
+    for pair in report.events.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "events out of order");
+    }
+
+    // The metrics snapshot mirrors the struct-level counters and renders.
+    let snap = &report.metrics;
+    assert_eq!(
+        snap.counter("monitor.accepted"),
+        Some(report.monitor_stats.accepted)
+    );
+    assert_eq!(
+        snap.counter("fault.dropped_partition"),
+        Some(report.fault_stats.dropped_partition)
+    );
+    assert_eq!(
+        snap.counter("sender.heartbeats_sent"),
+        Some(report.heartbeats_sent)
+    );
+    assert!(snap.to_text().contains("degrade.phi.events"));
+    assert!(snap.to_json().starts_with('{'));
 }
 
 #[test]

@@ -9,11 +9,18 @@
 //! when the partition starves its sampling window the timeline shows the
 //! fallback engage (marked `degraded`) instead of the estimate going stale.
 //!
+//! Alongside the timeline, the run feeds an [`accrual_fd::obs`] pipeline:
+//! S-/T-transitions and degradation switches land in an [`EventRing`], and
+//! the final state of every component is mirrored into a [`Registry`] whose
+//! snapshot is printed — the same scrape a monitoring agent would take.
+//!
 //! ```text
 //! cargo run --example live_chaos
 //! ```
 //! (runs for about six and a half seconds of wall time)
 
+use accrual_fd::core::binary::TransitionDetector;
+use accrual_fd::obs::{EventKind, EventRing, ObsEvent, Registry};
 use accrual_fd::prelude::*;
 use accrual_fd::runtime::{
     spawn_sender, DegradeConfig, FaultInjector, FaultPlan, GracefulDegradation, RuntimeMonitor,
@@ -52,6 +59,13 @@ fn main() {
     let recover_at = Timestamp::from_millis(5250);
     let end_at = Timestamp::from_millis(6500);
 
+    // Observability: transitions and degradation flips feed an event ring,
+    // scraped along with the metric registry after the run.
+    let threshold = SuspicionLevel::new(2.0).expect("finite");
+    let mut transitions = TransitionDetector::new();
+    let mut was_degraded = false;
+    let mut events = EventRing::new(256);
+
     println!("   t(s)   φ        state");
     let mut crashed = false;
     let mut recovered = false;
@@ -74,6 +88,42 @@ fn main() {
         if let Err(e) = monitor.poll() {
             eprintln!("transport failed: {e}");
             break;
+        }
+        {
+            let level = monitor.level(process).expect("watched");
+            let status = if level > threshold {
+                Status::Suspected
+            } else {
+                Status::Trusted
+            };
+            if let Some(transition) = transitions.observe(status) {
+                events.push(ObsEvent {
+                    at: now,
+                    source: "phi",
+                    process,
+                    kind: match transition {
+                        Transition::Suspect => EventKind::Suspect,
+                        Transition::Trust => EventKind::Trust,
+                    },
+                });
+            }
+            let degraded = monitor
+                .detector_mut(process)
+                .expect("watched")
+                .is_degraded();
+            if degraded != was_degraded {
+                was_degraded = degraded;
+                events.push(ObsEvent {
+                    at: now,
+                    source: "phi",
+                    process,
+                    kind: if degraded {
+                        EventKind::DegradeEnter
+                    } else {
+                        EventKind::DegradeExit
+                    },
+                });
+            }
         }
         if now >= next_print {
             let level = monitor.level(process).expect("watched");
@@ -118,4 +168,20 @@ fn main() {
             .detector_mut(process)
             .map_or(0, |d| d.degrade_events()),
     );
+
+    // The scrape a monitoring agent would take: every component mirrors its
+    // counters into one registry, then the snapshot renders as a table.
+    let registry = Registry::new();
+    monitor.export_metrics(&registry);
+    monitor.transport().export_metrics(&registry);
+    if let Some(detector) = monitor.detector_mut(process) {
+        detector.export_metrics(&registry, "phi");
+    }
+    println!("\nfinal metrics snapshot:");
+    println!("{}", registry.snapshot().to_text());
+
+    println!("event trace ({} dropped):", events.dropped());
+    for event in events.drain() {
+        println!("  {event}");
+    }
 }

@@ -20,6 +20,7 @@
 //! | [`sim`] | deterministic discrete-event network simulator: delay/loss models, clock drift, partial synchrony, heartbeat replay |
 //! | [`runtime`] | live Algorithm 4 over pluggable transports: heartbeat senders, fault injection, retry/backoff, watchdog supervision, graceful degradation, chaos harness |
 //! | [`qos`] | Chen et al. QoS metrics (T_D, T_MR, T_M, λ_M, P_A, T_G) and the experiment harness |
+//! | [`obs`] | observability: metric registry (counters/gauges/histograms), structured event traces, and streaming online QoS estimators |
 //! | [`bot`] | the Bag-of-Tasks master/worker application of §1.3 |
 //! | [`omega`] | eventual leader election (Ω) via Algorithm 1 — the computational-equivalence demo |
 //!
@@ -66,6 +67,7 @@
 pub use afd_bot as bot;
 pub use afd_core as core;
 pub use afd_detectors as detectors;
+pub use afd_obs as obs;
 pub use afd_omega as omega;
 pub use afd_qos as qos;
 pub use afd_runtime as runtime;
