@@ -17,7 +17,7 @@ fn bench_query<D: AccrualFailureDetector>(c: &mut Criterion, name: &str, mut det
     }
     let now = Timestamp::from_millis(1_500_000 + 1_700);
     c.bench_function(&format!("query/{name}"), |b| {
-        b.iter(|| black_box(detector.suspicion_level(black_box(now))))
+        b.iter(|| black_box(detector.suspicion_level(black_box(now))));
     });
 }
 
@@ -37,7 +37,7 @@ where
                 black_box(d.suspicion_level(Timestamp::from_millis(1_025_000)))
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -100,7 +100,7 @@ fn phi_window_ablation(c: &mut Criterion) {
         }
         let now = Timestamp::from_millis((window as u64 + 500) * 1_000 + 1_700);
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
-            b.iter(|| black_box(detector.suspicion_level(black_box(now))))
+            b.iter(|| black_box(detector.suspicion_level(black_box(now))));
         });
     }
     group.finish();
@@ -129,13 +129,13 @@ fn service_scale(c: &mut Criterion) {
         b.iter(|| {
             k = (k + 1) % 1_000;
             black_box(service.heartbeat(ProcessId::new(k), Timestamp::from_millis(62_000)))
-        })
+        });
     });
     c.bench_function("service_1000/snapshot", |b| {
-        b.iter(|| black_box(service.snapshot(black_box(now))))
+        b.iter(|| black_box(service.snapshot(black_box(now))));
     });
     c.bench_function("service_1000/rank", |b| {
-        b.iter(|| black_box(service.rank(black_box(now))))
+        b.iter(|| black_box(service.rank(black_box(now))));
     });
 }
 

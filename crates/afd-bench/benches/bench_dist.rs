@@ -16,28 +16,28 @@ fn tails(c: &mut Criterion) {
     let mut group = c.benchmark_group("log10_sf");
     for &(label, x) in &[("near", 1.3f64), ("deep", 5.0)] {
         group.bench_with_input(BenchmarkId::new("normal", label), &x, |b, &x| {
-            b.iter(|| black_box(normal.log10_sf(black_box(x))))
+            b.iter(|| black_box(normal.log10_sf(black_box(x))));
         });
         group.bench_with_input(BenchmarkId::new("exponential", label), &x, |b, &x| {
-            b.iter(|| black_box(expo.log10_sf(black_box(x))))
+            b.iter(|| black_box(expo.log10_sf(black_box(x))));
         });
         group.bench_with_input(BenchmarkId::new("erlang", label), &x, |b, &x| {
-            b.iter(|| black_box(erlang.log10_sf(black_box(x))))
+            b.iter(|| black_box(erlang.log10_sf(black_box(x))));
         });
         group.bench_with_input(BenchmarkId::new("empirical", label), &x, |b, &x| {
-            b.iter(|| black_box(empirical.log10_sf(black_box(x))))
+            b.iter(|| black_box(empirical.log10_sf(black_box(x))));
         });
     }
     group.finish();
 
     c.bench_function("erfc/series_regime_x1.2", |b| {
-        b.iter(|| black_box(erfc(black_box(1.2))))
+        b.iter(|| black_box(erfc(black_box(1.2))));
     });
     c.bench_function("erfc/continued_fraction_x4.5", |b| {
-        b.iter(|| black_box(erfc(black_box(4.5))))
+        b.iter(|| black_box(erfc(black_box(4.5))));
     });
     c.bench_function("ln_erfc/deep_tail_x40", |b| {
-        b.iter(|| black_box(ln_erfc(black_box(40.0))))
+        b.iter(|| black_box(ln_erfc(black_box(40.0))));
     });
 }
 

@@ -16,7 +16,7 @@ fn sim(c: &mut Criterion) {
         b.iter(|| {
             seed = seed.wrapping_add(1);
             black_box(simulate(&scenario, black_box(seed)))
-        })
+        });
     });
 
     let bursty = Scenario::bursty_loss().with_horizon(Timestamp::from_secs(600));
@@ -25,7 +25,7 @@ fn sim(c: &mut Criterion) {
         b.iter(|| {
             seed = seed.wrapping_add(1);
             black_box(simulate(&bursty, black_box(seed)))
-        })
+        });
     });
 
     let trace = simulate(&scenario, 1);
@@ -37,7 +37,7 @@ fn sim(c: &mut Criterion) {
                 &mut detector,
                 ReplayConfig::every(afd_core::time::Duration::from_millis(250)),
             ))
-        })
+        });
     });
 }
 

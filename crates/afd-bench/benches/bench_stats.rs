@@ -23,7 +23,7 @@ fn window(c: &mut Criterion) {
                         x = 0.0;
                     }
                     black_box(w.push(black_box(x)))
-                })
+                });
             },
         );
     }
@@ -34,7 +34,7 @@ fn window(c: &mut Criterion) {
         w.push(1.0 + 0.0001 * (i % 97) as f64);
     }
     c.bench_function("sliding_window_moments", |b| {
-        b.iter(|| black_box((w.mean(), w.population_variance())))
+        b.iter(|| black_box((w.mean(), w.population_variance())));
     });
 
     c.bench_function("running_moments_push_remove", |b| {
@@ -43,7 +43,7 @@ fn window(c: &mut Criterion) {
             m.push(black_box(5.0));
             m.remove(black_box(5.0));
             black_box(m.mean())
-        })
+        });
     });
 
     c.bench_function("histogram_record_and_tail", |b| {
@@ -54,7 +54,7 @@ fn window(c: &mut Criterion) {
         b.iter(|| {
             h.record(black_box(1.05));
             black_box(h.fraction_above(black_box(2.5)))
-        })
+        });
     });
 }
 

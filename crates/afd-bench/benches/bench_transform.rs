@@ -25,7 +25,7 @@ fn interpreters(c: &mut Criterion) {
         b.iter(|| {
             k = (k + 1) & 4095;
             black_box(i.observe(at, levels[k]))
-        })
+        });
     });
 
     c.bench_function("interpret/hysteresis", |b| {
@@ -37,7 +37,7 @@ fn interpreters(c: &mut Criterion) {
         b.iter(|| {
             k = (k + 1) & 4095;
             black_box(i.observe(at, levels[k]))
-        })
+        });
     });
 
     c.bench_function("interpret/algorithm_1", |b| {
@@ -46,12 +46,12 @@ fn interpreters(c: &mut Criterion) {
         b.iter(|| {
             k = (k + 1) & 4095;
             black_box(i.observe(at, levels[k]))
-        })
+        });
     });
 
     c.bench_function("suspicion/quantize", |b| {
         let sl = SuspicionLevel::new(3.25159).unwrap();
-        b.iter(|| black_box(black_box(sl).quantize(0.01)))
+        b.iter(|| black_box(black_box(sl).quantize(0.01)));
     });
 }
 

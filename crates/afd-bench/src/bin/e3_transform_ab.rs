@@ -104,7 +104,11 @@ fn main() {
             count_s(0..n / 3).to_string(),
             count_s(n / 3..2 * n / 3).to_string(),
             count_s(2 * n / 3..n).to_string(),
-            cell(alg.suspicion_threshold().map_or(0.0, |s| s.value()), 2),
+            cell(
+                alg.suspicion_threshold()
+                    .map_or(0.0, afd_core::SuspicionLevel::value),
+                2,
+            ),
             format!("{}", statuses[n - 1].is_trusted()),
         ]);
     }

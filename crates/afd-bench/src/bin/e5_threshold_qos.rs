@@ -64,11 +64,8 @@ fn main() {
             let crash_agg = aggregate(&crash_reports);
             let healthy_agg = aggregate(&healthy_reports);
 
-            let td = crash_agg.detection_time.map(|s| s.mean).unwrap_or(f64::NAN);
-            let pa = healthy_agg
-                .query_accuracy
-                .map(|s| s.mean)
-                .unwrap_or(f64::NAN);
+            let td = crash_agg.detection_time.map_or(f64::NAN, |s| s.mean);
+            let pa = healthy_agg.query_accuracy.map_or(f64::NAN, |s| s.mean);
             assert!(td >= prev_td - 1e-9, "Corollary 2 violated at Φ={thr}");
             assert!(pa >= prev_pa - 1e-9, "Corollary 3 violated at Φ={thr}");
             prev_td = td;

@@ -105,6 +105,7 @@ impl ScriptedAccrualDetector {
     pub fn from_values(values: &[f64]) -> Self {
         let levels = values
             .iter()
+            // lint:allow(no-panic-paths, documented Panics contract of this test-scripting constructor)
             .map(|&v| SuspicionLevel::new(v).expect("invalid scripted suspicion level"))
             .collect();
         ScriptedAccrualDetector::new(levels)

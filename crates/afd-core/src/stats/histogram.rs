@@ -156,7 +156,9 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    // `total_cmp` gives a total order even for NaN (sorted last), so a
+    // poisoned sample degrades the estimate instead of aborting the stack.
+    sorted.sort_by(f64::total_cmp);
     let h = (sorted.len() - 1) as f64 * q;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

@@ -44,14 +44,20 @@ impl Summary {
             min = min.min(v);
             max = max.max(v);
         }
+        // `values` is non-empty here, so the quantiles exist; the match
+        // keeps that knowledge in control flow instead of a panic path.
+        let (median, p95) = match (quantile(values, 0.5), quantile(values, 0.95)) {
+            (Some(median), Some(p95)) => (median, p95),
+            _ => return None,
+        };
         Some(Summary {
             count: values.len(),
             min,
             max,
             mean: moments.mean(),
             std_dev: moments.sample_std_dev(),
-            median: quantile(values, 0.5).expect("non-empty"),
-            p95: quantile(values, 0.95).expect("non-empty"),
+            median,
+            p95,
         })
     }
 }

@@ -58,6 +58,7 @@ impl Timestamp {
     pub const fn from_millis(millis: u64) -> Self {
         match millis.checked_mul(1_000_000) {
             Some(n) => Timestamp(n),
+            // lint:allow(no-panic-paths, documented overflow contract mirroring std::time)
             None => panic!("timestamp overflows u64 nanoseconds"),
         }
     }
@@ -71,6 +72,7 @@ impl Timestamp {
     pub const fn from_secs(secs: u64) -> Self {
         match secs.checked_mul(1_000_000_000) {
             Some(n) => Timestamp(n),
+            // lint:allow(no-panic-paths, documented overflow contract mirroring std::time)
             None => panic!("timestamp overflows u64 nanoseconds"),
         }
     }
@@ -154,6 +156,7 @@ impl Duration {
     pub const fn from_micros(micros: u64) -> Self {
         match micros.checked_mul(1_000) {
             Some(n) => Duration(n),
+            // lint:allow(no-panic-paths, documented overflow contract mirroring std::time)
             None => panic!("duration overflows u64 nanoseconds"),
         }
     }
@@ -167,6 +170,7 @@ impl Duration {
     pub const fn from_millis(millis: u64) -> Self {
         match millis.checked_mul(1_000_000) {
             Some(n) => Duration(n),
+            // lint:allow(no-panic-paths, documented overflow contract mirroring std::time)
             None => panic!("duration overflows u64 nanoseconds"),
         }
     }
@@ -180,6 +184,7 @@ impl Duration {
     pub const fn from_secs(secs: u64) -> Self {
         match secs.checked_mul(1_000_000_000) {
             Some(n) => Duration(n),
+            // lint:allow(no-panic-paths, documented overflow contract mirroring std::time)
             None => panic!("duration overflows u64 nanoseconds"),
         }
     }
@@ -275,6 +280,7 @@ impl Add<Duration> for Timestamp {
         Timestamp(
             self.0
                 .checked_add(rhs.0)
+                // lint:allow(no-panic-paths, documented overflow contract mirroring std::time arithmetic)
                 .expect("timestamp addition overflowed"),
         )
     }
@@ -294,6 +300,7 @@ impl Sub<Duration> for Timestamp {
         Timestamp(
             self.0
                 .checked_sub(rhs.0)
+                // lint:allow(no-panic-paths, documented overflow contract mirroring std::time arithmetic)
                 .expect("timestamp subtraction underflowed"),
         )
     }
@@ -312,6 +319,7 @@ impl Sub<Timestamp> for Timestamp {
         Duration(
             self.0
                 .checked_sub(rhs.0)
+                // lint:allow(no-panic-paths, documented overflow contract mirroring std::time arithmetic)
                 .expect("timestamp subtraction underflowed"),
         )
     }
@@ -324,6 +332,7 @@ impl Add for Duration {
         Duration(
             self.0
                 .checked_add(rhs.0)
+                // lint:allow(no-panic-paths, documented overflow contract mirroring std::time arithmetic)
                 .expect("duration addition overflowed"),
         )
     }
@@ -343,6 +352,7 @@ impl Sub for Duration {
         Duration(
             self.0
                 .checked_sub(rhs.0)
+                // lint:allow(no-panic-paths, documented overflow contract mirroring std::time arithmetic)
                 .expect("duration subtraction underflowed"),
         )
     }
@@ -362,6 +372,7 @@ impl Mul<u32> for Duration {
         Duration(
             self.0
                 .checked_mul(rhs as u64)
+                // lint:allow(no-panic-paths, documented overflow contract mirroring std::time arithmetic)
                 .expect("duration multiplication overflowed"),
         )
     }

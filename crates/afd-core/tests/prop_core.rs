@@ -5,6 +5,9 @@
 //! tails, and — most importantly — the containment property of Theorem 1
 //! and the stabilization behaviour of Algorithm 1 on arbitrary inputs.
 
+// Exact float equality is intentional in test assertions.
+#![allow(clippy::float_cmp)]
+
 use afd_core::binary::{Status, TransitionDetector};
 use afd_core::dist::{ArrivalDistribution, Erlang, Exponential, Normal};
 use afd_core::history::SuspicionTrace;

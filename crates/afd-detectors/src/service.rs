@@ -210,7 +210,7 @@ where
     pub fn status(&self, process: ProcessId) -> Status {
         self.interpreters
             .get(&process)
-            .map_or(Status::Trusted, |i| i.status())
+            .map_or(Status::Trusted, afd_core::transform::Interpreter::status)
     }
 }
 

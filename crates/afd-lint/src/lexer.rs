@@ -1,0 +1,520 @@
+//! A hand-rolled lexer for the subset of Rust the rule engine needs.
+//!
+//! The rules in this crate are *token-level* invariant checks — "no
+//! `Instant::now` outside the clock module", "no `==` touching a float
+//! literal" — so a full parser would be wasted machinery. What the rules do
+//! need, and what a regex over raw text cannot give them, is a faithful
+//! separation of *code* from *non-code*: an `unwrap` inside a string
+//! literal, a doc comment, or a `#[cfg(test)]` block must never fire a
+//! diagnostic. The lexer therefore handles the full Rust literal grammar
+//! (raw strings, byte strings, nested block comments, char-vs-lifetime
+//! disambiguation, float-vs-method-call on numbers) while treating
+//! everything between literals as flat identifier/punctuation streams.
+//!
+//! Every token carries its 1-based line and column so diagnostics point at
+//! the exact offending spot.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `Instant`, …).
+    Ident,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// A string, byte-string, or raw-string literal (contents dropped).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// An operator or delimiter (`::`, `==`, `{`, …).
+    Punct,
+    /// A `//…` or `/*…*/` comment, with its full text preserved (pragma
+    /// comments are mined from these).
+    Comment,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokenKind,
+    /// The lexeme text. For [`TokenKind::Str`] the quotes and contents are
+    /// preserved verbatim; rules never look inside strings, but pragmas
+    /// need comment text.
+    pub text: String,
+    /// 1-based source line of the first character.
+    pub line: u32,
+    /// 1-based source column of the first character.
+    pub col: u32,
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the list in order.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into a token stream.
+///
+/// The lexer never fails: malformed input (an unterminated string at EOF,
+/// say) produces a final token covering the rest of the file. Lint rules on
+/// such a file are best-effort, exactly like every other token-level tool.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters. Multi-byte
+    /// UTF-8 continuation bytes do not advance the column, so columns count
+    /// characters, not bytes.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek_at(1) == Some(b'/') => {
+                    self.line_comment();
+                    self.push(TokenKind::Comment, start, line, col);
+                }
+                b'/' if self.peek_at(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::Comment, start, line, col);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.push(kind, start, line, col);
+                }
+                b'r' | b'b' if self.raw_or_byte_literal() => {
+                    // raw_or_byte_literal consumed the whole literal.
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    let kind = self.number();
+                    self.push(kind, start, line, col);
+                }
+                _ if is_ident_start(b) => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    self.punct();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Block comments nest in Rust: `/* /* */ */` is one comment.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // consume "/*"
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek() {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes). After the quote: an escape is always a char; an
+    /// identifier run followed by a closing quote is a char (`'q'`), without
+    /// one it is a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then to closing quote.
+                self.bump_n(2);
+                while let Some(b) = self.peek() {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(b) if is_ident_start(b) => {
+                // Could be 'x' (char) or 'x / 'static (lifetime).
+                let mut ahead = 0;
+                while self
+                    .peek_at(ahead)
+                    .is_some_and(|c| is_ident_start(c) || c.is_ascii_digit())
+                {
+                    ahead += 1;
+                }
+                if self.peek_at(ahead) == Some(b'\'') {
+                    self.bump_n(ahead + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump_n(ahead);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // Non-identifier char like ' ' or '{'.
+                self.bump();
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns `false`
+    /// (consuming nothing) when the leading `r`/`b` is just an identifier
+    /// start.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut ahead = 0;
+        let mut raw = false;
+        if self.peek() == Some(b'b') {
+            ahead += 1;
+        }
+        if self.peek_at(ahead) == Some(b'r') {
+            raw = true;
+            ahead += 1;
+        }
+        if raw {
+            let mut hashes = 0;
+            while self.peek_at(ahead + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek_at(ahead + hashes) != Some(b'"') {
+                return false;
+            }
+            self.bump_n(ahead + hashes + 1);
+            // Scan for `"` followed by `hashes` hash marks.
+            'outer: while let Some(b) = self.peek() {
+                if b == b'"' {
+                    for i in 0..hashes {
+                        if self.peek_at(1 + i) != Some(b'#') {
+                            self.bump();
+                            continue 'outer;
+                        }
+                    }
+                    self.bump_n(1 + hashes);
+                    return true;
+                }
+                self.bump();
+            }
+            return true; // unterminated raw string: rest of file
+        }
+        // b"…" or b'…'
+        match self.peek_at(ahead) {
+            Some(b'"') => {
+                self.bump(); // 'b'
+                self.string_literal();
+                true
+            }
+            Some(b'\'') => {
+                self.bump(); // 'b'
+                self.char_or_lifetime();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lexes a number, deciding int vs float. `1.5`, `1.`, `1e3`, `1f64`
+    /// are floats; `1.max(2)` and `0..10` leave the dot(s) unconsumed and
+    /// stay ints.
+    fn number(&mut self) -> TokenKind {
+        if self.peek() == Some(b'0')
+            && matches!(
+                self.peek_at(1),
+                Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O')
+            )
+        {
+            self.bump_n(2);
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        self.digits();
+        if self.peek() == Some(b'.') {
+            match self.peek_at(1) {
+                // `1.5` — fractional part.
+                Some(b'0'..=b'9') => {
+                    float = true;
+                    self.bump();
+                    self.digits();
+                }
+                // `1..` (range) or `1.max()` (method call): still an int.
+                Some(b'.') => {}
+                Some(c) if is_ident_start(c) => {}
+                // `1.` — trailing-dot float.
+                _ => {
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E'))
+            && (self.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+                || (matches!(self.peek_at(1), Some(b'+' | b'-'))
+                    && self.peek_at(2).is_some_and(|b| b.is_ascii_digit())))
+        {
+            float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            self.digits();
+        }
+        // Type suffix: `1f64` is a float, `1u64` an int.
+        if self.src[self.pos..].starts_with("f32") || self.src[self.pos..].starts_with("f64") {
+            float = true;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.bump();
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn digits(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) {
+        while let Some(b) = self.peek() {
+            if is_ident_start(b) || b.is_ascii_digit() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn punct(&mut self) {
+        for op in MULTI_PUNCT {
+            if self.src[self.pos..].starts_with(op) {
+                self.bump_n(op.len());
+                return;
+            }
+        }
+        self.bump();
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "Instant".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "now".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_rules() {
+        let toks = lex(r#"let s = "Instant::now() unwrap";"#);
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || t.text != "unwrap"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"r#"embedded "quote" here"# x"##);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'static '\\n' &'a str");
+        assert_eq!(toks[0].0, TokenKind::Char);
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'static".into()));
+        assert_eq!(toks[2].0, TokenKind::Char);
+        assert_eq!(toks[4], (TokenKind::Lifetime, "'a".into()));
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call() {
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("42")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0xFF")[0].0, TokenKind::Int);
+        // Method call on an int literal: the dot is punctuation.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        // Range: two ints.
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1], (TokenKind::Punct, "..".into()));
+        assert_eq!(toks[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn comments_keep_text_for_pragmas() {
+        let toks = lex("x // lint:allow(no-float-eq, exact zero guard)\ny");
+        let comment = toks.iter().find(|t| t.kind == TokenKind::Comment);
+        assert!(comment.is_some_and(|c| c.text.contains("lint:allow")));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  b==c");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3)); // b
+        assert_eq!(toks[2].text, "==");
+        assert_eq!((toks[2].line, toks[2].col), (2, 4));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let toks = kinds("self.0 == 0.0");
+        assert_eq!(toks[0], (TokenKind::Ident, "self".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[2].0, TokenKind::Int);
+        assert_eq!(toks[3], (TokenKind::Punct, "==".into()));
+        assert_eq!(toks[4].0, TokenKind::Float);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r##"b"AF" b'x' br#"raw"# ident"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str); // byte char lexes via char path
+        assert_eq!(toks.last().map(|t| t.1.clone()), Some("ident".into()));
+    }
+}

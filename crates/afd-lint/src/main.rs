@@ -1,0 +1,75 @@
+//! Command-line driver for [`afd_lint`].
+//!
+//! ```text
+//! afd-lint [--root PATH] [--json] [--check]
+//! ```
+//!
+//! Exit codes: `0` clean (or report-only mode), `1` unsuppressed findings
+//! under `--check`, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace this binary was built from (two levels
+    // above the crate's manifest), so `cargo run -p afd-lint` works from
+    // any cwd.
+    let mut args = Args {
+        root: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        json: false,
+        check: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--check" => args.check = true,
+            "--root" => {
+                let Some(path) = argv.next() else {
+                    return Err("--root requires a path".to_string());
+                };
+                args.root = PathBuf::from(path);
+            }
+            "--help" | "-h" => {
+                return Err("usage: afd-lint [--root PATH] [--json] [--check]".to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("afd-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match afd_lint::lint_workspace(&args.root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("afd-lint: failed to scan {}: {err}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if args.check && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

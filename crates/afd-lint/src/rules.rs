@@ -1,0 +1,458 @@
+//! The six project-invariant rules, run over a file's token stream.
+//!
+//! Each rule is a scoped token-pattern check. The scopes encode *why* the
+//! invariant exists:
+//!
+//! | rule | invariant protected |
+//! |------|---------------------|
+//! | `clock-discipline` | real time enters only through `afd-runtime/src/clock.rs`, so every component is drivable by `VirtualClock` |
+//! | `no-panic-paths` | the detector stack (`afd-core`, `afd-runtime`, `afd-obs`) degrades through typed errors, never aborts |
+//! | `no-float-eq` | suspicion levels are `f64`; exact comparison is a latent bug unless justified |
+//! | `no-thread-sleep` | library code waits on the `Clock`/callback abstractions, keeping the chaos harness deterministic |
+//! | `relaxed-atomics-audit` | every `Ordering::Relaxed` read-modify-write in `afd-obs` carries a written justification |
+//! | `crate-hygiene` | every crate root forbids `unsafe_code` |
+//!
+//! Any rule can be silenced per line with `// lint:allow(rule, reason)` —
+//! see [`crate::pragma`]. A malformed pragma is reported under the
+//! synthetic rule name `invalid-pragma`.
+
+use crate::context::FileContext;
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::pragma;
+
+/// The rule names a pragma may reference.
+pub const RULE_NAMES: &[&str] = &[
+    "clock-discipline",
+    "no-panic-paths",
+    "no-float-eq",
+    "no-thread-sleep",
+    "relaxed-atomics-audit",
+    "crate-hygiene",
+];
+
+/// Crates whose library code must be panic-free.
+const NO_PANIC_CRATES: &[&str] = &["afd-core", "afd-runtime", "afd-obs"];
+
+/// The one file allowed to read the OS clock.
+const CLOCK_MODULE: &str = "crates/afd-runtime/src/clock.rs";
+
+/// Atomic read-modify-write methods subject to the relaxed-ordering audit.
+const RMW_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "swap",
+];
+
+/// Lints one file: lexes nothing (tokens come in pre-lexed), applies every
+/// rule in scope, resolves pragmas, and returns `(unsuppressed findings,
+/// suppressed count)`.
+pub fn lint_tokens(ctx: &FileContext, tokens: &[Token]) -> (Vec<Finding>, usize) {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    clock_discipline(ctx, &code, &mut raw);
+    no_panic_paths(ctx, &code, &mut raw);
+    no_float_eq(ctx, &code, &mut raw);
+    no_thread_sleep(ctx, &code, &mut raw);
+    relaxed_atomics_audit(ctx, &code, &mut raw);
+    crate_hygiene(ctx, &code, &mut raw);
+
+    let (pragmas, pragma_errors) = pragma::collect(tokens);
+    let mut suppressed = 0usize;
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let covered = pragmas.iter().any(|p| p.covers(f.rule, f.line));
+            if covered {
+                suppressed += 1;
+            }
+            !covered
+        })
+        .collect();
+    for err in pragma_errors {
+        findings.push(Finding {
+            rule: "invalid-pragma",
+            path: ctx.path.clone(),
+            line: err.line,
+            col: err.col,
+            message: err.message,
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.col));
+    (findings, suppressed)
+}
+
+/// Convenience for tests and the driver: lex + context + lint in one call.
+pub fn lint_source(path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let tokens = crate::lexer::lex(src);
+    let ctx = FileContext::new(path, &tokens);
+    lint_tokens(&ctx, &tokens)
+}
+
+fn finding(ctx: &FileContext, rule: &'static str, tok: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        path: ctx.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}
+
+/// `Instant::now` / `SystemTime::now` anywhere outside the clock module.
+/// `Instant::now()` is the *only* way to mint an `Instant`, so policing the
+/// acquisition point is sufficient — downstream `.elapsed()` calls cannot
+/// exist without one.
+fn clock_discipline(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if ctx.path == CLOCK_MODULE {
+        return;
+    }
+    for w in code.windows(3) {
+        let [a, b, c] = w else { continue };
+        if (a.text == "Instant" || a.text == "SystemTime")
+            && a.kind == TokenKind::Ident
+            && b.text == "::"
+            && c.text == "now"
+            && !ctx.is_test_line(a.line)
+        {
+            out.push(finding(
+                ctx,
+                "clock-discipline",
+                a,
+                format!(
+                    "raw `{}::now` outside {CLOCK_MODULE}; route time through the `Clock` \
+                     trait so this code runs under `VirtualClock`",
+                    a.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` in
+/// library code of the no-panic crates.
+fn no_panic_paths(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if !NO_PANIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || !ctx.is_library_line(tok.line) {
+            continue;
+        }
+        let next = |n: usize| code.get(i + n).map(|t| t.text.as_str());
+        match tok.text.as_str() {
+            "unwrap" | "expect" if i > 0 && code[i - 1].text == "." && next(1) == Some("(") => {
+                out.push(finding(
+                    ctx,
+                    "no-panic-paths",
+                    tok,
+                    format!(
+                        "`.{}()` in {} library code; return a typed error or make the \
+                         invariant explicit (`let … else` + `debug_assert!`)",
+                        tok.text, ctx.crate_name
+                    ),
+                ));
+            }
+            "panic" | "todo" | "unimplemented" if next(1) == Some("!") => {
+                out.push(finding(
+                    ctx,
+                    "no-panic-paths",
+                    tok,
+                    format!(
+                        "`{}!` in {} library code; degrade through a typed error instead \
+                         of aborting the detector stack",
+                        tok.text, ctx.crate_name
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `==` / `!=` with a float operand. Token-level type inference is out of
+/// scope, so the check is literal-driven: a float literal (or an `f32::` /
+/// `f64::` associated constant) on either side of the comparison.
+fn no_float_eq(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Punct || (tok.text != "==" && tok.text != "!=") {
+            continue;
+        }
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let left_float = i > 0 && code[i - 1].kind == TokenKind::Float;
+        // Rightward: skip unary minus and open parens.
+        let mut j = i + 1;
+        while code.get(j).is_some_and(|t| t.text == "-" || t.text == "(") {
+            j += 1;
+        }
+        let right_float = code.get(j).is_some_and(|t| {
+            t.kind == TokenKind::Float
+                || (matches!(t.text.as_str(), "f32" | "f64")
+                    && code.get(j + 1).is_some_and(|n| n.text == "::"))
+        });
+        if left_float || right_float {
+            out.push(finding(
+                ctx,
+                "no-float-eq",
+                tok,
+                "exact float comparison; suspicion levels are f64 — compare with a \
+                 tolerance, use `total_cmp`, or justify an exact guard with a pragma"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `thread::sleep` in library code. The sender/retry machinery takes
+/// injected `sleep` callbacks precisely so production wiring chooses real
+/// sleeping while the chaos harness stays on virtual time; a direct call
+/// hard-wires the wall clock.
+fn no_thread_sleep(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    for w in code.windows(3) {
+        let [a, b, c] = w else { continue };
+        if a.text == "thread"
+            && a.kind == TokenKind::Ident
+            && b.text == "::"
+            && c.text == "sleep"
+            && ctx.is_library_line(a.line)
+        {
+            out.push(finding(
+                ctx,
+                "no-thread-sleep",
+                a,
+                "`thread::sleep` in library code; accept a sleep callback or wait on the \
+                 `Clock` abstraction so the chaos harness stays deterministic"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Read-modify-write atomics with `Ordering::Relaxed` in `afd-obs` require
+/// a pragma: relaxed RMWs are usually right for monotone counters, but each
+/// one deserves a written claim about why no ordering is needed.
+fn relaxed_atomics_audit(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if ctx.crate_name != "afd-obs" {
+        return;
+    }
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident
+            || !RMW_METHODS.contains(&tok.text.as_str())
+            || !ctx.is_library_line(tok.line)
+            || code.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        // Scan the balanced argument list for a `Relaxed` identifier.
+        let mut depth = 0usize;
+        let mut relaxed = false;
+        for t in &code[i + 1..] {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "Relaxed" if t.kind == TokenKind::Ident => relaxed = true,
+                _ => {}
+            }
+        }
+        if relaxed {
+            out.push(finding(
+                ctx,
+                "relaxed-atomics-audit",
+                tok,
+                format!(
+                    "`{}` with `Ordering::Relaxed`; state why no ordering is required with \
+                     `// lint:allow(relaxed-atomics-audit, reason)`",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Crate roots must carry `#![forbid(unsafe_code)]`.
+fn crate_hygiene(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if !ctx.is_crate_root() {
+        return;
+    }
+    for (i, tok) in code.iter().enumerate() {
+        if tok.text == "forbid" && code.get(i + 1).is_some_and(|t| t.text == "(") {
+            let mut depth = 0usize;
+            for t in &code[i + 1..] {
+                match t.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "unsafe_code" => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+    out.push(Finding {
+        rule: "crate-hygiene",
+        path: ctx.path.clone(),
+        line: 1,
+        col: 1,
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_library_code_produces_nothing() {
+        let (findings, suppressed) = lint_source(
+            "crates/afd-core/src/x.rs",
+            "pub fn phi(x: f64) -> f64 { x + 1.0 }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn clock_module_is_exempt() {
+        let src = "fn now() { let t = Instant::now(); }\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/clock.rs", src);
+        assert!(findings.is_empty());
+        let (findings, _) = lint_source("crates/afd-runtime/src/supervisor.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "clock-discipline");
+    }
+
+    #[test]
+    fn panic_rules_scope_to_the_three_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let (findings, _) = lint_source("crates/afd-core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        // afd-sim is outside the no-panic scope.
+        let (findings, _) = lint_source("crates/afd-sim/src/x.rs", src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_mod_is_fine() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { Some(1).unwrap(); }\n}\n";
+        let (findings, _) = lint_source("crates/afd-obs/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unwrap_or_default_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n";
+        let (findings, _) = lint_source("crates/afd-core/src/x.rs", src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_works_and_counts() {
+        let src = "fn f(x: f64) -> bool {\n    // lint:allow(no-float-eq, exact sentinel)\n    x == 0.0\n}\n";
+        let (findings, suppressed) = lint_source("crates/afd-core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn trailing_pragma_on_same_line_works() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 } // lint:allow(no-float-eq, exact sentinel)\n";
+        let (findings, suppressed) = lint_source("crates/afd-core/src/x.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn relaxed_rmw_needs_pragma_loads_do_not() {
+        let src = "fn f(a: &AtomicU64) {\n    a.fetch_add(1, Ordering::Relaxed);\n    a.load(Ordering::Relaxed);\n}\n";
+        let (findings, _) = lint_source("crates/afd-obs/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "relaxed-atomics-audit");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn multiline_compare_exchange_is_caught_at_the_method() {
+        let src = "fn f(a: &AtomicU64) {\n    let _ = a.compare_exchange_weak(\n        0,\n        1,\n        Ordering::Relaxed,\n        Ordering::Relaxed,\n    );\n}\n";
+        let (findings, _) = lint_source("crates/afd-obs/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn hygiene_only_fires_on_crate_roots() {
+        let src = "pub mod x;\n";
+        let (findings, _) = lint_source("crates/afd-core/src/lib.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "crate-hygiene");
+        let (findings, _) = lint_source("crates/afd-core/src/x.rs", src);
+        assert!(findings.is_empty());
+        let src = "#![forbid(unsafe_code)]\npub mod x;\n";
+        let (findings, _) = lint_source("crates/afd-core/src/lib.rs", src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn invalid_pragma_is_its_own_finding() {
+        let src = "// lint:allow(no-float-eq)\nfn f() {}\n";
+        let (findings, _) = lint_source("crates/afd-core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "invalid-pragma");
+    }
+
+    #[test]
+    fn float_eq_catches_associated_constants() {
+        let src = "fn f(x: f64) -> bool { x == f64::INFINITY }\n";
+        let (findings, _) = lint_source("crates/afd-core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-float-eq");
+    }
+
+    #[test]
+    fn int_eq_is_fine() {
+        let src = "fn f(x: u64) -> bool { x == 0 }\n";
+        let (findings, _) = lint_source("crates/afd-core/src/x.rs", src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn thread_sleep_allowed_in_examples_not_lib() {
+        let src = "fn f() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n";
+        let (findings, _) = lint_source("examples/live_chaos.rs", src);
+        assert!(findings.is_empty());
+        let (findings, _) = lint_source("crates/afd-runtime/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-thread-sleep");
+    }
+
+    #[test]
+    fn injected_sleep_callback_is_not_flagged() {
+        let src = "fn f(mut sleep: impl FnMut(u64)) { sleep(3); }\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/x.rs", src);
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: raw clock reads outside the clock module must flag.
+use std::time::{Instant, SystemTime};
+
+pub fn epoch() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

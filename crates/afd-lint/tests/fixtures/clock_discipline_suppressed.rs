@@ -1,0 +1,7 @@
+// Fixture: a reasoned pragma silences the clock rule.
+use std::time::Instant;
+
+pub fn epoch() -> Instant {
+    // lint:allow(clock-discipline, process bootstrap reads the OS clock once)
+    Instant::now()
+}

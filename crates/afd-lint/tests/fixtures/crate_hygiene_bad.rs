@@ -1,0 +1,4 @@
+// Fixture: a crate root without `#![forbid(unsafe_code)]` must flag.
+#![warn(missing_docs)]
+
+pub mod something;

@@ -1,0 +1,4 @@
+// lint:allow(crate-hygiene, prototype crate pending its unsafe audit)
+#![warn(missing_docs)]
+
+pub mod something;

@@ -1,0 +1,12 @@
+// Fixture: exact float comparisons must flag.
+pub fn a(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn b(x: f64) -> bool {
+    x != 1.5
+}
+
+pub fn c(x: f64) -> bool {
+    x == f64::INFINITY
+}

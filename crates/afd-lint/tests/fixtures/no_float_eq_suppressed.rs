@@ -1,0 +1,5 @@
+// Fixture: an exact zero guard may be suppressed with a reason.
+pub fn guard(denom: f64) -> bool {
+    // lint:allow(no-float-eq, exact zero guard before division)
+    denom == 0.0
+}

@@ -1,0 +1,16 @@
+// Fixture: every panic path in runtime-crate library code must flag.
+pub fn a(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn b(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn c() {
+    panic!("boom");
+}
+
+pub fn d() {
+    todo!()
+}

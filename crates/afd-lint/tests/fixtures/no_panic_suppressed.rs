@@ -1,0 +1,5 @@
+// Fixture: a documented invariant panic may be suppressed with a reason.
+pub fn checked(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic-paths, documented API contract mirrors std)
+    x.expect("caller guarantees Some per the documented contract")
+}

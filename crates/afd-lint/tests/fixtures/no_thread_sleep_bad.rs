@@ -1,0 +1,4 @@
+// Fixture: wall-clock sleeping in library code must flag.
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

@@ -1,0 +1,5 @@
+// Fixture: a real-time thread wrapper may sleep, with a stated reason.
+pub fn nap() {
+    // lint:allow(no-thread-sleep, real-time wrapper; virtual-time callers drive the core directly)
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

@@ -1,0 +1,5 @@
+// Fixture: a pragma without a reason is itself rejected.
+pub fn guard(denom: f64) -> bool {
+    // lint:allow(no-float-eq)
+    denom == 0.0
+}

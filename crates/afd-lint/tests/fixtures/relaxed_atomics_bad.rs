@@ -1,0 +1,8 @@
+// Fixture: an unannotated Relaxed read-modify-write must flag; the
+// Relaxed load must not.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified Relaxed read-modify-write passes.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // lint:allow(relaxed-atomics-audit, monotone counter; readers only need eventual totals)
+    counter.fetch_add(1, Ordering::Relaxed);
+}

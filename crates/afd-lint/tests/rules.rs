@@ -1,0 +1,214 @@
+//! Fixture-driven self-tests for the rule engine.
+//!
+//! Each of the six rules gets a known-bad snippet (must flag, with exact
+//! rule name, path, and line) and a pragma'd variant (must pass and count
+//! as suppressed). Fixtures live under `tests/fixtures/`, a directory the
+//! workspace walker skips precisely because these files violate the rules
+//! on purpose.
+//!
+//! Fixtures are linted under *virtual* workspace paths so each lands in
+//! the scope its rule targets (e.g. the relaxed-atomics fixture poses as
+//! an `afd-obs` source file).
+
+use std::fs;
+use std::path::Path;
+
+use afd_lint::diag::Finding;
+use afd_lint::rules::lint_source;
+
+/// Reads a fixture and lints it as if it lived at `virtual_path`.
+fn lint_fixture(name: &str, virtual_path: &str) -> (Vec<Finding>, usize) {
+    let on_disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&on_disk)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", on_disk.display()));
+    lint_source(virtual_path, &src)
+}
+
+/// Asserts that `findings` contains exactly one finding of `rule` at
+/// `line`, carrying `path`.
+fn assert_single(findings: &[Finding], rule: &str, path: &str, line: u32) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one {rule} finding, got: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, rule);
+    assert_eq!(findings[0].path, path);
+    assert_eq!(findings[0].line, line);
+}
+
+#[test]
+fn clock_discipline_fires_on_raw_reads() {
+    let path = "crates/afd-runtime/src/supervisor.rs";
+    let (findings, suppressed) = lint_fixture("clock_discipline_bad.rs", path);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "clock-discipline"));
+    assert!(findings.iter().all(|f| f.path == path));
+    assert_eq!(findings[0].line, 5); // Instant::now
+    assert_eq!(findings[1].line, 9); // SystemTime::now
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn clock_discipline_honors_reasoned_pragma() {
+    let (findings, suppressed) = lint_fixture(
+        "clock_discipline_suppressed.rs",
+        "crates/afd-runtime/src/supervisor.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn clock_discipline_exempts_the_clock_module() {
+    let (findings, _) = lint_fixture("clock_discipline_bad.rs", "crates/afd-runtime/src/clock.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_panic_paths_fires_on_each_construct() {
+    let path = "crates/afd-core/src/accrual.rs";
+    let (findings, _) = lint_fixture("no_panic_bad.rs", path);
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "no-panic-paths"));
+    assert!(findings.iter().all(|f| f.path == path));
+    let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![3, 7, 11, 15]); // unwrap, expect, panic!, todo!
+}
+
+#[test]
+fn no_panic_paths_is_scoped_to_runtime_crates() {
+    // The same snippet inside afd-sim (outside the no-panic scope) passes.
+    let (findings, _) = lint_fixture("no_panic_bad.rs", "crates/afd-sim/src/engine.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_panic_paths_honors_reasoned_pragma() {
+    let (findings, suppressed) =
+        lint_fixture("no_panic_suppressed.rs", "crates/afd-obs/src/registry.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn no_float_eq_fires_on_literals_and_constants() {
+    let path = "crates/afd-core/src/suspicion.rs";
+    let (findings, _) = lint_fixture("no_float_eq_bad.rs", path);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "no-float-eq"));
+    assert!(findings.iter().all(|f| f.path == path));
+    let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![3, 7, 11]);
+}
+
+#[test]
+fn no_float_eq_honors_reasoned_pragma() {
+    let (findings, suppressed) =
+        lint_fixture("no_float_eq_suppressed.rs", "crates/afd-sim/src/loss.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn no_thread_sleep_fires_in_library_code() {
+    let path = "crates/afd-runtime/src/sender.rs";
+    let (findings, _) = lint_fixture("no_thread_sleep_bad.rs", path);
+    assert_single(&findings, "no-thread-sleep", path, 3);
+}
+
+#[test]
+fn no_thread_sleep_exempts_examples() {
+    let (findings, _) = lint_fixture("no_thread_sleep_bad.rs", "examples/live_chaos.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_thread_sleep_honors_reasoned_pragma() {
+    let (findings, suppressed) = lint_fixture(
+        "no_thread_sleep_suppressed.rs",
+        "crates/afd-runtime/src/sender.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn relaxed_atomics_audit_fires_on_rmw_not_load() {
+    let path = "crates/afd-obs/src/registry.rs";
+    let (findings, _) = lint_fixture("relaxed_atomics_bad.rs", path);
+    // Only the fetch_add (line 6) — the Relaxed load on line 7 is fine.
+    assert_single(&findings, "relaxed-atomics-audit", path, 6);
+}
+
+#[test]
+fn relaxed_atomics_audit_is_scoped_to_afd_obs() {
+    let (findings, _) = lint_fixture(
+        "relaxed_atomics_bad.rs",
+        "crates/afd-runtime/src/monitor.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn relaxed_atomics_audit_honors_reasoned_pragma() {
+    let (findings, suppressed) = lint_fixture(
+        "relaxed_atomics_suppressed.rs",
+        "crates/afd-obs/src/registry.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn crate_hygiene_fires_on_unprotected_roots() {
+    let path = "crates/afd-runtime/src/lib.rs";
+    let (findings, _) = lint_fixture("crate_hygiene_bad.rs", path);
+    assert_single(&findings, "crate-hygiene", path, 1);
+}
+
+#[test]
+fn crate_hygiene_ignores_non_roots() {
+    let (findings, _) = lint_fixture("crate_hygiene_bad.rs", "crates/afd-runtime/src/wire.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn crate_hygiene_honors_reasoned_pragma() {
+    let (findings, suppressed) =
+        lint_fixture("crate_hygiene_suppressed.rs", "crates/afd-x/src/lib.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn reasonless_pragma_is_rejected_and_does_not_suppress() {
+    let path = "crates/afd-sim/src/loss.rs";
+    let (findings, suppressed) = lint_fixture("pragma_no_reason.rs", path);
+    assert_eq!(suppressed, 0, "a reasonless pragma must not suppress");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    // The malformed pragma itself…
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "invalid-pragma" && f.line == 3 && f.message.contains("reason")));
+    // …and the float comparison it failed to silence.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "no-float-eq" && f.line == 4));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The acceptance gate, as a test: zero unsuppressed findings across
+    // the real workspace.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = afd_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed findings:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 100, "walker found too few files");
+}

@@ -198,9 +198,13 @@ impl OnlineQos {
                 self.last_suspect = Some(at);
             }
             Some(Transition::Trust) => {
-                let s_at = self
-                    .last_suspect
-                    .expect("a T-transition is always preceded by an S-transition");
+                // A T-transition is always preceded by an S-transition; if
+                // that state-machine invariant ever breaks, drop the sample
+                // rather than abort a live metrics pipeline.
+                let Some(s_at) = self.last_suspect else {
+                    debug_assert!(false, "T-transition without preceding S-transition");
+                    return;
+                };
                 self.duration_sum += (at - s_at).as_secs_f64();
                 self.durations += 1;
                 self.last_trust = Some(at);

@@ -22,12 +22,14 @@ impl Counter {
     /// Increments by one.
     #[inline]
     pub fn inc(&self) {
+        // lint:allow(relaxed-atomics-audit, monotone counter; readers need eventual totals, no inter-metric ordering)
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increments by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // lint:allow(relaxed-atomics-audit, monotone counter; readers need eventual totals, no inter-metric ordering)
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -112,11 +114,14 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(core.bounds.len());
+        // lint:allow(relaxed-atomics-audit, per-bucket tallies are independent monotone counts; snapshots tolerate torn cross-bucket views)
         core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // lint:allow(relaxed-atomics-audit, count mirrors bucket totals; snapshot consistency is best-effort by design)
         core.count.fetch_add(1, Ordering::Relaxed);
         let mut prev = core.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(prev) + value).to_bits();
+            // lint:allow(relaxed-atomics-audit, CAS retry loop over one cell; success needs no ordering with other memory)
             match core.sum_bits.compare_exchange_weak(
                 prev,
                 next,
@@ -223,6 +228,7 @@ impl Registry {
             .or_insert_with(|| Metric::Counter(Counter::default()))
         {
             Metric::Counter(c) => c.clone(),
+            // lint:allow(no-panic-paths, documented Panics contract; kind misregistration is a startup programming error)
             other => panic!("metric {name:?} already registered as a {}", other.kind()),
         }
     }
@@ -239,6 +245,7 @@ impl Registry {
             .or_insert_with(|| Metric::Gauge(Gauge::default()))
         {
             Metric::Gauge(g) => g.clone(),
+            // lint:allow(no-panic-paths, documented Panics contract; kind misregistration is a startup programming error)
             other => panic!("metric {name:?} already registered as a {}", other.kind()),
         }
     }
@@ -257,6 +264,7 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(Histogram::new(bounds.to_vec())))
         {
             Metric::Histogram(h) => h.clone(),
+            // lint:allow(no-panic-paths, documented Panics contract; kind misregistration is a startup programming error)
             other => panic!("metric {name:?} already registered as a {}", other.kind()),
         }
     }

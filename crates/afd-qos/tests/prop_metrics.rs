@@ -2,6 +2,9 @@
 //! must hold for *any* binary history, checked against independent
 //! recomputations.
 
+// Exact float equality is intentional in test assertions.
+#![allow(clippy::float_cmp)]
+
 use afd_core::binary::{Status, TransitionDetector};
 use afd_core::history::BinaryTrace;
 use afd_core::time::Timestamp;

@@ -367,17 +367,22 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
         }
 
         if t >= next_query {
-            let trio = monitor.detector_mut(process).expect("watched");
-            let thr = scenario.qos_threshold;
-            let level = trio.simple().suspicion_level(t);
-            let degraded = trio.simple().is_degraded();
-            trackers[0].observe(t, level, degraded, thr, process, &mut events);
-            let level = trio.chen().suspicion_level(t);
-            let degraded = trio.chen().is_degraded();
-            trackers[1].observe(t, level, degraded, thr, process, &mut events);
-            let level = trio.phi().suspicion_level(t);
-            let degraded = trio.phi().is_degraded();
-            trackers[2].observe(t, level, degraded, thr, process, &mut events);
+            // `process` is watched at harness setup and never unwatched; a
+            // missing detector would mean the harness itself is broken, so
+            // skip the query rather than abort the run.
+            debug_assert!(monitor.detector_mut(process).is_some(), "process watched");
+            if let Some(trio) = monitor.detector_mut(process) {
+                let thr = scenario.qos_threshold;
+                let level = trio.simple().suspicion_level(t);
+                let degraded = trio.simple().is_degraded();
+                trackers[0].observe(t, level, degraded, thr, process, &mut events);
+                let level = trio.chen().suspicion_level(t);
+                let degraded = trio.chen().is_degraded();
+                trackers[1].observe(t, level, degraded, thr, process, &mut events);
+                let level = trio.phi().suspicion_level(t);
+                let degraded = trio.phi().is_degraded();
+                trackers[2].observe(t, level, degraded, thr, process, &mut events);
+            }
             next_query += scenario.query_every;
         }
         t += scenario.tick;

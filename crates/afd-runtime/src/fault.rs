@@ -264,9 +264,12 @@ impl<T: Transport, C: Clock> Transport for FaultInjector<T, C> {
             self.stage(frame, now);
         }
         // Surface the earliest staged frame whose time has come.
-        if let Some(next) = self.staged.peek() {
-            if next.deliver_at <= now.as_nanos() {
-                let staged = self.staged.pop().expect("peeked");
+        let due = self
+            .staged
+            .peek()
+            .is_some_and(|next| next.deliver_at <= now.as_nanos());
+        if due {
+            if let Some(staged) = self.staged.pop() {
                 self.stats.delivered += 1;
                 return Ok(Some(staged.frame));
             }

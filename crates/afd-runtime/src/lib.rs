@@ -23,8 +23,11 @@
 //!   every failure mode is exercised reproducibly, and the [`chaos`]
 //!   harness turns whole scenarios into deterministic virtual-time runs.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod chaos;
 pub mod clock;

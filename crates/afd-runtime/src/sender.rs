@@ -178,7 +178,7 @@ struct SenderCtrl {
 #[derive(Debug)]
 pub struct SenderHandle {
     ctrl: Arc<SenderCtrl>,
-    handle: Option<JoinHandle<Result<(), RuntimeError>>>,
+    handle: JoinHandle<Result<(), RuntimeError>>,
 }
 
 impl SenderHandle {
@@ -198,9 +198,9 @@ impl SenderHandle {
     ///
     /// Propagates the thread's terminal [`RuntimeError`], or reports
     /// [`RuntimeError::ThreadFailed`] if it panicked.
-    pub fn stop(mut self) -> Result<(), RuntimeError> {
+    pub fn stop(self) -> Result<(), RuntimeError> {
         self.ctrl.stopped.store(true, Ordering::SeqCst);
-        match self.handle.take().expect("not yet joined").join() {
+        match self.handle.join() {
             Ok(result) => result,
             Err(_) => Err(RuntimeError::ThreadFailed {
                 component: "sender",
@@ -243,15 +243,14 @@ where
                 core.recover(clock.now());
             }
             core.poll(clock.now(), &mut transport, |d| {
-                std::thread::sleep(std::time::Duration::from_nanos(d.as_nanos()))
+                // lint:allow(no-thread-sleep, this IS the real-time wrapper; virtual-time callers drive SenderCore directly)
+                std::thread::sleep(std::time::Duration::from_nanos(d.as_nanos()));
             })?;
+            // lint:allow(no-thread-sleep, real-time pacing nap of the thread wrapper; the chaos harness never runs this loop)
             std::thread::sleep(nap);
         }
     });
-    SenderHandle {
-        ctrl,
-        handle: Some(handle),
-    }
+    SenderHandle { ctrl, handle }
 }
 
 #[cfg(test)]

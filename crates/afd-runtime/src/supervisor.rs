@@ -11,9 +11,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use afd_core::time::{Duration, Timestamp};
+
+use crate::clock::Clock;
 
 /// Pure stall detection over a monotone liveness counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,16 +59,21 @@ pub struct SupervisedThread {
 }
 
 /// Restarts a worker thread when it dies or stalls.
-pub struct Supervisor {
+///
+/// Time comes from an injected [`Clock`]: production wiring hands it a
+/// [`SystemClock`](crate::clock::SystemClock), while tests drive stall
+/// detection deterministically with a
+/// [`VirtualClock`](crate::clock::VirtualClock).
+pub struct Supervisor<C> {
     spawn: Box<dyn FnMut() -> SupervisedThread + Send>,
     current: SupervisedThread,
     watchdog: Watchdog,
-    epoch: Instant,
+    clock: C,
     stall_after: Duration,
     restarts: u64,
 }
 
-impl std::fmt::Debug for Supervisor {
+impl<C> std::fmt::Debug for Supervisor<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Supervisor")
             .field("restarts", &self.restarts)
@@ -75,26 +81,28 @@ impl std::fmt::Debug for Supervisor {
     }
 }
 
-impl Supervisor {
-    /// Spawns the first worker via `spawn` and supervises it.
+impl<C: Clock> Supervisor<C> {
+    /// Spawns the first worker via `spawn` and supervises it on `clock`'s
+    /// timeline.
     pub fn new(
         mut spawn: impl FnMut() -> SupervisedThread + Send + 'static,
         stall_after: Duration,
+        clock: C,
     ) -> Self {
         let current = spawn();
-        let epoch = Instant::now();
+        let watchdog = Watchdog::new(stall_after, clock.now());
         Supervisor {
             spawn: Box::new(spawn),
             current,
-            watchdog: Watchdog::new(stall_after, Timestamp::ZERO),
-            epoch,
+            watchdog,
+            clock,
             stall_after,
             restarts: 0,
         }
     }
 
     fn now(&self) -> Timestamp {
-        Timestamp::from_nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        self.clock.now()
     }
 
     /// Checks the worker once; call this periodically. Returns `true` if a
@@ -138,6 +146,7 @@ impl Supervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::{SystemClock, VirtualClock};
 
     fn ts(s: u64) -> Timestamp {
         Timestamp::from_secs(s)
@@ -186,7 +195,11 @@ mod tests {
 
     #[test]
     fn healthy_worker_is_left_alone() {
-        let mut sup = Supervisor::new(|| looping_thread(None), Duration::from_secs(5));
+        let mut sup = Supervisor::new(
+            || looping_thread(None),
+            Duration::from_secs(5),
+            SystemClock::new(),
+        );
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!sup.tick());
         assert_eq!(sup.restarts(), 0);
@@ -195,7 +208,11 @@ mod tests {
 
     #[test]
     fn dead_worker_is_restarted() {
-        let mut sup = Supervisor::new(|| looping_thread(Some(3)), Duration::from_secs(60));
+        let mut sup = Supervisor::new(
+            || looping_thread(Some(3)),
+            Duration::from_secs(60),
+            SystemClock::new(),
+        );
         // Wait for the worker to run off the end of its 3 iterations.
         let mut restarted = false;
         for _ in 0..200 {
@@ -206,6 +223,40 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         assert!(restarted, "supervisor never noticed the dead worker");
+        assert_eq!(sup.restarts(), 1);
+        sup.shutdown();
+    }
+
+    /// The reason the epoch goes through [`Clock`]: a stall is provable in
+    /// virtual time, with no real waiting and no flakiness.
+    #[test]
+    fn stalled_worker_is_restarted_under_virtual_time() {
+        let clock = VirtualClock::new();
+        // A worker that parks forever without bumping its counter — but
+        // still honors stop, so shutdown stays clean.
+        let spawn = || {
+            let liveness = Arc::new(AtomicU64::new(0));
+            let stop = Arc::new(AtomicBool::new(false));
+            let t_stop = Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                while !t_stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+            SupervisedThread {
+                liveness,
+                stop,
+                handle,
+            }
+        };
+        let mut sup = Supervisor::new(spawn, Duration::from_secs(5), clock.clone());
+        // Within the stall budget: nothing happens.
+        clock.advance(Duration::from_secs(4));
+        assert!(!sup.tick());
+        // Budget exceeded with no liveness movement: restart, immediately,
+        // deterministically.
+        clock.advance(Duration::from_secs(2));
+        assert!(sup.tick());
         assert_eq!(sup.restarts(), 1);
         sup.shutdown();
     }

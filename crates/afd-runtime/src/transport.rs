@@ -12,7 +12,7 @@
 //! without extra threads.
 
 use std::io::ErrorKind;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 
 use crate::error::TransportError;
@@ -110,7 +110,7 @@ impl UdpTransport {
     ///
     /// Returns [`TransportError`] if loopback sockets cannot be created.
     pub fn loopback_pair() -> Result<(UdpTransport, UdpTransport), TransportError> {
-        let any: SocketAddr = "127.0.0.1:0".parse().expect("static loopback addr");
+        let any = SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0));
         let a = UdpSocket::bind(any)?;
         let b = UdpSocket::bind(any)?;
         a.set_nonblocking(true)?;

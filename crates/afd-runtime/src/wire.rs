@@ -91,9 +91,12 @@ impl Heartbeat {
     ///
     /// Returns [`WireError`] if the frame is malformed or corrupted.
     pub fn decode(frame: &[u8]) -> Result<Heartbeat, WireError> {
-        if frame.len() != FRAME_LEN {
-            return Err(WireError::BadLength(frame.len()));
-        }
+        // Pinning the length in the type up front makes every later read a
+        // compile-time-bounded array index — no fallible slice-to-array
+        // conversions left in the body.
+        let frame: &[u8; FRAME_LEN] = frame
+            .try_into()
+            .map_err(|_| WireError::BadLength(frame.len()))?;
         if frame[0..2] != MAGIC {
             return Err(WireError::BadMagic);
         }
@@ -103,13 +106,17 @@ impl Heartbeat {
         if frame[3] != KIND_HEARTBEAT {
             return Err(WireError::BadKind(frame[3]));
         }
-        let expected = u32::from_le_bytes(frame[24..28].try_into().expect("4 bytes"));
+        let expected = u32::from_le_bytes([frame[24], frame[25], frame[26], frame[27]]);
         if fnv1a(&frame[..24]) != expected {
             return Err(WireError::ChecksumMismatch);
         }
-        let sender = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
-        let seq = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
-        let nanos = u64::from_le_bytes(frame[16..24].try_into().expect("8 bytes"));
+        let sender = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        let seq = u64::from_le_bytes([
+            frame[8], frame[9], frame[10], frame[11], frame[12], frame[13], frame[14], frame[15],
+        ]);
+        let nanos = u64::from_le_bytes([
+            frame[16], frame[17], frame[18], frame[19], frame[20], frame[21], frame[22], frame[23],
+        ]);
         Ok(Heartbeat {
             sender: ProcessId::new(sender),
             seq,

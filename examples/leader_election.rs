@@ -49,8 +49,7 @@ fn main() {
                 .iter()
                 .rev()
                 .find(|(t, _)| *t <= at)
-                .map(|(_, l)| l.to_string())
-                .unwrap_or_else(|| "?".into());
+                .map_or_else(|| "?".into(), |(_, l)| l.to_string());
             views.push(format!("{process}→{leader}"));
         }
         println!("  {probe:>4}  {}", views.join("  "));

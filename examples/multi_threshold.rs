@@ -59,9 +59,10 @@ fn main() {
             }
             was_suspected = status.is_suspected();
         }
-        let latency = detected_at
-            .map(|at| format!("{:.2} s", (at - crash).as_secs_f64()))
-            .unwrap_or_else(|| "—".to_string());
+        let latency = detected_at.map_or_else(
+            || "—".to_string(),
+            |at| format!("{:.2} s", (at - crash).as_secs_f64()),
+        );
         println!("{name:<22} {wrong:^17} {latency:>14}");
     }
 

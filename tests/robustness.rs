@@ -3,6 +3,9 @@
 //! duplicate deliveries, total loss, pathological cadences, and
 //! degenerate configurations.
 
+// Exact float equality is intentional in test assertions.
+#![allow(clippy::float_cmp)]
+
 use accrual_fd::core::accrual::AccrualFailureDetector;
 use accrual_fd::core::properties::{check_upper_bound, AccruementCheck};
 use accrual_fd::detectors::kappa::PhiContribution;

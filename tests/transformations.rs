@@ -2,6 +2,9 @@
 //! the full pipeline heartbeats → accrual detector → Algorithm 1 → binary
 //! verdicts, and its converse.
 
+// Exact float equality is intentional in test assertions.
+#![allow(clippy::float_cmp)]
+
 use accrual_fd::core::history::SuspicionTrace;
 use accrual_fd::core::properties::{check_accruement, check_upper_bound};
 use accrual_fd::core::transform::{AccrualToBinary, BinaryToAccrual, Interpreter};
