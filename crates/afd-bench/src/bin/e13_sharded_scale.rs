@@ -1,0 +1,237 @@
+//! **E13 — sharded monitor at scale: 10 000 peers.**
+//!
+//! Three measurements back the scaling claims in DESIGN.md §7d:
+//!
+//! 1. **Intake throughput** — one heartbeat round (10 000 frames) sent
+//!    through a `ChannelTransport` and drained by a single
+//!    `ShardedMonitor::tick`, swept over shard counts. Reported as
+//!    heartbeats/second of wall time.
+//! 2. **Reader latency** — lock-free `SnapshotReader::level` point
+//!    queries against the published epoch, measured while the watch set
+//!    is at full size.
+//! 3. **φ query cost is O(1)** — `PhiAccrual::phi` timed at window sizes
+//!    100 and 3 200: the incremental path must cost the same at both,
+//!    while the O(window) reference (`phi_naive`, compiled via the
+//!    `naive-stats` feature) grows linearly.
+//!
+//! Wall time is read through `afd_runtime::SystemClock` — the one
+//! sanctioned monotonic-clock entry point (see afd-lint's
+//! clock-discipline rule).
+//!
+//! `--smoke` shrinks the round counts (not the peer count) so CI can run
+//! the full 10 000-peer pipeline end-to-end in seconds.
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::time::Timestamp;
+use afd_detectors::phi::{PhiAccrual, PhiConfig};
+use afd_detectors::simple::SimpleAccrual;
+use afd_qos::experiment::{cell, Table};
+use afd_runtime::{
+    ChannelTransport, Clock, Heartbeat, ShardConfig, ShardedMonitor, SystemClock, Transport,
+    VirtualClock,
+};
+
+const PEERS: u32 = 10_000;
+
+struct Sizes {
+    rounds: u64,
+    shard_counts: &'static [usize],
+    reader_queries: u64,
+    phi_iters: u32,
+}
+
+fn wall(clock: &SystemClock, since: Timestamp) -> f64 {
+    clock.now().saturating_duration_since(since).as_secs_f64()
+}
+
+fn frame(sender: u32, seq: u64) -> Vec<u8> {
+    Heartbeat {
+        sender: ProcessId::new(sender),
+        seq,
+        sent_at: Timestamp::from_nanos(seq),
+    }
+    .encode()
+    .to_vec()
+}
+
+/// Throughput + reader-latency sweep over shard counts.
+fn sharded_scale(sizes: &Sizes, wall_clock: &SystemClock) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E13a: sharded intake at {PEERS} peers, {} rounds per shard count",
+            sizes.rounds
+        ),
+        &[
+            "shards",
+            "intake (hb/s)",
+            "tick (ms)",
+            "max batch",
+            "reader query (ns)",
+            "peers/shard (min..max)",
+        ],
+    );
+
+    for &shards in sizes.shard_counts {
+        let clock = VirtualClock::new();
+        let (mut tx, rx) = ChannelTransport::pair();
+        let mut mon = ShardedMonitor::new(
+            rx,
+            clock.clone(),
+            ShardConfig {
+                shards,
+                slots_per_shard: (PEERS as usize).div_ceil(shards) * 2,
+            },
+            |_| SimpleAccrual::new(Timestamp::ZERO),
+        );
+        for id in 0..PEERS {
+            mon.watch(ProcessId::new(id)).expect("sized for all peers");
+        }
+
+        let mut accepted = 0u64;
+        let mut max_batch = 0usize;
+        let start = wall_clock.now();
+        for round in 1..=sizes.rounds {
+            clock.set(Timestamp::from_secs(round));
+            for id in 0..PEERS {
+                tx.send(&frame(id, round)).expect("in-process send");
+            }
+            let report = mon.tick().expect("in-process transport");
+            accepted += report.accepted as u64;
+            max_batch = max_batch.max(report.max_batch);
+        }
+        let intake_secs = wall(wall_clock, start);
+        assert_eq!(accepted, u64::from(PEERS) * sizes.rounds);
+
+        // Point queries through the lock-free published epoch.
+        let reader = mon.reader();
+        let qstart = wall_clock.now();
+        let mut hits = 0u64;
+        for q in 0..sizes.reader_queries {
+            let p = ProcessId::new((q.wrapping_mul(2_654_435_761) % u64::from(PEERS)) as u32);
+            if reader.level(p).is_some() {
+                hits += 1;
+            }
+        }
+        let query_secs = wall(wall_clock, qstart);
+        assert_eq!(hits, sizes.reader_queries, "every watched peer published");
+
+        let stats = mon.stats();
+        let min_peers = stats.peers_per_shard.iter().min().copied().unwrap_or(0);
+        let max_peers = stats.peers_per_shard.iter().max().copied().unwrap_or(0);
+        table.push_row(vec![
+            shards.to_string(),
+            cell(accepted as f64 / intake_secs.max(1e-9), 0),
+            cell(intake_secs * 1e3 / sizes.rounds as f64, 2),
+            max_batch.to_string(),
+            cell(query_secs * 1e9 / sizes.reader_queries as f64, 0),
+            format!("{min_peers}..{max_peers}"),
+        ]);
+    }
+    table
+}
+
+/// φ query cost across window sizes: incremental vs. naive rescan.
+fn phi_query_cost(sizes: &Sizes, wall_clock: &SystemClock) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E13b: phi() query cost vs window size, {} calls each",
+            sizes.phi_iters
+        ),
+        &[
+            "window",
+            "phi (ns/call)",
+            "phi_naive (ns/call)",
+            "naive/phi",
+        ],
+    );
+
+    let mut rows = Vec::new();
+    for window_size in [100usize, 3_200] {
+        let mut fd = PhiAccrual::new(PhiConfig {
+            window_size,
+            ..PhiConfig::default()
+        })
+        .expect("valid config");
+        // Fill the window with a jittered cadence.
+        let mut t = 0.0f64;
+        for k in 0..(window_size * 2) {
+            t += 1.0 + 0.1 * ((k % 7) as f64 - 3.0);
+            fd.record_heartbeat(Timestamp::from_secs_f64(t));
+        }
+        let query_at = Timestamp::from_secs_f64(t + 2.5);
+
+        let start = wall_clock.now();
+        let mut acc = 0.0f64;
+        for _ in 0..sizes.phi_iters {
+            acc += fd.phi(query_at);
+        }
+        let fast_ns = wall(wall_clock, start) * 1e9 / f64::from(sizes.phi_iters);
+
+        let start = wall_clock.now();
+        for _ in 0..sizes.phi_iters {
+            acc += fd.phi_naive(query_at);
+        }
+        let naive_ns = wall(wall_clock, start) * 1e9 / f64::from(sizes.phi_iters);
+        assert!(acc.is_finite());
+
+        rows.push((window_size, fast_ns, naive_ns));
+        table.push_row(vec![
+            window_size.to_string(),
+            cell(fast_ns, 1),
+            cell(naive_ns, 1),
+            cell(naive_ns / fast_ns.max(1e-9), 1),
+        ]);
+    }
+
+    // O(1) evidence: the incremental query must not scale with the
+    // window, while the rescan must. Generous slack keeps this stable on
+    // loaded CI machines.
+    let (small, large) = (&rows[0], &rows[1]);
+    assert!(
+        large.1 < small.1 * 8.0 + 500.0,
+        "phi() cost grew with the window: {:.1} ns @ {} vs {:.1} ns @ {}",
+        small.1,
+        small.0,
+        large.1,
+        large.0
+    );
+    assert!(
+        large.2 > small.2 * 4.0,
+        "phi_naive() should scale with the window: {:.1} ns @ {} vs {:.1} ns @ {}",
+        small.2,
+        small.0,
+        large.2,
+        large.0
+    );
+    table
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes = if smoke {
+        Sizes {
+            rounds: 3,
+            shard_counts: &[1, 4],
+            reader_queries: 200_000,
+            phi_iters: 50_000,
+        }
+    } else {
+        Sizes {
+            rounds: 20,
+            shard_counts: &[1, 2, 4, 8],
+            reader_queries: 2_000_000,
+            phi_iters: 500_000,
+        }
+    };
+    let wall_clock = SystemClock::new();
+
+    let total = wall_clock.now();
+    println!("{}", sharded_scale(&sizes, &wall_clock));
+    println!("{}", phi_query_cost(&sizes, &wall_clock));
+    println!(
+        "e13 total: {:.2} s{}",
+        wall(&wall_clock, total),
+        if smoke { " (smoke)" } else { "" }
+    );
+}

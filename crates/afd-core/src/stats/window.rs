@@ -150,6 +150,13 @@ impl SlidingWindow {
         self.iter().collect()
     }
 
+    /// Recomputes the moments from scratch by scanning every retained
+    /// sample (O(window)), as a reference for the incrementally maintained
+    /// [`Self::mean`]/[`Self::population_std_dev`] pair.
+    pub fn naive_moments(&self) -> RunningMoments {
+        self.iter().collect()
+    }
+
     /// Removes all samples.
     pub fn clear(&mut self) {
         self.head = 0;
@@ -197,6 +204,18 @@ mod tests {
         let direct: RunningMoments = w.iter().collect();
         assert!((w.mean() - direct.mean()).abs() < 1e-6);
         assert!((w.population_variance() - direct.population_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn naive_moments_match_incremental() {
+        let mut w = SlidingWindow::new(7);
+        for i in 0..500u64 {
+            w.push((i as f64).sin() * 3.0 + 5.0);
+            let naive = w.naive_moments();
+            assert_eq!(naive.count() as usize, w.len());
+            assert!((w.mean() - naive.mean()).abs() < 1e-9);
+            assert!((w.population_variance() - naive.population_variance()).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub struct PhiConfig {
     pub window_size: usize,
     /// Minimum number of samples before the windowed estimate is trusted;
     /// below it, a prior of `N(initial_interval, (initial_interval/4)²)`
-    /// is used (the bootstrap Akka popularized).
+    /// is used (the bootstrap Akka popularized). Values below 2 are
+    /// treated as 2: a single gap carries no variance information and an
+    /// empty window has a degenerate (zero) mean, either of which would
+    /// push φ to NaN/∞ instead of the documented bootstrap value.
     pub min_samples: usize,
     /// Floor on the estimated standard deviation, guarding against a
     /// degenerate (near-zero-variance) window making φ explode on the
@@ -190,25 +193,22 @@ impl PhiAccrual {
         self.last_heartbeat
     }
 
-    /// The current estimate of the mean inter-arrival time, in seconds.
-    pub fn mean_interval(&self) -> f64 {
-        if self.gaps.len() < self.config.min_samples {
-            self.config.initial_interval.as_secs_f64()
-        } else {
-            self.gaps.mean()
-        }
+    /// The sample count below which the bootstrap prior applies: the
+    /// configured `min_samples`, floored at 2 (see [`PhiConfig::min_samples`]).
+    fn bootstrap_below(&self) -> usize {
+        self.config.min_samples.max(2)
     }
 
-    /// The current estimate of the inter-arrival standard deviation,
-    /// in seconds (with the configured floor applied).
-    pub fn std_dev(&self) -> f64 {
+    /// Applies the bootstrap prior and the σ floor to raw window moments.
+    fn estimates(&self, samples: usize, window_mean: f64, window_std: f64) -> (f64, f64) {
         let floor = self.config.min_std_dev.as_secs_f64();
-        let est = if self.gaps.len() < self.config.min_samples {
-            (self.config.initial_interval.as_secs_f64() / 4.0).max(floor)
+        let (mean, est) = if samples < self.bootstrap_below() {
+            let prior = self.config.initial_interval.as_secs_f64();
+            (prior, (prior / 4.0).max(floor))
         } else {
-            self.gaps.population_std_dev().max(floor)
+            (window_mean, window_std.max(floor))
         };
-        if est > 0.0 {
+        let std = if est > 0.0 {
             est
         } else {
             // A zero floor over a constant-interval window collapses the
@@ -216,8 +216,34 @@ impl PhiAccrual {
             // zero in the z-score). Substitute the smallest σ the mean's
             // own precision can distinguish: φ is then huge for any real
             // lateness yet finite at every representable timestamp.
-            self.mean_interval().abs().max(1.0) * f64::EPSILON
-        }
+            mean.abs().max(1.0) * f64::EPSILON
+        };
+        (mean, std)
+    }
+
+    /// The (mean, σ) pair from the incrementally maintained window moments.
+    fn window_estimates(&self) -> (f64, f64) {
+        self.estimates(
+            self.gaps.len(),
+            self.gaps.mean(),
+            self.gaps.population_std_dev(),
+        )
+    }
+
+    /// The current estimate of the mean inter-arrival time, in seconds.
+    ///
+    /// With fewer than two samples in the window (regardless of how low
+    /// `min_samples` is configured) this is the bootstrap
+    /// `initial_interval`, never the degenerate windowed mean.
+    pub fn mean_interval(&self) -> f64 {
+        self.window_estimates().0
+    }
+
+    /// The current estimate of the inter-arrival standard deviation,
+    /// in seconds (with the configured floor applied). Always strictly
+    /// positive, so every distribution constructor below accepts it.
+    pub fn std_dev(&self) -> f64 {
+        self.window_estimates().1
     }
 
     /// Number of inter-arrival samples in the window.
@@ -230,9 +256,10 @@ impl PhiAccrual {
         self.config
     }
 
-    /// The raw φ value at `now` (equal to the suspicion level, exposed for
-    /// callers that think in φ units).
-    pub fn phi(&self, now: Timestamp) -> f64 {
+    /// Evaluates φ at `now` from an explicit (mean, σ) estimate. Both the
+    /// O(1) query path and the O(window) reference path funnel through
+    /// here, so they can only disagree on the moments themselves.
+    fn phi_from(&self, now: Timestamp, mean: f64, std: f64) -> f64 {
         let Some(last) = self.last_heartbeat else {
             return 0.0;
         };
@@ -242,21 +269,23 @@ impl PhiAccrual {
         }
         let log_tail = match self.config.model {
             PhiModel::Normal => {
-                let dist = Normal::new(self.mean_interval(), self.std_dev())
-                    .expect("estimator yields finite positive parameters");
+                let dist =
+                    Normal::new(mean, std).expect("estimator yields finite positive parameters");
                 dist.log10_sf(elapsed)
             }
             PhiModel::Exponential => {
-                let dist = Exponential::from_mean(self.mean_interval().max(f64::MIN_POSITIVE))
-                    .expect("positive mean");
+                // A degenerate window (all-zero gaps from coincident
+                // arrivals) can estimate a zero mean; clamp at 1 ns — the
+                // clock's own resolution — so φ stays finite at every
+                // representable elapsed time instead of overflowing to ∞.
+                let dist = Exponential::from_mean(mean.max(1e-9)).expect("positive mean");
                 dist.log10_sf(elapsed)
             }
             PhiModel::Empirical { .. } => {
                 let hist = self.empirical.as_ref().expect("empirical model present");
-                if (hist.count() as usize) < self.config.min_samples {
+                if (hist.count() as usize) < self.bootstrap_below() {
                     // Fall back to the bootstrap normal prior.
-                    let dist = Normal::new(self.mean_interval(), self.std_dev())
-                        .expect("bootstrap parameters valid");
+                    let dist = Normal::new(mean, std).expect("bootstrap parameters valid");
                     dist.log10_sf(elapsed)
                 } else {
                     hist.log10_sf(elapsed)
@@ -264,6 +293,35 @@ impl PhiAccrual {
             }
         };
         (-log_tail).max(0.0)
+    }
+
+    /// The raw φ value at `now` (equal to the suspicion level, exposed for
+    /// callers that think in φ units).
+    ///
+    /// This is an O(1) query: the window moments are maintained
+    /// incrementally on insertion, so no per-call rescan of the sample
+    /// window happens here. [`Self::phi_naive`] is the O(window) reference
+    /// implementation it is property-tested against.
+    pub fn phi(&self, now: Timestamp) -> f64 {
+        let (mean, std) = self.window_estimates();
+        self.phi_from(now, mean, std)
+    }
+
+    /// Reference φ that recomputes the window moments from scratch by
+    /// rescanning every retained gap (O(window) per call).
+    ///
+    /// Exists purely as an oracle for the incremental path: property tests
+    /// assert `|phi − phi_naive| < 1e-9` across random heartbeat traces.
+    /// Compiled only for tests or under the `naive-stats` feature.
+    #[cfg(any(test, feature = "naive-stats"))]
+    pub fn phi_naive(&self, now: Timestamp) -> f64 {
+        let moments: afd_core::stats::RunningMoments = self.gaps.iter().collect();
+        let (mean, std) = self.estimates(
+            moments.count() as usize,
+            moments.mean(),
+            moments.population_std_dev(),
+        );
+        self.phi_from(now, mean, std)
     }
 }
 
@@ -511,5 +569,161 @@ mod tests {
         assert_eq!(fd.samples(), 9);
         assert_eq!(fd.last_heartbeat(), Some(ts(10.0)));
         assert!((fd.mean_interval() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_zero_still_bootstraps_an_empty_window() {
+        // Regression: with min_samples ≤ 1 the empty window's moments
+        // (mean 0, σ 0) used to reach the distribution constructors,
+        // yielding NaN/∞ φ (or a Normal constructor panic) after the very
+        // first heartbeat. The bootstrap floor of 2 keeps the documented
+        // prior in force instead.
+        for min_samples in [0, 1] {
+            let mut fd = PhiAccrual::new(PhiConfig {
+                min_samples,
+                ..PhiConfig::default()
+            })
+            .unwrap();
+            fd.record_heartbeat(ts(1.0));
+            assert_eq!(fd.samples(), 0);
+            assert_eq!(fd.mean_interval(), 1.0, "bootstrap mean (prior)");
+            assert_eq!(fd.std_dev(), 0.25, "bootstrap σ (prior/4)");
+            let phi = fd.phi(ts(4.0));
+            assert!(phi.is_finite() && !phi.is_nan(), "φ = {phi}");
+            assert!(phi > 5.0, "three intervals late must accrue, got {phi}");
+        }
+    }
+
+    #[test]
+    fn single_sample_uses_prior_not_zero_variance() {
+        // One gap has no variance information; the estimate must come from
+        // the prior, not a σ = 0 window.
+        let mut fd = PhiAccrual::new(PhiConfig {
+            min_samples: 1,
+            min_std_dev: Duration::ZERO,
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        fd.record_heartbeat(ts(1.0));
+        fd.record_heartbeat(ts(2.0));
+        assert_eq!(fd.samples(), 1);
+        assert_eq!(fd.std_dev(), 0.25);
+        let phi = fd.phi(ts(5.0));
+        assert!(phi.is_finite() && phi > 1.0, "φ = {phi}");
+    }
+
+    #[test]
+    fn coincident_arrivals_keep_every_model_finite() {
+        // All-zero gaps (duplicate timestamps) collapse the window mean to
+        // zero; φ must stay finite for every model, including the
+        // exponential tail that divides by the mean.
+        for model in [
+            PhiModel::Normal,
+            PhiModel::Exponential,
+            PhiModel::Empirical {
+                bins: 20,
+                max_intervals: 4.0,
+            },
+        ] {
+            let mut fd = PhiAccrual::new(PhiConfig {
+                model,
+                min_samples: 2,
+                min_std_dev: Duration::ZERO,
+                ..PhiConfig::default()
+            })
+            .unwrap();
+            for _ in 0..10 {
+                fd.record_heartbeat(ts(1.0));
+            }
+            let phi = fd.phi(ts(2.0));
+            assert!(phi.is_finite() && !phi.is_nan(), "{model:?}: φ = {phi}");
+        }
+    }
+
+    #[test]
+    fn naive_reference_matches_incremental_on_regular_cadence() {
+        let fd = regular(50);
+        for late in [0.1, 0.5, 1.0, 2.0, 10.0] {
+            let at = ts(50.0 + late);
+            let fast = fd.phi(at);
+            let slow = fd.phi_naive(at);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "phi {fast} vs naive {slow} at +{late}s"
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn models() -> impl Strategy<Value = PhiModel> {
+            prop::sample::select(vec![
+                PhiModel::Normal,
+                PhiModel::Exponential,
+                PhiModel::Empirical {
+                    bins: 32,
+                    max_intervals: 8.0,
+                },
+            ])
+        }
+
+        proptest! {
+            /// The O(1) incremental query agrees with the O(window) rescan
+            /// to 1e-9 on arbitrary gap traces, across models, window
+            /// sizes (forcing evictions), and query times.
+            #[test]
+            fn incremental_phi_matches_naive_rescan(
+                gaps in prop::collection::vec(0.01f64..5.0, 1..120),
+                window_size in 4usize..40,
+                model in models(),
+                late in 0.0f64..20.0,
+            ) {
+                let mut fd = PhiAccrual::new(PhiConfig {
+                    window_size,
+                    model,
+                    ..PhiConfig::default()
+                })
+                .unwrap();
+                let mut t = 1.0;
+                for g in &gaps {
+                    t += g;
+                    fd.record_heartbeat(ts(t));
+                }
+                let at = ts(t + late);
+                let fast = fd.phi(at);
+                let slow = fd.phi_naive(at);
+                prop_assert!(fast.is_finite() && slow.is_finite());
+                prop_assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "phi {} vs naive {}",
+                    fast,
+                    slow
+                );
+            }
+
+            /// φ never yields NaN or ∞ for any sample count, including the
+            /// 0- and 1-sample bootstrap region, under any min_samples.
+            #[test]
+            fn phi_is_always_finite_in_small_sample_region(
+                min_samples in 0usize..4,
+                beats in 1usize..4,
+                late in 0.0f64..50.0,
+            ) {
+                let mut fd = PhiAccrual::new(PhiConfig {
+                    min_samples,
+                    min_std_dev: Duration::ZERO,
+                    ..PhiConfig::default()
+                })
+                .unwrap();
+                for k in 1..=beats {
+                    fd.record_heartbeat(ts(k as f64));
+                }
+                let phi = fd.phi(ts(beats as f64 + late));
+                prop_assert!(phi.is_finite() && !phi.is_nan(), "φ = {}", phi);
+                prop_assert!(phi >= 0.0);
+            }
+        }
     }
 }

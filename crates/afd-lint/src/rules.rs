@@ -9,7 +9,7 @@
 //! | `no-panic-paths` | the detector stack (`afd-core`, `afd-runtime`, `afd-obs`) degrades through typed errors, never aborts |
 //! | `no-float-eq` | suspicion levels are `f64`; exact comparison is a latent bug unless justified |
 //! | `no-thread-sleep` | library code waits on the `Clock`/callback abstractions, keeping the chaos harness deterministic |
-//! | `relaxed-atomics-audit` | every `Ordering::Relaxed` read-modify-write in `afd-obs` carries a written justification |
+//! | `relaxed-atomics-audit` | every `Ordering::Relaxed` read-modify-write in `afd-obs` or `afd-runtime` carries a written justification |
 //! | `crate-hygiene` | every crate root forbids `unsafe_code` |
 //!
 //! Any rule can be silenced per line with `// lint:allow(rule, reason)` —
@@ -244,11 +244,16 @@ fn no_thread_sleep(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
     }
 }
 
-/// Read-modify-write atomics with `Ordering::Relaxed` in `afd-obs` require
-/// a pragma: relaxed RMWs are usually right for monotone counters, but each
-/// one deserves a written claim about why no ordering is needed.
+/// Crates whose lock-free code is audited: the metrics registry and the
+/// runtime (liveness ticks, the sharded monitor's epoch snapshots).
+const RELAXED_AUDIT_CRATES: &[&str] = &["afd-obs", "afd-runtime"];
+
+/// Read-modify-write atomics with `Ordering::Relaxed` in the audited
+/// crates require a pragma: relaxed RMWs are usually right for monotone
+/// counters, but each one deserves a written claim about why no ordering
+/// is needed.
 fn relaxed_atomics_audit(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
-    if ctx.crate_name != "afd-obs" {
+    if !RELAXED_AUDIT_CRATES.contains(&ctx.crate_name.as_str()) {
         return;
     }
     for (i, tok) in code.iter().enumerate() {
@@ -393,6 +398,16 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "relaxed-atomics-audit");
         assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn relaxed_rmw_is_audited_in_runtime_but_not_core() {
+        let src = "fn f(a: &AtomicU64) {\n    a.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/shard.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "relaxed-atomics-audit");
+        let (findings, _) = lint_source("crates/afd-core/src/x.rs", src);
+        assert!(findings.is_empty());
     }
 
     #[test]

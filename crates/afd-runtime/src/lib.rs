@@ -37,6 +37,8 @@ pub mod fault;
 pub mod monitor;
 pub mod retry;
 pub mod sender;
+pub mod seq;
+pub mod shard;
 pub mod supervisor;
 pub mod transport;
 pub mod wire;
@@ -49,6 +51,10 @@ pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use monitor::{MonitorStats, RuntimeMonitor};
 pub use retry::RetryPolicy;
 pub use sender::{spawn_sender, SenderConfig, SenderCore, SenderHandle};
+pub use seq::{classify, SeqVerdict};
+pub use shard::{
+    ShardCapacityError, ShardConfig, ShardedMonitor, ShardedStats, SnapshotReader, TickReport,
+};
 pub use supervisor::{SupervisedThread, Supervisor, Watchdog};
 pub use transport::{ChannelTransport, Transport, UdpTransport};
 pub use wire::{Heartbeat, WireError, FRAME_LEN};

@@ -24,6 +24,7 @@ use afd_detectors::service::MonitoringService;
 
 use crate::clock::Clock;
 use crate::error::TransportError;
+use crate::seq::{classify, SeqVerdict};
 use crate::transport::Transport;
 use crate::wire::Heartbeat;
 
@@ -36,8 +37,12 @@ pub struct MonitorStats {
     pub accepted: u64,
     /// Frames that failed decoding (bad length, checksum, …).
     pub corrupt: u64,
-    /// Valid frames whose sequence number was stale or duplicated.
+    /// Valid frames whose sequence number was behind the freshest seen
+    /// (reordered or replayed).
     pub stale: u64,
+    /// Valid frames redelivering exactly the freshest sequence number
+    /// seen — a duplicating network, not a reordering one.
+    pub duplicate: u64,
     /// Valid frames from processes nobody watches.
     pub unwatched: u64,
 }
@@ -110,6 +115,7 @@ where
     /// Returns [`TransportError`] if the transport itself failed; decode
     /// failures and stale frames are absorbed into [`MonitorStats`].
     pub fn poll(&mut self) -> Result<usize, TransportError> {
+        // lint:allow(relaxed-atomics-audit, monotone liveness tick; the watchdog only needs eventual progress, no cross-thread ordering)
         self.liveness.fetch_add(1, Ordering::Relaxed);
         let mut accepted = 0;
         while let Some(frame) = self.transport.try_recv()? {
@@ -132,13 +138,22 @@ where
 
     fn accept(&mut self, hb: Heartbeat, now: Timestamp) -> bool {
         // Algorithm 4, lines 8–10: only heartbeats fresher than the
-        // freshest seen so far update the detector. Duplicates and
-        // out-of-date (reordered) frames are dropped here, so detectors
-        // always see non-decreasing arrival times.
+        // freshest seen so far update the detector, so detectors always
+        // see non-decreasing arrival times. Freshness is serial-number
+        // arithmetic ([`crate::seq`]): duplicates and reordered frames
+        // are dropped (and counted apart), while a sender whose counter
+        // wraps past `u64::MAX` keeps being accepted.
         if let Some(&highest) = self.highest_seq.get(&hb.sender) {
-            if hb.seq <= highest {
-                self.stats.stale += 1;
-                return false;
+            match classify(hb.seq, highest) {
+                SeqVerdict::Fresh => {}
+                SeqVerdict::Duplicate => {
+                    self.stats.duplicate += 1;
+                    return false;
+                }
+                SeqVerdict::Stale => {
+                    self.stats.stale += 1;
+                    return false;
+                }
             }
         }
         if !self.service.heartbeat(hb.sender, now) {
@@ -197,6 +212,9 @@ where
         registry.counter("monitor.corrupt").set(self.stats.corrupt);
         registry.counter("monitor.stale").set(self.stats.stale);
         registry
+            .counter("monitor.duplicate")
+            .set(self.stats.duplicate);
+        registry
             .counter("monitor.unwatched")
             .set(self.stats.unwatched);
         registry
@@ -234,7 +252,8 @@ mod tests {
         Heartbeat {
             sender: ProcessId::new(sender),
             seq,
-            sent_at: Timestamp::from_secs(seq),
+            // from_nanos: seq values near u64::MAX must stay representable.
+            sent_at: Timestamp::from_nanos(seq),
         }
         .encode()
         .to_vec()
@@ -278,7 +297,58 @@ mod tests {
         assert_eq!(mon.poll().unwrap(), 2);
         let s = mon.stats();
         assert_eq!(s.accepted, 2);
-        assert_eq!(s.stale, 2);
+        assert_eq!(s.stale, 1);
+        assert_eq!(s.duplicate, 1);
+    }
+
+    #[test]
+    fn sequence_wraparound_keeps_a_live_sender_accepted() {
+        // A sender whose counter wraps past u64::MAX must not be rejected
+        // forever: u64::MAX → 0 is a forward step of one in serial-number
+        // arithmetic.
+        let (mut tx, mut mon, clock) = rig();
+        let p = ProcessId::new(1);
+        mon.watch(p);
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(1, u64::MAX - 1)).unwrap();
+        tx.send(&frame(1, u64::MAX)).unwrap();
+        tx.send(&frame(1, u64::MAX)).unwrap(); // redelivered duplicate
+        tx.send(&frame(1, 0)).unwrap(); // wraparound: fresh
+        tx.send(&frame(1, 1)).unwrap(); // life goes on
+        tx.send(&frame(1, u64::MAX)).unwrap(); // replay from before the wrap
+        assert_eq!(mon.poll().unwrap(), 4);
+        let s = mon.stats();
+        assert_eq!(s.accepted, 4);
+        assert_eq!(s.duplicate, 1);
+        assert_eq!(s.stale, 1);
+    }
+
+    #[test]
+    fn injected_duplicates_are_counted_as_duplicates() {
+        // Drive the dup fault through the FaultInjector: every frame is
+        // delivered twice, and the monitor must accept exactly one copy of
+        // each while counting the other as a duplicate.
+        use crate::fault::{FaultInjector, FaultPlan};
+
+        let (mut tx, rx) = ChannelTransport::pair();
+        let clock = VirtualClock::new();
+        let injected =
+            FaultInjector::new(rx, clock.clone(), FaultPlan::new().with_duplicate(1.0), 42);
+        let mut mon = RuntimeMonitor::new(injected, clock.clone(), |_| {
+            SimpleAccrual::new(Timestamp::ZERO)
+        });
+        let p = ProcessId::new(1);
+        mon.watch(p);
+        clock.set(Timestamp::from_secs(1));
+        for seq in 1..=5u64 {
+            tx.send(&frame(1, seq)).unwrap();
+        }
+        assert_eq!(mon.poll().unwrap(), 5);
+        let s = mon.stats();
+        assert_eq!(s.accepted, 5);
+        assert_eq!(s.duplicate, 5, "each injected copy rejected as duplicate");
+        assert_eq!(s.stale, 0);
+        assert_eq!(mon.transport().stats().duplicated, 5);
     }
 
     /// A clock that advances by a fixed step on every read, exposing code
@@ -333,10 +403,11 @@ mod tests {
         mon.unwatch(p);
         mon.watch(p);
         clock.set(Timestamp::from_secs(2));
-        tx.send(&frame(1, 5)).unwrap(); // replay
+        tx.send(&frame(1, 5)).unwrap(); // replay of the newest frame
         tx.send(&frame(1, 4)).unwrap(); // even staler
         assert_eq!(mon.poll().unwrap(), 0);
-        assert_eq!(mon.stats().stale, 2);
+        assert_eq!(mon.stats().duplicate, 1);
+        assert_eq!(mon.stats().stale, 1);
 
         // Genuinely fresh frames still get through.
         tx.send(&frame(1, 6)).unwrap();
@@ -349,7 +420,7 @@ mod tests {
         mon.watch(ProcessId::new(1));
         clock.set(Timestamp::from_secs(1));
         tx.send(&frame(1, 1)).unwrap();
-        tx.send(&frame(1, 1)).unwrap(); // duplicate → stale
+        tx.send(&frame(1, 1)).unwrap(); // redelivery → duplicate
         tx.send(b"garbage").unwrap(); // corrupt
         tx.send(&frame(9, 1)).unwrap(); // unwatched
         mon.poll().unwrap();
@@ -358,7 +429,8 @@ mod tests {
         mon.export_metrics(&registry);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("monitor.accepted"), Some(1));
-        assert_eq!(snap.counter("monitor.stale"), Some(1));
+        assert_eq!(snap.counter("monitor.stale"), Some(0));
+        assert_eq!(snap.counter("monitor.duplicate"), Some(1));
         assert_eq!(snap.counter("monitor.corrupt"), Some(1));
         assert_eq!(snap.counter("monitor.unwatched"), Some(1));
         assert_eq!(snap.gauge("monitor.watched"), Some(1.0));

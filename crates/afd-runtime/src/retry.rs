@@ -40,19 +40,38 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The pause after failed attempt number `attempt` (0-based).
+    ///
+    /// The exponential term saturates instead of overflowing: any
+    /// `attempt` large enough to push `base_delay · 2^attempt` past the
+    /// nanosecond representation yields `max_delay` (modulo jitter), so
+    /// the policy is total over the whole `u32` attempt range.
     pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> Duration {
-        let exp = self.base_delay.mul_f64(2f64.powi(attempt.min(30) as i32));
-        let capped = if exp > self.max_delay {
-            self.max_delay
+        // base · 2^attempt as a saturating left shift: shifting past the
+        // base's leading zeros would overflow u64 nanoseconds, and any
+        // such value already exceeds every representable max_delay.
+        let base = self.base_delay.as_nanos();
+        let shift = attempt.min(63);
+        let exp = if base == 0 {
+            0
+        } else if shift > base.leading_zeros() {
+            u64::MAX
         } else {
-            exp
+            base << shift
         };
+        let capped = Duration::from_nanos(exp).min(self.max_delay);
         let factor = if self.jitter > 0.0 {
             rng.uniform_in(1.0 - self.jitter, 1.0 + self.jitter)
         } else {
             1.0
         };
-        capped.mul_f64(factor.max(0.0))
+        // Jitter may scale up to (1 + jitter) · max_delay; saturate rather
+        // than panic near the top of the range.
+        let jittered = capped.as_nanos() as f64 * factor.max(0.0);
+        if jittered >= u64::MAX as f64 {
+            Duration::MAX
+        } else {
+            Duration::from_nanos(jittered.round() as u64)
+        }
     }
 
     /// Runs `op` under this policy, pausing via `sleep` between failures.
@@ -158,6 +177,54 @@ mod tests {
         assert_eq!(policy.backoff(2, &mut rng), Duration::from_millis(40));
         assert_eq!(policy.backoff(5, &mut rng), Duration::from_millis(100));
         assert_eq!(policy.backoff(29, &mut rng), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn huge_attempt_numbers_saturate_instead_of_overflowing() {
+        // Regression: the exponential term used to be computed before the
+        // cap, overflowing the nanosecond representation (and panicking in
+        // `Duration::mul_f64`) once base · 2^attempt left the u64 range.
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay: Duration::from_secs(100),
+            max_delay: Duration::from_secs(300),
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::seed_from_u64(6);
+        assert_eq!(policy.backoff(63, &mut rng), Duration::from_secs(300));
+        assert_eq!(policy.backoff(u32::MAX, &mut rng), Duration::from_secs(300));
+        // Still exact below the cap.
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_secs(200));
+    }
+
+    #[test]
+    fn saturation_holds_at_extreme_delays_with_jitter() {
+        // Even with max_delay at the top of the representable range and
+        // jitter scaling above 1.0, the pause saturates instead of
+        // panicking.
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay: Duration::MAX,
+            max_delay: Duration::MAX,
+            jitter: 0.5,
+        };
+        let mut rng = SimRng::seed_from_u64(7);
+        for attempt in [0, 1, 63, 64, 1000, u32::MAX] {
+            let d = policy.backoff(attempt, &mut rng);
+            assert!(d <= Duration::MAX);
+            assert!(d >= Duration::MAX.mul_f64(0.4), "jitter band floor");
+        }
+    }
+
+    #[test]
+    fn zero_base_delay_stays_zero() {
+        let policy = RetryPolicy {
+            base_delay: Duration::ZERO,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::seed_from_u64(8);
+        assert_eq!(policy.backoff(u32::MAX, &mut rng), Duration::ZERO);
     }
 
     #[test]

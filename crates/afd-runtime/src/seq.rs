@@ -1,0 +1,103 @@
+//! Sequence-number freshness for the stale-heartbeat filter.
+//!
+//! Algorithm 4 (lines 8–10) only feeds a detector heartbeats that are
+//! *fresher* than anything seen before. "Fresher" used to be a plain
+//! `seq > highest` comparison, which has two latent edge cases:
+//!
+//! - a redelivered frame with `seq == highest` is a *duplicate*, not
+//!   merely stale — operators debugging a flapping link want the two
+//!   counted apart (a duplicating network looks very different from a
+//!   reordering one);
+//! - a sender whose counter wraps past `u64::MAX` (a restarted sender
+//!   that persists its counter, or a protocol that seeds sequence
+//!   numbers near the top of the range) would be rejected *forever*,
+//!   silently turning one wraparound into a permanent false suspicion.
+//!
+//! [`classify`] therefore compares in serial-number arithmetic
+//! (RFC 1982): `seq` is fresh iff it is ahead of `highest` by less than
+//! half the `u64` space. A genuine wraparound (`u64::MAX → 0`) is a
+//! forward step of 1 and is accepted; a replayed old frame remains a
+//! large *backward* step and is rejected.
+
+/// Half the sequence space: forward distances below this are "ahead".
+const HALF: u64 = 1 << 63;
+
+/// The verdict on a received sequence number relative to the highest
+/// sequence number accepted so far from the same sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// Strictly ahead of `highest` in serial-number order: accept it.
+    Fresh,
+    /// Exactly equal to `highest`: the frame is a redelivery of the
+    /// newest accepted heartbeat.
+    Duplicate,
+    /// Behind `highest` (or exactly half the space away, which is
+    /// ambiguous): a reordered or replayed old frame.
+    Stale,
+}
+
+/// Classifies `seq` against `highest` in serial-number arithmetic.
+///
+/// A forward distance of exactly `2^63` is ambiguous (neither endpoint
+/// is "ahead") and is treated as [`SeqVerdict::Stale`]: rejecting a
+/// fresh frame only delays acceptance by one heartbeat, while accepting
+/// a stale one would poison the detector's inter-arrival window.
+///
+/// # Examples
+///
+/// ```
+/// use afd_runtime::seq::{classify, SeqVerdict};
+///
+/// assert_eq!(classify(6, 5), SeqVerdict::Fresh);
+/// assert_eq!(classify(5, 5), SeqVerdict::Duplicate);
+/// assert_eq!(classify(4, 5), SeqVerdict::Stale);
+/// // Wraparound: u64::MAX → 0 is a forward step of one.
+/// assert_eq!(classify(0, u64::MAX), SeqVerdict::Fresh);
+/// ```
+#[inline]
+pub fn classify(seq: u64, highest: u64) -> SeqVerdict {
+    let ahead = seq.wrapping_sub(highest);
+    if ahead == 0 {
+        SeqVerdict::Duplicate
+    } else if ahead < HALF {
+        SeqVerdict::Fresh
+    } else {
+        SeqVerdict::Stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_progression() {
+        assert_eq!(classify(1, 0), SeqVerdict::Fresh);
+        assert_eq!(classify(100, 7), SeqVerdict::Fresh);
+        assert_eq!(classify(7, 100), SeqVerdict::Stale);
+    }
+
+    #[test]
+    fn duplicates_are_distinguished_from_stale() {
+        assert_eq!(classify(42, 42), SeqVerdict::Duplicate);
+        assert_eq!(classify(41, 42), SeqVerdict::Stale);
+        assert_eq!(classify(0, 0), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn wraparound_is_forward() {
+        assert_eq!(classify(0, u64::MAX), SeqVerdict::Fresh);
+        assert_eq!(classify(5, u64::MAX - 2), SeqVerdict::Fresh);
+        // And the reverse direction is a replay, not a huge jump forward.
+        assert_eq!(classify(u64::MAX, 0), SeqVerdict::Stale);
+        assert_eq!(classify(u64::MAX - 2, 5), SeqVerdict::Stale);
+    }
+
+    #[test]
+    fn half_space_distance_is_conservatively_stale() {
+        assert_eq!(classify(HALF, 0), SeqVerdict::Stale);
+        assert_eq!(classify(0, HALF), SeqVerdict::Stale);
+        // One short of half is still fresh.
+        assert_eq!(classify(HALF - 1, 0), SeqVerdict::Fresh);
+    }
+}

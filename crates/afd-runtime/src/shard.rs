@@ -1,0 +1,942 @@
+//! A sharded many-peer monitor with lock-free suspicion reads.
+//!
+//! [`RuntimeMonitor`](crate::monitor::RuntimeMonitor) keeps every watched
+//! process behind one `&mut self`, which is exactly right for tens of
+//! peers and exactly wrong for ten thousand: every `level()` query
+//! contends with intake, and a snapshot walks the whole detector map
+//! while frames queue up. [`ShardedMonitor`] splits the watch set across
+//! `N` shards (hash of the [`ProcessId`]), drains the transport **once**
+//! per [`tick`](ShardedMonitor::tick), dispatches decoded heartbeats to
+//! shards in per-shard batches, and then *publishes* each shard's
+//! suspicion levels into a double-buffered epoch snapshot that
+//! [`SnapshotReader`]s consume without taking any lock — readers never
+//! block intake, and intake never blocks readers.
+//!
+//! # Epoch snapshots
+//!
+//! Each shard owns a [`ShardCell`]: two banks of atomics (peer ids and
+//! suspicion levels as `f64` bits) plus a `front` selector. The tick
+//! writer fills the *back* bank under a seqlock word (odd while writing),
+//! then flips `front`. Readers load `front`, verify the seqlock word is
+//! even and unchanged around their reads, and retry on a straddle. The
+//! writer is wait-free (it never observes readers); readers are
+//! obstruction-free (they retry only if a publish overlaps their read).
+//! Everything is plain atomics — no locks, no unsafe code.
+//!
+//! Published levels are as of the last tick, so a reader's view lags real
+//! time by at most one tick interval; callers that need exact-`now`
+//! values use the `&mut` paths ([`ShardedMonitor::level`] /
+//! [`ShardedMonitor::snapshot`]), which evaluate detectors directly.
+//!
+//! # Equivalence
+//!
+//! With `shards = 1` the intake pipeline is behaviourally identical to
+//! `RuntimeMonitor`: frames are stamped per decode in drain order and the
+//! accept path (serial-number freshness, then watch check, then detector
+//! update) is the same code shape — property tests in `tests/sharded.rs`
+//! assert equality against a `RuntimeMonitor` fed the same frames.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::{Duration, Timestamp};
+use afd_detectors::service::MonitoringService;
+
+use crate::clock::Clock;
+use crate::error::TransportError;
+use crate::monitor::MonitorStats;
+use crate::seq::{classify, SeqVerdict};
+use crate::transport::Transport;
+use crate::wire::Heartbeat;
+
+type DetectorFactory<D> = Box<dyn FnMut(ProcessId) -> D + Send>;
+
+/// Fibonacci-hashes a process id onto a shard index. A multiplicative
+/// hash (rather than `id % shards`) keeps sequentially assigned ids from
+/// striding into the same shard when the shard count shares a factor
+/// with the id allocation pattern.
+#[inline]
+fn shard_index(process: ProcessId, shards: usize) -> usize {
+    let h = u64::from(process.as_u32()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards.max(1)
+}
+
+/// Sizing for a [`ShardedMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards the watch set is partitioned into (floored at 1).
+    pub shards: usize,
+    /// Maximum watched processes per shard. Snapshot banks are fixed-size
+    /// atomic arrays (they are shared with lock-free readers and cannot
+    /// grow), so capacity is declared up front; [`ShardedMonitor::watch`]
+    /// fails with [`ShardCapacityError`] when a shard is full.
+    pub slots_per_shard: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 8,
+            slots_per_shard: 4096,
+        }
+    }
+}
+
+/// A shard refused a new watch because its snapshot bank is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCapacityError {
+    /// The shard that is at capacity.
+    pub shard: usize,
+    /// Its configured slot count.
+    pub capacity: usize,
+}
+
+impl fmt::Display for ShardCapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} is at capacity ({} watched processes); raise \
+             ShardConfig::slots_per_shard or add shards",
+            self.shard, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for ShardCapacityError {}
+
+/// What one [`tick`](ShardedMonitor::tick) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickReport {
+    /// Frames drained from the transport (including corrupt ones).
+    pub drained: usize,
+    /// Heartbeats accepted into detectors.
+    pub accepted: usize,
+    /// Largest per-shard dispatch batch this tick.
+    pub max_batch: usize,
+    /// Clock time spent dispatching batches and publishing snapshots
+    /// (zero under a virtual clock that nobody advances).
+    pub dispatch: Duration,
+}
+
+/// Aggregated counters for a [`ShardedMonitor`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardedStats {
+    /// Counters summed across shards; `corrupt` counts frames that failed
+    /// decoding *before* any shard was chosen, so it appears only here.
+    pub totals: MonitorStats,
+    /// Per-shard intake counters (each shard's `corrupt` is always 0).
+    pub per_shard: Vec<MonitorStats>,
+    /// Watched processes per shard, for balance inspection.
+    pub peers_per_shard: Vec<usize>,
+    /// Ticks executed so far.
+    pub ticks: u64,
+}
+
+/// One bank of a [`ShardCell`]: a published (peer, level) table plus the
+/// seqlock word guarding it.
+struct Bank {
+    /// Seqlock: odd while the writer fills this bank.
+    wseq: AtomicU64,
+    /// Number of live slots.
+    len: AtomicUsize,
+    /// Publish timestamp, in nanoseconds.
+    published_at: AtomicU64,
+    /// Peer ids, ascending (service snapshots iterate a `BTreeMap`), so
+    /// readers can binary-search.
+    peers: Vec<AtomicU64>,
+    /// Suspicion levels as `f64` bit patterns, parallel to `peers`.
+    levels: Vec<AtomicU64>,
+}
+
+impl Bank {
+    fn new(slots: usize) -> Self {
+        Bank {
+            wseq: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            published_at: AtomicU64::new(0),
+            peers: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            levels: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// A double-buffered epoch snapshot: the tick writer publishes into the
+/// back bank and flips `front`; readers verify the seqlock around their
+/// reads and retry on a straddle.
+struct ShardCell {
+    front: AtomicUsize,
+    banks: [Bank; 2],
+}
+
+impl ShardCell {
+    fn new(slots: usize) -> Self {
+        ShardCell {
+            front: AtomicUsize::new(0),
+            banks: [Bank::new(slots), Bank::new(slots)],
+        }
+    }
+
+    /// Publishes `entries` (ascending by id, at most `slots` long) as the
+    /// new front bank. Single writer: callers hold `&mut ShardedMonitor`.
+    fn publish(&self, entries: &[(ProcessId, SuspicionLevel)], at: Timestamp) {
+        let back = (self.front.load(Ordering::Relaxed) & 1) ^ 1;
+        let bank = &self.banks[back];
+        // Seqlock enter: mark odd, then fence so slot writes cannot be
+        // observed before the mark. Plain stores suffice — the tick
+        // writer is the only writer.
+        let s = bank.wseq.load(Ordering::Relaxed);
+        bank.wseq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        let n = entries.len().min(bank.peers.len());
+        for ((slot_p, slot_l), (p, lvl)) in bank.peers.iter().zip(&bank.levels).zip(entries) {
+            slot_p.store(u64::from(p.as_u32()), Ordering::Relaxed);
+            slot_l.store(lvl.value().to_bits(), Ordering::Relaxed);
+        }
+        bank.len.store(n, Ordering::Relaxed);
+        bank.published_at.store(at.as_nanos(), Ordering::Relaxed);
+        // Seqlock exit (even again): release-orders every slot write
+        // before the mark readers synchronize with.
+        bank.wseq.store(s.wrapping_add(2), Ordering::Release);
+        self.front.store(back, Ordering::Release);
+    }
+
+    /// Runs `read` against a consistent front bank, retrying while a
+    /// publish straddles the attempt.
+    fn with_consistent<R>(&self, mut read: impl FnMut(&Bank, usize) -> R) -> R {
+        loop {
+            let f = self.front.load(Ordering::Acquire) & 1;
+            let bank = &self.banks[f];
+            let s1 = bank.wseq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let len = bank.len.load(Ordering::Relaxed).min(bank.peers.len());
+            let out = read(bank, len);
+            // Acquire fence keeps the slot loads above the re-check.
+            fence(Ordering::Acquire);
+            if bank.wseq.load(Ordering::Relaxed) == s1 {
+                return out;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Binary-searches the published table for `process`.
+    fn lookup(&self, process: ProcessId) -> Option<SuspicionLevel> {
+        let target = u64::from(process.as_u32());
+        self.with_consistent(|bank, len| {
+            let mut lo = 0usize;
+            let mut hi = len;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if bank.peers[mid].load(Ordering::Relaxed) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo < len && bank.peers[lo].load(Ordering::Relaxed) == target {
+                let bits = bank.levels[lo].load(Ordering::Relaxed);
+                Some(SuspicionLevel::clamped(f64::from_bits(bits)))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Copies the whole published table (ascending by id).
+    fn read_all(&self, out: &mut Vec<(ProcessId, SuspicionLevel)>) -> Timestamp {
+        self.with_consistent(|bank, len| {
+            out.clear();
+            for (slot_p, slot_l) in bank.peers.iter().zip(&bank.levels).take(len) {
+                let p = ProcessId::new(slot_p.load(Ordering::Relaxed) as u32);
+                let lvl = SuspicionLevel::clamped(f64::from_bits(slot_l.load(Ordering::Relaxed)));
+                out.push((p, lvl));
+            }
+            Timestamp::from_nanos(bank.published_at.load(Ordering::Relaxed))
+        })
+    }
+}
+
+/// A cloneable, lock-free view of the last published epoch snapshots.
+///
+/// Readers never block the tick writer and never take a lock; each read
+/// retries only if it overlaps a publish of the same shard (two flips in
+/// one read — the writer alternates banks, so a single publish never
+/// invalidates the bank a reader is on).
+#[derive(Clone)]
+pub struct SnapshotReader {
+    cells: Arc<Vec<Arc<ShardCell>>>,
+}
+
+impl fmt::Debug for SnapshotReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("shards", &self.cells.len())
+            .finish()
+    }
+}
+
+impl SnapshotReader {
+    /// The published suspicion level of `process`, as of that shard's
+    /// last tick (`None` if unwatched at publish time).
+    pub fn level(&self, process: ProcessId) -> Option<SuspicionLevel> {
+        let idx = shard_index(process, self.cells.len());
+        self.cells.get(idx)?.lookup(process)
+    }
+
+    /// The union of every shard's published table, ascending by id.
+    pub fn snapshot(&self) -> Vec<(ProcessId, SuspicionLevel)> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for cell in self.cells.iter() {
+            cell.read_all(&mut scratch);
+            out.append(&mut scratch);
+        }
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
+    }
+
+    /// The oldest publish timestamp across shards: every published level
+    /// is at least this fresh. `Timestamp::ZERO` before the first tick.
+    pub fn published_at(&self) -> Timestamp {
+        let mut scratch = Vec::new();
+        self.cells
+            .iter()
+            .map(|cell| cell.read_all(&mut scratch))
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Number of shards behind this reader.
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// One shard: a detector service plus its freshness state and counters.
+struct Shard<D> {
+    service: MonitoringService<D, DetectorFactory<D>>,
+    highest_seq: BTreeMap<ProcessId, u64>,
+    stats: MonitorStats,
+    cell: Arc<ShardCell>,
+}
+
+impl<D: AccrualFailureDetector> Shard<D> {
+    /// Algorithm 4, lines 8–10 — the same accept path as
+    /// [`RuntimeMonitor`](crate::monitor::RuntimeMonitor), against this
+    /// shard's own freshness map.
+    fn accept(&mut self, hb: Heartbeat, now: Timestamp) -> bool {
+        if let Some(&highest) = self.highest_seq.get(&hb.sender) {
+            match classify(hb.seq, highest) {
+                SeqVerdict::Fresh => {}
+                SeqVerdict::Duplicate => {
+                    self.stats.duplicate += 1;
+                    return false;
+                }
+                SeqVerdict::Stale => {
+                    self.stats.stale += 1;
+                    return false;
+                }
+            }
+        }
+        if !self.service.heartbeat(hb.sender, now) {
+            self.stats.unwatched += 1;
+            return false;
+        }
+        self.highest_seq.insert(hb.sender, hb.seq);
+        self.stats.accepted += 1;
+        true
+    }
+
+    fn publish(&mut self, now: Timestamp) {
+        let snap = self.service.snapshot(now);
+        self.cell.publish(&snap, now);
+    }
+}
+
+/// A monitor for many peers: sharded intake, epoch-published reads.
+///
+/// Drive it by calling [`tick`](ShardedMonitor::tick) on whatever cadence
+/// the deployment wants (the chaos harness calls it on virtual time).
+/// Hand [`reader`](ShardedMonitor::reader) clones to every thread that
+/// queries suspicion levels.
+pub struct ShardedMonitor<T, C, D> {
+    transport: T,
+    clock: C,
+    config: ShardConfig,
+    shards: Vec<Shard<D>>,
+    reader: SnapshotReader,
+    /// Per-shard dispatch batches, reused across ticks.
+    batches: Vec<Vec<(Heartbeat, Timestamp)>>,
+    corrupt: u64,
+    ticks: u64,
+    liveness: Arc<AtomicU64>,
+    batch_hist: Option<afd_obs::Histogram>,
+    dispatch_hist: Option<afd_obs::Histogram>,
+}
+
+impl<T, C, D> fmt::Debug for ShardedMonitor<T, C, D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedMonitor")
+            .field("config", &self.config)
+            .field("ticks", &self.ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, C, D> ShardedMonitor<T, C, D>
+where
+    T: Transport,
+    C: Clock,
+    D: AccrualFailureDetector,
+{
+    /// Creates a sharded monitor; `factory` is cloned once per shard and
+    /// builds one detector per watched process (as in
+    /// [`RuntimeMonitor::new`](crate::monitor::RuntimeMonitor::new)).
+    pub fn new(
+        transport: T,
+        clock: C,
+        config: ShardConfig,
+        factory: impl FnMut(ProcessId) -> D + Send + Clone + 'static,
+    ) -> Self {
+        let config = ShardConfig {
+            shards: config.shards.max(1),
+            slots_per_shard: config.slots_per_shard.max(1),
+        };
+        let cells: Vec<Arc<ShardCell>> = (0..config.shards)
+            .map(|_| Arc::new(ShardCell::new(config.slots_per_shard)))
+            .collect();
+        let shards = cells
+            .iter()
+            .map(|cell| Shard {
+                service: MonitoringService::new(Box::new(factory.clone()) as DetectorFactory<D>),
+                highest_seq: BTreeMap::new(),
+                stats: MonitorStats::default(),
+                cell: Arc::clone(cell),
+            })
+            .collect();
+        let batches = (0..config.shards).map(|_| Vec::new()).collect();
+        ShardedMonitor {
+            transport,
+            clock,
+            config,
+            shards,
+            reader: SnapshotReader {
+                cells: Arc::new(cells),
+            },
+            batches,
+            corrupt: 0,
+            ticks: 0,
+            liveness: Arc::new(AtomicU64::new(0)),
+            batch_hist: None,
+            dispatch_hist: None,
+        }
+    }
+
+    /// The shard `process` routes to.
+    pub fn shard_of(&self, process: ProcessId) -> usize {
+        shard_index(process, self.shards.len())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Starts monitoring `process` (routed to its shard).
+    ///
+    /// Returns `Ok(true)` if newly watched, `Ok(false)` if already
+    /// watched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardCapacityError`] if the target shard's snapshot bank
+    /// is full — published banks are fixed-size atomic arrays shared with
+    /// readers and cannot grow.
+    pub fn watch(&mut self, process: ProcessId) -> Result<bool, ShardCapacityError> {
+        let idx = self.shard_of(process);
+        let shard = &mut self.shards[idx];
+        if !shard.service.is_watching(process) && shard.service.len() >= self.config.slots_per_shard
+        {
+            return Err(ShardCapacityError {
+                shard: idx,
+                capacity: self.config.slots_per_shard,
+            });
+        }
+        Ok(shard.service.watch(process))
+    }
+
+    /// Stops monitoring `process`. As with
+    /// [`RuntimeMonitor::unwatch`](crate::monitor::RuntimeMonitor::unwatch),
+    /// the highest sequence number seen from it is retained so replays
+    /// after a re-watch stay rejected. The published entry disappears at
+    /// the next tick.
+    pub fn unwatch(&mut self, process: ProcessId) -> Option<D> {
+        let idx = self.shard_of(process);
+        self.shards[idx].service.unwatch(process)
+    }
+
+    /// Drains the transport once, dispatches decoded heartbeats to their
+    /// shards in batches, and publishes every shard's epoch snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the transport itself failed; decode
+    /// failures, duplicates, and stale frames are absorbed into
+    /// [`ShardedStats`].
+    pub fn tick(&mut self) -> Result<TickReport, TransportError> {
+        // lint:allow(relaxed-atomics-audit, monotone liveness tick; the watchdog only needs eventual progress, no cross-thread ordering)
+        self.liveness.fetch_add(1, Ordering::Relaxed);
+        for batch in &mut self.batches {
+            batch.clear();
+        }
+        let mut drained = 0usize;
+        while let Some(frame) = self.transport.try_recv()? {
+            drained += 1;
+            match Heartbeat::decode(&frame) {
+                Ok(hb) => {
+                    // Stamp per decoded frame (not per tick): one "now"
+                    // for a whole drained backlog would collapse its
+                    // inter-arrival samples to zero.
+                    let now = self.clock.now();
+                    let idx = shard_index(hb.sender, self.shards.len());
+                    self.batches[idx].push((hb, now));
+                }
+                Err(_) => self.corrupt += 1,
+            }
+        }
+        let mut accepted = 0usize;
+        let mut max_batch = 0usize;
+        let dispatch_start = self.clock.now();
+        for (idx, batch) in self.batches.iter_mut().enumerate() {
+            max_batch = max_batch.max(batch.len());
+            if let Some(h) = &self.batch_hist {
+                h.observe(batch.len() as f64);
+            }
+            let shard = &mut self.shards[idx];
+            for (hb, at) in batch.drain(..) {
+                if shard.accept(hb, at) {
+                    accepted += 1;
+                }
+            }
+        }
+        let now = self.clock.now();
+        for shard in &mut self.shards {
+            shard.publish(now);
+        }
+        let dispatch = now.saturating_duration_since(dispatch_start);
+        if let Some(h) = &self.dispatch_hist {
+            h.observe(dispatch.as_nanos() as f64);
+        }
+        self.ticks += 1;
+        Ok(TickReport {
+            drained,
+            accepted,
+            max_batch,
+            dispatch,
+        })
+    }
+
+    /// The exact-`now` suspicion level of `process`, evaluated against
+    /// its detector (not the published epoch). Requires `&mut self`; use
+    /// a [`SnapshotReader`] for the lock-free path.
+    pub fn level(&mut self, process: ProcessId) -> Option<SuspicionLevel> {
+        let now = self.clock.now();
+        let idx = self.shard_of(process);
+        self.shards[idx].service.suspicion_level(process, now)
+    }
+
+    /// The exact-`now` accrual snapshot of every watched process across
+    /// all shards, ascending by id.
+    pub fn snapshot(&mut self) -> Vec<(ProcessId, SuspicionLevel)> {
+        let now = self.clock.now();
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.service.snapshot(now));
+        }
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
+    }
+
+    /// The exact-`now` snapshot of one shard, for balance inspection and
+    /// the union property tests.
+    pub fn shard_snapshot(&mut self, shard: usize) -> Vec<(ProcessId, SuspicionLevel)> {
+        let now = self.clock.now();
+        match self.shards.get_mut(shard) {
+            Some(s) => s.service.snapshot(now),
+            None => Vec::new(),
+        }
+    }
+
+    /// A cloneable lock-free reader over the published epoch snapshots.
+    pub fn reader(&self) -> SnapshotReader {
+        self.reader.clone()
+    }
+
+    /// Direct access to the detector for `process`.
+    pub fn detector_mut(&mut self, process: ProcessId) -> Option<&mut D> {
+        let idx = self.shard_of(process);
+        self.shards[idx].service.detector_mut(process)
+    }
+
+    /// The transport the monitor drains.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// The transport, mutably.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Aggregated and per-shard counters.
+    pub fn stats(&self) -> ShardedStats {
+        let mut totals = MonitorStats {
+            corrupt: self.corrupt,
+            ..MonitorStats::default()
+        };
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut peers_per_shard = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            totals.accepted += shard.stats.accepted;
+            totals.stale += shard.stats.stale;
+            totals.duplicate += shard.stats.duplicate;
+            totals.unwatched += shard.stats.unwatched;
+            per_shard.push(shard.stats);
+            peers_per_shard.push(shard.service.len());
+        }
+        ShardedStats {
+            totals,
+            per_shard,
+            peers_per_shard,
+            ticks: self.ticks,
+        }
+    }
+
+    /// Binds per-tick histograms (`shard.batch_size`,
+    /// `shard.dispatch_nanos`) so every subsequent
+    /// [`tick`](ShardedMonitor::tick) records its intake batch sizes and
+    /// dispatch latency into `registry`.
+    pub fn bind_metrics(&mut self, registry: &afd_obs::Registry) {
+        self.batch_hist = Some(registry.histogram(
+            "shard.batch_size",
+            &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0],
+        ));
+        self.dispatch_hist =
+            Some(registry.histogram("shard.dispatch_nanos", &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9]));
+    }
+
+    /// Publishes the aggregate counters into `registry` under
+    /// `sharded.*`, plus per-shard peer-count gauges
+    /// (`shard.<i>.peers`).
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        let stats = self.stats();
+        registry
+            .counter("sharded.accepted")
+            .set(stats.totals.accepted);
+        registry
+            .counter("sharded.corrupt")
+            .set(stats.totals.corrupt);
+        registry.counter("sharded.stale").set(stats.totals.stale);
+        registry
+            .counter("sharded.duplicate")
+            .set(stats.totals.duplicate);
+        registry
+            .counter("sharded.unwatched")
+            .set(stats.totals.unwatched);
+        registry.counter("sharded.ticks").set(stats.ticks);
+        registry
+            .gauge("sharded.shards")
+            .set(self.shards.len() as f64);
+        let total_peers: usize = stats.peers_per_shard.iter().sum();
+        registry.gauge("sharded.peers").set(total_peers as f64);
+        for (i, peers) in stats.peers_per_shard.iter().enumerate() {
+            registry
+                .gauge(&format!("shard.{i}.peers"))
+                .set(*peers as f64);
+        }
+    }
+
+    /// A handle to the liveness counter, bumped on every
+    /// [`tick`](ShardedMonitor::tick); hand it to a
+    /// [`Watchdog`](crate::supervisor::Watchdog).
+    pub fn liveness(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.liveness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::transport::ChannelTransport;
+    use afd_detectors::simple::SimpleAccrual;
+
+    fn rig(
+        config: ShardConfig,
+    ) -> (
+        ChannelTransport,
+        ShardedMonitor<ChannelTransport, VirtualClock, SimpleAccrual>,
+        VirtualClock,
+    ) {
+        let (tx, rx) = ChannelTransport::pair();
+        let clock = VirtualClock::new();
+        let mon = ShardedMonitor::new(rx, clock.clone(), config, |_| {
+            SimpleAccrual::new(Timestamp::ZERO)
+        });
+        (tx, mon, clock)
+    }
+
+    fn frame(sender: u32, seq: u64) -> Vec<u8> {
+        Heartbeat {
+            sender: ProcessId::new(sender),
+            seq,
+            sent_at: Timestamp::from_secs(seq),
+        }
+        .encode()
+        .to_vec()
+    }
+
+    #[test]
+    fn heartbeats_reach_shard_detectors() {
+        let (mut tx, mut mon, clock) = rig(ShardConfig::default());
+        let p = ProcessId::new(1);
+        mon.watch(p).unwrap();
+        clock.set(Timestamp::from_secs(5));
+        tx.send(&frame(1, 1)).unwrap();
+        let report = mon.tick().unwrap();
+        assert_eq!(report.drained, 1);
+        assert_eq!(report.accepted, 1);
+        clock.set(Timestamp::from_secs(8));
+        assert_eq!(mon.level(p).unwrap().value(), 3.0);
+    }
+
+    #[test]
+    fn peers_spread_across_shards() {
+        let (_tx, mut mon, _clock) = rig(ShardConfig {
+            shards: 8,
+            slots_per_shard: 64,
+        });
+        for id in 0..256 {
+            mon.watch(ProcessId::new(id)).unwrap();
+        }
+        let stats = mon.stats();
+        assert_eq!(stats.peers_per_shard.iter().sum::<usize>(), 256);
+        let max = stats.peers_per_shard.iter().max().copied().unwrap_or(0);
+        let min = stats.peers_per_shard.iter().min().copied().unwrap_or(0);
+        assert!(min > 0, "every shard should get some of 256 peers");
+        assert!(max <= 64, "no shard should be wildly overloaded: {stats:?}");
+    }
+
+    #[test]
+    fn capacity_overflow_is_a_typed_error() {
+        let (_tx, mut mon, _clock) = rig(ShardConfig {
+            shards: 1,
+            slots_per_shard: 2,
+        });
+        mon.watch(ProcessId::new(1)).unwrap();
+        mon.watch(ProcessId::new(2)).unwrap();
+        // Re-watching an existing peer is fine even at capacity.
+        assert_eq!(mon.watch(ProcessId::new(1)), Ok(false));
+        let err = mon.watch(ProcessId::new(3)).unwrap_err();
+        assert_eq!(
+            err,
+            ShardCapacityError {
+                shard: 0,
+                capacity: 2
+            }
+        );
+        // Unwatching frees the slot.
+        mon.unwatch(ProcessId::new(2));
+        assert_eq!(mon.watch(ProcessId::new(3)), Ok(true));
+    }
+
+    #[test]
+    fn reader_serves_published_levels_without_mut() {
+        let (mut tx, mut mon, clock) = rig(ShardConfig {
+            shards: 4,
+            slots_per_shard: 16,
+        });
+        for id in 1..=8 {
+            mon.watch(ProcessId::new(id)).unwrap();
+        }
+        clock.set(Timestamp::from_secs(10));
+        for id in 1..=8 {
+            tx.send(&frame(id, 1)).unwrap();
+        }
+        mon.tick().unwrap();
+        clock.set(Timestamp::from_secs(14));
+        mon.tick().unwrap(); // republish at t = 14
+
+        let reader = mon.reader();
+        assert_eq!(reader.published_at(), Timestamp::from_secs(14));
+        // SimpleAccrual: level = elapsed since last heartbeat = 4 s.
+        for id in 1..=8 {
+            let lvl = reader.level(ProcessId::new(id)).unwrap();
+            assert_eq!(lvl.value(), 4.0);
+        }
+        assert_eq!(reader.level(ProcessId::new(99)), None);
+        let snap = reader.snapshot();
+        assert_eq!(snap.len(), 8);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "ascending ids");
+    }
+
+    #[test]
+    fn reader_lags_by_at_most_one_tick() {
+        let (mut tx, mut mon, clock) = rig(ShardConfig {
+            shards: 2,
+            slots_per_shard: 4,
+        });
+        let p = ProcessId::new(7);
+        mon.watch(p).unwrap();
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(7, 1)).unwrap();
+        mon.tick().unwrap();
+        let reader = mon.reader();
+        let before = reader.level(p).unwrap();
+
+        // A fresher heartbeat arrives but no tick has run: the reader
+        // still serves the old epoch.
+        clock.set(Timestamp::from_secs(2));
+        tx.send(&frame(7, 2)).unwrap();
+        assert_eq!(reader.level(p).unwrap(), before);
+
+        mon.tick().unwrap();
+        assert_eq!(reader.level(p).unwrap().value(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_and_stale_are_counted_per_shard_and_in_totals() {
+        let (mut tx, mut mon, clock) = rig(ShardConfig {
+            shards: 4,
+            slots_per_shard: 8,
+        });
+        let p = ProcessId::new(3);
+        mon.watch(p).unwrap();
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(3, 5)).unwrap();
+        tx.send(&frame(3, 5)).unwrap(); // duplicate
+        tx.send(&frame(3, 4)).unwrap(); // stale
+        tx.send(&frame(3, 6)).unwrap(); // fresh
+        tx.send(b"garbage").unwrap(); // corrupt
+        let report = mon.tick().unwrap();
+        assert_eq!(report.drained, 5);
+        assert_eq!(report.accepted, 2);
+        let stats = mon.stats();
+        assert_eq!(stats.totals.accepted, 2);
+        assert_eq!(stats.totals.duplicate, 1);
+        assert_eq!(stats.totals.stale, 1);
+        assert_eq!(stats.totals.corrupt, 1);
+        let idx = mon.shard_of(p);
+        assert_eq!(stats.per_shard[idx].accepted, 2);
+        assert_eq!(stats.per_shard[idx].corrupt, 0, "corrupt is pre-shard");
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_snapshots() {
+        let (mut tx, mut mon, clock) = rig(ShardConfig {
+            shards: 2,
+            slots_per_shard: 32,
+        });
+        let peers: Vec<u32> = (1..=16).collect();
+        for &id in &peers {
+            mon.watch(ProcessId::new(id)).unwrap();
+        }
+        let reader = mon.reader();
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reader = reader.clone();
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for _ in 0..300 {
+                        let snap = reader.snapshot();
+                        // Published tables are always a full, id-sorted
+                        // epoch: never a partial write.
+                        assert!(snap.len() <= 16);
+                        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+                        for (_, lvl) in &snap {
+                            assert!(lvl.value().is_finite());
+                        }
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+
+        // Keep publishing until every reader has finished its reads, so
+        // the readers genuinely race ongoing publishes.
+        let mut round = 0u64;
+        while done.load(Ordering::SeqCst) < 4 {
+            round += 1;
+            clock.set(Timestamp::from_secs(round));
+            for &id in &peers {
+                tx.send(&frame(id, round)).unwrap();
+            }
+            mon.tick().unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mon.stats().totals.accepted, 16 * round);
+    }
+
+    #[test]
+    fn export_metrics_covers_totals_and_shards() {
+        let (mut tx, mut mon, clock) = rig(ShardConfig {
+            shards: 2,
+            slots_per_shard: 8,
+        });
+        let registry = afd_obs::Registry::new();
+        mon.bind_metrics(&registry);
+        mon.watch(ProcessId::new(1)).unwrap();
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(1, 1)).unwrap();
+        mon.tick().unwrap();
+        mon.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sharded.accepted"), Some(1));
+        assert_eq!(snap.counter("sharded.ticks"), Some(1));
+        assert_eq!(snap.gauge("sharded.peers"), Some(1.0));
+        assert_eq!(snap.gauge("sharded.shards"), Some(2.0));
+        let per_shard: f64 = (0..2)
+            .map(|i| snap.gauge(&format!("shard.{i}.peers")).unwrap_or(0.0))
+            .sum();
+        assert_eq!(per_shard, 1.0);
+    }
+
+    #[test]
+    fn tick_bumps_liveness_for_the_watchdog() {
+        let (_tx, mut mon, _clock) = rig(ShardConfig::default());
+        let liveness = mon.liveness();
+        assert_eq!(liveness.load(Ordering::Relaxed), 0);
+        mon.tick().unwrap();
+        mon.tick().unwrap();
+        assert_eq!(liveness.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn disconnected_transport_surfaces_typed_error() {
+        let (tx, mut mon, _clock) = rig(ShardConfig::default());
+        drop(tx);
+        assert_eq!(mon.tick(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn zero_shard_config_is_floored_to_one() {
+        let (_tx, mut mon, _clock) = rig(ShardConfig {
+            shards: 0,
+            slots_per_shard: 0,
+        });
+        assert_eq!(mon.shard_count(), 1);
+        mon.watch(ProcessId::new(1)).unwrap();
+        assert!(mon.watch(ProcessId::new(2)).is_err(), "slots floored to 1");
+    }
+}

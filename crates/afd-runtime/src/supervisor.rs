@@ -182,6 +182,7 @@ mod tests {
                     }
                 }
                 n += 1;
+                // lint:allow(relaxed-atomics-audit, monotone liveness tick; the watchdog only needs eventual progress, no cross-thread ordering)
                 t_liveness.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
