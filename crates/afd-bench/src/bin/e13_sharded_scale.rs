@@ -21,6 +21,7 @@
 //! `--smoke` shrinks the round counts (not the peer count) so CI can run
 //! the full 10 000-peer pipeline end-to-end in seconds.
 
+use afd_bench::report::{write_report, Json, JsonObject};
 use afd_core::accrual::AccrualFailureDetector;
 use afd_core::process::ProcessId;
 use afd_core::time::Timestamp;
@@ -56,7 +57,7 @@ fn frame(sender: u32, seq: u64) -> Vec<u8> {
 }
 
 /// Throughput + reader-latency sweep over shard counts.
-fn sharded_scale(sizes: &Sizes, wall_clock: &SystemClock) -> Table {
+fn sharded_scale(sizes: &Sizes, wall_clock: &SystemClock) -> (Table, Vec<Json>) {
     let mut table = Table::new(
         format!(
             "E13a: sharded intake at {PEERS} peers, {} rounds per shard count",
@@ -72,6 +73,7 @@ fn sharded_scale(sizes: &Sizes, wall_clock: &SystemClock) -> Table {
         ],
     );
 
+    let mut rows = Vec::new();
     for &shards in sizes.shard_counts {
         let clock = VirtualClock::new();
         let (mut tx, rx) = ChannelTransport::pair();
@@ -119,20 +121,32 @@ fn sharded_scale(sizes: &Sizes, wall_clock: &SystemClock) -> Table {
         let stats = mon.stats();
         let min_peers = stats.peers_per_shard.iter().min().copied().unwrap_or(0);
         let max_peers = stats.peers_per_shard.iter().max().copied().unwrap_or(0);
+        let intake_hb_s = accepted as f64 / intake_secs.max(1e-9);
+        let tick_ms = intake_secs * 1e3 / sizes.rounds as f64;
+        let query_ns = query_secs * 1e9 / sizes.reader_queries as f64;
         table.push_row(vec![
             shards.to_string(),
-            cell(accepted as f64 / intake_secs.max(1e-9), 0),
-            cell(intake_secs * 1e3 / sizes.rounds as f64, 2),
+            cell(intake_hb_s, 0),
+            cell(tick_ms, 2),
             max_batch.to_string(),
-            cell(query_secs * 1e9 / sizes.reader_queries as f64, 0),
+            cell(query_ns, 0),
             format!("{min_peers}..{max_peers}"),
         ]);
+        rows.push(
+            JsonObject::new()
+                .field("shards", shards)
+                .field("intake_hb_per_s", intake_hb_s)
+                .field("tick_ms", tick_ms)
+                .field("max_batch", max_batch)
+                .field("reader_query_ns", query_ns)
+                .build(),
+        );
     }
-    table
+    (table, rows)
 }
 
 /// φ query cost across window sizes: incremental vs. naive rescan.
-fn phi_query_cost(sizes: &Sizes, wall_clock: &SystemClock) -> Table {
+fn phi_query_cost(sizes: &Sizes, wall_clock: &SystemClock) -> (Table, Vec<Json>) {
     let mut table = Table::new(
         format!(
             "E13b: phi() query cost vs window size, {} calls each",
@@ -204,7 +218,17 @@ fn phi_query_cost(sizes: &Sizes, wall_clock: &SystemClock) -> Table {
         large.2,
         large.0
     );
-    table
+    let json = rows
+        .iter()
+        .map(|&(window, phi_ns, naive_ns)| {
+            JsonObject::new()
+                .field("window", window)
+                .field("phi_ns", phi_ns)
+                .field("phi_naive_ns", naive_ns)
+                .build()
+        })
+        .collect();
+    (table, json)
 }
 
 fn main() {
@@ -227,8 +251,26 @@ fn main() {
     let wall_clock = SystemClock::new();
 
     let total = wall_clock.now();
-    println!("{}", sharded_scale(&sizes, &wall_clock));
-    println!("{}", phi_query_cost(&sizes, &wall_clock));
+    let (scale_table, scale_json) = sharded_scale(&sizes, &wall_clock);
+    println!("{scale_table}");
+    let (phi_table, phi_json) = phi_query_cost(&sizes, &wall_clock);
+    println!("{phi_table}");
+
+    let report = JsonObject::new()
+        .field("experiment", "e13_sharded_scale")
+        .field("peers", u64::from(PEERS))
+        .field("rounds", sizes.rounds)
+        .field("smoke", smoke)
+        .field(
+            "host_cores",
+            std::thread::available_parallelism().map_or(0, std::num::NonZero::get),
+        )
+        .field("sharded", scale_json)
+        .field("phi_query", phi_json)
+        .build();
+    let path = write_report("e13", &report).expect("write results/BENCH_e13.json");
+    println!("wrote {}", path.display());
+
     println!(
         "e13 total: {:.2} s{}",
         wall(&wall_clock, total),

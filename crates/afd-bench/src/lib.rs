@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use afd_core::accrual::AccrualFailureDetector;
 use afd_core::history::SuspicionTrace;
 use afd_core::time::Duration;

@@ -1,0 +1,222 @@
+//! Machine-readable benchmark reports.
+//!
+//! The experiment binaries print human tables to stdout; CI and the
+//! README scale section want the same numbers as artifacts. This module
+//! is a dependency-free JSON writer: experiments assemble a [`Json`]
+//! tree and [`write_report`] lands it in the workspace-level `results/`
+//! directory as `BENCH_<name>.json`.
+//!
+//! Non-finite floats serialize as `null` (JSON has no NaN/∞), so a
+//! pathological measurement can never produce an unparseable artifact.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A JSON value, sufficient for flat benchmark reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (benchmark counters).
+    UInt(u64),
+    /// A float (rates, latencies); non-finite renders as `null`.
+    Float(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Array(v)
+    }
+}
+
+/// Builds a [`Json::Object`] preserving field order.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, Json)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a field (builder style).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Object(self.fields)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_into(out: &mut String, value: &Json, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        Json::Float(_) => out.push_str("null"),
+        Json::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Json::Array(items) if items.is_empty() => out.push_str("[]"),
+        Json::Array(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                let _ = write!(out, "{pad}  ");
+                render_into(out, item, indent + 1);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}]");
+        }
+        Json::Object(fields) if fields.is_empty() => out.push_str("{}"),
+        Json::Object(fields) => {
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                let _ = write!(out, "{pad}  \"");
+                escape_into(out, key);
+                out.push_str("\": ");
+                render_into(out, item, indent + 1);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}}}");
+        }
+    }
+}
+
+/// Renders `value` as pretty-printed JSON.
+pub fn render(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(&mut out, value, 0);
+    out.push('\n');
+    out
+}
+
+/// The workspace-level `results/` directory.
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Writes `value` to `results/BENCH_<name>.json` and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem failures from directory creation or the write.
+pub fn write_report(name: &str, value: &Json) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    fs::write(&path, render(value))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonObject::new()
+            .field("name", "e14")
+            .field("ok", true)
+            .field("count", 3u64)
+            .field("rate", 12.5)
+            .field(
+                "rows",
+                vec![JsonObject::new().field("w", 1u64).build(), Json::Null],
+            )
+            .build();
+        let s = render(&v);
+        assert!(s.contains("\"name\": \"e14\""));
+        assert!(s.contains("\"rate\": 12.5"));
+        assert!(s.contains("\"w\": 1"));
+        // Valid nesting: braces and brackets balance.
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "unbalanced: {s}"
+        );
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let v = JsonObject::new()
+            .field("nan", f64::NAN)
+            .field("inf", f64::INFINITY)
+            .build();
+        let s = render(&v);
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = render(&Json::Str("a\"b\\c\nd".to_string()));
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+}

@@ -1,4 +1,4 @@
-//! The six project-invariant rules, run over a file's token stream.
+//! The seven project-invariant rules, run over a file's token stream.
 //!
 //! Each rule is a scoped token-pattern check. The scopes encode *why* the
 //! invariant exists:
@@ -11,6 +11,7 @@
 //! | `no-thread-sleep` | library code waits on the `Clock`/callback abstractions, keeping the chaos harness deterministic |
 //! | `relaxed-atomics-audit` | every `Ordering::Relaxed` read-modify-write in `afd-obs` or `afd-runtime` carries a written justification |
 //! | `crate-hygiene` | every crate root forbids `unsafe_code` |
+//! | `no-alloc-in-hot-path` | the per-frame intake files stay heap-allocation-free in steady state (`to_vec`/`Vec::new`/`vec!` need a written justification) |
 //!
 //! Any rule can be silenced per line with `// lint:allow(rule, reason)` —
 //! see [`crate::pragma`]. A malformed pragma is reported under the
@@ -29,6 +30,7 @@ pub const RULE_NAMES: &[&str] = &[
     "no-thread-sleep",
     "relaxed-atomics-audit",
     "crate-hygiene",
+    "no-alloc-in-hot-path",
 ];
 
 /// Crates whose library code must be panic-free.
@@ -70,6 +72,7 @@ pub fn lint_tokens(ctx: &FileContext, tokens: &[Token]) -> (Vec<Finding>, usize)
     no_thread_sleep(ctx, &code, &mut raw);
     relaxed_atomics_audit(ctx, &code, &mut raw);
     crate_hygiene(ctx, &code, &mut raw);
+    no_alloc_in_hot_path(ctx, &code, &mut raw);
 
     let (pragmas, pragma_errors) = pragma::collect(tokens);
     let mut suppressed = 0usize;
@@ -295,6 +298,52 @@ fn relaxed_atomics_audit(ctx: &FileContext, code: &[&Token], out: &mut Vec<Findi
     }
 }
 
+/// Files on the per-frame intake hot path: every heartbeat flows through
+/// them, so a steady-state heap allocation here is per-frame garbage. The
+/// batched intake pipeline (`FrameBatch` arenas, SPSC rings, epoch
+/// snapshots) is allocation-free by design; this rule keeps it that way.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/afd-runtime/src/transport.rs",
+    "crates/afd-runtime/src/wire.rs",
+    "crates/afd-runtime/src/shard.rs",
+    "crates/afd-runtime/src/ring.rs",
+    "crates/afd-runtime/src/engine.rs",
+];
+
+/// `.to_vec()` / `Vec::new` / `vec![…]` in a hot-path file. One-time
+/// construction and cold error paths are fine — say so with
+/// `// lint:allow(no-alloc-in-hot-path, reason)`.
+fn no_alloc_in_hot_path(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let next = |n: usize| code.get(i + n).map(|t| t.text.as_str());
+        let alloc = match tok.text.as_str() {
+            "to_vec" => i > 0 && code[i - 1].text == "." && next(1) == Some("("),
+            "Vec" => next(1) == Some("::") && next(2) == Some("new"),
+            "vec" => next(1) == Some("!"),
+            _ => false,
+        };
+        if alloc {
+            out.push(finding(
+                ctx,
+                "no-alloc-in-hot-path",
+                tok,
+                format!(
+                    "`{}` allocates in hot-path file {}; reuse a `FrameBatch`/scratch buffer, \
+                     or justify a cold-path allocation with \
+                     `// lint:allow(no-alloc-in-hot-path, reason)`",
+                    tok.text, ctx.path
+                ),
+            ));
+        }
+    }
+}
+
 /// Crate roots must carry `#![forbid(unsafe_code)]`.
 fn crate_hygiene(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
     if !ctx.is_crate_root() {
@@ -462,6 +511,48 @@ mod tests {
         let (findings, _) = lint_source("crates/afd-runtime/src/x.rs", src);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "no-thread-sleep");
+    }
+
+    #[test]
+    fn hot_path_allocs_are_flagged_only_in_hot_files() {
+        let src = "fn f(b: &[u8]) -> Vec<u8> { b.to_vec() }\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/transport.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-alloc-in-hot-path");
+        // The same code is fine in a non-hot-path file.
+        let (findings, _) = lint_source("crates/afd-runtime/src/monitor.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn hot_path_rule_catches_all_three_alloc_forms() {
+        let src = "fn f() {\n    let a = Vec::new();\n    let b = vec![1u8];\n    let c = b.to_vec();\n}\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/engine.rs", src);
+        let rules: Vec<_> = findings.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(
+            rules,
+            vec![
+                ("no-alloc-in-hot-path", 2),
+                ("no-alloc-in-hot-path", 3),
+                ("no-alloc-in-hot-path", 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_path_rule_spares_tests_and_lookalikes() {
+        let src = "pub fn live() -> usize { Vec::<u8>::with_capacity(4).capacity() }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let _ = vec![0u8; 4]; }\n}\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/wire.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_pragma_suppresses_with_reason() {
+        let src = "fn f() {\n    // lint:allow(no-alloc-in-hot-path, one-time construction)\n    let a: Vec<u8> = Vec::new();\n    drop(a);\n}\n";
+        let (findings, suppressed) = lint_source("crates/afd-runtime/src/shard.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
     }
 
     #[test]

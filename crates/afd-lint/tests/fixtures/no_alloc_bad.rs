@@ -1,0 +1,12 @@
+// Deliberate heap allocations posing as frame-intake code.
+fn drain(frames: &[&[u8]]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.push(f.to_vec());
+    }
+    out
+}
+
+fn scratch() -> Vec<u8> {
+    vec![0u8, 1, 2]
+}

@@ -1,0 +1,7 @@
+// The same allocation, carrying a reasoned pragma.
+fn scratch() -> Vec<u8> {
+    // lint:allow(no-alloc-in-hot-path, one-time construction outside the per-frame loop)
+    let mut out = Vec::new();
+    out.push(7);
+    out
+}

@@ -1,6 +1,6 @@
 //! Fixture-driven self-tests for the rule engine.
 //!
-//! Each of the six rules gets a known-bad snippet (must flag, with exact
+//! Each of the seven rules gets a known-bad snippet (must flag, with exact
 //! rule name, path, and line) and a pragma'd variant (must pass and count
 //! as suppressed). Fixtures live under `tests/fixtures/`, a directory the
 //! workspace walker skips precisely because these files violate the rules
@@ -160,6 +160,36 @@ fn relaxed_atomics_audit_honors_reasoned_pragma() {
     let (findings, suppressed) = lint_fixture(
         "relaxed_atomics_suppressed.rs",
         "crates/afd-obs/src/registry.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn no_alloc_in_hot_path_fires_on_each_allocation_form() {
+    let path = "crates/afd-runtime/src/engine.rs";
+    let (findings, suppressed) = lint_fixture("no_alloc_bad.rs", path);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "no-alloc-in-hot-path"));
+    assert!(findings.iter().all(|f| f.path == path));
+    let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![3, 5, 11]); // Vec::new, .to_vec(), vec!
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn no_alloc_in_hot_path_is_scoped_to_the_intake_files() {
+    // The same snippet in a runtime file off the frame path passes: the
+    // rule polices the intake pipeline, not the whole crate.
+    let (findings, _) = lint_fixture("no_alloc_bad.rs", "crates/afd-runtime/src/monitor.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_alloc_in_hot_path_honors_reasoned_pragma() {
+    let (findings, suppressed) = lint_fixture(
+        "no_alloc_suppressed.rs",
+        "crates/afd-runtime/src/transport.rs",
     );
     assert!(findings.is_empty(), "{findings:?}");
     assert_eq!(suppressed, 1);

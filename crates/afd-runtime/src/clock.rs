@@ -30,6 +30,12 @@ impl<C: Clock + ?Sized> Clock for &C {
     }
 }
 
+impl Clock for Box<dyn Clock + Send + Sync> {
+    fn now(&self) -> Timestamp {
+        (**self).now()
+    }
+}
+
 /// Monotonic wall-clock time, measured from the clock's creation.
 #[derive(Debug, Clone, Copy)]
 pub struct SystemClock {
@@ -125,5 +131,13 @@ mod tests {
     fn clock_through_arc() {
         let c: Arc<dyn Clock> = Arc::new(VirtualClock::new());
         assert_eq!(c.now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn clock_through_box() {
+        let v = VirtualClock::new();
+        v.set(Timestamp::from_secs(2));
+        let c: Box<dyn Clock + Send + Sync> = Box::new(v);
+        assert_eq!(c.now(), Timestamp::from_secs(2));
     }
 }

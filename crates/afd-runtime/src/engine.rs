@@ -1,0 +1,1302 @@
+//! The parallel shard-worker pipeline.
+//!
+//! [`ShardedMonitor`](crate::shard::ShardedMonitor) partitions peers
+//! across shards but still advances every shard on one thread, so its
+//! throughput ceiling is a single core. [`ParallelShardEngine`] lifts
+//! that ceiling with a fixed topology:
+//!
+//! ```text
+//!   transport ──► intake thread ──► SPSC ring ──► worker 0 ──► ShardCell 0
+//!     (recv_batch,  decode + route)  SPSC ring ──► worker 1 ──► ShardCell 1
+//!      zero alloc)                       …             …            …
+//!                                                            SnapshotReader
+//! ```
+//!
+//! One intake thread drains the transport through a reusable
+//! [`FrameBatch`] arena (zero heap allocations per frame), decodes each
+//! frame, stamps its arrival, and hash-routes it into a bounded SPSC
+//! [`heartbeat_ring`](crate::ring::heartbeat_ring). One worker thread
+//! per shard owns that shard's `MonitoringService` — the *same*
+//! [`Shard`](crate::shard) accept/publish code the single-threaded
+//! monitor runs — and publishes into the same double-buffered epoch
+//! snapshots, so [`SnapshotReader`] works unchanged against a parallel
+//! engine.
+//!
+//! # Backpressure is loss
+//!
+//! A full ring evicts its oldest entry (counted, exported via
+//! [`export_metrics`](ParallelShardEngine::export_metrics)) instead of
+//! blocking intake. The paper's detectors are *defined* over lossy
+//! channels: a frame dropped at a full ring is indistinguishable from
+//! one dropped by UDP, and dropping the oldest keeps the freshest
+//! evidence, which is exactly what an accrual detector wants.
+//!
+//! # Lockstep mode
+//!
+//! [`EngineMode::Lockstep`] trades the intake thread for explicit
+//! [`tick`](ParallelShardEngine::tick) calls: the driver drains the
+//! transport, routes frames into the rings, and releases all workers for
+//! exactly one barrier-synchronized epoch. With a frozen
+//! [`VirtualClock`](crate::clock::VirtualClock) per tick this reproduces
+//! the single-threaded [`ShardedMonitor`] frame-for-frame — the
+//! equivalence proptest in `tests/engine.rs` holds it to that — while
+//! still exercising the real worker threads and rings.
+//!
+//! # Supervision
+//!
+//! Worker panics are detected by drop guards that poison the tick
+//! barrier (lockstep) or raise per-worker flags (free-running); both
+//! surface as [`EngineError::WorkerPanicked`]. Every thread bumps a
+//! liveness counter that [`register_health`](ParallelShardEngine::register_health)
+//! wires into a [`HealthBoard`](crate::supervisor::HealthBoard), and
+//! [`shutdown`](ParallelShardEngine::shutdown) (or drop) joins every
+//! thread.
+
+use std::fmt;
+use std::mem;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::process::ProcessId;
+use afd_core::time::{Duration, Timestamp};
+
+use crate::clock::Clock;
+use crate::error::{EngineError, TransportError};
+use crate::monitor::MonitorStats;
+use crate::ring::{heartbeat_ring, RingConsumer, RingProducer, RingWatch};
+use crate::shard::{shard_index, DetectorFactory, Shard, ShardCapacityError, ShardCell};
+use crate::shard::{SnapshotReader, INTAKE_BATCH_SLOTS};
+use crate::supervisor::HealthBoard;
+use crate::transport::{FrameBatch, Transport};
+use crate::wire::{Heartbeat, FRAME_LEN};
+
+/// Frames a free-running worker drains from its ring per loop iteration
+/// before re-checking stop/publish, so one flooded ring cannot starve
+/// the publish cadence.
+const WORKER_DRAIN_CAP: usize = 1024;
+
+/// Sizing and cadence for a [`ParallelShardEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads — one per shard (floored at 1).
+    pub workers: usize,
+    /// Maximum watched processes per shard (snapshot banks are
+    /// fixed-size, as in [`ShardConfig`](crate::shard::ShardConfig)).
+    pub slots_per_shard: usize,
+    /// Slots per intake→worker ring (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Slots in the intake thread's reusable [`FrameBatch`] arena.
+    pub batch_slots: usize,
+    /// How often a free-running worker republishes its epoch snapshot,
+    /// on the engine clock's timeline. Zero republishes every loop.
+    pub publish_every: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            slots_per_shard: 4096,
+            ring_capacity: 1024,
+            batch_slots: INTAKE_BATCH_SLOTS,
+            publish_every: Duration::from_millis(1),
+        }
+    }
+}
+
+/// How the engine's threads are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// No intake thread; the caller drives barrier-synchronized epochs
+    /// with [`tick`](ParallelShardEngine::tick). Deterministic under a
+    /// virtual clock — equivalent to `ShardedMonitor` frame-for-frame.
+    Lockstep,
+    /// A dedicated intake thread drains the transport continuously and
+    /// workers run unsynchronized — the production topology.
+    FreeRunning,
+}
+
+/// What one lockstep [`tick`](ParallelShardEngine::tick) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineTickReport {
+    /// Frames drained from the transport (including corrupt ones).
+    pub drained: usize,
+    /// Heartbeats accepted into detectors this epoch.
+    pub accepted: u64,
+}
+
+/// Aggregated counters for a [`ParallelShardEngine`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Counters summed across workers; `corrupt` counts frames that
+    /// failed decoding on the intake side.
+    pub totals: MonitorStats,
+    /// Per-worker intake counters (each worker's `corrupt` is always 0).
+    pub per_worker: Vec<MonitorStats>,
+    /// Watched processes per shard, for balance inspection.
+    pub peers_per_shard: Vec<usize>,
+    /// Frames evicted by drop-oldest ring backpressure, cumulative
+    /// across engine runs.
+    pub ring_dropped: u64,
+    /// Frames the intake path pulled off the transport.
+    pub intake_frames: u64,
+    /// Lockstep epochs executed so far.
+    pub ticks: u64,
+}
+
+/// Counters the intake path (thread or lockstep driver) publishes.
+/// Single-writer: exactly one intake exists per engine run.
+/// `liveness` is its own `Arc` so a [`HealthBoard`] can track it.
+#[derive(Default)]
+struct IntakeShared {
+    liveness: Arc<AtomicU64>,
+    frames: AtomicU64,
+    corrupt: AtomicU64,
+    panicked: AtomicBool,
+    fault: Mutex<Option<TransportError>>,
+}
+
+impl IntakeShared {
+    /// Single-writer add: a plain load+store pair is exact because only
+    /// the intake side writes this counter.
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.store(
+            counter.load(Ordering::Relaxed).wrapping_add(n),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Counters one worker publishes. Single-writer per worker.
+#[derive(Default)]
+struct WorkerShared {
+    liveness: Arc<AtomicU64>,
+    accepted: AtomicU64,
+    stale: AtomicU64,
+    duplicate: AtomicU64,
+    unwatched: AtomicU64,
+    loops: AtomicU64,
+    busy_loops: AtomicU64,
+    panicked: AtomicBool,
+}
+
+impl WorkerShared {
+    fn store_stats(&self, stats: &MonitorStats) {
+        self.accepted.store(stats.accepted, Ordering::Relaxed);
+        self.stale.store(stats.stale, Ordering::Relaxed);
+        self.duplicate.store(stats.duplicate, Ordering::Relaxed);
+        self.unwatched.store(stats.unwatched, Ordering::Relaxed);
+    }
+
+    fn load_stats(&self) -> MonitorStats {
+        MonitorStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            corrupt: 0,
+            stale: self.stale.load(Ordering::Relaxed),
+            duplicate: self.duplicate.load(Ordering::Relaxed),
+            unwatched: self.unwatched.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The lockstep tick barrier: the driver announces an epoch (with its
+/// publish timestamp), parked workers run exactly one drain+publish, and
+/// the driver waits for all of them. A worker panic poisons the barrier.
+struct PhaseState {
+    epoch: u64,
+    publish_at: u64,
+    running: usize,
+    stop: bool,
+    poisoned: Option<usize>,
+}
+
+struct PhaseBarrier {
+    state: Mutex<PhaseState>,
+    begin_cv: Condvar,
+    done_cv: Condvar,
+}
+
+enum WorkerSignal {
+    Run { epoch: u64, publish_at: Timestamp },
+    Stop,
+}
+
+impl PhaseBarrier {
+    fn new() -> Arc<Self> {
+        Arc::new(PhaseBarrier {
+            state: Mutex::new(PhaseState {
+                epoch: 0,
+                publish_at: 0,
+                running: 0,
+                stop: false,
+                poisoned: None,
+            }),
+            begin_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Locks the state, recovering from mutex poisoning: the state is
+    /// plain counters, valid regardless of where a panicking thread
+    /// stopped, and worker panics are reported through `poisoned`.
+    fn lock(&self) -> MutexGuard<'_, PhaseState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn begin(&self, workers: usize, publish_at: Timestamp) {
+        let mut s = self.lock();
+        s.epoch = s.epoch.wrapping_add(1);
+        s.publish_at = publish_at.as_nanos();
+        s.running = workers;
+        drop(s);
+        self.begin_cv.notify_all();
+    }
+
+    fn wait_done(&self) -> Result<(), EngineError> {
+        let mut s = self.lock();
+        loop {
+            if let Some(worker) = s.poisoned {
+                return Err(EngineError::WorkerPanicked { worker });
+            }
+            if s.running == 0 {
+                return Ok(());
+            }
+            s = match self.done_cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    fn wait_begin(&self, last_epoch: u64) -> WorkerSignal {
+        let mut s = self.lock();
+        loop {
+            if s.stop {
+                return WorkerSignal::Stop;
+            }
+            if s.epoch != last_epoch {
+                return WorkerSignal::Run {
+                    epoch: s.epoch,
+                    publish_at: Timestamp::from_nanos(s.publish_at),
+                };
+            }
+            s = match self.begin_cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    fn done(&self) {
+        let mut s = self.lock();
+        s.running = s.running.saturating_sub(1);
+        let finished = s.running == 0;
+        drop(s);
+        if finished {
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn stop(&self) {
+        let mut s = self.lock();
+        s.stop = true;
+        drop(s);
+        self.begin_cv.notify_all();
+    }
+
+    fn poison(&self, worker: usize) {
+        let mut s = self.lock();
+        s.poisoned = Some(worker);
+        s.running = s.running.saturating_sub(1);
+        drop(s);
+        self.done_cv.notify_all();
+    }
+}
+
+/// Poisons the barrier and raises the worker's panic flag if the worker
+/// unwinds; a clean exit drops this without effect.
+struct WorkerPanicGuard {
+    worker: usize,
+    barrier: Option<Arc<PhaseBarrier>>,
+    shared: Arc<WorkerShared>,
+}
+
+impl Drop for WorkerPanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.panicked.store(true, Ordering::Release);
+            if let Some(barrier) = &self.barrier {
+                barrier.poison(self.worker);
+            }
+        }
+    }
+}
+
+/// Raises the intake panic flag if the intake thread unwinds.
+struct IntakePanicGuard {
+    shared: Arc<IntakeShared>,
+}
+
+impl Drop for IntakePanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.panicked.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// One running worker thread plus its observers.
+struct WorkerHandle<D> {
+    handle: JoinHandle<Shard<D>>,
+    watch: RingWatch,
+}
+
+enum EngineState<T, D> {
+    /// Threads down; shards owned inline. `watch`/`unwatch` live here.
+    Idle { transport: T, shards: Vec<Shard<D>> },
+    /// Lockstep: driver owns the transport, rings, and tick barrier.
+    Lockstep {
+        transport: T,
+        batch: FrameBatch,
+        producers: Vec<RingProducer>,
+        barrier: Arc<PhaseBarrier>,
+        workers: Vec<WorkerHandle<D>>,
+    },
+    /// Free-running: intake thread owns the transport (returned on join).
+    Free {
+        intake: JoinHandle<T>,
+        stop: Arc<AtomicBool>,
+        workers: Vec<WorkerHandle<D>>,
+    },
+    /// A worker panicked and its shard state is gone; terminal.
+    Failed { worker: usize },
+}
+
+/// A multi-core monitor: batched zero-allocation intake, SPSC rings, one
+/// worker thread per shard, lock-free epoch-snapshot reads.
+///
+/// Build it stopped, [`watch`](ParallelShardEngine::watch) the peer set,
+/// then [`start`](ParallelShardEngine::start) in either mode. Readers
+/// obtained from [`reader`](ParallelShardEngine::reader) stay valid
+/// across start/shutdown cycles.
+pub struct ParallelShardEngine<T, C, D> {
+    clock: C,
+    config: EngineConfig,
+    cells: Arc<Vec<Arc<ShardCell>>>,
+    state: EngineState<T, D>,
+    intake_shared: Arc<IntakeShared>,
+    worker_shared: Vec<Arc<WorkerShared>>,
+    peers_per_shard: Vec<usize>,
+    /// Ring drops accumulated from finished runs (live rings are read
+    /// through their watches).
+    ring_dropped_past: u64,
+    ticks: u64,
+}
+
+impl<T, C, D> fmt::Debug for ParallelShardEngine<T, C, D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match &self.state {
+            EngineState::Idle { .. } => "idle",
+            EngineState::Lockstep { .. } => "lockstep",
+            EngineState::Free { .. } => "free-running",
+            EngineState::Failed { .. } => "failed",
+        };
+        f.debug_struct("ParallelShardEngine")
+            .field("config", &self.config)
+            .field("state", &state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, C, D> ParallelShardEngine<T, C, D>
+where
+    T: Transport + Send + 'static,
+    C: Clock + Clone + Send + 'static,
+    D: AccrualFailureDetector + Send + 'static,
+{
+    /// Creates a stopped engine; `factory` is cloned once per shard and
+    /// builds one detector per watched process.
+    pub fn new(
+        transport: T,
+        clock: C,
+        config: EngineConfig,
+        factory: impl FnMut(ProcessId) -> D + Send + Clone + 'static,
+    ) -> Self {
+        let config = EngineConfig {
+            workers: config.workers.max(1),
+            slots_per_shard: config.slots_per_shard.max(1),
+            ring_capacity: config.ring_capacity.max(2),
+            batch_slots: config.batch_slots.max(1),
+            publish_every: config.publish_every,
+        };
+        let cells: Vec<Arc<ShardCell>> = (0..config.workers)
+            .map(|_| Arc::new(ShardCell::new(config.slots_per_shard)))
+            .collect();
+        let shards = cells
+            .iter()
+            .map(|cell| {
+                Shard::new(
+                    Box::new(factory.clone()) as DetectorFactory<D>,
+                    Arc::clone(cell),
+                )
+            })
+            .collect();
+        let worker_shared = (0..config.workers)
+            .map(|_| Arc::new(WorkerShared::default()))
+            .collect();
+        ParallelShardEngine {
+            clock,
+            config,
+            cells: Arc::new(cells),
+            state: EngineState::Idle { transport, shards },
+            intake_shared: Arc::new(IntakeShared::default()),
+            worker_shared,
+            // lint:allow(no-alloc-in-hot-path, one-time construction)
+            peers_per_shard: vec![0; config.workers],
+            ring_dropped_past: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Number of shards (= worker threads when running).
+    pub fn shard_count(&self) -> usize {
+        self.config.workers
+    }
+
+    /// The shard `process` routes to.
+    pub fn shard_of(&self, process: ProcessId) -> usize {
+        shard_index(process, self.config.workers)
+    }
+
+    /// Starts monitoring `process`. Only valid while stopped — the watch
+    /// set is distributed to worker threads at [`start`](Self::start).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Running`] if workers are up,
+    /// [`EngineError::WorkerPanicked`] if the engine already failed, and
+    /// [`EngineError::Capacity`] if the target shard is full.
+    pub fn watch(&mut self, process: ProcessId) -> Result<bool, EngineError> {
+        let idx = shard_index(process, self.config.workers);
+        let shard = match &mut self.state {
+            EngineState::Idle { shards, .. } => &mut shards[idx],
+            EngineState::Failed { worker } => {
+                return Err(EngineError::WorkerPanicked { worker: *worker })
+            }
+            _ => return Err(EngineError::Running),
+        };
+        if !shard.service.is_watching(process) && shard.service.len() >= self.config.slots_per_shard
+        {
+            return Err(EngineError::Capacity(ShardCapacityError {
+                shard: idx,
+                capacity: self.config.slots_per_shard,
+            }));
+        }
+        let newly = shard.service.watch(process);
+        if newly {
+            self.peers_per_shard[idx] += 1;
+        }
+        Ok(newly)
+    }
+
+    /// Stops monitoring `process`. Only valid while stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Running`] if workers are up.
+    pub fn unwatch(&mut self, process: ProcessId) -> Result<Option<D>, EngineError> {
+        let idx = shard_index(process, self.config.workers);
+        match &mut self.state {
+            EngineState::Idle { shards, .. } => {
+                let gone = shards[idx].service.unwatch(process);
+                if gone.is_some() {
+                    self.peers_per_shard[idx] = self.peers_per_shard[idx].saturating_sub(1);
+                }
+                Ok(gone)
+            }
+            EngineState::Failed { worker } => Err(EngineError::WorkerPanicked { worker: *worker }),
+            _ => Err(EngineError::Running),
+        }
+    }
+
+    /// Spawns the rings and worker threads (plus the intake thread in
+    /// [`EngineMode::FreeRunning`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Running`] if already started,
+    /// [`EngineError::WorkerPanicked`] if the engine already failed.
+    pub fn start(&mut self, mode: EngineMode) -> Result<(), EngineError> {
+        match &self.state {
+            EngineState::Idle { .. } => {}
+            EngineState::Failed { worker } => {
+                return Err(EngineError::WorkerPanicked { worker: *worker })
+            }
+            _ => return Err(EngineError::Running),
+        }
+        let (transport, shards) =
+            match mem::replace(&mut self.state, EngineState::Failed { worker: usize::MAX }) {
+                EngineState::Idle { transport, shards } => (transport, shards),
+                // Unreachable: checked Idle above; the placeholder keeps the
+                // state machine total without panicking.
+                other => {
+                    self.state = other;
+                    return Err(EngineError::Running);
+                }
+            };
+
+        let mut producers = Vec::with_capacity(self.config.workers);
+        let mut consumers = Vec::with_capacity(self.config.workers);
+        for _ in 0..self.config.workers {
+            let (tx, rx) = heartbeat_ring(self.config.ring_capacity);
+            producers.push(tx);
+            consumers.push(rx);
+        }
+
+        match mode {
+            EngineMode::Lockstep => {
+                let barrier = PhaseBarrier::new();
+                let workers = shards
+                    .into_iter()
+                    .zip(consumers)
+                    .enumerate()
+                    .map(|(idx, (shard, ring))| {
+                        let watch = ring.watch();
+                        let barrier = Arc::clone(&barrier);
+                        let shared = Arc::clone(&self.worker_shared[idx]);
+                        let handle = std::thread::spawn(move || {
+                            lockstep_worker(idx, shard, ring, barrier, shared)
+                        });
+                        WorkerHandle { handle, watch }
+                    })
+                    .collect();
+                self.state = EngineState::Lockstep {
+                    transport,
+                    batch: FrameBatch::with_capacity(self.config.batch_slots),
+                    producers,
+                    barrier,
+                    workers,
+                };
+            }
+            EngineMode::FreeRunning => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let workers = shards
+                    .into_iter()
+                    .zip(consumers)
+                    .enumerate()
+                    .map(|(idx, (shard, ring))| {
+                        let watch = ring.watch();
+                        let stop = Arc::clone(&stop);
+                        let shared = Arc::clone(&self.worker_shared[idx]);
+                        let clock = self.clock.clone();
+                        let publish_every = self.config.publish_every;
+                        let handle = std::thread::spawn(move || {
+                            free_worker(shard, ring, clock, stop, shared, publish_every)
+                        });
+                        WorkerHandle { handle, watch }
+                    })
+                    .collect();
+                let clock = self.clock.clone();
+                let shared = Arc::clone(&self.intake_shared);
+                let intake_stop = Arc::clone(&stop);
+                let batch_slots = self.config.batch_slots;
+                let intake = std::thread::spawn(move || {
+                    intake_loop(
+                        transport,
+                        clock,
+                        producers,
+                        shared,
+                        intake_stop,
+                        batch_slots,
+                    )
+                });
+                self.state = EngineState::Free {
+                    intake,
+                    stop,
+                    workers,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one lockstep epoch: drain the transport, route every frame,
+    /// release all workers through the barrier, wait for them.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotRunning`] / [`EngineError::NotLockstep`] in the
+    /// wrong state, [`EngineError::Transport`] if the transport failed,
+    /// [`EngineError::WorkerPanicked`] if a worker died.
+    pub fn tick(&mut self) -> Result<EngineTickReport, EngineError> {
+        let (transport, batch, producers, barrier, workers) = match &mut self.state {
+            EngineState::Lockstep {
+                transport,
+                batch,
+                producers,
+                barrier,
+                workers,
+            } => (transport, batch, producers, barrier, workers),
+            EngineState::Idle { .. } => return Err(EngineError::NotRunning),
+            EngineState::Free { .. } => return Err(EngineError::NotLockstep),
+            EngineState::Failed { worker } => {
+                return Err(EngineError::WorkerPanicked { worker: *worker })
+            }
+        };
+        IntakeShared::add(&self.intake_shared.liveness, 1);
+        let mut drained = 0usize;
+        let mut corrupt = 0u64;
+        let mut frames = 0u64;
+        loop {
+            batch.clear();
+            let got = transport
+                .recv_batch(batch)
+                .map_err(EngineError::Transport)?;
+            drained += got;
+            for frame in batch.iter() {
+                match <&[u8; FRAME_LEN]>::try_from(frame) {
+                    Ok(exact) => match Heartbeat::decode_exact(exact) {
+                        Ok(hb) => {
+                            // Stamp per decoded frame, exactly as
+                            // `ShardedMonitor::tick` does.
+                            let now = self.clock.now();
+                            frames += 1;
+                            let idx = shard_index(hb.sender, producers.len());
+                            producers[idx].push(hb, now);
+                        }
+                        Err(_) => corrupt += 1,
+                    },
+                    Err(_) => corrupt += 1,
+                }
+            }
+            if got < batch.capacity() {
+                break;
+            }
+        }
+        IntakeShared::add(&self.intake_shared.frames, frames);
+        IntakeShared::add(&self.intake_shared.corrupt, corrupt);
+
+        // Workers are parked between epochs, so their published stats are
+        // quiescent on both sides of the barrier.
+        let before: u64 = self
+            .worker_shared
+            .iter()
+            .map(|w| w.accepted.load(Ordering::Acquire))
+            .sum();
+        barrier.begin(workers.len(), self.clock.now());
+        barrier.wait_done()?;
+        let after: u64 = self
+            .worker_shared
+            .iter()
+            .map(|w| w.accepted.load(Ordering::Acquire))
+            .sum();
+        self.ticks += 1;
+        Ok(EngineTickReport {
+            drained,
+            accepted: after.saturating_sub(before),
+        })
+    }
+
+    /// Joins every thread and returns the engine to the stopped state,
+    /// preserving all detector state (a later [`start`](Self::start)
+    /// resumes where monitoring left off).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerPanicked`] if any thread died — the engine is
+    /// then terminally failed, since the dead worker's shard is gone.
+    pub fn shutdown(&mut self) -> Result<(), EngineError> {
+        let state = mem::replace(&mut self.state, EngineState::Failed { worker: usize::MAX });
+        match state {
+            EngineState::Idle { .. } => {
+                self.state = state;
+                Ok(())
+            }
+            EngineState::Failed { worker } => {
+                self.state = EngineState::Failed { worker };
+                Err(EngineError::WorkerPanicked { worker })
+            }
+            EngineState::Lockstep {
+                transport,
+                batch: _,
+                producers,
+                barrier,
+                workers,
+            } => {
+                barrier.stop();
+                // Rings must outlive the workers' final drain.
+                let shards = self.join_workers(workers)?;
+                drop(producers);
+                self.state = EngineState::Idle { transport, shards };
+                Ok(())
+            }
+            EngineState::Free {
+                intake,
+                stop,
+                workers,
+            } => {
+                stop.store(true, Ordering::Release);
+                let transport = match intake.join() {
+                    Ok(t) => t,
+                    Err(_) => {
+                        // Intake owned the transport; both are gone.
+                        self.state = EngineState::Failed { worker: usize::MAX };
+                        return Err(EngineError::WorkerPanicked { worker: usize::MAX });
+                    }
+                };
+                let shards = self.join_workers(workers)?;
+                self.state = EngineState::Idle { transport, shards };
+                Ok(())
+            }
+        }
+    }
+
+    /// Joins workers, folding their rings' drop counts into the running
+    /// total. On a panicked worker the engine stays `Failed`.
+    fn join_workers(
+        &mut self,
+        workers: Vec<WorkerHandle<D>>,
+    ) -> Result<Vec<Shard<D>>, EngineError> {
+        let mut shards = Vec::with_capacity(workers.len());
+        let mut panicked = None;
+        for (idx, worker) in workers.into_iter().enumerate() {
+            self.ring_dropped_past = self.ring_dropped_past.wrapping_add(worker.watch.dropped());
+            match worker.handle.join() {
+                Ok(shard) => shards.push(shard),
+                Err(_) => panicked = Some(idx),
+            }
+        }
+        match panicked {
+            Some(worker) => {
+                self.state = EngineState::Failed { worker };
+                Err(EngineError::WorkerPanicked { worker })
+            }
+            None => Ok(shards),
+        }
+    }
+
+    /// The transport, readable while the engine is stopped (a running
+    /// engine's intake side owns it). Useful for draining fault-injector
+    /// statistics after [`shutdown`](Self::shutdown).
+    pub fn transport(&self) -> Option<&T> {
+        match &self.state {
+            EngineState::Idle { transport, .. } => Some(transport),
+            _ => None,
+        }
+    }
+
+    /// A cloneable lock-free reader over the published epoch snapshots —
+    /// the identical [`SnapshotReader`] type the sharded monitor serves.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader::from_cells(Arc::clone(&self.cells))
+    }
+
+    /// A transport fault the free-running intake thread hit, if any.
+    /// The intake thread stops on the first fault; workers keep serving
+    /// reads until [`shutdown`](Self::shutdown).
+    pub fn intake_fault(&self) -> Option<TransportError> {
+        match self.intake_shared.fault.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    /// Aggregated counters. Callable in any state; while running, values
+    /// are the workers' latest published snapshots.
+    pub fn stats(&self) -> EngineStats {
+        let mut totals = MonitorStats {
+            corrupt: self.intake_shared.corrupt.load(Ordering::Relaxed),
+            ..MonitorStats::default()
+        };
+        let mut per_worker = Vec::with_capacity(self.worker_shared.len());
+        for shared in &self.worker_shared {
+            let stats = shared.load_stats();
+            totals.accepted += stats.accepted;
+            totals.stale += stats.stale;
+            totals.duplicate += stats.duplicate;
+            totals.unwatched += stats.unwatched;
+            per_worker.push(stats);
+        }
+        EngineStats {
+            totals,
+            per_worker,
+            peers_per_shard: self.peers_per_shard.clone(),
+            ring_dropped: self.ring_dropped_total(),
+            intake_frames: self.intake_shared.frames.load(Ordering::Relaxed),
+            ticks: self.ticks,
+        }
+    }
+
+    /// Total frames evicted by drop-oldest ring backpressure, across all
+    /// workers and surviving engine restarts.
+    pub fn ring_dropped_total(&self) -> u64 {
+        let live: u64 = match &self.state {
+            EngineState::Lockstep { workers, .. } | EngineState::Free { workers, .. } => {
+                workers.iter().map(|w| w.watch.dropped()).sum()
+            }
+            _ => 0,
+        };
+        self.ring_dropped_past.wrapping_add(live)
+    }
+
+    /// Tracks the intake thread and every worker on `board`, labeled
+    /// `engine.intake` and `engine.worker.<i>`.
+    pub fn register_health(&self, board: &mut HealthBoard, now: Timestamp) {
+        board.track(
+            "engine.intake",
+            Arc::clone(&self.intake_shared.liveness),
+            now,
+        );
+        for (idx, shared) in self.worker_shared.iter().enumerate() {
+            board.track(
+                format!("engine.worker.{idx}"),
+                Arc::clone(&shared.liveness),
+                now,
+            );
+        }
+    }
+
+    /// `Some(worker)` if any worker (or the intake thread) has panicked
+    /// since the last start — the poisoned-worker signal the watchdog
+    /// layer consumes without blocking on a join.
+    pub fn poisoned(&self) -> Option<usize> {
+        if let EngineState::Failed { worker } = &self.state {
+            return Some(*worker);
+        }
+        if self.intake_shared.panicked.load(Ordering::Acquire) {
+            return Some(usize::MAX);
+        }
+        self.worker_shared
+            .iter()
+            .position(|w| w.panicked.load(Ordering::Acquire))
+    }
+
+    /// Publishes the engine's counters into `registry` under `engine.*`:
+    /// aggregate totals, per-worker ring depth/drop gauges, and per-worker
+    /// utilization (fraction of loop iterations that processed frames).
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        let stats = self.stats();
+        registry
+            .counter("engine.accepted")
+            .set(stats.totals.accepted);
+        registry.counter("engine.corrupt").set(stats.totals.corrupt);
+        registry.counter("engine.stale").set(stats.totals.stale);
+        registry
+            .counter("engine.duplicate")
+            .set(stats.totals.duplicate);
+        registry
+            .counter("engine.unwatched")
+            .set(stats.totals.unwatched);
+        registry
+            .counter("engine.intake.frames")
+            .set(stats.intake_frames);
+        registry
+            .counter("engine.ring.dropped")
+            .set(stats.ring_dropped);
+        registry.counter("engine.ticks").set(stats.ticks);
+        registry
+            .gauge("engine.workers")
+            .set(self.config.workers as f64);
+        registry
+            .gauge("engine.peers")
+            .set(stats.peers_per_shard.iter().sum::<usize>() as f64);
+        let live_workers: Option<&Vec<WorkerHandle<D>>> = match &self.state {
+            EngineState::Lockstep { workers, .. } | EngineState::Free { workers, .. } => {
+                Some(workers)
+            }
+            _ => None,
+        };
+        for (idx, shared) in self.worker_shared.iter().enumerate() {
+            if let Some(workers) = live_workers {
+                registry
+                    .gauge(&format!("engine.worker.{idx}.ring_depth"))
+                    .set(workers[idx].watch.len() as f64);
+                registry
+                    .counter(&format!("engine.worker.{idx}.ring_dropped"))
+                    .set(workers[idx].watch.dropped());
+            }
+            let loops = shared.loops.load(Ordering::Relaxed);
+            let busy = shared.busy_loops.load(Ordering::Relaxed);
+            let utilization = if loops == 0 {
+                0.0
+            } else {
+                busy as f64 / loops as f64
+            };
+            registry
+                .gauge(&format!("engine.worker.{idx}.utilization"))
+                .set(utilization);
+        }
+    }
+}
+
+impl<T, C, D> Drop for ParallelShardEngine<T, C, D> {
+    /// Join-on-drop backstop: stops and joins any running threads so an
+    /// engine falling out of scope never leaks spinning workers.
+    fn drop(&mut self) {
+        match mem::replace(&mut self.state, EngineState::Failed { worker: usize::MAX }) {
+            EngineState::Lockstep {
+                barrier, workers, ..
+            } => {
+                barrier.stop();
+                for worker in workers {
+                    let _ = worker.handle.join();
+                }
+            }
+            EngineState::Free {
+                intake,
+                stop,
+                workers,
+            } => {
+                stop.store(true, Ordering::Release);
+                let _ = intake.join();
+                for worker in workers {
+                    let _ = worker.handle.join();
+                }
+            }
+            EngineState::Idle { .. } | EngineState::Failed { .. } => {}
+        }
+    }
+}
+
+/// Lockstep worker: park on the barrier, run exactly one drain+publish
+/// per epoch, report done. Returns its shard on stop for state handback.
+fn lockstep_worker<D: AccrualFailureDetector>(
+    idx: usize,
+    mut shard: Shard<D>,
+    mut ring: RingConsumer,
+    barrier: Arc<PhaseBarrier>,
+    shared: Arc<WorkerShared>,
+) -> Shard<D> {
+    let _guard = WorkerPanicGuard {
+        worker: idx,
+        barrier: Some(Arc::clone(&barrier)),
+        shared: Arc::clone(&shared),
+    };
+    let mut epoch = 0u64;
+    loop {
+        match barrier.wait_begin(epoch) {
+            WorkerSignal::Stop => break,
+            WorkerSignal::Run {
+                epoch: next,
+                publish_at,
+            } => {
+                epoch = next;
+                while let Some((hb, at)) = ring.pop() {
+                    shard.accept(hb, at);
+                }
+                shard.publish(publish_at);
+                shared.store_stats(&shard.stats);
+                IntakeShared::add(&shared.liveness, 1);
+                barrier.done();
+            }
+        }
+    }
+    shard
+}
+
+/// Free-running worker: drain the ring (bounded per iteration), publish
+/// on the configured cadence, yield when idle. On stop, drain what's
+/// left and publish one final epoch.
+fn free_worker<C: Clock, D: AccrualFailureDetector>(
+    mut shard: Shard<D>,
+    mut ring: RingConsumer,
+    clock: C,
+    stop: Arc<AtomicBool>,
+    shared: Arc<WorkerShared>,
+    publish_every: Duration,
+) -> Shard<D> {
+    let _guard = WorkerPanicGuard {
+        worker: 0,
+        barrier: None,
+        shared: Arc::clone(&shared),
+    };
+    // Publish the initial (all-watched, no-heartbeat) epoch so readers
+    // see the watch set immediately.
+    let mut last_publish = clock.now();
+    shard.publish(last_publish);
+    loop {
+        // Order matters: read stop *before* the final drain so no frame
+        // pushed before the stop store can be missed.
+        let stopping = stop.load(Ordering::Acquire);
+        let mut processed = 0usize;
+        while processed < WORKER_DRAIN_CAP {
+            match ring.pop() {
+                Some((hb, at)) => {
+                    shard.accept(hb, at);
+                    processed += 1;
+                }
+                None => break,
+            }
+        }
+        let now = clock.now();
+        let due = now.saturating_duration_since(last_publish) >= publish_every;
+        if processed > 0 || due || stopping {
+            if due || stopping {
+                shard.publish(now);
+                last_publish = now;
+            }
+            shared.store_stats(&shard.stats);
+        }
+        IntakeShared::add(&shared.liveness, 1);
+        IntakeShared::add(&shared.loops, 1);
+        if processed > 0 {
+            IntakeShared::add(&shared.busy_loops, 1);
+        } else if stopping {
+            break;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    shard
+}
+
+/// Free-running intake: drain the transport through the reusable arena,
+/// decode, stamp, route. Stops on the cooperative flag or the first
+/// transport fault (recorded for [`ParallelShardEngine::intake_fault`]).
+/// Returns the transport on exit for state handback.
+fn intake_loop<T: Transport, C: Clock>(
+    mut transport: T,
+    clock: C,
+    mut producers: Vec<RingProducer>,
+    shared: Arc<IntakeShared>,
+    stop: Arc<AtomicBool>,
+    batch_slots: usize,
+) -> T {
+    let _guard = IntakePanicGuard {
+        shared: Arc::clone(&shared),
+    };
+    let mut batch = FrameBatch::with_capacity(batch_slots);
+    let shards = producers.len();
+    while !stop.load(Ordering::Acquire) {
+        batch.clear();
+        match transport.recv_batch(&mut batch) {
+            Ok(0) => {
+                IntakeShared::add(&shared.liveness, 1);
+                std::thread::yield_now();
+            }
+            Ok(got) => {
+                let mut corrupt = 0u64;
+                let mut frames = 0u64;
+                for frame in batch.iter() {
+                    match <&[u8; FRAME_LEN]>::try_from(frame) {
+                        Ok(exact) => match Heartbeat::decode_exact(exact) {
+                            Ok(hb) => {
+                                let now = clock.now();
+                                frames += 1;
+                                producers[shard_index(hb.sender, shards)].push(hb, now);
+                            }
+                            Err(_) => corrupt += 1,
+                        },
+                        Err(_) => corrupt += 1,
+                    }
+                }
+                let _ = got;
+                IntakeShared::add(&shared.frames, frames);
+                IntakeShared::add(&shared.corrupt, corrupt);
+                IntakeShared::add(&shared.liveness, 1);
+            }
+            Err(fault) => {
+                let mut slot = match shared.fault.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                *slot = Some(fault);
+                break;
+            }
+        }
+    }
+    transport
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::transport::ChannelTransport;
+    use afd_detectors::simple::SimpleAccrual;
+
+    type Engine = ParallelShardEngine<ChannelTransport, VirtualClock, SimpleAccrual>;
+
+    fn rig(config: EngineConfig) -> (ChannelTransport, Engine, VirtualClock) {
+        let (tx, rx) = ChannelTransport::pair();
+        let clock = VirtualClock::new();
+        let engine = ParallelShardEngine::new(rx, clock.clone(), config, |_| {
+            SimpleAccrual::new(Timestamp::ZERO)
+        });
+        (tx, engine, clock)
+    }
+
+    fn frame(sender: u32, seq: u64) -> Vec<u8> {
+        Heartbeat {
+            sender: ProcessId::new(sender),
+            seq,
+            sent_at: Timestamp::from_secs(seq),
+        }
+        .encode()
+        .to_vec()
+    }
+
+    #[test]
+    fn lockstep_tick_accepts_and_publishes() {
+        let (mut tx, mut engine, clock) = rig(EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        });
+        for id in 0..6u32 {
+            engine.watch(ProcessId::new(id)).unwrap();
+        }
+        engine.start(EngineMode::Lockstep).unwrap();
+        clock.set(Timestamp::from_secs(5));
+        for id in 0..6u32 {
+            tx.send(&frame(id, 1)).unwrap();
+        }
+        tx.send(b"garbage").unwrap();
+        let report = engine.tick().unwrap();
+        assert_eq!(report.drained, 7);
+        assert_eq!(report.accepted, 6);
+
+        let reader = engine.reader();
+        assert_eq!(reader.published_at(), Timestamp::from_secs(5));
+        assert_eq!(reader.snapshot().len(), 6);
+        for id in 0..6u32 {
+            assert_eq!(reader.level(ProcessId::new(id)).unwrap().value(), 0.0);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.totals.accepted, 6);
+        assert_eq!(stats.totals.corrupt, 1);
+        assert_eq!(stats.ticks, 1);
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn watch_is_rejected_while_running_and_resumes_after_shutdown() {
+        let (_tx, mut engine, _clock) = rig(EngineConfig::default());
+        engine.watch(ProcessId::new(1)).unwrap();
+        engine.start(EngineMode::Lockstep).unwrap();
+        assert_eq!(engine.watch(ProcessId::new(2)), Err(EngineError::Running));
+        assert!(matches!(
+            engine.unwatch(ProcessId::new(1)),
+            Err(EngineError::Running)
+        ));
+        engine.shutdown().unwrap();
+        assert_eq!(engine.watch(ProcessId::new(2)), Ok(true));
+        // Detector state survived the stop/start cycle.
+        assert_eq!(engine.watch(ProcessId::new(1)), Ok(false));
+    }
+
+    #[test]
+    fn capacity_error_is_typed() {
+        let (_tx, mut engine, _clock) = rig(EngineConfig {
+            workers: 1,
+            slots_per_shard: 1,
+            ..EngineConfig::default()
+        });
+        engine.watch(ProcessId::new(1)).unwrap();
+        assert!(matches!(
+            engine.watch(ProcessId::new(2)),
+            Err(EngineError::Capacity(_))
+        ));
+    }
+
+    #[test]
+    fn tick_requires_lockstep_mode() {
+        let (_tx, mut engine, _clock) = rig(EngineConfig {
+            workers: 2,
+            publish_every: Duration::ZERO,
+            ..EngineConfig::default()
+        });
+        assert_eq!(engine.tick().unwrap_err(), EngineError::NotRunning);
+        engine.start(EngineMode::FreeRunning).unwrap();
+        assert_eq!(engine.tick().unwrap_err(), EngineError::NotLockstep);
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn free_running_processes_without_ticks() {
+        let (mut tx, mut engine, clock) = rig(EngineConfig {
+            workers: 2,
+            publish_every: Duration::ZERO,
+            ..EngineConfig::default()
+        });
+        for id in 0..4u32 {
+            engine.watch(ProcessId::new(id)).unwrap();
+        }
+        engine.start(EngineMode::FreeRunning).unwrap();
+        clock.set(Timestamp::from_secs(1));
+        for id in 0..4u32 {
+            tx.send(&frame(id, 1)).unwrap();
+        }
+        // Settle: free-running acceptance is asynchronous.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.stats().totals.accepted < 4 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stalled: {:?}",
+                engine.stats()
+            );
+            std::thread::yield_now();
+        }
+        engine.shutdown().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.totals.accepted, 4);
+        assert_eq!(stats.intake_frames, 4);
+        let reader = engine.reader();
+        assert_eq!(reader.snapshot().len(), 4);
+    }
+
+    #[test]
+    fn export_metrics_and_health_registration_cover_every_worker() {
+        let (mut tx, mut engine, clock) = rig(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        engine.watch(ProcessId::new(1)).unwrap();
+        engine.start(EngineMode::Lockstep).unwrap();
+        clock.set(Timestamp::from_secs(1));
+        tx.send(&frame(1, 1)).unwrap();
+        engine.tick().unwrap();
+
+        let registry = afd_obs::Registry::new();
+        engine.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.accepted"), Some(1));
+        assert_eq!(snap.counter("engine.intake.frames"), Some(1));
+        assert_eq!(snap.counter("engine.ring.dropped"), Some(0));
+        assert_eq!(snap.gauge("engine.workers"), Some(2.0));
+        for idx in 0..2 {
+            assert!(snap
+                .gauge(&format!("engine.worker.{idx}.ring_depth"))
+                .is_some());
+            assert!(snap
+                .gauge(&format!("engine.worker.{idx}.utilization"))
+                .is_some());
+        }
+
+        let mut board = HealthBoard::new(Duration::from_secs(5));
+        engine.register_health(&mut board, clock.now());
+        assert_eq!(board.len(), 3, "intake + two workers");
+        // Ticking keeps every label alive on the board's timeline.
+        clock.advance(Duration::from_secs(4));
+        engine.tick().unwrap();
+        assert!(board.observe(clock.now()).is_empty());
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_and_drop_are_idempotent_and_clean() {
+        let (_tx, mut engine, _clock) = rig(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        engine.shutdown().unwrap(); // idle: no-op
+        engine.start(EngineMode::Lockstep).unwrap();
+        engine.shutdown().unwrap();
+        engine.start(EngineMode::Lockstep).unwrap();
+        // Dropped while running: Drop joins everything.
+    }
+}

@@ -9,6 +9,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::shard::ShardCapacityError;
+
 /// A transport-level send or receive failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
@@ -69,6 +71,73 @@ impl fmt::Display for RuntimeError {
 }
 
 impl Error for RuntimeError {}
+
+/// A failure in the [`ParallelShardEngine`](crate::engine::ParallelShardEngine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The underlying transport failed.
+    Transport(TransportError),
+    /// A watch was refused because the target shard's snapshot bank is full.
+    Capacity(ShardCapacityError),
+    /// The operation requires the engine to be stopped, but workers are
+    /// running (e.g. `watch` after `start`).
+    Running,
+    /// The operation requires running workers, but the engine is stopped.
+    NotRunning,
+    /// `tick` was called on a free-running engine; lockstep ticks only
+    /// exist in [`EngineMode::Lockstep`](crate::engine::EngineMode).
+    NotLockstep,
+    /// A worker thread panicked; the engine is poisoned and must be shut
+    /// down.
+    WorkerPanicked {
+        /// Index of the worker that died.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Transport(e) => write!(f, "engine transport failure: {e}"),
+            EngineError::Capacity(e) => write!(f, "engine watch refused: {e}"),
+            EngineError::Running => {
+                write!(
+                    f,
+                    "operation requires a stopped engine, but workers are running"
+                )
+            }
+            EngineError::NotRunning => write!(f, "operation requires running workers"),
+            EngineError::NotLockstep => {
+                write!(f, "tick() is only meaningful in lockstep mode")
+            }
+            EngineError::WorkerPanicked { worker } => {
+                write!(f, "shard worker {worker} panicked; engine poisoned")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Transport(e) => Some(e),
+            EngineError::Capacity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for EngineError {
+    fn from(e: TransportError) -> Self {
+        EngineError::Transport(e)
+    }
+}
+
+impl From<ShardCapacityError> for EngineError {
+    fn from(e: ShardCapacityError) -> Self {
+        EngineError::Capacity(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

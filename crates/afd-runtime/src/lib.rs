@@ -32,10 +32,12 @@
 pub mod chaos;
 pub mod clock;
 pub mod degrade;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod monitor;
 pub mod retry;
+pub mod ring;
 pub mod sender;
 pub mod seq;
 pub mod shard;
@@ -46,15 +48,17 @@ pub mod wire;
 pub use chaos::{run_chaos, ChaosReport, ChaosScenario, DetectorTrio};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use degrade::{DegradeConfig, GracefulDegradation};
-pub use error::{RuntimeError, TransportError};
+pub use engine::{EngineConfig, EngineMode, EngineStats, EngineTickReport, ParallelShardEngine};
+pub use error::{EngineError, RuntimeError, TransportError};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use monitor::{MonitorStats, RuntimeMonitor};
 pub use retry::RetryPolicy;
+pub use ring::{heartbeat_ring, RingConsumer, RingProducer, RingWatch};
 pub use sender::{spawn_sender, SenderConfig, SenderCore, SenderHandle};
 pub use seq::{classify, SeqVerdict};
 pub use shard::{
     ShardCapacityError, ShardConfig, ShardedMonitor, ShardedStats, SnapshotReader, TickReport,
 };
-pub use supervisor::{SupervisedThread, Supervisor, Watchdog};
-pub use transport::{ChannelTransport, Transport, UdpTransport};
+pub use supervisor::{HealthBoard, SupervisedThread, Supervisor, Watchdog};
+pub use transport::{ChannelTransport, FrameBatch, Transport, UdpTransport, MAX_DATAGRAM};
 pub use wire::{Heartbeat, WireError, FRAME_LEN};

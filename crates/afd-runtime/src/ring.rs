@@ -1,0 +1,418 @@
+//! Bounded single-producer/single-consumer heartbeat rings.
+//!
+//! The [`ParallelShardEngine`](crate::engine::ParallelShardEngine) routes
+//! decoded heartbeats from one intake thread to one worker thread per
+//! shard. Each route is a [`heartbeat_ring`]: a fixed-capacity ring of
+//! atomic slots with the same plain-store-plus-fence discipline as the
+//! epoch snapshots in [`shard`](crate::shard) — each slot is guarded by a
+//! per-slot seqlock word, the producer publishes by a release store of
+//! `tail`, and the consumer validates its reads against the slot seqlock
+//! before claiming the entry. No unsafe code, no locks.
+//!
+//! # Backpressure: drop-oldest
+//!
+//! When the ring is full the producer *evicts the oldest unread entry*
+//! and counts it, rather than blocking or rejecting the new frame.
+//! Heartbeats are lossy by design — the paper's detectors are built for
+//! message loss, and a frame dropped at a full ring is indistinguishable
+//! from one dropped by UDP. Dropping the *oldest* frame keeps the
+//! freshest evidence, which is what an accrual detector wants: a newer
+//! heartbeat from the same peer supersedes an older one outright.
+//!
+//! Eviction makes `head` a two-writer word (consumer pop, producer
+//! evict), so both advance it with a compare-exchange; the per-slot
+//! seqlock protects a consumer that is mid-read of a slot being
+//! overwritten — its validation fails, its head CAS fails, and it
+//! retries at the new head. `tail` stays single-writer (plain stores).
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use afd_core::process::ProcessId;
+use afd_core::time::Timestamp;
+
+use crate::wire::Heartbeat;
+
+/// One ring entry: the decoded heartbeat plus its arrival stamp, spread
+/// over atomic words guarded by a per-slot seqlock.
+struct RingSlot {
+    /// Seqlock word: odd while the producer is writing this slot.
+    wseq: AtomicU64,
+    sender: AtomicU64,
+    seq: AtomicU64,
+    sent_at: AtomicU64,
+    arrival: AtomicU64,
+}
+
+impl RingSlot {
+    fn new() -> Self {
+        RingSlot {
+            wseq: AtomicU64::new(0),
+            sender: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            sent_at: AtomicU64::new(0),
+            arrival: AtomicU64::new(0),
+        }
+    }
+}
+
+struct RingInner {
+    mask: u64,
+    slots: Box<[RingSlot]>,
+    /// Next unread index; advanced by the consumer (pop) or the producer
+    /// (drop-oldest eviction), always via compare-exchange.
+    head: AtomicU64,
+    /// Next write index; the producer is the only writer.
+    tail: AtomicU64,
+    /// Entries evicted by drop-oldest; the producer is the only writer.
+    dropped: AtomicU64,
+}
+
+/// Creates a bounded SPSC heartbeat ring. `capacity` is rounded up to
+/// the next power of two (minimum 2).
+pub fn heartbeat_ring(capacity: usize) -> (RingProducer, RingConsumer) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[RingSlot]> = (0..cap).map(|_| RingSlot::new()).collect();
+    let inner = Arc::new(RingInner {
+        mask: (cap - 1) as u64,
+        slots,
+        head: AtomicU64::new(0),
+        tail: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+    });
+    (
+        RingProducer {
+            inner: Arc::clone(&inner),
+        },
+        RingConsumer { inner },
+    )
+}
+
+/// The write side of a [`heartbeat_ring`]. Exactly one thread may hold
+/// it (it is `Send` but not `Clone`).
+pub struct RingProducer {
+    inner: Arc<RingInner>,
+}
+
+/// The read side of a [`heartbeat_ring`]. Exactly one thread may hold
+/// it (it is `Send` but not `Clone`).
+pub struct RingConsumer {
+    inner: Arc<RingInner>,
+}
+
+/// A read-only, cloneable observer of a ring's depth and drop counter,
+/// for metrics export from any thread.
+#[derive(Clone)]
+pub struct RingWatch {
+    inner: Arc<RingInner>,
+}
+
+impl std::fmt::Debug for RingProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingProducer")
+            .field("capacity", &self.inner.slots.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for RingConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingConsumer")
+            .field("capacity", &self.inner.slots.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for RingWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingWatch")
+            .field("len", &self.inner.len())
+            .finish()
+    }
+}
+
+impl RingInner {
+    fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head).min(self.slots.len() as u64) as usize
+    }
+}
+
+impl RingProducer {
+    /// Pushes one heartbeat, evicting the oldest unread entry (and
+    /// counting it) if the ring is full. Never blocks, never fails.
+    pub fn push(&mut self, hb: Heartbeat, arrival: Timestamp) {
+        let inner = &*self.inner;
+        let cap = inner.slots.len() as u64;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        loop {
+            let head = inner.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(head) < cap {
+                break;
+            }
+            // Full: drop-oldest. The CAS races only the consumer's pop;
+            // whichever side advances `head`, space exists afterwards.
+            if inner
+                .head
+                .compare_exchange(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // Single-writer counter: a plain load+store is exact.
+                inner.dropped.store(
+                    inner.dropped.load(Ordering::Relaxed).wrapping_add(1),
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        let slot = &inner.slots[(tail & inner.mask) as usize];
+        // Per-slot seqlock enter: odd marks the slot as mid-write, and
+        // the release fence keeps the payload stores after the mark.
+        let s = slot.wseq.load(Ordering::Relaxed);
+        slot.wseq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.sender
+            .store(u64::from(hb.sender.as_u32()), Ordering::Relaxed);
+        slot.seq.store(hb.seq, Ordering::Relaxed);
+        slot.sent_at.store(hb.sent_at.as_nanos(), Ordering::Relaxed);
+        slot.arrival.store(arrival.as_nanos(), Ordering::Relaxed);
+        // Seqlock exit (even): release-orders the payload before the mark.
+        slot.wseq.store(s.wrapping_add(2), Ordering::Release);
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// A metrics observer for this ring.
+    pub fn watch(&self) -> RingWatch {
+        RingWatch {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl RingConsumer {
+    /// Pops the oldest unread heartbeat, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<(Heartbeat, Timestamp)> {
+        let inner = &*self.inner;
+        loop {
+            let head = inner.head.load(Ordering::Acquire);
+            let tail = inner.tail.load(Ordering::Acquire);
+            if head == tail {
+                return None;
+            }
+            let slot = &inner.slots[(head & inner.mask) as usize];
+            let s1 = slot.wseq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                // Producer is lapping this very slot (it must have
+                // evicted first, so head has moved); retry from the top.
+                std::hint::spin_loop();
+                continue;
+            }
+            let sender = slot.sender.load(Ordering::Relaxed);
+            let seq = slot.seq.load(Ordering::Relaxed);
+            let sent_at = slot.sent_at.load(Ordering::Relaxed);
+            let arrival = slot.arrival.load(Ordering::Relaxed);
+            // Validate before claiming: if the seqlock moved, the
+            // producer overwrote this slot mid-read (after evicting it),
+            // and the head CAS below would fail anyway.
+            fence(Ordering::Acquire);
+            if slot.wseq.load(Ordering::Relaxed) != s1 {
+                continue;
+            }
+            if inner
+                .head
+                .compare_exchange(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                let hb = Heartbeat {
+                    sender: ProcessId::new(sender as u32),
+                    seq,
+                    sent_at: Timestamp::from_nanos(sent_at),
+                };
+                return Some((hb, Timestamp::from_nanos(arrival)));
+            }
+            // Lost the claim to a producer eviction; retry at new head.
+        }
+    }
+
+    /// A metrics observer for this ring.
+    pub fn watch(&self) -> RingWatch {
+        RingWatch {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl RingWatch {
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot capacity (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Entries evicted by drop-oldest backpressure so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(sender: u32, seq: u64) -> Heartbeat {
+        Heartbeat {
+            sender: ProcessId::new(sender),
+            seq,
+            sent_at: Timestamp::from_nanos(seq),
+        }
+    }
+
+    #[test]
+    fn fifo_roundtrip_and_empty() {
+        let (mut tx, mut rx) = heartbeat_ring(8);
+        assert!(rx.pop().is_none());
+        for i in 0..5u64 {
+            tx.push(hb(1, i), Timestamp::from_secs(i));
+        }
+        for i in 0..5u64 {
+            let (h, at) = rx.pop().expect("queued");
+            assert_eq!(h.seq, i);
+            assert_eq!(at, Timestamp::from_secs(i));
+        }
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = heartbeat_ring(5);
+        assert_eq!(tx.watch().capacity(), 8);
+        let (tx, _rx) = heartbeat_ring(0);
+        assert_eq!(tx.watch().capacity(), 2);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let (mut tx, mut rx) = heartbeat_ring(8);
+        for i in 0..20u64 {
+            tx.push(hb(1, i), Timestamp::from_nanos(i));
+        }
+        let watch = rx.watch();
+        assert_eq!(watch.dropped(), 12, "20 pushed into 8 slots");
+        // The survivors are exactly the newest 8, in order.
+        let got: Vec<u64> = std::iter::from_fn(|| rx.pop().map(|(h, _)| h.seq)).collect();
+        assert_eq!(got, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn interleaved_eviction_keeps_order() {
+        let (mut tx, mut rx) = heartbeat_ring(4);
+        for i in 0..4u64 {
+            tx.push(hb(1, i), Timestamp::ZERO);
+        }
+        assert_eq!(rx.pop().map(|(h, _)| h.seq), Some(0));
+        for i in 4..8u64 {
+            tx.push(hb(1, i), Timestamp::ZERO); // evicts 1, 2, 3
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| rx.pop().map(|(h, _)| h.seq)).collect();
+        assert_eq!(got, vec![4, 5, 6, 7]);
+        assert_eq!(tx.watch().dropped(), 3);
+    }
+
+    #[test]
+    fn cross_thread_no_overflow_delivers_everything() {
+        let (mut tx, mut rx) = heartbeat_ring(1 << 14);
+        const N: u64 = 50_000;
+        let producer = std::thread::spawn(move || {
+            let watch = tx.watch();
+            let capacity = watch.capacity();
+            for i in 0..N {
+                // Throttle below capacity so eviction never fires — on a
+                // single-core host the producer can otherwise lap the
+                // consumer by a full ring between preemptions.
+                while watch.len() >= capacity - 1 {
+                    std::thread::yield_now();
+                }
+                tx.push(hb(7, i), Timestamp::from_nanos(i));
+            }
+            tx
+        });
+        let mut next = 0u64;
+        while next < N {
+            if let Some((h, _)) = rx.pop() {
+                assert_eq!(h.seq, next, "SPSC order violated");
+                next += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let tx = producer.join().expect("producer");
+        assert_eq!(tx.watch().dropped(), 0);
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn cross_thread_with_eviction_stays_consistent() {
+        // A tiny ring under sustained pressure: every popped frame must
+        // be internally consistent (seq == sent_at nanos == arrival
+        // nanos) and seqs must be strictly increasing (drop-oldest never
+        // reorders or duplicates).
+        use std::sync::atomic::AtomicBool;
+        let (mut tx, mut rx) = heartbeat_ring(8);
+        const N: u64 = 100_000;
+        let done = Arc::new(AtomicBool::new(false));
+        let p_done = Arc::clone(&done);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push(hb(3, i), Timestamp::from_nanos(i));
+            }
+            p_done.store(true, Ordering::Release);
+            tx
+        });
+        let mut last: Option<u64> = None;
+        let mut got = 0u64;
+        loop {
+            match rx.pop() {
+                Some((h, at)) => {
+                    assert_eq!(h.sent_at.as_nanos(), h.seq, "torn slot read");
+                    assert_eq!(at.as_nanos(), h.seq, "torn arrival read");
+                    if let Some(prev) = last {
+                        assert!(h.seq > prev, "reordered: {} after {prev}", h.seq);
+                    }
+                    last = Some(h.seq);
+                    got += 1;
+                }
+                None => {
+                    // Only quit once the producer is done AND the ring
+                    // is still empty on a fresh look (the flag read and
+                    // the empty pop race the final pushes otherwise).
+                    if done.load(Ordering::Acquire) && rx.watch().is_empty() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let tx = producer.join().expect("producer");
+        // Everything was either delivered or counted as dropped.
+        assert_eq!(got + tx.watch().dropped(), N);
+    }
+}

@@ -51,17 +51,21 @@ use crate::clock::Clock;
 use crate::error::TransportError;
 use crate::monitor::MonitorStats;
 use crate::seq::{classify, SeqVerdict};
-use crate::transport::Transport;
+use crate::transport::{FrameBatch, Transport};
 use crate::wire::Heartbeat;
 
-type DetectorFactory<D> = Box<dyn FnMut(ProcessId) -> D + Send>;
+/// Slots in the reusable intake arena drained per
+/// [`recv_batch`](Transport::recv_batch) call.
+pub(crate) const INTAKE_BATCH_SLOTS: usize = 512;
+
+pub(crate) type DetectorFactory<D> = Box<dyn FnMut(ProcessId) -> D + Send>;
 
 /// Fibonacci-hashes a process id onto a shard index. A multiplicative
 /// hash (rather than `id % shards`) keeps sequentially assigned ids from
 /// striding into the same shard when the shard count shares a factor
 /// with the id allocation pattern.
 #[inline]
-fn shard_index(process: ProcessId, shards: usize) -> usize {
+pub(crate) fn shard_index(process: ProcessId, shards: usize) -> usize {
     let h = u64::from(process.as_u32()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     ((h >> 32) as usize) % shards.max(1)
 }
@@ -168,13 +172,13 @@ impl Bank {
 /// A double-buffered epoch snapshot: the tick writer publishes into the
 /// back bank and flips `front`; readers verify the seqlock around their
 /// reads and retry on a straddle.
-struct ShardCell {
+pub(crate) struct ShardCell {
     front: AtomicUsize,
     banks: [Bank; 2],
 }
 
 impl ShardCell {
-    fn new(slots: usize) -> Self {
+    pub(crate) fn new(slots: usize) -> Self {
         ShardCell {
             front: AtomicUsize::new(0),
             banks: [Bank::new(slots), Bank::new(slots)],
@@ -284,6 +288,13 @@ impl fmt::Debug for SnapshotReader {
 }
 
 impl SnapshotReader {
+    /// Builds a reader over `cells` — shared with
+    /// [`ParallelShardEngine`](crate::engine::ParallelShardEngine), whose
+    /// workers publish into the same double-buffered cells.
+    pub(crate) fn from_cells(cells: Arc<Vec<Arc<ShardCell>>>) -> Self {
+        SnapshotReader { cells }
+    }
+
     /// The published suspicion level of `process`, as of that shard's
     /// last tick (`None` if unwatched at publish time).
     pub fn level(&self, process: ProcessId) -> Option<SuspicionLevel> {
@@ -293,7 +304,9 @@ impl SnapshotReader {
 
     /// The union of every shard's published table, ascending by id.
     pub fn snapshot(&self) -> Vec<(ProcessId, SuspicionLevel)> {
+        // lint:allow(no-alloc-in-hot-path, owned-snapshot API; callers on the query path, not the intake path)
         let mut out = Vec::new();
+        // lint:allow(no-alloc-in-hot-path, owned-snapshot API; callers on the query path, not the intake path)
         let mut scratch = Vec::new();
         for cell in self.cells.iter() {
             cell.read_all(&mut scratch);
@@ -306,6 +319,7 @@ impl SnapshotReader {
     /// The oldest publish timestamp across shards: every published level
     /// is at least this fresh. `Timestamp::ZERO` before the first tick.
     pub fn published_at(&self) -> Timestamp {
+        // lint:allow(no-alloc-in-hot-path, query-path scratch; not on the frame intake path)
         let mut scratch = Vec::new();
         self.cells
             .iter()
@@ -321,18 +335,31 @@ impl SnapshotReader {
 }
 
 /// One shard: a detector service plus its freshness state and counters.
-struct Shard<D> {
-    service: MonitoringService<D, DetectorFactory<D>>,
-    highest_seq: BTreeMap<ProcessId, u64>,
-    stats: MonitorStats,
-    cell: Arc<ShardCell>,
+/// Crate-visible so [`ParallelShardEngine`](crate::engine::ParallelShardEngine)
+/// workers can own shards and run the *same* accept/publish code the
+/// single-threaded monitor runs — equivalence by construction.
+pub(crate) struct Shard<D> {
+    pub(crate) service: MonitoringService<D, DetectorFactory<D>>,
+    pub(crate) highest_seq: BTreeMap<ProcessId, u64>,
+    pub(crate) stats: MonitorStats,
+    pub(crate) cell: Arc<ShardCell>,
 }
 
 impl<D: AccrualFailureDetector> Shard<D> {
+    /// Builds an empty shard publishing into `cell`.
+    pub(crate) fn new(factory: DetectorFactory<D>, cell: Arc<ShardCell>) -> Self {
+        Shard {
+            service: MonitoringService::new(factory),
+            highest_seq: BTreeMap::new(),
+            stats: MonitorStats::default(),
+            cell,
+        }
+    }
+
     /// Algorithm 4, lines 8–10 — the same accept path as
     /// [`RuntimeMonitor`](crate::monitor::RuntimeMonitor), against this
     /// shard's own freshness map.
-    fn accept(&mut self, hb: Heartbeat, now: Timestamp) -> bool {
+    pub(crate) fn accept(&mut self, hb: Heartbeat, now: Timestamp) -> bool {
         if let Some(&highest) = self.highest_seq.get(&hb.sender) {
             match classify(hb.seq, highest) {
                 SeqVerdict::Fresh => {}
@@ -355,7 +382,7 @@ impl<D: AccrualFailureDetector> Shard<D> {
         true
     }
 
-    fn publish(&mut self, now: Timestamp) {
+    pub(crate) fn publish(&mut self, now: Timestamp) {
         let snap = self.service.snapshot(now);
         self.cell.publish(&snap, now);
     }
@@ -373,6 +400,8 @@ pub struct ShardedMonitor<T, C, D> {
     config: ShardConfig,
     shards: Vec<Shard<D>>,
     reader: SnapshotReader,
+    /// Reusable zero-allocation intake arena.
+    intake: FrameBatch,
     /// Per-shard dispatch batches, reused across ticks.
     batches: Vec<Vec<(Heartbeat, Timestamp)>>,
     corrupt: u64,
@@ -415,22 +444,22 @@ where
             .collect();
         let shards = cells
             .iter()
-            .map(|cell| Shard {
-                service: MonitoringService::new(Box::new(factory.clone()) as DetectorFactory<D>),
-                highest_seq: BTreeMap::new(),
-                stats: MonitorStats::default(),
-                cell: Arc::clone(cell),
+            .map(|cell| {
+                Shard::new(
+                    Box::new(factory.clone()) as DetectorFactory<D>,
+                    Arc::clone(cell),
+                )
             })
             .collect();
+        // lint:allow(no-alloc-in-hot-path, one-time construction; the batches are reused across every tick)
         let batches = (0..config.shards).map(|_| Vec::new()).collect();
         ShardedMonitor {
             transport,
             clock,
             config,
             shards,
-            reader: SnapshotReader {
-                cells: Arc::new(cells),
-            },
+            reader: SnapshotReader::from_cells(Arc::new(cells)),
+            intake: FrameBatch::with_capacity(INTAKE_BATCH_SLOTS),
             batches,
             corrupt: 0,
             ticks: 0,
@@ -498,18 +527,26 @@ where
             batch.clear();
         }
         let mut drained = 0usize;
-        while let Some(frame) = self.transport.try_recv()? {
-            drained += 1;
-            match Heartbeat::decode(&frame) {
-                Ok(hb) => {
-                    // Stamp per decoded frame (not per tick): one "now"
-                    // for a whole drained backlog would collapse its
-                    // inter-arrival samples to zero.
-                    let now = self.clock.now();
-                    let idx = shard_index(hb.sender, self.shards.len());
-                    self.batches[idx].push((hb, now));
+        loop {
+            self.intake.clear();
+            let got = self.transport.recv_batch(&mut self.intake)?;
+            drained += got;
+            for frame in self.intake.iter() {
+                match Heartbeat::decode(frame) {
+                    Ok(hb) => {
+                        // Stamp per decoded frame (not per tick): one "now"
+                        // for a whole drained backlog would collapse its
+                        // inter-arrival samples to zero.
+                        let now = self.clock.now();
+                        let idx = shard_index(hb.sender, self.shards.len());
+                        self.batches[idx].push((hb, now));
+                    }
+                    Err(_) => self.corrupt += 1,
                 }
-                Err(_) => self.corrupt += 1,
+            }
+            // A short batch means the transport is drained.
+            if got < self.intake.capacity() {
+                break;
             }
         }
         let mut accepted = 0usize;
@@ -557,6 +594,7 @@ where
     /// all shards, ascending by id.
     pub fn snapshot(&mut self) -> Vec<(ProcessId, SuspicionLevel)> {
         let now = self.clock.now();
+        // lint:allow(no-alloc-in-hot-path, owned-snapshot API; callers on the query path, not the intake path)
         let mut out = Vec::new();
         for shard in &mut self.shards {
             out.extend(shard.service.snapshot(now));
@@ -571,6 +609,7 @@ where
         let now = self.clock.now();
         match self.shards.get_mut(shard) {
             Some(s) => s.service.snapshot(now),
+            // lint:allow(no-alloc-in-hot-path, empty vec on the out-of-range query path)
             None => Vec::new(),
         }
     }

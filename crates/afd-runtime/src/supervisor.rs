@@ -47,6 +47,72 @@ impl Watchdog {
     }
 }
 
+/// Stall detection across a set of labeled liveness counters — the
+/// multi-thread face of [`Watchdog`], used by the
+/// [`ParallelShardEngine`](crate::engine::ParallelShardEngine) to watch
+/// its intake thread and every shard worker at once.
+///
+/// Register each thread's counter with [`track`](HealthBoard::track);
+/// call [`observe`](HealthBoard::observe) periodically and act on the
+/// labels it returns (a stalled worker is either wedged or dead — the
+/// engine distinguishes the two via its panic flags).
+#[derive(Debug, Default)]
+pub struct HealthBoard {
+    entries: Vec<(String, Arc<AtomicU64>, Watchdog)>,
+    stall_after: Duration,
+}
+
+impl HealthBoard {
+    /// Creates a board that calls a counter stalled once it has not moved
+    /// for `stall_after`, measured from `now`.
+    pub fn new(stall_after: Duration) -> Self {
+        HealthBoard {
+            entries: Vec::new(),
+            stall_after,
+        }
+    }
+
+    /// Starts watching `counter` under `label`, with the grace period
+    /// restarting at `now`.
+    pub fn track(&mut self, label: impl Into<String>, counter: Arc<AtomicU64>, now: Timestamp) {
+        let watchdog = Watchdog::new(self.stall_after, now);
+        self.entries.push((label.into(), counter, watchdog));
+    }
+
+    /// Number of tracked counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Feeds every counter one observation; returns the labels that are
+    /// stalled (empty when all threads are making progress).
+    pub fn observe(&mut self, now: Timestamp) -> Vec<&str> {
+        let mut stalled = Vec::new();
+        for (label, counter, watchdog) in &mut self.entries {
+            let tick = counter.load(Ordering::Relaxed);
+            if !watchdog.observe(tick, now) {
+                stalled.push(label.as_str());
+            }
+        }
+        stalled
+    }
+
+    /// Publishes each counter under `health.<label>.ticks` into
+    /// `registry`.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        for (label, counter, _) in &self.entries {
+            registry
+                .counter(&format!("health.{label}.ticks"))
+                .set(counter.load(Ordering::Relaxed));
+        }
+    }
+}
+
 /// What a supervised spawn hands back to its [`Supervisor`].
 #[derive(Debug)]
 pub struct SupervisedThread {
@@ -163,6 +229,41 @@ mod tests {
         assert!(!w.observe(2, ts(9)));
         // Movement resurrects it.
         assert!(w.observe(3, ts(10)));
+    }
+
+    #[test]
+    fn health_board_flags_only_the_stalled_labels() {
+        let mut board = HealthBoard::new(Duration::from_secs(5));
+        let alive = Arc::new(AtomicU64::new(0));
+        let wedged = Arc::new(AtomicU64::new(0));
+        board.track("intake", Arc::clone(&alive), ts(0));
+        board.track("worker.0", Arc::clone(&wedged), ts(0));
+        assert_eq!(board.len(), 2);
+
+        alive.store(1, Ordering::Relaxed);
+        wedged.store(1, Ordering::Relaxed);
+        assert!(board.observe(ts(1)).is_empty());
+
+        // Only `alive` keeps moving.
+        alive.store(2, Ordering::Relaxed);
+        assert!(board.observe(ts(4)).is_empty());
+        alive.store(3, Ordering::Relaxed);
+        assert_eq!(board.observe(ts(7)), vec!["worker.0"]);
+
+        // Movement resurrects the wedged label.
+        wedged.store(2, Ordering::Relaxed);
+        alive.store(4, Ordering::Relaxed);
+        assert!(board.observe(ts(8)).is_empty());
+    }
+
+    #[test]
+    fn health_board_exports_per_label_counters() {
+        let mut board = HealthBoard::new(Duration::from_secs(1));
+        let c = Arc::new(AtomicU64::new(9));
+        board.track("intake", Arc::clone(&c), ts(0));
+        let registry = afd_obs::Registry::new();
+        board.export_metrics(&registry);
+        assert_eq!(registry.snapshot().counter("health.intake.ticks"), Some(9));
     }
 
     fn looping_thread(iterations: Option<u64>) -> SupervisedThread {

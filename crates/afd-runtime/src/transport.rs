@@ -2,20 +2,157 @@
 //!
 //! A [`Transport`] moves opaque frames between a heartbeat sender and a
 //! monitor. Two implementations ship: [`ChannelTransport`] (in-process
-//! `mpsc`, used by the deterministic chaos harness and by same-process
-//! deployments) and [`UdpTransport`] (a non-blocking `std::net::UdpSocket`,
-//! the paper's actual deployment medium — heartbeats tolerate loss, so UDP
-//! is the right fit).
+//! bounded lossy queue, used by the deterministic chaos harness and by
+//! same-process deployments) and [`UdpTransport`] (a non-blocking
+//! `std::net::UdpSocket`, the paper's actual deployment medium —
+//! heartbeats tolerate loss, so UDP is the right fit).
 //!
 //! Both are polling transports: `try_recv` never blocks, which lets one
 //! loop service the transport, the detectors, and the watchdog tick
 //! without extra threads.
+//!
+//! # The zero-allocation batched path
+//!
+//! The per-frame `try_recv` returns an owned `Vec<u8>` — one heap
+//! allocation per 28-byte heartbeat, which is pure garbage at intake
+//! rates of millions of frames per second. The hot path is
+//! [`Transport::recv_batch`]: the caller keeps a reusable [`FrameBatch`]
+//! arena of inline `[u8; MAX_DATAGRAM]` slots and the transport copies
+//! pending frames straight into it ([`UdpTransport`] receives datagrams
+//! directly into the slots; [`ChannelTransport`] copies out of its
+//! inline queue entries). After the arena is built, steady-state intake
+//! performs **zero heap allocations per frame** — enforced by the
+//! `no-alloc-in-hot-path` afd-lint rule over this file.
+//!
+//! # Bounded, lossy channels
+//!
+//! [`ChannelTransport`] used to sit on an unbounded `mpsc` channel: a
+//! stalled monitor grew the queue without bound. It is now a bounded
+//! deque with **drop-oldest** overflow — the same policy as a full UDP
+//! socket buffer, and the right one for heartbeats (the newest frame is
+//! the evidence a detector wants; the oldest is the most superseded).
+//! Drops are counted and exportable via [`ChannelTransport::export_metrics`].
 
+use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
-use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::error::TransportError;
+
+/// Maximum frame size accepted by the transports, and the size of one
+/// [`FrameBatch`] slot.
+pub const MAX_DATAGRAM: usize = 1024;
+
+/// Frames an in-process channel holds before dropping the oldest
+/// (default for [`ChannelTransport::pair`]).
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 16 * 1024;
+
+/// One reusable intake slot: an inline buffer plus the received length.
+struct FrameSlot {
+    len: u16,
+    buf: [u8; MAX_DATAGRAM],
+}
+
+/// A reusable arena of inline frame slots for [`Transport::recv_batch`].
+///
+/// Allocated once (construction is the only allocation) and recycled
+/// with [`clear`](FrameBatch::clear) every drain round; filling and
+/// iterating it never touches the heap.
+pub struct FrameBatch {
+    slots: Box<[FrameSlot]>,
+    len: usize,
+}
+
+impl std::fmt::Debug for FrameBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameBatch")
+            .field("len", &self.len)
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl FrameBatch {
+    /// Creates an arena of `slots` inline buffers (floored at 1).
+    pub fn with_capacity(slots: usize) -> Self {
+        let slots: Box<[FrameSlot]> = (0..slots.max(1))
+            .map(|_| FrameSlot {
+                len: 0,
+                buf: [0u8; MAX_DATAGRAM],
+            })
+            .collect();
+        FrameBatch { slots, len: 0 }
+    }
+
+    /// Number of frames currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no frames are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if every slot is filled.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Forgets all held frames (slots are reused in place).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Copies `frame` into the next slot. Returns `false` (frame not
+    /// stored) if the batch is full or the frame exceeds
+    /// [`MAX_DATAGRAM`].
+    pub fn push(&mut self, frame: &[u8]) -> bool {
+        if self.is_full() || frame.len() > MAX_DATAGRAM {
+            return false;
+        }
+        let slot = &mut self.slots[self.len];
+        slot.buf[..frame.len()].copy_from_slice(frame);
+        slot.len = frame.len() as u16;
+        self.len += 1;
+        true
+    }
+
+    /// Hands the next free slot's buffer to `fill`; if it returns
+    /// `Some(n)`, the slot is committed as an `n`-byte frame. Returns
+    /// `false` without calling `fill` if the batch is full. This is the
+    /// receive-directly-into-the-arena path used by [`UdpTransport`].
+    pub fn push_with(
+        &mut self,
+        fill: impl FnOnce(&mut [u8; MAX_DATAGRAM]) -> Option<usize>,
+    ) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let slot = &mut self.slots[self.len];
+        match fill(&mut slot.buf) {
+            Some(n) if n <= MAX_DATAGRAM => {
+                slot.len = n as u16;
+                self.len += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterates the held frames in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.slots[..self.len]
+            .iter()
+            .map(|s| &s.buf[..usize::from(s.len)])
+    }
+}
 
 /// A bidirectional, unreliable, frame-oriented transport.
 pub trait Transport: Send {
@@ -35,6 +172,37 @@ pub trait Transport: Send {
     /// Returns [`TransportError`] if the medium itself failed (as opposed
     /// to simply having nothing to deliver).
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Drains pending frames into `batch` (up to its free capacity)
+    /// without blocking, returning how many were stored.
+    ///
+    /// The default implementation loops over [`try_recv`](Transport::try_recv)
+    /// — correct for any transport (wrappers like
+    /// [`FaultInjector`](crate::fault::FaultInjector) get per-frame fault
+    /// semantics for free) but it allocates per frame. Transports on the
+    /// hot path override it with a zero-allocation drain. Frames longer
+    /// than [`MAX_DATAGRAM`] are discarded, matching UDP's MTU.
+    ///
+    /// A return of `batch.capacity()` means the medium may hold more;
+    /// anything less means it was drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the medium itself failed.
+    fn recv_batch(&mut self, batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        let mut got = 0usize;
+        while !batch.is_full() {
+            match self.try_recv()? {
+                Some(frame) => {
+                    if batch.push(&frame) {
+                        got += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        Ok(got)
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for Box<T> {
@@ -44,45 +212,227 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
         (**self).try_recv()
     }
+    fn recv_batch(&mut self, batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        (**self).recv_batch(batch)
+    }
 }
 
-/// An in-process transport over a pair of crossed `mpsc` channels.
-#[derive(Debug)]
+/// One queued in-process frame: heartbeat-sized payloads live inline;
+/// anything larger (rare, and never on the hot path) spills to the heap.
+struct QueuedFrame {
+    len: u16,
+    inline: [u8; INLINE_FRAME],
+    spill: Option<Vec<u8>>,
+}
+
+/// Inline capacity of a queued channel frame; covers every wire frame
+/// ([`FRAME_LEN`](crate::wire::FRAME_LEN) is 28) with room to spare.
+const INLINE_FRAME: usize = 64;
+
+impl QueuedFrame {
+    fn new(frame: &[u8]) -> Self {
+        if frame.len() <= INLINE_FRAME {
+            let mut inline = [0u8; INLINE_FRAME];
+            inline[..frame.len()].copy_from_slice(frame);
+            QueuedFrame {
+                len: frame.len() as u16,
+                inline,
+                spill: None,
+            }
+        } else {
+            QueuedFrame {
+                len: frame.len() as u16,
+                inline: [0u8; INLINE_FRAME],
+                // lint:allow(no-alloc-in-hot-path, oversize-frame spill; heartbeat frames are 28 bytes and stay inline)
+                spill: Some(frame.to_vec()),
+            }
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.spill {
+            Some(v) => v,
+            None => &self.inline[..usize::from(self.len)],
+        }
+    }
+}
+
+/// The mutexed state of one channel direction.
+struct ChannelQueue {
+    frames: VecDeque<QueuedFrame>,
+    /// Frames evicted by drop-oldest overflow.
+    dropped: u64,
+}
+
+/// One direction of an in-process channel, shared by exactly two
+/// endpoints (the sender holds it as `tx`, the receiver as `rx`).
+struct ChannelCore {
+    queue: Mutex<ChannelQueue>,
+    capacity: usize,
+}
+
+impl ChannelCore {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(ChannelCore {
+            queue: Mutex::new(ChannelQueue {
+                frames: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+            capacity,
+        })
+    }
+
+    /// Locks the queue, recovering from a poisoned mutex (the state is a
+    /// plain deque plus a counter — always valid).
+    fn lock(&self) -> MutexGuard<'_, ChannelQueue> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// An in-process transport over a pair of crossed bounded lossy queues.
+///
+/// What one endpoint sends, the other receives, FIFO, until the queue is
+/// full — then the **oldest** queued frame is dropped (and counted) to
+/// make room, exactly like a full UDP socket buffer. Memory is bounded
+/// by construction: a stalled monitor can no longer grow the queue
+/// without limit.
 pub struct ChannelTransport {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: Arc<ChannelCore>,
+    rx: Arc<ChannelCore>,
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("capacity", &self.tx.capacity)
+            .finish()
+    }
 }
 
 impl ChannelTransport {
-    /// Creates two connected endpoints: what one sends, the other receives.
+    /// Creates two connected endpoints with the default per-direction
+    /// capacity ([`DEFAULT_CHANNEL_CAPACITY`] frames).
     pub fn pair() -> (ChannelTransport, ChannelTransport) {
-        let (a_tx, b_rx) = mpsc::channel();
-        let (b_tx, a_rx) = mpsc::channel();
+        ChannelTransport::pair_bounded(DEFAULT_CHANNEL_CAPACITY)
+    }
+
+    /// Creates two connected endpoints holding at most `capacity` frames
+    /// per direction (floored at 1); overflow drops the oldest frame.
+    pub fn pair_bounded(capacity: usize) -> (ChannelTransport, ChannelTransport) {
+        let capacity = capacity.max(1);
+        let a_to_b = ChannelCore::new(capacity);
+        let b_to_a = ChannelCore::new(capacity);
         (
-            ChannelTransport { tx: a_tx, rx: a_rx },
-            ChannelTransport { tx: b_tx, rx: b_rx },
+            ChannelTransport {
+                tx: Arc::clone(&a_to_b),
+                rx: Arc::clone(&b_to_a),
+            },
+            ChannelTransport {
+                tx: b_to_a,
+                rx: a_to_b,
+            },
         )
+    }
+
+    /// Frames dropped (oldest-first overflow) from the queue this
+    /// endpoint *receives* from.
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx.lock().dropped
+    }
+
+    /// Frames dropped (oldest-first overflow) from the queue this
+    /// endpoint *sends* into.
+    pub fn tx_dropped(&self) -> u64 {
+        self.tx.lock().dropped
+    }
+
+    /// Frames currently queued for this endpoint to receive.
+    pub fn rx_depth(&self) -> usize {
+        self.rx.lock().frames.len()
+    }
+
+    /// Publishes the drop counters into `registry` under
+    /// `transport.channel.*`.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        registry
+            .counter("transport.channel.rx_dropped")
+            .set(self.rx_dropped());
+        registry
+            .counter("transport.channel.tx_dropped")
+            .set(self.tx_dropped());
+        registry
+            .gauge("transport.channel.rx_depth")
+            .set(self.rx_depth() as f64);
+    }
+
+    /// `true` while the other endpoint of `core` is still alive. Each
+    /// direction is referenced by exactly two endpoints, so a strong
+    /// count below 2 means the peer was dropped.
+    fn peer_alive(core: &Arc<ChannelCore>) -> bool {
+        Arc::strong_count(core) >= 2
     }
 }
 
 impl Transport for ChannelTransport {
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| TransportError::Disconnected)
+        if !ChannelTransport::peer_alive(&self.tx) {
+            return Err(TransportError::Disconnected);
+        }
+        if frame.len() > MAX_DATAGRAM {
+            return Err(TransportError::Io(format!(
+                "frame of {} bytes exceeds MAX_DATAGRAM ({MAX_DATAGRAM})",
+                frame.len()
+            )));
+        }
+        let mut q = self.tx.lock();
+        if q.frames.len() >= self.tx.capacity {
+            q.frames.pop_front();
+            q.dropped += 1;
+        }
+        q.frames.push_back(QueuedFrame::new(frame));
+        Ok(())
     }
 
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
-        match self.rx.try_recv() {
-            Ok(frame) => Ok(Some(frame)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        let mut q = self.rx.lock();
+        match q.frames.pop_front() {
+            // lint:allow(no-alloc-in-hot-path, legacy per-frame path; batched intake uses recv_batch)
+            Some(frame) => Ok(Some(frame.as_slice().to_vec())),
+            None => {
+                drop(q);
+                if ChannelTransport::peer_alive(&self.rx) {
+                    Ok(None)
+                } else {
+                    Err(TransportError::Disconnected)
+                }
+            }
         }
     }
-}
 
-/// Maximum datagram size accepted by [`UdpTransport`].
-pub const MAX_DATAGRAM: usize = 1024;
+    fn recv_batch(&mut self, batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        let mut got = 0usize;
+        let mut q = self.rx.lock();
+        while !batch.is_full() {
+            match q.frames.pop_front() {
+                Some(frame) => {
+                    if batch.push(frame.as_slice()) {
+                        got += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        let empty = q.frames.is_empty();
+        drop(q);
+        if got == 0 && empty && !ChannelTransport::peer_alive(&self.rx) {
+            return Err(TransportError::Disconnected);
+        }
+        Ok(got)
+    }
+}
 
 /// A non-blocking UDP transport between two socket addresses.
 #[derive(Debug)]
@@ -158,6 +508,7 @@ impl Transport for UdpTransport {
                     if from != self.peer {
                         continue;
                     }
+                    // lint:allow(no-alloc-in-hot-path, legacy per-frame path; batched intake uses recv_batch)
                     Ok(Some(buf[..n].to_vec()))
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
@@ -167,6 +518,38 @@ impl Transport for UdpTransport {
                 Err(e) if e.kind() == ErrorKind::ConnectionRefused => Ok(None),
                 Err(e) => Err(e.into()),
             };
+        }
+    }
+
+    /// Drains queued datagrams directly into the arena slots — one
+    /// `recv_from` per datagram, zero copies beyond the kernel's, zero
+    /// heap allocations.
+    fn recv_batch(&mut self, batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        let mut got = 0usize;
+        let mut failure: Option<TransportError> = None;
+        let mut drained = false;
+        while !batch.is_full() && !drained && failure.is_none() {
+            batch.push_with(|buf| match self.socket.recv_from(buf) {
+                Ok((n, from)) if from == self.peer => {
+                    got += 1;
+                    Some(n)
+                }
+                // Stranger datagram: consume and discard, keep draining.
+                Ok(_) => None,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    drained = true;
+                    None
+                }
+                Err(e) if e.kind() == ErrorKind::ConnectionRefused => None,
+                Err(e) => {
+                    failure = Some(e.into());
+                    None
+                }
+            });
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(got),
         }
     }
 }
@@ -191,6 +574,110 @@ mod tests {
         drop(b);
         assert_eq!(a.send(b"x"), Err(TransportError::Disconnected));
         assert_eq!(a.try_recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn channel_buffered_frames_arrive_before_disconnect() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        a.send(b"last words").unwrap();
+        drop(a);
+        assert_eq!(b.try_recv().unwrap(), Some(b"last words".to_vec()));
+        assert_eq!(b.try_recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn channel_overflow_drops_oldest_and_counts() {
+        let (mut a, mut b) = ChannelTransport::pair_bounded(3);
+        for i in 0..5u8 {
+            a.send(&[i]).unwrap();
+        }
+        assert_eq!(a.tx_dropped(), 2);
+        assert_eq!(b.rx_dropped(), 2);
+        // Survivors are the newest three, in order.
+        assert_eq!(b.try_recv().unwrap(), Some(vec![2]));
+        assert_eq!(b.try_recv().unwrap(), Some(vec![3]));
+        assert_eq!(b.try_recv().unwrap(), Some(vec![4]));
+        assert_eq!(b.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn channel_rejects_oversize_frames() {
+        let (mut a, _b) = ChannelTransport::pair();
+        let big = [0u8; MAX_DATAGRAM + 1];
+        assert!(matches!(a.send(&big), Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn channel_recv_batch_is_fifo_and_reports_depth() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        for i in 0..10u8 {
+            a.send(&[i, i]).unwrap();
+        }
+        assert_eq!(b.rx_depth(), 10);
+        let mut batch = FrameBatch::with_capacity(4);
+        assert_eq!(b.recv_batch(&mut batch).unwrap(), 4);
+        let got: Vec<Vec<u8>> = batch.iter().map(<[u8]>::to_vec).collect();
+        assert_eq!(got, vec![vec![0, 0], vec![1, 1], vec![2, 2], vec![3, 3]]);
+        batch.clear();
+        assert_eq!(b.recv_batch(&mut batch).unwrap(), 4);
+        batch.clear();
+        assert_eq!(b.recv_batch(&mut batch).unwrap(), 2);
+        batch.clear();
+        assert_eq!(b.recv_batch(&mut batch).unwrap(), 0);
+    }
+
+    #[test]
+    fn channel_recv_batch_signals_disconnect_only_when_drained() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        a.send(b"x").unwrap();
+        drop(a);
+        let mut batch = FrameBatch::with_capacity(4);
+        assert_eq!(b.recv_batch(&mut batch).unwrap(), 1);
+        batch.clear();
+        assert_eq!(b.recv_batch(&mut batch), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn channel_spills_large_frames_intact() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        let frame: Vec<u8> = (0..200u8).collect();
+        a.send(&frame).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn frame_batch_push_rules() {
+        let mut batch = FrameBatch::with_capacity(2);
+        assert!(batch.is_empty());
+        assert!(batch.push(b"a"));
+        assert!(batch.push(b"bb"));
+        assert!(batch.is_full());
+        assert!(!batch.push(b"c"), "full batch rejects");
+        batch.clear();
+        assert!(!batch.push(&[0u8; MAX_DATAGRAM + 1]), "oversize rejects");
+        assert!(batch.push(&[0u8; MAX_DATAGRAM]), "exactly MTU fits");
+    }
+
+    #[test]
+    fn default_recv_batch_falls_back_to_try_recv() {
+        // A minimal transport that only implements the scalar methods.
+        struct Scalar(VecDeque<Vec<u8>>);
+        impl Transport for Scalar {
+            fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+                self.0.push_back(frame.to_vec());
+                Ok(())
+            }
+            fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+                Ok(self.0.pop_front())
+            }
+        }
+        let mut t = Scalar(VecDeque::new());
+        t.send(b"one").unwrap();
+        t.send(b"two").unwrap();
+        let mut batch = FrameBatch::with_capacity(8);
+        assert_eq!(t.recv_batch(&mut batch).unwrap(), 2);
+        let got: Vec<Vec<u8>> = batch.iter().map(<[u8]>::to_vec).collect();
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
     }
 
     #[test]
@@ -219,5 +706,25 @@ mod tests {
             .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(b.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn udp_recv_batch_drains_many_datagrams() {
+        let (mut a, mut b) = UdpTransport::loopback_pair().expect("loopback sockets");
+        for i in 0..8u8 {
+            a.send(&[i]).unwrap();
+        }
+        let mut batch = FrameBatch::with_capacity(16);
+        let mut got = 0usize;
+        for _ in 0..200 {
+            got += b.recv_batch(&mut batch).unwrap();
+            if got >= 8 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, 8);
+        let frames: Vec<Vec<u8>> = batch.iter().map(<[u8]>::to_vec).collect();
+        assert_eq!(frames, (0..8u8).map(|i| vec![i]).collect::<Vec<_>>());
     }
 }

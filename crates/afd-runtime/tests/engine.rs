@@ -1,0 +1,417 @@
+//! Acceptance tests for the parallel shard-worker engine: lockstep
+//! equivalence with the single-threaded `ShardedMonitor` on randomized
+//! schedules, a free-running multi-threaded chaos run holding the
+//! paper's Accruement and Upper Bound properties per peer, drop-oldest
+//! ring backpressure accounting, and poisoned-worker detection.
+
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::history::SuspicionTrace;
+use afd_core::process::ProcessId;
+use afd_core::properties::{check_upper_bound, AccruementCheck};
+use afd_core::suspicion::SuspicionLevel;
+use afd_core::time::{Duration, Timestamp};
+use afd_detectors::phi::PhiAccrual;
+use afd_detectors::simple::SimpleAccrual;
+use afd_obs::Registry;
+use afd_runtime::{
+    ChannelTransport, EngineConfig, EngineError, EngineMode, FaultInjector, FaultPlan, Heartbeat,
+    ParallelShardEngine, ShardConfig, ShardedMonitor, SnapshotReader, Transport, VirtualClock,
+};
+use afd_sim::loss::GilbertElliottLoss;
+use proptest::prelude::*;
+
+fn frame(sender: u32, seq: u64) -> Vec<u8> {
+    Heartbeat {
+        sender: ProcessId::new(sender),
+        seq,
+        sent_at: Timestamp::from_nanos(seq),
+    }
+    .encode()
+    .to_vec()
+}
+
+/// One step of a randomized intake schedule (same distribution as the
+/// sharded-monitor acceptance suite).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Send { sender: u32, seq: u64 },
+    Corrupt,
+    Tick { advance_ms: u32 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = proptest::FnStrategy::new(|rng: &mut TestRng| match rng.below(8) {
+        0 => Op::Corrupt,
+        1 | 2 => Op::Tick {
+            advance_ms: 1 + rng.below(4999) as u32,
+        },
+        _ => Op::Send {
+            sender: rng.below(6) as u32,
+            seq: rng.below(8),
+        },
+    });
+    prop::collection::vec(op, 1..120)
+}
+
+proptest! {
+    /// On any frame schedule and any worker count, a lockstep engine is
+    /// frame-for-frame equivalent to the single-threaded sharded
+    /// monitor: same per-tick acceptance, same per-shard counters, same
+    /// published snapshots, same lock-free point lookups — even though
+    /// every heartbeat crossed an SPSC ring into a real worker thread.
+    #[test]
+    fn lockstep_engine_reproduces_sharded_monitor(ops in ops(), workers in 1usize..6) {
+        let clock = VirtualClock::new();
+        clock.set(Timestamp::from_secs(1));
+
+        let (mut mono_tx, mono_rx) = ChannelTransport::pair();
+        let mut sharded = ShardedMonitor::new(
+            mono_rx,
+            clock.clone(),
+            ShardConfig { shards: workers, slots_per_shard: 8 },
+            |_| SimpleAccrual::new(Timestamp::ZERO),
+        );
+        let (mut eng_tx, eng_rx) = ChannelTransport::pair();
+        let mut engine = ParallelShardEngine::new(
+            eng_rx,
+            clock.clone(),
+            EngineConfig {
+                workers,
+                slots_per_shard: 8,
+                ring_capacity: 1024,
+                batch_slots: 32,
+                publish_every: Duration::ZERO,
+            },
+            |_| SimpleAccrual::new(Timestamp::ZERO),
+        );
+
+        // Watch senders 0..4; senders 4 and 5 stay unwatched.
+        for id in 0..4u32 {
+            sharded.watch(ProcessId::new(id)).unwrap();
+            engine.watch(ProcessId::new(id)).unwrap();
+        }
+        engine.start(EngineMode::Lockstep).unwrap();
+
+        for op in ops {
+            match op {
+                Op::Send { sender, seq } => {
+                    mono_tx.send(&frame(sender, seq)).unwrap();
+                    eng_tx.send(&frame(sender, seq)).unwrap();
+                }
+                Op::Corrupt => {
+                    mono_tx.send(b"not a heartbeat").unwrap();
+                    eng_tx.send(b"not a heartbeat").unwrap();
+                }
+                Op::Tick { advance_ms } => {
+                    clock.advance(Duration::from_millis(u64::from(advance_ms)));
+                    let s = sharded.tick().unwrap();
+                    let e = engine.tick().unwrap();
+                    prop_assert_eq!(s.accepted as u64, e.accepted);
+                    prop_assert_eq!(s.drained, e.drained);
+                }
+            }
+        }
+        clock.advance(Duration::from_millis(1));
+        let s = sharded.tick().unwrap();
+        let e = engine.tick().unwrap();
+        prop_assert_eq!(s.accepted as u64, e.accepted);
+
+        let s_stats = sharded.stats();
+        let e_stats = engine.stats();
+        prop_assert_eq!(s_stats.totals, e_stats.totals);
+        prop_assert_eq!(s_stats.per_shard, e_stats.per_worker);
+        prop_assert_eq!(s_stats.peers_per_shard, e_stats.peers_per_shard);
+        prop_assert_eq!(e_stats.ring_dropped, 0, "ring never overflowed");
+
+        prop_assert_eq!(
+            sharded.reader().published_at(),
+            engine.reader().published_at()
+        );
+        prop_assert_eq!(sharded.reader().snapshot(), engine.reader().snapshot());
+        for id in 0..6u32 {
+            let p = ProcessId::new(id);
+            prop_assert_eq!(sharded.reader().level(p), engine.reader().level(p));
+        }
+        engine.shutdown().unwrap();
+    }
+}
+
+/// Blocks until a free-running engine has drained everything in flight:
+/// stats stable, every ring empty, and all shards published at `now`.
+fn settle<T, C, D>(
+    engine: &ParallelShardEngine<T, C, D>,
+    reader: &SnapshotReader,
+    now: Timestamp,
+    workers: usize,
+) where
+    T: Transport + Send + 'static,
+    C: afd_runtime::Clock + Clone + Send + 'static,
+    D: AccrualFailureDetector + Send + 'static,
+{
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut prev = engine.stats();
+    let mut stable = 0u32;
+    while stable < 8 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "engine failed to settle: {prev:?}"
+        );
+        std::thread::yield_now();
+        let cur = engine.stats();
+        let registry = Registry::new();
+        engine.export_metrics(&registry);
+        let snap = registry.snapshot();
+        let depth: f64 = (0..workers)
+            .map(|i| {
+                snap.gauge(&format!("engine.worker.{i}.ring_depth"))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        if cur == prev && depth == 0.0 && reader.published_at() >= now {
+            stable += 1;
+        } else {
+            stable = 0;
+            prev = cur;
+        }
+    }
+}
+
+/// Gilbert–Elliott bursts with mean length 4 and burst-start probability
+/// 1/16: stationary loss 20 %, as in the sharded acceptance scenario.
+fn bursty_loss() -> GilbertElliottLoss {
+    GilbertElliottLoss::new(0.0625, 0.25, 0.0, 1.0)
+}
+
+/// The sharded chaos scenario — partition, sustained burst loss, final
+/// crash — driven through the *free-running* engine: real intake and
+/// worker threads racing on OS scheduling, with only virtual time
+/// barriers per second. Every peer's suspicion trace, read through the
+/// lock-free published path, must satisfy Accruement after the crash
+/// and stay finite throughout (Upper Bound).
+#[test]
+fn free_running_chaos_upholds_accruement_and_upper_bound_per_peer() {
+    const PEERS: u32 = 32;
+    const WORKERS: usize = 4;
+    const PARTITION: (u64, u64) = (20, 30);
+    const CRASH_AT: u64 = 90;
+    const RUN_UNTIL: u64 = 240;
+
+    let clock = VirtualClock::new();
+    let (mut tx, rx) = ChannelTransport::pair();
+    let plan = FaultPlan::new().with_loss(bursty_loss()).with_partition(
+        Timestamp::from_secs(PARTITION.0),
+        Timestamp::from_secs(PARTITION.1),
+    );
+    let injected = FaultInjector::new(rx, clock.clone(), plan, 1234);
+    let mut engine = ParallelShardEngine::new(
+        injected,
+        clock.clone(),
+        EngineConfig {
+            workers: WORKERS,
+            slots_per_shard: 16,
+            ring_capacity: 1024,
+            batch_slots: 64,
+            publish_every: Duration::ZERO,
+        },
+        |_| PhiAccrual::with_defaults(),
+    );
+    for id in 0..PEERS {
+        engine.watch(ProcessId::new(id)).unwrap();
+    }
+    let reader = engine.reader();
+    engine.start(EngineMode::FreeRunning).unwrap();
+
+    let mut seqs = vec![0u64; PEERS as usize];
+    let mut traces: Vec<SuspicionTrace> = (0..PEERS).map(|_| SuspicionTrace::new()).collect();
+
+    for second in 1..=RUN_UNTIL {
+        clock.set(Timestamp::from_secs(second));
+        if second < CRASH_AT {
+            for (id, seq) in seqs.iter_mut().enumerate() {
+                *seq += 1;
+                tx.send(&frame(id as u32, *seq)).unwrap();
+            }
+        }
+        settle(&engine, &reader, Timestamp::from_secs(second), WORKERS);
+        let at = reader.published_at();
+        for (p, level) in reader.snapshot() {
+            traces[p.index()].push(at, level);
+        }
+    }
+
+    engine.shutdown().unwrap();
+    assert_eq!(engine.poisoned(), None);
+
+    // The faults actually fired, and enough heartbeats survived them.
+    let fstats = engine.transport().expect("stopped engine").stats();
+    assert!(fstats.dropped_partition > 0, "partition inert");
+    assert!(fstats.dropped_loss > 0, "burst loss inert");
+    let stats = engine.stats();
+    assert!(
+        stats.totals.accepted > u64::from(PEERS) * 30,
+        "too few heartbeats survived: {stats:?}"
+    );
+    assert_eq!(stats.ring_dropped, 0, "1024-slot rings never overflowed");
+
+    let check = AccruementCheck {
+        epsilon: 1e-6,
+        min_increases: 10,
+        min_suffix_fraction: 0.2,
+    };
+    for (id, trace) in traces.iter().enumerate() {
+        assert_eq!(trace.len() as u64, RUN_UNTIL, "peer {id}: sparse trace");
+        let witness = check
+            .run(trace)
+            .unwrap_or_else(|e| panic!("peer {id}: Accruement violated: {e}"));
+        assert!(
+            witness.strict_increases >= 10,
+            "peer {id}: suffix too flat ({} increases)",
+            witness.strict_increases
+        );
+        check_upper_bound(trace, None)
+            .unwrap_or_else(|e| panic!("peer {id}: Upper Bound violated: {e}"));
+    }
+}
+
+/// Drop-oldest backpressure, observed end to end: flooding a tiny ring
+/// keeps exactly the newest frames, counts every eviction, and leaves
+/// the detector state as if only the survivors had ever been sent.
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let clock = VirtualClock::new();
+    let (mut tx, rx) = ChannelTransport::pair();
+    let mut engine = ParallelShardEngine::new(
+        rx,
+        clock.clone(),
+        EngineConfig {
+            workers: 1,
+            slots_per_shard: 4,
+            ring_capacity: 8,
+            batch_slots: 16,
+            publish_every: Duration::ZERO,
+        },
+        |_| SimpleAccrual::new(Timestamp::ZERO),
+    );
+    engine.watch(ProcessId::new(7)).unwrap();
+    engine.start(EngineMode::Lockstep).unwrap();
+
+    // 40 frames land in one tick; the parked worker can't drain, so the
+    // 8-slot ring must evict the 32 oldest.
+    clock.set(Timestamp::from_secs(1));
+    for seq in 1..=40u64 {
+        tx.send(&frame(7, seq)).unwrap();
+    }
+    let report = engine.tick().unwrap();
+    assert_eq!(report.drained, 40);
+    assert_eq!(report.accepted, 8, "only the newest ring-capacity frames");
+    let stats = engine.stats();
+    assert_eq!(stats.ring_dropped, 32);
+    assert_eq!(stats.totals.accepted, 8);
+    assert_eq!(stats.totals.stale, 0);
+
+    // Proof the *newest* frames survived: seq 36 is now a stale replay.
+    tx.send(&frame(7, 36)).unwrap();
+    clock.advance(Duration::from_secs(1));
+    engine.tick().unwrap();
+    assert_eq!(
+        engine.stats().totals.stale,
+        1,
+        "seq 36 must already be seen"
+    );
+
+    // The drop counter survives shutdown (rings are torn down).
+    engine.shutdown().unwrap();
+    assert_eq!(engine.stats().ring_dropped, 32);
+}
+
+/// A detector that panics on a magic arrival time — stands in for any
+/// bug inside a worker thread.
+struct Exploding {
+    inner: SimpleAccrual,
+}
+
+const POISON_AT: Timestamp = Timestamp::from_secs(666);
+
+impl AccrualFailureDetector for Exploding {
+    fn record_heartbeat(&mut self, arrival: Timestamp) {
+        assert_ne!(arrival, POISON_AT, "injected worker fault");
+        self.inner.record_heartbeat(arrival);
+    }
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        self.inner.suspicion_level(now)
+    }
+}
+
+fn poison_rig() -> (
+    ChannelTransport,
+    ParallelShardEngine<ChannelTransport, VirtualClock, Exploding>,
+    VirtualClock,
+    usize,
+) {
+    let clock = VirtualClock::new();
+    let (tx, rx) = ChannelTransport::pair();
+    let mut engine = ParallelShardEngine::new(
+        rx,
+        clock.clone(),
+        EngineConfig {
+            workers: 2,
+            publish_every: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+        |_| Exploding {
+            inner: SimpleAccrual::new(Timestamp::ZERO),
+        },
+    );
+    engine.watch(ProcessId::new(0)).unwrap();
+    let victim = engine.shard_of(ProcessId::new(0));
+    (tx, engine, clock, victim)
+}
+
+/// A worker panic in lockstep mode poisons the tick barrier: the driver
+/// gets a typed error instead of a deadlock, and the engine stays
+/// terminally failed.
+#[test]
+fn lockstep_worker_panic_is_reported_not_deadlocked() {
+    let (mut tx, mut engine, clock, victim) = poison_rig();
+    engine.start(EngineMode::Lockstep).unwrap();
+
+    clock.set(POISON_AT);
+    tx.send(&frame(0, 1)).unwrap();
+    assert_eq!(
+        engine.tick(),
+        Err(EngineError::WorkerPanicked { worker: victim })
+    );
+    assert_eq!(engine.poisoned(), Some(victim));
+
+    // Shutdown reports the casualty; the engine is then terminally
+    // failed (the dead worker's detector state is unrecoverable).
+    assert_eq!(
+        engine.shutdown(),
+        Err(EngineError::WorkerPanicked { worker: victim })
+    );
+    assert!(matches!(
+        engine.watch(ProcessId::new(9)),
+        Err(EngineError::WorkerPanicked { .. })
+    ));
+}
+
+/// The same fault in free-running mode trips the per-worker panic flag
+/// (the watchdog-facing signal) without any tick to observe it.
+#[test]
+fn free_running_worker_panic_raises_the_poison_flag() {
+    let (mut tx, mut engine, clock, victim) = poison_rig();
+    engine.start(EngineMode::FreeRunning).unwrap();
+
+    clock.set(POISON_AT);
+    tx.send(&frame(0, 1)).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while engine.poisoned().is_none() {
+        assert!(std::time::Instant::now() < deadline, "panic never surfaced");
+        std::thread::yield_now();
+    }
+    assert_eq!(engine.poisoned(), Some(victim));
+    assert_eq!(
+        engine.shutdown(),
+        Err(EngineError::WorkerPanicked { worker: victim })
+    );
+}
