@@ -19,6 +19,29 @@
 use crate::suspicion::SuspicionLevel;
 use crate::time::Timestamp;
 
+/// Portable durable state of one accrual detector: everything needed to
+/// answer queries at pre-crash quality after a restart, and nothing more.
+///
+/// The seed deliberately carries *moments*, not raw samples: the adaptive
+/// detectors' suspicion level is a function of the window's count, mean,
+/// and variance (§5.2–5.3 of the paper), so persisting the three summary
+/// statistics reproduces the level to within floating-point error at a
+/// fixed 40-byte cost per peer, independent of window size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectorSeed {
+    /// Arrival time of the most recent heartbeat, if one was seen.
+    pub last_heartbeat: Option<Timestamp>,
+    /// Number of inter-arrival samples the window held.
+    pub samples: u64,
+    /// Mean of the windowed inter-arrival samples (seconds).
+    pub mean: f64,
+    /// Population variance of the windowed samples (seconds²).
+    pub population_variance: f64,
+    /// Auxiliary monotone counter for detectors that track one (e.g. the
+    /// heartbeat count of the simple elapsed-time detector); zero otherwise.
+    pub heartbeats_seen: u64,
+}
+
 /// An accrual failure detector module for a single monitored process.
 ///
 /// Implementations take all time inputs explicitly (never reading a clock),
@@ -52,6 +75,33 @@ pub trait AccrualFailureDetector {
     /// `now` must be ≥ every previously recorded arrival and every previous
     /// query time.
     fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel;
+
+    /// Captures this detector's durable state, if it supports persistence.
+    ///
+    /// The default returns `None`: detectors without an override (scripted
+    /// detectors, wrappers) are simply not checkpointed. Implementations
+    /// must guarantee that feeding the result to [`restore_seed`] on a
+    /// fresh instance with the same configuration reproduces
+    /// [`suspicion_level`] to within floating-point error.
+    ///
+    /// [`restore_seed`]: AccrualFailureDetector::restore_seed
+    /// [`suspicion_level`]: AccrualFailureDetector::suspicion_level
+    fn save_seed(&self) -> Option<DetectorSeed> {
+        None
+    }
+
+    /// Re-seeds a (typically freshly constructed) detector from durable
+    /// state previously captured by [`save_seed`].
+    ///
+    /// The default is a no-op. Implementations replace their learned
+    /// inter-arrival statistics with the seed's moments so that the first
+    /// post-restore query answers at pre-crash quality instead of
+    /// re-bootstrapping from the small-sample prior.
+    ///
+    /// [`save_seed`]: AccrualFailureDetector::save_seed
+    fn restore_seed(&mut self, seed: &DetectorSeed) {
+        let _ = seed;
+    }
 }
 
 impl<D: AccrualFailureDetector + ?Sized> AccrualFailureDetector for &mut D {
@@ -61,6 +111,15 @@ impl<D: AccrualFailureDetector + ?Sized> AccrualFailureDetector for &mut D {
     fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
         (**self).suspicion_level(now)
     }
+    // The defaulted methods must forward explicitly: otherwise a `&mut D`
+    // (or trait object behind it) would silently answer with the `None`
+    // default even when `D` itself persists.
+    fn save_seed(&self) -> Option<DetectorSeed> {
+        (**self).save_seed()
+    }
+    fn restore_seed(&mut self, seed: &DetectorSeed) {
+        (**self).restore_seed(seed);
+    }
 }
 
 impl<D: AccrualFailureDetector + ?Sized> AccrualFailureDetector for Box<D> {
@@ -69,6 +128,12 @@ impl<D: AccrualFailureDetector + ?Sized> AccrualFailureDetector for Box<D> {
     }
     fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
         (**self).suspicion_level(now)
+    }
+    fn save_seed(&self) -> Option<DetectorSeed> {
+        (**self).save_seed()
+    }
+    fn restore_seed(&mut self, seed: &DetectorSeed) {
+        (**self).restore_seed(seed);
     }
 }
 
@@ -153,5 +218,45 @@ mod tests {
         let mut d = ScriptedAccrualDetector::from_values(&[2.5]);
         let r: &mut dyn AccrualFailureDetector = &mut d;
         assert_eq!(r.suspicion_level(Timestamp::ZERO).value(), 2.5);
+    }
+
+    #[test]
+    fn seed_defaults_to_unsupported() {
+        let d = ScriptedAccrualDetector::from_values(&[1.0]);
+        assert_eq!(d.save_seed(), None);
+        let mut d = d;
+        d.restore_seed(&DetectorSeed::default()); // no-op, must not panic
+        assert_eq!(d.suspicion_level(Timestamp::ZERO).value(), 1.0);
+    }
+
+    /// A detector overriding the seed methods must keep its override when
+    /// used through `&mut D` or `Box<dyn …>` — the blanket impls forward.
+    #[test]
+    fn seed_methods_forward_through_indirection() {
+        struct Seeded(u64);
+        impl AccrualFailureDetector for Seeded {
+            fn record_heartbeat(&mut self, _arrival: Timestamp) {}
+            fn suspicion_level(&mut self, _now: Timestamp) -> SuspicionLevel {
+                SuspicionLevel::ZERO
+            }
+            fn save_seed(&self) -> Option<DetectorSeed> {
+                Some(DetectorSeed {
+                    heartbeats_seen: self.0,
+                    ..DetectorSeed::default()
+                })
+            }
+            fn restore_seed(&mut self, seed: &DetectorSeed) {
+                self.0 = seed.heartbeats_seen;
+            }
+        }
+
+        let boxed: Box<dyn AccrualFailureDetector> = Box::new(Seeded(7));
+        let seed = boxed.save_seed().expect("override must be reachable");
+        assert_eq!(seed.heartbeats_seen, 7);
+
+        let mut fresh = Seeded(0);
+        let by_ref: &mut dyn AccrualFailureDetector = &mut fresh;
+        by_ref.restore_seed(&seed);
+        assert_eq!(by_ref.save_seed().map(|s| s.heartbeats_seen), Some(7));
     }
 }

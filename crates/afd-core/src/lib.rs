@@ -70,7 +70,7 @@ pub mod system;
 pub mod time;
 pub mod transform;
 
-pub use accrual::AccrualFailureDetector;
+pub use accrual::{AccrualFailureDetector, DetectorSeed};
 pub use binary::{BinaryFailureDetector, Status, Transition};
 pub use process::ProcessId;
 pub use suspicion::SuspicionLevel;

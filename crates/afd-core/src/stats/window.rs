@@ -163,6 +163,67 @@ impl SlidingWindow {
         self.len = 0;
         self.moments = RunningMoments::new();
     }
+
+    /// Replaces the window content with synthetic samples reproducing the
+    /// given summary statistics: afterwards `len() == count.min(capacity)`,
+    /// and `mean()`/[`Self::population_variance`] match the arguments to
+    /// within floating-point error.
+    ///
+    /// This is the restore half of checkpointing: a dump persists only
+    /// `(count, mean, population_variance)`, and this method rebuilds an
+    /// *equivalent* window from them — the individual samples are
+    /// `mean ± d` pairs (plus one sample at the mean when the count is
+    /// odd), chosen so both moments land exactly. Detectors whose level
+    /// depends only on the window moments answer identically; the raw
+    /// sample history is deliberately not reproduced.
+    ///
+    /// Non-finite `mean` or `population_variance` are rejected by leaving
+    /// the window empty; negative variance (float noise from a dump) is
+    /// clamped to zero.
+    pub fn seed_from_moments(&mut self, count: u64, mean: f64, population_variance: f64) {
+        self.clear();
+        self.evictions = 0;
+        if !mean.is_finite() || !population_variance.is_finite() {
+            return;
+        }
+        let n = usize::try_from(count)
+            .unwrap_or(usize::MAX)
+            .min(self.capacity);
+        if n == 0 {
+            return;
+        }
+        let var = population_variance.max(0.0);
+        let pairs;
+        let spread;
+        if n % 2 == 0 {
+            // n/2 pairs at mean ± √var: Σ(x−μ)² = n·var exactly.
+            pairs = n / 2;
+            spread = var.sqrt();
+        } else {
+            // One sample at the mean plus (n−1)/2 pairs at mean ± d with
+            // d² = var·n/(n−1), so Σ(x−μ)² = (n−1)·d² = n·var again.
+            self.push(mean);
+            pairs = (n - 1) / 2;
+            spread = if n > 1 {
+                (var * n as f64 / (n - 1) as f64).sqrt()
+            } else {
+                0.0
+            };
+        }
+        if !spread.is_finite() || !(mean - spread).is_finite() || !(mean + spread).is_finite() {
+            // Degenerate magnitudes (e.g. variance overflowing the square
+            // root of f64::MAX): fall back to a flat window at the mean,
+            // preserving count and mean but not the variance.
+            for _ in 0..2 * pairs {
+                self.push(mean);
+            }
+            return;
+        }
+        for _ in 0..pairs {
+            self.push(mean - spread);
+            self.push(mean + spread);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +302,57 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_rejected() {
         SlidingWindow::new(2).push(f64::INFINITY);
+    }
+
+    #[test]
+    fn seed_reproduces_moments_even_and_odd() {
+        for n in [1u64, 2, 3, 4, 7, 64, 99] {
+            let mut w = SlidingWindow::new(128);
+            w.seed_from_moments(n, 0.25, 0.09);
+            assert_eq!(w.len() as u64, n, "count for n={n}");
+            assert!((w.mean() - 0.25).abs() < 1e-12, "mean for n={n}");
+            let expect_var = if n == 1 { 0.0 } else { 0.09 };
+            assert!(
+                (w.population_variance() - expect_var).abs() < 1e-12,
+                "variance for n={n}: {}",
+                w.population_variance()
+            );
+        }
+    }
+
+    #[test]
+    fn seed_clamps_to_capacity_and_replaces_content() {
+        let mut w = SlidingWindow::new(4);
+        for x in [9.0, 9.0, 9.0] {
+            w.push(x);
+        }
+        w.seed_from_moments(100, 2.0, 1.0);
+        assert_eq!(w.len(), 4);
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        assert!((w.population_variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seed_rejects_non_finite_and_clamps_negative_variance() {
+        let mut w = SlidingWindow::new(8);
+        w.push(1.0);
+        w.seed_from_moments(4, f64::NAN, 1.0);
+        assert!(w.is_empty());
+        w.seed_from_moments(4, 1.0, f64::INFINITY);
+        assert!(w.is_empty());
+        // Tiny negative variance from float noise in a dump: treated as 0.
+        w.seed_from_moments(4, 3.0, -1e-18);
+        assert_eq!(w.len(), 4);
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+        assert!(w.population_variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn seed_zero_count_leaves_empty() {
+        let mut w = SlidingWindow::new(8);
+        w.push(1.0);
+        w.seed_from_moments(0, 5.0, 1.0);
+        assert!(w.is_empty());
     }
 
     #[test]

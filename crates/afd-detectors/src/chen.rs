@@ -16,7 +16,7 @@
 //! windowed mean gap, which adapts to both load-induced delay and the
 //! actual heartbeat cadence.
 
-use afd_core::accrual::AccrualFailureDetector;
+use afd_core::accrual::{AccrualFailureDetector, DetectorSeed};
 use afd_core::error::ConfigError;
 use afd_core::stats::SlidingWindow;
 use afd_core::suspicion::SuspicionLevel;
@@ -163,6 +163,22 @@ impl AccrualFailureDetector for ChenAccrual {
             None => SuspicionLevel::ZERO,
             Some(ea) => SuspicionLevel::clamped(now.saturating_duration_since(ea).as_secs_f64()),
         }
+    }
+
+    fn save_seed(&self) -> Option<DetectorSeed> {
+        Some(DetectorSeed {
+            last_heartbeat: self.last_heartbeat,
+            samples: self.gaps.len() as u64,
+            mean: self.gaps.mean(),
+            population_variance: self.gaps.population_variance(),
+            heartbeats_seen: 0,
+        })
+    }
+
+    fn restore_seed(&mut self, seed: &DetectorSeed) {
+        self.gaps
+            .seed_from_moments(seed.samples, seed.mean, seed.population_variance);
+        self.last_heartbeat = seed.last_heartbeat;
     }
 }
 

@@ -24,7 +24,7 @@
 //! Tail evaluation happens in log space, so φ keeps growing (and
 //! Accruement keeps holding) long after the raw probability underflows.
 
-use afd_core::accrual::AccrualFailureDetector;
+use afd_core::accrual::{AccrualFailureDetector, DetectorSeed};
 use afd_core::dist::{ArrivalDistribution, Empirical, Exponential, Normal};
 use afd_core::error::ConfigError;
 use afd_core::stats::SlidingWindow;
@@ -340,6 +340,30 @@ impl AccrualFailureDetector for PhiAccrual {
 
     fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
         SuspicionLevel::clamped(self.phi(now))
+    }
+
+    fn save_seed(&self) -> Option<DetectorSeed> {
+        Some(DetectorSeed {
+            last_heartbeat: self.last_heartbeat,
+            samples: self.gaps.len() as u64,
+            mean: self.gaps.mean(),
+            population_variance: self.gaps.population_variance(),
+            heartbeats_seen: 0,
+        })
+    }
+
+    /// Re-seeds the gap window and last-arrival time from `seed`.
+    ///
+    /// The empirical histogram (when [`GapModel::Empirical`] is
+    /// configured) is *not* persisted: after a restore it restarts below
+    /// its bootstrap count, so φ falls back to the normal model over the
+    /// seeded moments until enough fresh gaps re-populate the histogram —
+    /// pre-crash quality under the normal model, graceful re-learning
+    /// under the empirical one.
+    fn restore_seed(&mut self, seed: &DetectorSeed) {
+        self.gaps
+            .seed_from_moments(seed.samples, seed.mean, seed.population_variance);
+        self.last_heartbeat = seed.last_heartbeat;
     }
 }
 

@@ -11,7 +11,7 @@
 //! binary heartbeat detector with timeout `T` — the paper's observation
 //! that accrual detectors *decompose* binary ones.
 
-use afd_core::accrual::AccrualFailureDetector;
+use afd_core::accrual::{AccrualFailureDetector, DetectorSeed};
 use afd_core::suspicion::SuspicionLevel;
 use afd_core::time::Timestamp;
 
@@ -85,6 +85,21 @@ impl AccrualFailureDetector for SimpleAccrual {
             now.saturating_duration_since(self.last_heartbeat)
                 .as_secs_f64(),
         )
+    }
+
+    fn save_seed(&self) -> Option<DetectorSeed> {
+        Some(DetectorSeed {
+            last_heartbeat: Some(self.last_heartbeat),
+            heartbeats_seen: self.heartbeats_seen,
+            ..DetectorSeed::default()
+        })
+    }
+
+    fn restore_seed(&mut self, seed: &DetectorSeed) {
+        if let Some(last) = seed.last_heartbeat {
+            self.last_heartbeat = last;
+        }
+        self.heartbeats_seen = seed.heartbeats_seen;
     }
 }
 

@@ -1,4 +1,4 @@
-//! The seven project-invariant rules, run over a file's token stream.
+//! The eight project-invariant rules, run over a file's token stream.
 //!
 //! Each rule is a scoped token-pattern check. The scopes encode *why* the
 //! invariant exists:
@@ -12,6 +12,7 @@
 //! | `relaxed-atomics-audit` | every `Ordering::Relaxed` read-modify-write in `afd-obs` or `afd-runtime` carries a written justification |
 //! | `crate-hygiene` | every crate root forbids `unsafe_code` |
 //! | `no-alloc-in-hot-path` | the per-frame intake files stay heap-allocation-free in steady state (`to_vec`/`Vec::new`/`vec!` need a written justification) |
+//! | `io-discipline` | filesystem access in `afd-runtime` happens only in `persist.rs`, so crash-safe install (tmp → fsync → rename) cannot be bypassed |
 //!
 //! Any rule can be silenced per line with `// lint:allow(rule, reason)` —
 //! see [`crate::pragma`]. A malformed pragma is reported under the
@@ -31,6 +32,7 @@ pub const RULE_NAMES: &[&str] = &[
     "relaxed-atomics-audit",
     "crate-hygiene",
     "no-alloc-in-hot-path",
+    "io-discipline",
 ];
 
 /// Crates whose library code must be panic-free.
@@ -73,6 +75,7 @@ pub fn lint_tokens(ctx: &FileContext, tokens: &[Token]) -> (Vec<Finding>, usize)
     relaxed_atomics_audit(ctx, &code, &mut raw);
     crate_hygiene(ctx, &code, &mut raw);
     no_alloc_in_hot_path(ctx, &code, &mut raw);
+    io_discipline(ctx, &code, &mut raw);
 
     let (pragmas, pragma_errors) = pragma::collect(tokens);
     let mut suppressed = 0usize;
@@ -344,6 +347,49 @@ fn no_alloc_in_hot_path(ctx: &FileContext, code: &[&Token], out: &mut Vec<Findin
     }
 }
 
+/// The one `afd-runtime` file allowed to touch the filesystem.
+const PERSIST_MODULE: &str = "crates/afd-runtime/src/persist.rs";
+
+/// `File::create`-style constructors subject to the I/O discipline rule.
+const FILE_CONSTRUCTORS: &[&str] = &["create", "create_new", "open", "options"];
+
+/// Filesystem access (`fs::…` paths, `File::create`/`open`/`options`,
+/// `OpenOptions::…`) in `afd-runtime` library code outside `persist.rs`.
+/// Durability is only crash-safe because every write funnels through the
+/// sink's tmp → fsync → atomic-rename install; an ad-hoc `fs::write`
+/// elsewhere in the runtime would silently bypass that contract.
+fn io_discipline(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if ctx.crate_name != "afd-runtime" || ctx.path == PERSIST_MODULE {
+        return;
+    }
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || !ctx.is_library_line(tok.line) {
+            continue;
+        }
+        let next = |n: usize| code.get(i + n).map(|t| t.text.as_str());
+        let io = match tok.text.as_str() {
+            "fs" | "OpenOptions" => next(1) == Some("::"),
+            "File" => {
+                next(1) == Some("::") && next(2).is_some_and(|m| FILE_CONSTRUCTORS.contains(&m))
+            }
+            _ => false,
+        };
+        if io {
+            out.push(finding(
+                ctx,
+                "io-discipline",
+                tok,
+                format!(
+                    "filesystem access (`{}`) in afd-runtime outside {PERSIST_MODULE}; durable \
+                     writes must go through a `SegmentSink` so the tmp → fsync → rename \
+                     crash-safety contract holds",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
 /// Crate roots must carry `#![forbid(unsafe_code)]`.
 fn crate_hygiene(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
     if !ctx.is_crate_root() {
@@ -553,6 +599,41 @@ mod tests {
         let (findings, suppressed) = lint_source("crates/afd-runtime/src/shard.rs", src);
         assert!(findings.is_empty(), "{findings:?}");
         assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn io_discipline_fires_outside_persist_only() {
+        let src = "fn f() { let _ = std::fs::read(\"x\"); }\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/shard.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "io-discipline");
+        // The persist module is the sanctioned home of filesystem access.
+        let (findings, _) = lint_source("crates/afd-runtime/src/persist.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        // Other crates are out of scope (afd-bench writes reports, the
+        // linter itself walks the tree).
+        let (findings, _) = lint_source("crates/afd-bench/src/report.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn io_discipline_catches_file_constructors_not_lookalikes() {
+        let src =
+            "fn f() {\n    let _ = File::create(\"x\");\n    let _ = OpenOptions::new();\n}\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/monitor.rs", src);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3], "{findings:?}");
+        // `File::from` and a local `fs` variable are not filesystem access.
+        let src = "fn f(fs: u64) -> u64 { let _ = File::from(3); fs + 1 }\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/monitor.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn io_discipline_exempts_tests() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::fs::read(\"x\"); }\n}\n";
+        let (findings, _) = lint_source("crates/afd-runtime/src/shard.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

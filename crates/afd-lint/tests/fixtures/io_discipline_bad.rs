@@ -1,0 +1,4 @@
+// Fixture: ad-hoc filesystem access in afd-runtime must flag.
+pub fn dump(bytes: &[u8]) {
+    let _ = std::fs::write("window.bin", bytes);
+}

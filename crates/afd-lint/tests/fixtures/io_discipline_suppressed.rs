@@ -1,0 +1,5 @@
+// Fixture: a debugging escape hatch may touch the filesystem, with a reason.
+pub fn dump(bytes: &[u8]) {
+    // lint:allow(io-discipline, diagnostic core dump; never on the durability path)
+    let _ = std::fs::write("window.bin", bytes);
+}

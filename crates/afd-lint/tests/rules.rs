@@ -136,6 +136,31 @@ fn no_thread_sleep_honors_reasoned_pragma() {
 }
 
 #[test]
+fn io_discipline_fires_in_runtime_library_code() {
+    let path = "crates/afd-runtime/src/monitor.rs";
+    let (findings, _) = lint_fixture("io_discipline_bad.rs", path);
+    assert_single(&findings, "io-discipline", path, 3);
+}
+
+#[test]
+fn io_discipline_exempts_the_persist_module_and_other_crates() {
+    let (findings, _) = lint_fixture("io_discipline_bad.rs", "crates/afd-runtime/src/persist.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    let (findings, _) = lint_fixture("io_discipline_bad.rs", "crates/afd-bench/src/report.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn io_discipline_honors_reasoned_pragma() {
+    let (findings, suppressed) = lint_fixture(
+        "io_discipline_suppressed.rs",
+        "crates/afd-runtime/src/monitor.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
 fn relaxed_atomics_audit_fires_on_rmw_not_load() {
     let path = "crates/afd-obs/src/registry.rs";
     let (findings, _) = lint_fixture("relaxed_atomics_bad.rs", path);

@@ -524,6 +524,87 @@ where
         }
     }
 
+    /// Dumps the currently published epoch snapshots as a new checkpoint
+    /// generation through `ckpt`.
+    ///
+    /// Valid in **any** state: the dump reads only the double-buffered
+    /// snapshot cells, never worker-owned detector state, so in
+    /// [`EngineMode::FreeRunning`] it runs concurrently with intake and
+    /// workers (a [`CheckpointDaemon`](crate::persist::CheckpointDaemon)
+    /// over [`reader`](Self::reader) gives the periodic cadence), and in
+    /// [`EngineMode::Lockstep`] it is called explicitly between
+    /// [`tick`](Self::tick)s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`](crate::persist::PersistError) if the sink
+    /// fails.
+    pub fn checkpoint<S: crate::persist::SegmentSink>(
+        &self,
+        ckpt: &mut crate::persist::Checkpointer<S>,
+    ) -> Result<crate::persist::CheckpointReport, crate::persist::PersistError> {
+        ckpt.checkpoint(&self.reader(), &self.clock)
+    }
+
+    /// Bulk-imports peers recovered by
+    /// [`Checkpointer::restore`](crate::persist::Checkpointer::restore):
+    /// re-watches each, seeds its detector with the saved window moments,
+    /// re-arms replay rejection, and publishes every shard so readers see
+    /// pre-crash-quality levels before the first worker tick. Peers whose
+    /// shard is full are counted in
+    /// [`RestoreImport::capacity_rejected`](crate::persist::RestoreImport).
+    ///
+    /// Only valid while stopped, like [`watch`](Self::watch) — the watch
+    /// set is distributed to worker threads at [`start`](Self::start).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Running`] if workers are up,
+    /// [`EngineError::WorkerPanicked`] if the engine already failed.
+    pub fn restore(
+        &mut self,
+        peers: &[crate::persist::RestoredPeer],
+    ) -> Result<crate::persist::RestoreImport, EngineError> {
+        match &self.state {
+            EngineState::Idle { .. } => {}
+            EngineState::Failed { worker } => {
+                return Err(EngineError::WorkerPanicked { worker: *worker })
+            }
+            _ => return Err(EngineError::Running),
+        }
+        let mut import = crate::persist::RestoreImport::default();
+        for peer in peers {
+            match self.watch(peer.process) {
+                Ok(_) => import.watched += 1,
+                Err(EngineError::Capacity(_)) => {
+                    import.capacity_rejected += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            let idx = self.shard_of(peer.process);
+            let EngineState::Idle { shards, .. } = &mut self.state else {
+                return Err(EngineError::Running);
+            };
+            if let Some(seq) = peer.highest_seq {
+                shards[idx].highest_seq.insert(peer.process, seq);
+            }
+            if let Some(seed) = &peer.seed {
+                if let Some(d) = shards[idx].service.detector_mut(peer.process) {
+                    d.restore_seed(seed);
+                    import.seeded += 1;
+                }
+            }
+        }
+        let now = self.clock.now();
+        if let EngineState::Idle { shards, .. } = &mut self.state {
+            for shard in shards {
+                shard.publish(now);
+            }
+        }
+        Ok(import)
+    }
+
     /// Spawns the rings and worker threads (plus the intake thread in
     /// [`EngineMode::FreeRunning`]).
     ///

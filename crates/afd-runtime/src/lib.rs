@@ -36,6 +36,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod monitor;
+pub mod persist;
 pub mod retry;
 pub mod ring;
 pub mod sender;
@@ -52,6 +53,11 @@ pub use engine::{EngineConfig, EngineMode, EngineStats, EngineTickReport, Parall
 pub use error::{EngineError, RuntimeError, TransportError};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use monitor::{MonitorStats, RuntimeMonitor};
+pub use persist::{
+    CheckpointConfig, CheckpointDaemon, CheckpointReport, Checkpointer, DirSink, FaultySink,
+    FaultySinkPlan, FaultySinkStats, MemSink, PersistError, RestoreImport, Restored, RestoredPeer,
+    SegmentSink,
+};
 pub use retry::RetryPolicy;
 pub use ring::{heartbeat_ring, RingConsumer, RingProducer, RingWatch};
 pub use sender::{spawn_sender, SenderConfig, SenderCore, SenderHandle};

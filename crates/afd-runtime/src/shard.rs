@@ -41,7 +41,7 @@ use std::fmt;
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use afd_core::accrual::AccrualFailureDetector;
+use afd_core::accrual::{AccrualFailureDetector, DetectorSeed};
 use afd_core::process::ProcessId;
 use afd_core::suspicion::SuspicionLevel;
 use afd_core::time::{Duration, Timestamp};
@@ -141,6 +141,150 @@ pub struct ShardedStats {
     pub ticks: u64,
 }
 
+/// Bit in [`PeerDurable::flags`]: the detector produced a seed.
+pub(crate) const DURABLE_HAS_SEED: u64 = 1;
+/// Bit in [`PeerDurable::flags`]: the seed carries a last-heartbeat time.
+pub(crate) const DURABLE_HAS_LAST_HB: u64 = 1 << 1;
+/// Bit in [`PeerDurable::flags`]: a highest sequence number was recorded.
+pub(crate) const DURABLE_HAS_SEQ: u64 = 1 << 2;
+
+/// The durable state of one published peer, flattened to seven `u64`
+/// words so it can cross the epoch-snapshot banks as plain atomics (and
+/// land byte-for-byte in a checkpoint segment record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PeerDurable {
+    /// `DURABLE_*` presence bits.
+    pub(crate) flags: u64,
+    /// Highest heartbeat sequence accepted (replay-rejection state).
+    pub(crate) highest_seq: u64,
+    /// Last heartbeat arrival, in nanoseconds.
+    pub(crate) last_hb_nanos: u64,
+    /// Inter-arrival samples in the detector window.
+    pub(crate) samples: u64,
+    /// Window mean, as `f64` bits.
+    pub(crate) mean_bits: u64,
+    /// Window population variance, as `f64` bits.
+    pub(crate) var_bits: u64,
+    /// Auxiliary detector counter (see [`DetectorSeed::heartbeats_seen`]).
+    pub(crate) heartbeats_seen: u64,
+}
+
+impl PeerDurable {
+    /// Flattens a detector seed plus replay state into one record.
+    pub(crate) fn from_state(seed: Option<DetectorSeed>, highest_seq: Option<u64>) -> Self {
+        let mut flags = 0u64;
+        if highest_seq.is_some() {
+            flags |= DURABLE_HAS_SEQ;
+        }
+        let mut last_hb_nanos = 0;
+        let mut samples = 0;
+        let mut mean_bits = 0;
+        let mut var_bits = 0;
+        let mut heartbeats_seen = 0;
+        if let Some(seed) = seed {
+            flags |= DURABLE_HAS_SEED;
+            if let Some(last) = seed.last_heartbeat {
+                flags |= DURABLE_HAS_LAST_HB;
+                last_hb_nanos = last.as_nanos();
+            }
+            samples = seed.samples;
+            mean_bits = seed.mean.to_bits();
+            var_bits = seed.population_variance.to_bits();
+            heartbeats_seen = seed.heartbeats_seen;
+        }
+        PeerDurable {
+            flags,
+            highest_seq: highest_seq.unwrap_or(0),
+            last_hb_nanos,
+            samples,
+            mean_bits,
+            var_bits,
+            heartbeats_seen,
+        }
+    }
+
+    /// The detector seed carried by this record, if any.
+    pub(crate) fn seed(&self) -> Option<DetectorSeed> {
+        if self.flags & DURABLE_HAS_SEED == 0 {
+            return None;
+        }
+        let last_heartbeat = if self.flags & DURABLE_HAS_LAST_HB != 0 {
+            Some(Timestamp::from_nanos(self.last_hb_nanos))
+        } else {
+            None
+        };
+        Some(DetectorSeed {
+            last_heartbeat,
+            samples: self.samples,
+            mean: f64::from_bits(self.mean_bits),
+            population_variance: f64::from_bits(self.var_bits),
+            heartbeats_seen: self.heartbeats_seen,
+        })
+    }
+
+    /// The recorded highest sequence number, if any.
+    pub(crate) fn highest(&self) -> Option<u64> {
+        if self.flags & DURABLE_HAS_SEQ != 0 {
+            Some(self.highest_seq)
+        } else {
+            None
+        }
+    }
+}
+
+/// The durable columns of a [`Bank`]: per-slot detector seeds and replay
+/// state, guarded by the same seqlock as the (peer, level) table so a
+/// checkpointer reads a view consistent with the published epoch — and
+/// never touches worker-owned detector state.
+struct DurableBank {
+    flags: Vec<AtomicU64>,
+    highest_seq: Vec<AtomicU64>,
+    last_hb: Vec<AtomicU64>,
+    samples: Vec<AtomicU64>,
+    mean_bits: Vec<AtomicU64>,
+    var_bits: Vec<AtomicU64>,
+    heartbeats_seen: Vec<AtomicU64>,
+}
+
+impl DurableBank {
+    fn new(slots: usize) -> Self {
+        let col = || (0..slots).map(|_| AtomicU64::new(0)).collect();
+        DurableBank {
+            flags: col(),
+            highest_seq: col(),
+            last_hb: col(),
+            samples: col(),
+            mean_bits: col(),
+            var_bits: col(),
+            heartbeats_seen: col(),
+        }
+    }
+
+    /// Plain store of one record; callers hold the bank's seqlock odd.
+    fn store(&self, i: usize, d: &PeerDurable) {
+        self.flags[i].store(d.flags, Ordering::Relaxed);
+        self.highest_seq[i].store(d.highest_seq, Ordering::Relaxed);
+        self.last_hb[i].store(d.last_hb_nanos, Ordering::Relaxed);
+        self.samples[i].store(d.samples, Ordering::Relaxed);
+        self.mean_bits[i].store(d.mean_bits, Ordering::Relaxed);
+        self.var_bits[i].store(d.var_bits, Ordering::Relaxed);
+        self.heartbeats_seen[i].store(d.heartbeats_seen, Ordering::Relaxed);
+    }
+
+    /// Plain load of one record; callers re-verify the seqlock afterwards.
+    fn load(&self, i: usize) -> PeerDurable {
+        PeerDurable {
+            flags: self.flags[i].load(Ordering::Relaxed),
+            highest_seq: self.highest_seq[i].load(Ordering::Relaxed),
+            last_hb_nanos: self.last_hb[i].load(Ordering::Relaxed),
+            samples: self.samples[i].load(Ordering::Relaxed),
+            mean_bits: self.mean_bits[i].load(Ordering::Relaxed),
+            var_bits: self.var_bits[i].load(Ordering::Relaxed),
+            heartbeats_seen: self.heartbeats_seen[i].load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One bank of a [`ShardCell`]: a published (peer, level) table plus the
 /// seqlock word guarding it.
 struct Bank {
@@ -155,6 +299,8 @@ struct Bank {
     peers: Vec<AtomicU64>,
     /// Suspicion levels as `f64` bit patterns, parallel to `peers`.
     levels: Vec<AtomicU64>,
+    /// Durable per-peer columns, parallel to `peers`.
+    durable: DurableBank,
 }
 
 impl Bank {
@@ -165,6 +311,7 @@ impl Bank {
             published_at: AtomicU64::new(0),
             peers: (0..slots).map(|_| AtomicU64::new(0)).collect(),
             levels: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            durable: DurableBank::new(slots),
         }
     }
 }
@@ -186,8 +333,14 @@ impl ShardCell {
     }
 
     /// Publishes `entries` (ascending by id, at most `slots` long) as the
-    /// new front bank. Single writer: callers hold `&mut ShardedMonitor`.
-    fn publish(&self, entries: &[(ProcessId, SuspicionLevel)], at: Timestamp) {
+    /// new front bank, together with the parallel `durable` records.
+    /// Single writer: callers hold `&mut ShardedMonitor`.
+    fn publish(
+        &self,
+        entries: &[(ProcessId, SuspicionLevel)],
+        durable: &[PeerDurable],
+        at: Timestamp,
+    ) {
         let back = (self.front.load(Ordering::Relaxed) & 1) ^ 1;
         let bank = &self.banks[back];
         // Seqlock enter: mark odd, then fence so slot writes cannot be
@@ -197,9 +350,13 @@ impl ShardCell {
         bank.wseq.store(s.wrapping_add(1), Ordering::Relaxed);
         fence(Ordering::Release);
         let n = entries.len().min(bank.peers.len());
-        for ((slot_p, slot_l), (p, lvl)) in bank.peers.iter().zip(&bank.levels).zip(entries) {
+        let blank = PeerDurable::default();
+        for (i, ((slot_p, slot_l), (p, lvl))) in
+            bank.peers.iter().zip(&bank.levels).zip(entries).enumerate()
+        {
             slot_p.store(u64::from(p.as_u32()), Ordering::Relaxed);
             slot_l.store(lvl.value().to_bits(), Ordering::Relaxed);
+            bank.durable.store(i, durable.get(i).unwrap_or(&blank));
         }
         bank.len.store(n, Ordering::Relaxed);
         bank.published_at.store(at.as_nanos(), Ordering::Relaxed);
@@ -262,6 +419,21 @@ impl ShardCell {
                 let p = ProcessId::new(slot_p.load(Ordering::Relaxed) as u32);
                 let lvl = SuspicionLevel::clamped(f64::from_bits(slot_l.load(Ordering::Relaxed)));
                 out.push((p, lvl));
+            }
+            Timestamp::from_nanos(bank.published_at.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Copies the whole published durable table (ascending by id),
+    /// returning the epoch it was published at. Consistency comes from
+    /// the same seqlock as [`read_all`](Self::read_all): the records are
+    /// exactly those of one publish, never a mix of two epochs.
+    pub(crate) fn read_durable(&self, out: &mut Vec<(ProcessId, PeerDurable)>) -> Timestamp {
+        self.with_consistent(|bank, len| {
+            out.clear();
+            for (i, slot_p) in bank.peers.iter().take(len).enumerate() {
+                let p = ProcessId::new(slot_p.load(Ordering::Relaxed) as u32);
+                out.push((p, bank.durable.load(i)));
             }
             Timestamp::from_nanos(bank.published_at.load(Ordering::Relaxed))
         })
@@ -332,6 +504,20 @@ impl SnapshotReader {
     pub fn shard_count(&self) -> usize {
         self.cells.len()
     }
+
+    /// Copies shard `shard`'s published durable table into `out`,
+    /// returning its publish epoch (`None` for an out-of-range shard).
+    ///
+    /// This is the accessor the checkpointer dumps through: it reads only
+    /// the double-buffered epoch banks, so the dump never touches
+    /// worker-owned detector state and runs entirely off the hot path.
+    pub(crate) fn durable_shard(
+        &self,
+        shard: usize,
+        out: &mut Vec<(ProcessId, PeerDurable)>,
+    ) -> Option<Timestamp> {
+        self.cells.get(shard).map(|cell| cell.read_durable(out))
+    }
 }
 
 /// One shard: a detector service plus its freshness state and counters.
@@ -343,6 +529,10 @@ pub(crate) struct Shard<D> {
     pub(crate) highest_seq: BTreeMap<ProcessId, u64>,
     pub(crate) stats: MonitorStats,
     pub(crate) cell: Arc<ShardCell>,
+    /// Reusable publish buffer: (peer, level) rows for the epoch banks.
+    snap_scratch: Vec<(ProcessId, SuspicionLevel)>,
+    /// Reusable publish buffer: parallel durable rows.
+    durable_scratch: Vec<PeerDurable>,
 }
 
 impl<D: AccrualFailureDetector> Shard<D> {
@@ -353,6 +543,10 @@ impl<D: AccrualFailureDetector> Shard<D> {
             highest_seq: BTreeMap::new(),
             stats: MonitorStats::default(),
             cell,
+            // lint:allow(no-alloc-in-hot-path, one-time construction; both scratch buffers are reused across every publish)
+            snap_scratch: Vec::new(),
+            // lint:allow(no-alloc-in-hot-path, one-time construction; both scratch buffers are reused across every publish)
+            durable_scratch: Vec::new(),
         }
     }
 
@@ -382,9 +576,25 @@ impl<D: AccrualFailureDetector> Shard<D> {
         true
     }
 
+    /// Publishes the shard's levels *and* durable rows into its epoch
+    /// cell. The durable rows ride the same seqlocked publish, so a
+    /// checkpointer reading the cell gets detector seeds and replay state
+    /// consistent with the published levels — without ever borrowing the
+    /// (worker-owned) detectors themselves.
     pub(crate) fn publish(&mut self, now: Timestamp) {
-        let snap = self.service.snapshot(now);
-        self.cell.publish(&snap, now);
+        self.snap_scratch.clear();
+        self.durable_scratch.clear();
+        let snap = &mut self.snap_scratch;
+        let durable = &mut self.durable_scratch;
+        let highest = &self.highest_seq;
+        self.service.for_each_mut(|p, d| {
+            snap.push((p, d.suspicion_level(now)));
+            durable.push(PeerDurable::from_state(
+                d.save_seed(),
+                highest.get(&p).copied(),
+            ));
+        });
+        self.cell.publish(snap, durable, now);
     }
 }
 
@@ -617,6 +827,68 @@ where
     /// A cloneable lock-free reader over the published epoch snapshots.
     pub fn reader(&self) -> SnapshotReader {
         self.reader.clone()
+    }
+
+    /// Publishes a fresh epoch snapshot of every shard and dumps it as a
+    /// new checkpoint generation through `ckpt`.
+    ///
+    /// This is the explicit Lockstep-style cadence; FreeRunning
+    /// deployments hand [`reader`](ShardedMonitor::reader) to a
+    /// [`CheckpointDaemon`](crate::persist::CheckpointDaemon) instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`](crate::persist::PersistError) if the sink
+    /// fails.
+    pub fn checkpoint<S: crate::persist::SegmentSink>(
+        &mut self,
+        ckpt: &mut crate::persist::Checkpointer<S>,
+    ) -> Result<crate::persist::CheckpointReport, crate::persist::PersistError> {
+        let now = self.clock.now();
+        for shard in &mut self.shards {
+            shard.publish(now);
+        }
+        ckpt.checkpoint(&self.reader, &self.clock)
+    }
+
+    /// Bulk-imports peers recovered by
+    /// [`Checkpointer::restore`](crate::persist::Checkpointer::restore):
+    /// re-watches each (routing by the *current* shard count, so the
+    /// checkpoint survives a shard-count change across restarts), seeds
+    /// its detector with the saved window moments, and re-arms replay
+    /// rejection with the saved highest sequence number. Finishes by
+    /// publishing every shard, so the first post-restore reader query
+    /// already serves the restored levels at pre-crash quality.
+    ///
+    /// Peers whose target shard is full are dropped and counted in
+    /// [`RestoreImport::capacity_rejected`](crate::persist::RestoreImport).
+    pub fn restore(
+        &mut self,
+        peers: &[crate::persist::RestoredPeer],
+    ) -> crate::persist::RestoreImport {
+        let mut import = crate::persist::RestoreImport::default();
+        for peer in peers {
+            if self.watch(peer.process).is_err() {
+                import.capacity_rejected += 1;
+                continue;
+            }
+            import.watched += 1;
+            let idx = self.shard_of(peer.process);
+            if let Some(seq) = peer.highest_seq {
+                self.shards[idx].highest_seq.insert(peer.process, seq);
+            }
+            if let Some(seed) = &peer.seed {
+                if let Some(d) = self.shards[idx].service.detector_mut(peer.process) {
+                    d.restore_seed(seed);
+                    import.seeded += 1;
+                }
+            }
+        }
+        let now = self.clock.now();
+        for shard in &mut self.shards {
+            shard.publish(now);
+        }
+        import
     }
 
     /// Direct access to the detector for `process`.

@@ -7,6 +7,20 @@
 //! and flags a loop whose counter stops moving. [`Supervisor`] owns a
 //! respawnable thread and uses a watchdog plus thread-exit detection to
 //! restart it, counting restarts so operators can see the churn.
+//!
+//! # Restarting with durable state
+//!
+//! A restarted monitor does not have to re-learn every peer's arrival
+//! statistics from scratch. When checkpoints are enabled
+//! ([`persist`](crate::persist)), the supervisor's spawn closure should
+//! **restore before re-watching**: call
+//! [`Checkpointer::restore`](crate::persist::Checkpointer::restore)
+//! against the shared sink, bulk-import the recovered peers via
+//! [`ShardedMonitor::restore`](crate::shard::ShardedMonitor::restore)
+//! (which seeds detectors with their saved window moments and re-arms
+//! replay rejection), and only then watch any peers that were not in the
+//! checkpoint. The kill-during-checkpoint chaos test in
+//! `tests/persist.rs` exercises exactly this restart path.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
