@@ -1,0 +1,392 @@
+//! **E16 — the detector zoo raced head-to-head.**
+//!
+//! All six detectors — simple, Chen, Bertier, φ, Akka φ, adaptive — run
+//! lock-step over the same virtual-time chaos scenarios via
+//! [`run_chaos_zoo`]: every member sees the identical heartbeat stream and
+//! fault schedule, so QoS differences are attributable to the detector
+//! math alone. Scenarios:
+//!
+//! | scenario      | faults                                                  |
+//! |---------------|---------------------------------------------------------|
+//! | `calm`        | none — baseline                                         |
+//! | `jitter`      | uniform 0–600 ms delivery delay                         |
+//! | `burst_loss`  | Gilbert–Elliott bursts (start 0.08, mean length 5)      |
+//! | `clock_drift` | sender clock at 0.8× true rate (heartbeats every 1.25 s)|
+//! | `flapping`    | 2 s network partitions every 10 s                       |
+//!
+//! Every scenario ends in a permanent crash, so the full Chen et al. QoS
+//! vector (T_D, T_MR, T_M, λ_M, P_A, T_G) is defined for every cell; rows
+//! are means over seeds. The second section repeats E13's O(1) evidence
+//! for the two PR-7 detectors: per-query cost at window 100 vs 3 200 must
+//! be flat for the incremental path and grow for the naive rescan
+//! (compiled via the `naive-stats` feature).
+//!
+//! `--smoke` shrinks horizons and seed counts so CI runs end-to-end in
+//! seconds.
+
+use afd_bench::report::{write_report, Json, JsonObject};
+use afd_core::accrual::AccrualFailureDetector;
+use afd_core::time::{Duration, Timestamp};
+use afd_detectors::adaptive::{AdaptiveAccrual, AdaptiveConfig};
+use afd_detectors::akka::{AkkaPhi, AkkaPhiConfig};
+use afd_obs::qos::QosReport;
+use afd_qos::experiment::{cell, Table};
+use afd_runtime::{run_chaos_zoo, ChaosScenario, Clock, SystemClock};
+
+struct Sizes {
+    horizon: Duration,
+    crash_at: Timestamp,
+    seeds: &'static [u64],
+    query_iters: u32,
+}
+
+fn wall(clock: &SystemClock, since: Timestamp) -> f64 {
+    clock.now().saturating_duration_since(since).as_secs_f64()
+}
+
+/// The five fault scenarios, each ending in the same permanent crash.
+fn scenarios(sizes: &Sizes) -> Vec<(&'static str, ChaosScenario)> {
+    let base = || {
+        let mut s = ChaosScenario::new(sizes.horizon);
+        s.crashes.push((sizes.crash_at, None));
+        s
+    };
+    let calm = base();
+    let mut jitter = base();
+    jitter.jitter = Some((Duration::ZERO, Duration::from_millis(600)));
+    let mut burst = base();
+    burst.burst_loss = Some((0.08, 5.0));
+    let mut drift = base();
+    drift.clock_drift = 0.8;
+    let mut flapping = base();
+    let crash_secs = sizes.crash_at.as_secs_f64() as u64;
+    flapping.partitions = (10..crash_secs)
+        .step_by(10)
+        .map(|s| (Timestamp::from_secs(s), Timestamp::from_secs(s + 2)))
+        .collect();
+    vec![
+        ("calm", calm),
+        ("jitter", jitter),
+        ("burst_loss", burst),
+        ("clock_drift", drift),
+        ("flapping", flapping),
+    ]
+}
+
+/// Mean over the seed runs, ignoring absent values; `None` if every run
+/// left the metric undefined.
+fn mean_opt(vals: &[Option<f64>]) -> Option<f64> {
+    let present: Vec<f64> = vals.iter().flatten().copied().collect();
+    if present.is_empty() {
+        None
+    } else {
+        Some(present.iter().sum::<f64>() / present.len() as f64)
+    }
+}
+
+fn mean(vals: &[f64]) -> f64 {
+    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+}
+
+fn opt_cell(v: Option<f64>, digits: usize) -> String {
+    v.map_or_else(|| "—".to_string(), |v| cell(v, digits))
+}
+
+fn opt_json(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::from)
+}
+
+/// Mean QoS per detector over the seeds of one scenario.
+struct RaceRow {
+    name: &'static str,
+    threshold: f64,
+    qos: Vec<QosReport>,
+}
+
+/// Races the zoo through one scenario across all seeds.
+fn race(scenario: &ChaosScenario, seeds: &[u64]) -> Vec<RaceRow> {
+    let mut rows: Vec<RaceRow> = Vec::new();
+    for &seed in seeds {
+        let report = run_chaos_zoo(scenario, seed);
+        assert_eq!(report.transport_errors, 0, "in-process transport");
+        for (i, d) in report.detectors.into_iter().enumerate() {
+            if rows.len() <= i {
+                rows.push(RaceRow {
+                    name: d.name,
+                    threshold: d.threshold.value(),
+                    qos: Vec::new(),
+                });
+            }
+            assert_eq!(rows[i].name, d.name, "zoo order is fixed");
+            rows[i].qos.push(d.qos);
+        }
+    }
+    rows
+}
+
+fn race_all(sizes: &Sizes) -> (Vec<Table>, Vec<Json>) {
+    let mut tables = Vec::new();
+    let mut json = Vec::new();
+    for (name, scenario) in scenarios(sizes) {
+        let rows = race(&scenario, sizes.seeds);
+        assert_eq!(rows.len(), 6, "all six detectors raced");
+        let mut table = Table::new(
+            format!(
+                "E16: {name} — crash at {:.0} s, horizon {:.0} s, {} seed(s)",
+                sizes.crash_at.as_secs_f64(),
+                scenario.horizon.as_secs_f64(),
+                sizes.seeds.len()
+            ),
+            &[
+                "detector",
+                "thr",
+                "T_D (s)",
+                "mistakes",
+                "T_MR (s)",
+                "T_M (s)",
+                "λ_M (/s)",
+                "P_A",
+                "T_G (s)",
+            ],
+        );
+        let mut detector_json = Vec::new();
+        for row in &rows {
+            let td = mean_opt(&row.qos.iter().map(|q| q.detection_time).collect::<Vec<_>>());
+            let tmr = mean_opt(
+                &row.qos
+                    .iter()
+                    .map(|q| q.mistake_recurrence)
+                    .collect::<Vec<_>>(),
+            );
+            let tm = mean_opt(
+                &row.qos
+                    .iter()
+                    .map(|q| q.mistake_duration)
+                    .collect::<Vec<_>>(),
+            );
+            let tg = mean_opt(&row.qos.iter().map(|q| q.good_period).collect::<Vec<_>>());
+            let mistakes = mean(
+                &row.qos
+                    .iter()
+                    .map(|q| q.mistakes as f64)
+                    .collect::<Vec<_>>(),
+            );
+            let rate = mean(&row.qos.iter().map(|q| q.mistake_rate).collect::<Vec<_>>());
+            let pa = mean(&row.qos.iter().map(|q| q.query_accuracy).collect::<Vec<_>>());
+            // The crash is permanent and the tail is tens of seconds of
+            // silence: every detector must detect it, in every run.
+            assert!(
+                row.qos.iter().all(|q| q.detection_time.is_some()),
+                "{name}/{}: crash went undetected in some seed",
+                row.name
+            );
+            table.push_row(vec![
+                row.name.to_string(),
+                cell(row.threshold, 1),
+                opt_cell(td, 2),
+                cell(mistakes, 1),
+                opt_cell(tmr, 1),
+                opt_cell(tm, 2),
+                cell(rate, 4),
+                cell(pa, 4),
+                opt_cell(tg, 1),
+            ]);
+            detector_json.push(
+                JsonObject::new()
+                    .field("detector", row.name)
+                    .field("threshold", row.threshold)
+                    .field("detection_time_s", opt_json(td))
+                    .field("mistakes", mistakes)
+                    .field("mistake_recurrence_s", opt_json(tmr))
+                    .field("mistake_duration_s", opt_json(tm))
+                    .field("mistake_rate_per_s", rate)
+                    .field("query_accuracy", pa)
+                    .field("good_period_s", opt_json(tg))
+                    .build(),
+            );
+        }
+        println!("{table}");
+        tables.push(table);
+        json.push(
+            JsonObject::new()
+                .field("scenario", name)
+                .field("detectors", detector_json)
+                .build(),
+        );
+    }
+    (tables, json)
+}
+
+/// Per-query cost of the two PR-7 detectors across window sizes: the
+/// incremental path must be flat (O(1) in the window), the naive rescan
+/// must grow.
+fn query_cost(sizes: &Sizes, wall_clock: &SystemClock) -> (Table, Vec<Json>) {
+    let mut table = Table::new(
+        format!(
+            "E16b: query cost vs window size, {} calls each",
+            sizes.query_iters
+        ),
+        &[
+            "detector",
+            "window",
+            "fast (ns/call)",
+            "naive (ns/call)",
+            "naive/fast",
+        ],
+    );
+
+    fn jittered_fill(window_size: usize, mut record: impl FnMut(Timestamp)) -> Timestamp {
+        let mut t = 0.0f64;
+        for k in 0..(window_size * 2) {
+            t += 1.0 + 0.1 * ((k % 7) as f64 - 3.0);
+            record(Timestamp::from_secs_f64(t));
+        }
+        Timestamp::from_secs_f64(t + 2.5)
+    }
+
+    let mut json = Vec::new();
+    for detector in ["akka", "adaptive"] {
+        let mut rows = Vec::new();
+        for window_size in [100usize, 3_200] {
+            let (fast_ns, naive_ns) = match detector {
+                "akka" => {
+                    let mut fd = AkkaPhi::new(AkkaPhiConfig {
+                        window_size,
+                        ..AkkaPhiConfig::default()
+                    })
+                    .expect("valid config");
+                    let query_at = jittered_fill(window_size, |t| fd.record_heartbeat(t));
+                    time_pair(
+                        sizes.query_iters,
+                        wall_clock,
+                        || fd.phi(query_at),
+                        || fd.phi_naive(query_at),
+                    )
+                }
+                _ => {
+                    let mut fd = AdaptiveAccrual::new(AdaptiveConfig {
+                        window_size,
+                        ..AdaptiveConfig::default()
+                    })
+                    .expect("valid config");
+                    let query_at = jittered_fill(window_size, |t| fd.record_heartbeat(t));
+                    time_pair(
+                        sizes.query_iters,
+                        wall_clock,
+                        || fd.probability(query_at),
+                        || fd.suspicion_naive(query_at),
+                    )
+                }
+            };
+            rows.push((window_size, fast_ns, naive_ns));
+            table.push_row(vec![
+                detector.to_string(),
+                window_size.to_string(),
+                cell(fast_ns, 1),
+                cell(naive_ns, 1),
+                cell(naive_ns / fast_ns.max(1e-9), 1),
+            ]);
+            json.push(
+                JsonObject::new()
+                    .field("detector", detector)
+                    .field("window", window_size)
+                    .field("fast_ns", fast_ns)
+                    .field("naive_ns", naive_ns)
+                    .build(),
+            );
+        }
+        // Same O(1) evidence and slack as E13: a 32× larger window must
+        // not make the incremental query meaningfully slower, while the
+        // rescan must scale with it.
+        let (small, large) = (&rows[0], &rows[1]);
+        assert!(
+            large.1 < small.1 * 8.0 + 500.0,
+            "{detector}: query cost grew with the window: {:.1} ns @ {} vs {:.1} ns @ {}",
+            small.1,
+            small.0,
+            large.1,
+            large.0
+        );
+        assert!(
+            large.2 > small.2 * 4.0,
+            "{detector}: naive rescan should scale with the window: {:.1} ns @ {} vs {:.1} ns @ {}",
+            small.2,
+            small.0,
+            large.2,
+            large.0
+        );
+    }
+    (table, json)
+}
+
+/// Times `iters` calls of the fast and naive paths, in nanoseconds/call.
+fn time_pair(
+    iters: u32,
+    wall_clock: &SystemClock,
+    mut fast: impl FnMut() -> f64,
+    mut naive: impl FnMut() -> f64,
+) -> (f64, f64) {
+    let mut acc = 0.0f64;
+    let start = wall_clock.now();
+    for _ in 0..iters {
+        acc += fast();
+    }
+    let fast_ns = wall(wall_clock, start) * 1e9 / f64::from(iters);
+    let start = wall_clock.now();
+    for _ in 0..iters {
+        acc += naive();
+    }
+    let naive_ns = wall(wall_clock, start) * 1e9 / f64::from(iters);
+    assert!(acc.is_finite());
+    (fast_ns, naive_ns)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes = if smoke {
+        Sizes {
+            horizon: Duration::from_secs(60),
+            crash_at: Timestamp::from_secs(40),
+            seeds: &[1],
+            query_iters: 50_000,
+        }
+    } else {
+        Sizes {
+            horizon: Duration::from_secs(120),
+            crash_at: Timestamp::from_secs(90),
+            seeds: &[1, 2, 3],
+            query_iters: 500_000,
+        }
+    };
+    let wall_clock = SystemClock::new();
+    let total = wall_clock.now();
+
+    let (_tables, race_json) = race_all(&sizes);
+    let (cost_table, cost_json) = query_cost(&sizes, &wall_clock);
+    println!("{cost_table}");
+
+    let report = JsonObject::new()
+        .field("experiment", "e16_detector_race")
+        .field("smoke", smoke)
+        .field("horizon_s", sizes.horizon.as_secs_f64())
+        .field("crash_at_s", sizes.crash_at.as_secs_f64())
+        .field(
+            "seeds",
+            sizes
+                .seeds
+                .iter()
+                .map(|&s| Json::from(s))
+                .collect::<Vec<_>>(),
+        )
+        .field("scenarios", race_json)
+        .field("query_cost", cost_json)
+        .build();
+    let path = write_report("e16", &report).expect("write results/BENCH_e16.json");
+    println!("wrote {}", path.display());
+
+    println!(
+        "e16 total: {:.2} s{}",
+        wall(&wall_clock, total),
+        if smoke { " (smoke)" } else { "" }
+    );
+}

@@ -6,6 +6,14 @@
 //! [`Empirical`] wraps a histogram with add-one (Laplace) smoothing so the
 //! tail never reaches exactly zero — a zero tail would make the suspicion
 //! level infinite and break the Upper Bound property on correct processes.
+//!
+//! The smoothed tail is built to be *strictly decreasing* for `x > 0`:
+//! the in-range mass is interpolated inside each bin (not a per-bin step
+//! function), the unit of smoothing mass decays as `τ/(τ+x)` with the
+//! observed mean gap `τ`, and past the range end the whole tail extends
+//! exponentially. A φ detector on top is therefore strictly increasing in
+//! the elapsed time — a long-dead peer's suspicion never plateaus at the
+//! histogram's range bound.
 
 use core::f64::consts::LN_10;
 
@@ -25,8 +33,10 @@ use super::ArrivalDistribution;
 /// for _ in 0..99 {
 ///     e.record(1.0);
 /// }
-/// // Smoothing: P(X > 5) = 1/(99+1), never exactly zero.
-/// assert!((e.sf(5.0) - 0.01).abs() < 1e-12);
+/// // All mass is below 5: only decayed smoothing mass remains, and the
+/// // tail keeps shrinking as x grows instead of freezing at 1/(n+1).
+/// assert!(e.sf(5.0) > 0.0);
+/// assert!(e.sf(6.0) < e.sf(5.0));
 /// # Ok::<(), afd_core::error::ConfigError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -87,19 +97,37 @@ impl Empirical {
         self.hi
     }
 
+    /// The decay time-scale of the smoothing mass: the observed mean gap,
+    /// or the range end while no samples exist.
+    fn tau(&self) -> f64 {
+        if self.moments.is_empty() {
+            self.hi.max(f64::MIN_POSITIVE)
+        } else {
+            self.moments.mean().max(f64::MIN_POSITIVE)
+        }
+    }
+
+    /// Laplace-smoothed tail inside `(0, hi]`: interpolated sample mass
+    /// above `x` plus one unit of smoothing mass that decays as `τ/(τ+x)`,
+    /// normalized by `n + 1`. Strictly decreasing in `x`: the interpolated
+    /// mass falls through every occupied bin and the rational decay term
+    /// falls everywhere, so the sum never plateaus.
     fn smoothed_tail(&self, x: f64) -> f64 {
         let n = self.histogram.count();
-        let above = self.histogram.fraction_above(x) * n as f64;
-        (above + 1.0) / (n as f64 + 1.0)
+        let above = self.histogram.mass_above_interpolated(x);
+        let decay = self.tau() / (self.tau() + x.max(0.0));
+        (above + decay) / (n as f64 + 1.0)
     }
 }
 
 impl ArrivalDistribution for Empirical {
-    /// Smoothed tail `(#samples above x + 1) / (n + 1)` inside the
-    /// histogram range; past its end the tail decays exponentially with
-    /// the observed mean gap (see [`Empirical::log10_sf`]).
+    /// Smoothed tail `(interpolated mass above x + decayed unit) / (n + 1)`
+    /// inside the histogram range; past its end the tail decays
+    /// exponentially with the observed mean gap (see
+    /// [`Empirical::log10_sf`]). An empty model returns 1 (maximal
+    /// uncertainty).
     fn sf(&self, x: f64) -> f64 {
-        if x <= 0.0 {
+        if x <= 0.0 || self.histogram.count() == 0 {
             return 1.0;
         }
         if x <= self.hi {
@@ -108,26 +136,21 @@ impl ArrivalDistribution for Empirical {
         10f64.powf(self.log10_sf(x))
     }
 
-    /// Past the histogram range the smoothed tail would be *constant* at
-    /// the Laplace mass `1/(n+1)`, which would freeze any φ built on it and
-    /// violate Accruement. We therefore extend the tail exponentially with
-    /// rate `1/mean(gap)` beyond the range end — the maximum-entropy
-    /// extrapolation given only the observed mean — so the log-tail keeps
-    /// falling forever.
+    /// Past the histogram range the in-range tail has already shrunk to
+    /// its overflow and decayed-smoothing residue; if it froze there any φ
+    /// built on it would stop growing and violate Accruement. We therefore
+    /// extend the tail exponentially with rate `1/mean(gap)` beyond the
+    /// range end — the maximum-entropy extrapolation given only the
+    /// observed mean — so the log-tail keeps falling forever.
     fn log10_sf(&self, x: f64) -> f64 {
-        if x <= 0.0 {
+        if x <= 0.0 || self.histogram.count() == 0 {
             return 0.0;
         }
         if x <= self.hi {
             return self.smoothed_tail(x).log10();
         }
         let base = self.smoothed_tail(self.hi).log10();
-        let mean = if self.moments.is_empty() {
-            self.hi.max(f64::MIN_POSITIVE)
-        } else {
-            self.moments.mean().max(f64::MIN_POSITIVE)
-        };
-        base - (x - self.hi) / mean / LN_10
+        base - (x - self.hi) / self.tau() / LN_10
     }
 }
 
@@ -146,8 +169,9 @@ mod tests {
     #[test]
     fn empty_model_is_maximally_uncertain() {
         let e = Empirical::new(0.0, 10.0, 10).unwrap();
-        assert_eq!(e.sf(5.0), 1.0); // (0+1)/(0+1)
+        assert_eq!(e.sf(5.0), 1.0);
         assert_eq!(e.sf(-1.0), 1.0);
+        assert_eq!(e.log10_sf(5.0), 0.0);
     }
 
     #[test]
@@ -156,22 +180,26 @@ mod tests {
         for _ in 0..1000 {
             e.record(1.0);
         }
+        // All mass is far below 9.5: only the decayed smoothing unit
+        // remains, τ = mean = 1.
         let tail = e.sf(9.5);
         assert!(tail > 0.0);
-        assert!((tail - 1.0 / 1001.0).abs() < 1e-12);
+        let expect = (1.0 / (1.0 + 9.5)) / 1001.0;
+        assert!((tail - expect).abs() < 1e-12, "{tail} vs {expect}");
         assert!(e.log10_sf(9.5).is_finite());
     }
 
     #[test]
     fn tail_tracks_data() {
         let mut e = Empirical::new(0.0, 10.0, 100).unwrap();
-        // Half the samples at 2, half at 8.
+        // Half the samples at 2, half at 8; τ = mean = 5.
         for _ in 0..500 {
             e.record(2.0);
             e.record(8.0);
         }
         let mid = e.sf(5.0);
-        assert!((mid - 501.0 / 1001.0).abs() < 1e-12);
+        let expect = (500.0 + 5.0 / 10.0) / 1001.0;
+        assert!((mid - expect).abs() < 1e-12, "{mid} vs {expect}");
         assert!(e.sf(1.0) > e.sf(5.0));
         assert!(e.sf(5.0) > e.sf(9.0));
     }
@@ -191,7 +219,6 @@ mod tests {
         for _ in 0..100 {
             e.record(1.0);
         }
-        // Inside the range: constant Laplace mass.
         let at_range_end = e.log10_sf(10.0);
         // Beyond: strictly decreasing log-tail (exponential with mean 1.0).
         let a = e.log10_sf(20.0);
@@ -207,6 +234,28 @@ mod tests {
     }
 
     #[test]
+    fn strictly_decreasing_inside_and_past_the_range() {
+        // The range-bound saturation bug: with a step-function tail the sf
+        // froze between the last occupied bin and the range end, so a φ on
+        // top plateaued for long-dead peers. The interpolated + decaying
+        // tail must fall at every step, across the range boundary too.
+        let mut e = Empirical::new(0.0, 10.0, 20).unwrap();
+        for i in 0..60 {
+            e.record(0.5 + 0.05 * (i % 20) as f64); // all mass in [0.5, 1.5)
+        }
+        let mut prev = e.sf(0.1);
+        for i in 1..200 {
+            let x = 0.1 + 0.15 * i as f64; // sweeps to 30, well past hi=10
+            let s = e.sf(x);
+            assert!(
+                s < prev,
+                "sf not strictly decreasing at x={x}: {s} !< {prev}"
+            );
+            prev = s;
+        }
+    }
+
+    #[test]
     fn monotone_non_increasing() {
         let mut e = Empirical::new(0.0, 10.0, 50).unwrap();
         for i in 0..100 {
@@ -218,5 +267,20 @@ mod tests {
             assert!(s <= prev + 1e-12, "not monotone at {}", 0.1 * i as f64);
             prev = s;
         }
+    }
+
+    #[test]
+    fn tail_is_continuous_at_the_range_boundary() {
+        let mut e = Empirical::new(0.0, 10.0, 10).unwrap();
+        for _ in 0..50 {
+            e.record(3.0);
+            e.record(12.0); // overflow mass too
+        }
+        let inside = e.sf(10.0);
+        let outside = e.sf(10.0 + 1e-9);
+        assert!(
+            (inside - outside).abs() < 1e-6 * inside,
+            "jump at range end: {inside} vs {outside}"
+        );
     }
 }

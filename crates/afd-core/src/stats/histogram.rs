@@ -130,6 +130,36 @@ impl Histogram {
         tail as f64 / self.count as f64
     }
 
+    /// The in-sample mass above `x`, with linear interpolation inside the
+    /// bin that straddles `x`: the full counts of every higher bin, a
+    /// pro-rata share of the straddled bin (samples are assumed uniform
+    /// within a bin), plus the overflow. Underflow samples count only when
+    /// `x < lo`. Returns a fractional *count*, not a fraction.
+    ///
+    /// Unlike [`Self::fraction_above`] (a conservative step function that
+    /// is constant across each bin), this estimate decreases strictly
+    /// through every non-empty bin, which is what a suspicion level that
+    /// must keep growing during silence needs.
+    pub fn mass_above_interpolated(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x < self.lo {
+            return (self.count - self.underflow) as f64;
+        }
+        if x >= self.hi {
+            return self.overflow as f64;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+        let mut mass = self.overflow as f64;
+        for &c in &self.bins[idx + 1..] {
+            mass += c as f64;
+        }
+        let upper = self.bin_edge(idx + 1);
+        mass + self.bins[idx] as f64 * ((upper - x) / width).clamp(0.0, 1.0)
+    }
+
     /// Removes all samples, keeping the binning.
     pub fn clear(&mut self) {
         self.bins.iter_mut().for_each(|b| *b = 0);
@@ -207,6 +237,29 @@ mod tests {
         assert!((h.fraction_above(100.0) - 1.0 / 5.0).abs() < 1e-12); // only overflow
         assert!((h.fraction_above(-1.0) - 1.0).abs() < 1e-12); // all in-range + overflow
         assert_eq!(Histogram::new(0.0, 1.0, 1).fraction_above(0.5), 0.0);
+    }
+
+    #[test]
+    fn interpolated_mass_decreases_through_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [1.5, 2.5, 2.5, 15.0] {
+            h.record(x);
+        }
+        // Below the range: every in-range sample plus the overflow.
+        assert!((h.mass_above_interpolated(-1.0) - 4.0).abs() < 1e-12);
+        // Mid-bin: half of bin [1,2) remains above 1.5.
+        assert!((h.mass_above_interpolated(1.5) - 3.5).abs() < 1e-12);
+        // Past the range: overflow only.
+        assert!((h.mass_above_interpolated(10.0) - 1.0).abs() < 1e-12);
+        assert!((h.mass_above_interpolated(50.0) - 1.0).abs() < 1e-12);
+        // Strictly decreasing across a populated bin.
+        let a = h.mass_above_interpolated(2.1);
+        let b = h.mass_above_interpolated(2.9);
+        assert!(b < a, "{b} !< {a}");
+        assert_eq!(
+            Histogram::new(0.0, 1.0, 1).mass_above_interpolated(0.5),
+            0.0
+        );
     }
 
     #[test]

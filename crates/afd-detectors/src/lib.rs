@@ -9,6 +9,8 @@
 //! | [`chen`] | Chen's estimator as accrual (§5.2) | `max(0, t − EA)` |
 //! | [`bertier`] | Bertier et al.'s dynamic margin (ref. [3]) | `max(0, t − (EA + α))` |
 //! | [`phi`] | the φ detector (§5.3) | `−log₁₀ P_later(t − t_last)` |
+//! | [`akka`] | Akka/Cassandra's production φ | logistic-CDF φ with pause padding |
+//! | [`adaptive`] | Satzger et al.'s adaptive accrual | `P(gap < t − t_last)`, histogram CDF |
 //! | [`kappa`] | the κ framework (§5.4) | Σ contributions of missed heartbeats |
 //!
 //! Plus the architectural and adversarial pieces:
@@ -32,7 +34,9 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::float_cmp))]
 
+pub mod adaptive;
 pub mod adversary;
+pub mod akka;
 pub mod bertier;
 pub mod chen;
 pub mod kappa;
@@ -44,6 +48,8 @@ pub mod shared;
 pub mod simple;
 pub mod slowness;
 
+pub use adaptive::{AdaptiveAccrual, AdaptiveConfig};
+pub use akka::{AkkaPhi, AkkaPhiConfig};
 pub use bertier::{BertierAccrual, BertierConfig};
 pub use chen::{ChenAccrual, ChenConfig};
 pub use kappa::{KappaAccrual, KappaConfig};

@@ -17,6 +17,8 @@ use afd_core::process::ProcessId;
 use afd_core::time::Timestamp;
 use afd_obs::Registry;
 
+use crate::adaptive::AdaptiveAccrual;
+use crate::akka::AkkaPhi;
 use crate::chen::ChenAccrual;
 use crate::phi::PhiAccrual;
 use crate::service::MonitoringService;
@@ -59,6 +61,34 @@ impl DetectorMetrics for ChenAccrual {
 }
 
 impl DetectorMetrics for PhiAccrual {
+    fn export_metrics(&self, registry: &Registry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.samples"))
+            .set(self.samples() as u64);
+        registry
+            .gauge(&format!("{prefix}.window_occupancy"))
+            .set(self.samples() as f64 / self.config().window_size as f64);
+        registry
+            .gauge(&format!("{prefix}.mean_interval_seconds"))
+            .set(self.mean_interval());
+    }
+}
+
+impl DetectorMetrics for AkkaPhi {
+    fn export_metrics(&self, registry: &Registry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.samples"))
+            .set(self.samples() as u64);
+        registry
+            .gauge(&format!("{prefix}.window_occupancy"))
+            .set(self.samples() as f64 / self.config().window_size as f64);
+        registry
+            .gauge(&format!("{prefix}.mean_interval_seconds"))
+            .set(self.mean_interval());
+    }
+}
+
+impl DetectorMetrics for AdaptiveAccrual {
     fn export_metrics(&self, registry: &Registry, prefix: &str) {
         registry
             .counter(&format!("{prefix}.samples"))
@@ -148,6 +178,28 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("phi.samples"), Some(9));
         assert_eq!(snap.gauge("phi.mean_interval_seconds"), Some(1.0));
+    }
+
+    #[test]
+    fn new_detectors_export_window_metrics() {
+        let mut akka = crate::akka::AkkaPhi::with_defaults();
+        let mut adaptive = crate::adaptive::AdaptiveAccrual::with_defaults();
+        for s in 1..=10 {
+            akka.record_heartbeat(ts(s));
+            adaptive.record_heartbeat(ts(s));
+        }
+        let registry = Registry::new();
+        akka.export_metrics(&registry, "akka");
+        adaptive.export_metrics(&registry, "adaptive");
+        let snap = registry.snapshot();
+        // Akka: 9 real gaps plus the two bootstrap samples.
+        assert_eq!(snap.counter("akka.samples"), Some(11));
+        assert_eq!(snap.counter("adaptive.samples"), Some(9));
+        let akka_mean = snap.gauge("akka.mean_interval_seconds").unwrap();
+        let adaptive_mean = snap.gauge("adaptive.mean_interval_seconds").unwrap();
+        assert!((akka_mean - 1.0).abs() < 0.1, "{akka_mean}");
+        assert!((adaptive_mean - 1.0).abs() < 1e-9, "{adaptive_mean}");
+        assert_eq!(snap.gauge("adaptive.window_occupancy"), Some(9.0 / 1000.0));
     }
 
     #[test]

@@ -275,10 +275,18 @@ impl PhiAccrual {
             }
             PhiModel::Exponential => {
                 // A degenerate window (all-zero gaps from coincident
-                // arrivals) can estimate a zero mean; clamp at 1 ns — the
-                // clock's own resolution — so φ stays finite at every
-                // representable elapsed time instead of overflowing to ∞.
-                let dist = Exponential::from_mean(mean.max(1e-9)).expect("positive mean");
+                // arrivals) can estimate a zero mean. Falling back to a
+                // floor of 1 ns would make φ ≈ 4.3e8 per second of elapsed
+                // time — instantly conclusive on the very first query after
+                // bootstrap. Fall back to the configured prior instead: no
+                // data means no evidence for rates faster than the assumed
+                // interval.
+                let mean = if mean.is_finite() && mean > 0.0 {
+                    mean
+                } else {
+                    self.config.initial_interval.as_secs_f64()
+                };
+                let dist = Exponential::from_mean(mean).expect("positive mean");
                 dist.log10_sf(elapsed)
             }
             PhiModel::Empirical { .. } => {
@@ -665,6 +673,59 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_exponential_mean_falls_back_to_prior() {
+        // Regression: the old code clamped a zero mean estimate at 1 ns,
+        // so the first query after a burst of coincident arrivals returned
+        // φ ≈ 4.3e8 per elapsed second — a false conviction manufactured
+        // by the clamp, not the data. The fallback must be the configured
+        // prior: with initial_interval = 1 s, φ one second late is exactly
+        // log₁₀(e).
+        let mut fd = PhiAccrual::new(PhiConfig {
+            model: PhiModel::Exponential,
+            min_samples: 2,
+            min_std_dev: Duration::ZERO,
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        for _ in 0..10 {
+            fd.record_heartbeat(ts(1.0)); // all-zero gaps → window mean 0
+        }
+        let phi = fd.phi(ts(2.0));
+        assert!(
+            (phi - std::f64::consts::LOG10_E).abs() < 1e-9,
+            "φ must follow the 1 s prior rate, got {phi}"
+        );
+    }
+
+    #[test]
+    fn empirical_phi_keeps_growing_past_histogram_range() {
+        // Regression: the smoothed tail used to freeze at 1/(n+1) once
+        // elapsed exceeded the last observed gap, so φ plateaued and a
+        // long-dead peer's suspicion stopped accruing at the range bound.
+        let mut fd = PhiAccrual::new(PhiConfig {
+            model: PhiModel::Empirical {
+                bins: 64,
+                max_intervals: 8.0,
+            },
+            ..PhiConfig::default()
+        })
+        .unwrap();
+        for k in 1..=100 {
+            fd.record_heartbeat(ts(k as f64));
+        }
+        // Sweep from inside the range (hi = 8 s) to far beyond it.
+        let mut prev = fd.phi(ts(100.0 + 2.0));
+        for i in 1..40 {
+            let phi = fd.phi(ts(100.0 + 2.0 + i as f64));
+            assert!(
+                phi > prev,
+                "φ must grow strictly through and past the range: {phi} !> {prev}"
+            );
+            prev = phi;
+        }
+    }
+
+    #[test]
     fn naive_reference_matches_incremental_on_regular_cadence() {
         let fd = regular(50);
         for late in [0.1, 0.5, 1.0, 2.0, 10.0] {
@@ -725,6 +786,43 @@ mod tests {
                     fast,
                     slow
                 );
+            }
+
+            /// The empirical model's φ is *strictly* increasing in elapsed
+            /// time on random gap traces, at query points spanning the
+            /// histogram's in-range region and well past its range end —
+            /// the saturation bug locked out for good.
+            #[test]
+            fn empirical_phi_is_strictly_increasing_in_elapsed(
+                gaps in prop::collection::vec(0.05f64..5.0, 5..80),
+            ) {
+                let mut fd = PhiAccrual::new(PhiConfig {
+                    model: PhiModel::Empirical {
+                        bins: 32,
+                        max_intervals: 8.0,
+                    },
+                    min_samples: 2,
+                    ..PhiConfig::default()
+                })
+                .unwrap();
+                let mut t = 1.0;
+                for g in &gaps {
+                    t += g;
+                    fd.record_heartbeat(ts(t));
+                }
+                // hi = 8 s; sample 0.25 s steps out to 3× the range.
+                let mut prev = fd.phi(ts(t + 0.25));
+                for i in 2..96 {
+                    let phi = fd.phi(ts(t + 0.25 * i as f64));
+                    prop_assert!(
+                        phi > prev,
+                        "not strictly increasing at +{}s: {} !> {}",
+                        0.25 * i as f64,
+                        phi,
+                        prev
+                    );
+                    prev = phi;
+                }
             }
 
             /// φ never yields NaN or ∞ for any sample count, including the

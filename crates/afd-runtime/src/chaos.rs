@@ -15,6 +15,9 @@ use afd_core::history::SuspicionTrace;
 use afd_core::process::ProcessId;
 use afd_core::suspicion::SuspicionLevel;
 use afd_core::time::{Duration, Timestamp};
+use afd_detectors::adaptive::AdaptiveAccrual;
+use afd_detectors::akka::AkkaPhi;
+use afd_detectors::bertier::BertierAccrual;
 use afd_detectors::chen::ChenAccrual;
 use afd_detectors::phi::PhiAccrual;
 use afd_detectors::simple::SimpleAccrual;
@@ -58,6 +61,12 @@ pub struct ChaosScenario {
     /// Crash episodes `(crash_at, recover_at)`; `None` recovery means the
     /// process stays down for the rest of the run.
     pub crashes: Vec<(Timestamp, Option<Timestamp>)>,
+    /// Rate of the *sender's* local clock relative to true time (default
+    /// 1.0). Under the paper's partially synchronous model local clocks
+    /// drift within a bound; a rate below 1 makes the sender pace its
+    /// heartbeats slower than the monitor expects, above 1 faster. The
+    /// monitor side always observes true time.
+    pub clock_drift: f64,
     /// Threshold applied to sampled suspicion levels to produce the binary
     /// stream the online QoS estimators and the event trace consume
     /// (suspect iff level > threshold, Equation 2).
@@ -80,6 +89,7 @@ impl ChaosScenario {
             corrupt: 0.0,
             jitter: None,
             crashes: Vec::new(),
+            clock_drift: 1.0,
             qos_threshold: SuspicionLevel::clamped(2.0),
         }
     }
@@ -120,6 +130,22 @@ impl ChaosScenario {
         self.crashes
             .iter()
             .any(|&(c, r)| t >= c && r.is_none_or(|r| t < r))
+    }
+
+    /// The sender's local-clock reading at true time `t`: identity unless
+    /// `clock_drift` departs from 1, in which case the sender paces its
+    /// heartbeats by this warped clock while the monitor keeps true time.
+    #[allow(clippy::float_cmp)]
+    fn sender_time(&self, t: Timestamp) -> Timestamp {
+        // Exact identity is intentional: the drift-free path must not go
+        // through a float round-trip at all, so the default behaves
+        // bit-identically to the pre-drift harness.
+        // lint:allow(no-float-eq, sentinel check for the exact default value, not a computed comparison)
+        if self.clock_drift == 1.0 {
+            t
+        } else {
+            Timestamp::from_secs_f64(t.as_secs_f64() * self.clock_drift)
+        }
     }
 }
 
@@ -347,11 +373,15 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
                 core.crash();
             }
         } else if core.is_crashed() {
-            core.recover(t);
+            core.recover(scenario.sender_time(t));
         }
         // Backoff pauses are skipped in virtual time; the in-process
-        // channel cannot transiently fail anyway.
-        if core.poll(t, &mut sender_side, |_| {}).is_err() {
+        // channel cannot transiently fail anyway. The sender paces itself
+        // by its own (possibly drifting) clock.
+        if core
+            .poll(scenario.sender_time(t), &mut sender_side, |_| {})
+            .is_err()
+        {
             transport_errors += 1;
         }
         // Drain deliveries due at this tick.
@@ -421,6 +451,317 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
     }
 }
 
+/// One zoo inhabitant: a named, degradation-wrapped detector plus the
+/// interpretation threshold its suspicion scale calls for.
+///
+/// Thresholds are per-member because the detectors speak different
+/// languages: the simple detector's level is raw elapsed seconds, Chen's
+/// and Bertier's are seconds past the expected arrival, the φ family's is
+/// `−log₁₀` of a tail probability, and the adaptive detector's is a plain
+/// probability in `[0, 1)`. A single scenario-wide threshold would compare
+/// apples to logarithms.
+pub struct ZooMember {
+    name: &'static str,
+    threshold: SuspicionLevel,
+    detector: GracefulDegradation<Box<dyn AccrualFailureDetector>>,
+}
+
+impl core::fmt::Debug for ZooMember {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The boxed detector is a bare trait object (AccrualFailureDetector
+        // does not require Debug), so only the identifying fields print.
+        f.debug_struct("ZooMember")
+            .field("name", &self.name)
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ZooMember {
+    /// Wraps `detector` under `name`, interpreted with `threshold`.
+    pub fn new(
+        name: &'static str,
+        threshold: SuspicionLevel,
+        detector: Box<dyn AccrualFailureDetector>,
+        degrade: DegradeConfig,
+    ) -> Self {
+        ZooMember {
+            name,
+            threshold,
+            detector: GracefulDegradation::new(detector, degrade),
+        }
+    }
+
+    /// The member's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Every detector this repository implements, observing one heartbeat
+/// stream side by side: simple (§5.1), Chen (§5.2), Bertier, φ (§5.3),
+/// the Akka/Cassandra production φ, and the Satzger adaptive accrual.
+///
+/// The zoo is itself an [`AccrualFailureDetector`] (heartbeats broadcast
+/// to every member; the headline level is φ's), so it drops into
+/// [`RuntimeMonitor`] unchanged.
+#[derive(Debug)]
+pub struct DetectorZoo {
+    members: Vec<ZooMember>,
+}
+
+/// Index of the φ member inside [`DetectorZoo::standard`], whose level is
+/// the zoo's headline output (mirroring [`DetectorTrio`]).
+const ZOO_HEADLINE: usize = 3;
+
+impl DetectorZoo {
+    /// The standard six-member zoo with a shared degradation policy and
+    /// per-member thresholds calibrated for a 1 s heartbeat cadence:
+    /// elapsed-time scales suspect at 2 s / 1 s of lateness, the φ family
+    /// at φ = 2 (tail odds 1:100), the adaptive detector at 0.9
+    /// (nine in ten past gaps were shorter).
+    pub fn standard(degrade: DegradeConfig) -> Self {
+        let members = vec![
+            ZooMember::new(
+                "simple",
+                SuspicionLevel::clamped(2.0),
+                Box::new(SimpleAccrual::new(Timestamp::ZERO)),
+                degrade,
+            ),
+            ZooMember::new(
+                "chen",
+                SuspicionLevel::clamped(1.0),
+                Box::new(ChenAccrual::with_defaults()),
+                degrade,
+            ),
+            ZooMember::new(
+                "bertier",
+                SuspicionLevel::clamped(1.0),
+                Box::new(BertierAccrual::with_defaults()),
+                degrade,
+            ),
+            ZooMember::new(
+                "phi",
+                SuspicionLevel::clamped(2.0),
+                Box::new(PhiAccrual::with_defaults()),
+                degrade,
+            ),
+            ZooMember::new(
+                "akka",
+                SuspicionLevel::clamped(2.0),
+                Box::new(AkkaPhi::with_defaults()),
+                degrade,
+            ),
+            ZooMember::new(
+                "adaptive",
+                SuspicionLevel::clamped(0.9),
+                Box::new(AdaptiveAccrual::with_defaults()),
+                degrade,
+            ),
+        ];
+        DetectorZoo { members }
+    }
+
+    /// The member names, in observation order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name).collect()
+    }
+
+    /// The members, mutably (for querying levels individually).
+    pub fn members_mut(&mut self) -> &mut [ZooMember] {
+        &mut self.members
+    }
+
+    /// Total degraded-mode entries across the zoo.
+    pub fn degrade_events(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| m.detector.degrade_events())
+            .sum()
+    }
+}
+
+impl AccrualFailureDetector for DetectorZoo {
+    fn record_heartbeat(&mut self, arrival: Timestamp) {
+        for member in &mut self.members {
+            member.detector.record_heartbeat(arrival);
+        }
+    }
+
+    /// The zoo's headline level is φ's (every member is sampled
+    /// individually by the harness).
+    fn suspicion_level(&mut self, now: Timestamp) -> SuspicionLevel {
+        self.members[ZOO_HEADLINE].detector.suspicion_level(now)
+    }
+}
+
+/// One detector's outcome from a zoo run.
+#[derive(Debug)]
+pub struct ZooDetectorReport {
+    /// The detector's name.
+    pub name: &'static str,
+    /// The interpretation threshold applied to its levels.
+    pub threshold: SuspicionLevel,
+    /// The sampled suspicion timeline.
+    pub trace: SuspicionTrace,
+    /// Streaming QoS estimates from the thresholded output (the paper's
+    /// T_D, T_MR, T_M, λ_M, P_A, T_G).
+    pub qos: QosReport,
+}
+
+/// Everything a zoo chaos run produced.
+#[derive(Debug)]
+pub struct ZooReport {
+    /// Per-detector traces and QoS, in zoo observation order.
+    pub detectors: Vec<ZooDetectorReport>,
+    /// What the fault injector did.
+    pub fault_stats: FaultStats,
+    /// What the monitor's intake saw.
+    pub monitor_stats: MonitorStats,
+    /// Degraded-mode entries across all members.
+    pub degrade_events: u64,
+    /// Heartbeats the sender emitted.
+    pub heartbeats_sent: u64,
+    /// Transport errors the loop absorbed (expected 0 in-process).
+    pub transport_errors: u64,
+    /// The structured event trace across all members.
+    pub events: Vec<ObsEvent>,
+    /// Events evicted from the bounded ring before the run ended.
+    pub events_dropped: u64,
+    /// Final metrics snapshot.
+    pub metrics: Snapshot,
+}
+
+impl ZooReport {
+    /// A compact determinism fingerprint over every member's timeline.
+    pub fn fingerprint(&self) -> Vec<(u64, u64)> {
+        self.detectors
+            .iter()
+            .flat_map(|d| {
+                d.trace
+                    .iter()
+                    .map(|s| (s.at.as_nanos(), s.level.value().to_bits()))
+            })
+            .collect()
+    }
+}
+
+/// Runs `scenario` under `seed` with the full six-detector zoo observing
+/// the same heartbeat stream — the engine behind the e16 detector race.
+///
+/// Identical lock-step structure to [`run_chaos`]; the only differences
+/// are the member set and that each member is thresholded on its own
+/// scale rather than by `scenario.qos_threshold`.
+pub fn run_chaos_zoo(scenario: &ChaosScenario, seed: u64) -> ZooReport {
+    let clock = VirtualClock::new();
+    let (mut sender_side, monitor_side) = ChannelTransport::pair();
+    let injector = FaultInjector::new(
+        monitor_side,
+        clock.clone(),
+        scenario.build_plan(),
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+    );
+    let degrade = DegradeConfig::for_interval(scenario.heartbeat_interval, 3);
+    let mut monitor = RuntimeMonitor::new(injector, clock.clone(), move |_| {
+        DetectorZoo::standard(degrade)
+    });
+    let process = ProcessId::new(1);
+    monitor.watch(process);
+
+    let mut core = SenderCore::new(
+        SenderConfig::new(process, scenario.heartbeat_interval),
+        Timestamp::ZERO,
+        seed,
+    );
+
+    let crash = scenario.permanent_crash();
+    let mut trackers: Vec<DetectorTracker> = DetectorZoo::standard(degrade)
+        .names()
+        .into_iter()
+        .map(|name| DetectorTracker::new(name, crash))
+        .collect();
+    let mut events = EventRing::new(8192);
+    let mut transport_errors = 0u64;
+    let mut next_query = Timestamp::ZERO;
+
+    let mut t = Timestamp::ZERO;
+    let end = Timestamp::ZERO + scenario.horizon;
+    while t <= end {
+        clock.set(t);
+
+        if scenario.crashed_at(t) {
+            if !core.is_crashed() {
+                core.crash();
+            }
+        } else if core.is_crashed() {
+            core.recover(scenario.sender_time(t));
+        }
+        if core
+            .poll(scenario.sender_time(t), &mut sender_side, |_| {})
+            .is_err()
+        {
+            transport_errors += 1;
+        }
+        loop {
+            match monitor.poll() {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => {
+                    transport_errors += 1;
+                    break;
+                }
+            }
+        }
+
+        if t >= next_query {
+            debug_assert!(monitor.detector_mut(process).is_some(), "process watched");
+            if let Some(zoo) = monitor.detector_mut(process) {
+                for (member, tracker) in zoo.members_mut().iter_mut().zip(trackers.iter_mut()) {
+                    let level = member.detector.suspicion_level(t);
+                    let degraded = member.detector.is_degraded();
+                    tracker.observe(t, level, degraded, member.threshold, process, &mut events);
+                }
+            }
+            next_query += scenario.query_every;
+        }
+        t += scenario.tick;
+    }
+
+    let registry = Registry::new();
+    monitor.export_metrics(&registry);
+    monitor.transport().export_metrics(&registry);
+    core.export_metrics(&registry);
+    let degrade_events = monitor.detector_mut(process).map_or(0, |zoo| {
+        for member in zoo.members_mut() {
+            member.detector.export_metrics(&registry, member.name);
+        }
+        zoo.degrade_events()
+    });
+    let monitor_stats = monitor.stats();
+    let fault_stats = monitor.transport().stats();
+    let detectors = trackers
+        .into_iter()
+        .zip(DetectorZoo::standard(degrade).members)
+        .map(|(tracker, member)| ZooDetectorReport {
+            name: tracker.name,
+            threshold: member.threshold,
+            qos: tracker.qos.report(),
+            trace: tracker.trace,
+        })
+        .collect();
+    ZooReport {
+        detectors,
+        fault_stats,
+        monitor_stats,
+        degrade_events,
+        heartbeats_sent: core.sent(),
+        transport_errors,
+        events_dropped: events.dropped(),
+        events: events.drain(),
+        metrics: registry.snapshot(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +801,72 @@ mod tests {
         assert!(
             report.degrade_events > 0,
             "long silence must trigger fallback"
+        );
+    }
+
+    #[test]
+    fn zoo_runs_all_six_detectors_and_all_accrue_after_crash() {
+        let mut scenario = ChaosScenario::new(Duration::from_secs(60));
+        scenario.crashes.push((Timestamp::from_secs(30), None));
+        let report = run_chaos_zoo(&scenario, 7);
+        assert_eq!(report.transport_errors, 0);
+        let names: Vec<_> = report.detectors.iter().map(|d| d.name).collect();
+        assert_eq!(
+            names,
+            ["simple", "chen", "bertier", "phi", "akka", "adaptive"]
+        );
+        for d in &report.detectors {
+            let last = d.trace.samples().last().unwrap();
+            let at_crash = d
+                .trace
+                .iter()
+                .find(|s| s.at >= Timestamp::from_secs(30))
+                .unwrap();
+            assert!(
+                last.level.value() > at_crash.level.value(),
+                "{}: no accrual after crash",
+                d.name
+            );
+            // Every member crossed its own threshold and the online QoS
+            // recorded a finite detection time.
+            let td = d.qos.detection_time;
+            assert!(
+                td.is_some_and(|td| td < 15.0),
+                "{}: detection time {td:?}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_same_seed_is_bit_identical() {
+        let mut scenario = ChaosScenario::new(Duration::from_secs(30));
+        scenario.jitter = Some((Duration::from_millis(5), Duration::from_millis(120)));
+        scenario.bernoulli_loss = Some(0.05);
+        let a = run_chaos_zoo(&scenario, 11);
+        let b = run_chaos_zoo(&scenario, 11);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = run_chaos_zoo(&scenario, 12);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed must matter");
+    }
+
+    #[test]
+    fn slow_sender_clock_stretches_heartbeat_pacing() {
+        let mut slow = ChaosScenario::new(Duration::from_secs(60));
+        slow.clock_drift = 0.8; // sender's seconds are 1.25 true seconds
+        let drifted = run_chaos_zoo(&slow, 3);
+        let baseline = run_chaos_zoo(&ChaosScenario::new(Duration::from_secs(60)), 3);
+        assert!(
+            drifted.heartbeats_sent < baseline.heartbeats_sent,
+            "slow clock must emit fewer heartbeats: {} vs {}",
+            drifted.heartbeats_sent,
+            baseline.heartbeats_sent
+        );
+        // ~60 true seconds × 0.8 sender-seconds each ≈ 48 heartbeats.
+        assert!(
+            (44..=52).contains(&(drifted.heartbeats_sent as i64)),
+            "got {}",
+            drifted.heartbeats_sent
         );
     }
 

@@ -46,7 +46,10 @@ pub mod supervisor;
 pub mod transport;
 pub mod wire;
 
-pub use chaos::{run_chaos, ChaosReport, ChaosScenario, DetectorTrio};
+pub use chaos::{
+    run_chaos, run_chaos_zoo, ChaosReport, ChaosScenario, DetectorTrio, DetectorZoo,
+    ZooDetectorReport, ZooMember, ZooReport,
+};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use degrade::{DegradeConfig, GracefulDegradation};
 pub use engine::{EngineConfig, EngineMode, EngineStats, EngineTickReport, ParallelShardEngine};

@@ -16,6 +16,8 @@ use afd_core::history::SuspicionTrace;
 use afd_core::process::ProcessId;
 use afd_core::properties::{check_upper_bound, AccruementCheck};
 use afd_core::time::{Duration, Timestamp};
+use afd_detectors::adaptive::AdaptiveAccrual;
+use afd_detectors::akka::AkkaPhi;
 use afd_detectors::chen::ChenAccrual;
 use afd_detectors::phi::PhiAccrual;
 use afd_detectors::simple::SimpleAccrual;
@@ -566,6 +568,75 @@ fn checkpoint_daemon_dumps_on_cadence_while_free_running() {
     assert_eq!(restored.segments_rejected, 0);
 }
 
+/// The two PR-7 detectors slot into the sharded checkpoint/restore path
+/// unchanged: dump a monitor full of them through the real segment bytes,
+/// restore into a fresh monitor, and the first post-restore query answers
+/// within 1e-9 of pre-crash for every peer. (A regular cadence, where the
+/// moments→samples reconstruction is lossless for the adaptive histogram.)
+#[test]
+fn new_detectors_roundtrip_through_sharded_checkpoint() {
+    fn run<D: afd_core::accrual::AccrualFailureDetector>(
+        name: &str,
+        factory: impl Fn(ProcessId) -> D + Send + Clone + 'static,
+    ) {
+        const PEERS: u32 = 12;
+        let clock = VirtualClock::new();
+        let (mut tx, rx) = ChannelTransport::pair();
+        let mut mon = ShardedMonitor::new(
+            rx,
+            clock.clone(),
+            ShardConfig {
+                shards: 3,
+                slots_per_shard: 8,
+            },
+            factory.clone(),
+        );
+        for id in 0..PEERS {
+            mon.watch(ProcessId::new(id)).unwrap();
+        }
+        for second in 1..=40u64 {
+            clock.set(Timestamp::from_secs(second));
+            for id in 0..PEERS {
+                tx.send(&frame(id, second)).unwrap();
+            }
+            mon.tick().unwrap();
+        }
+
+        let store: SharedSink = Arc::new(Mutex::new(MemSink::new()));
+        let mut ckpt = Checkpointer::new(Arc::clone(&store), CheckpointConfig::default());
+        mon.checkpoint(&mut ckpt).unwrap();
+        let restored = ckpt.restore(&clock).unwrap();
+        assert_eq!(restored.segments_rejected, 0, "{name}: clean dump");
+        assert_eq!(restored.peers.len(), PEERS as usize);
+
+        clock.set(ts(40.7));
+        let (_tx2, rx2) = ChannelTransport::pair();
+        let mut fresh = ShardedMonitor::new(
+            rx2,
+            clock.clone(),
+            ShardConfig {
+                shards: 3,
+                slots_per_shard: 8,
+            },
+            factory,
+        );
+        let import = fresh.restore(&restored.peers);
+        assert_eq!(import.seeded, u64::from(PEERS), "{name}: all seeded");
+        for id in 0..PEERS {
+            let p = ProcessId::new(id);
+            let a = mon.level(p).unwrap().value();
+            let b = fresh.level(p).unwrap().value();
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{name} peer {id}: {a} vs restored {b}"
+            );
+        }
+    }
+
+    run("akka", |_| AkkaPhi::with_defaults());
+    run("adaptive", |_| AdaptiveAccrual::with_defaults());
+}
+
 fn heartbeat_times(gaps: &[f64]) -> Vec<Timestamp> {
     let mut t = 1.0;
     let mut out = vec![ts(t)];
@@ -598,6 +669,52 @@ proptest! {
         let a = fd.suspicion_level(q).value();
         let b = restored.suspicion_level(q).value();
         prop_assert!((a - b).abs() < 1e-9, "phi {a} vs restored {b}");
+    }
+
+    /// Akka φ dump→restore equivalence under arbitrary gap histories. The
+    /// tolerance is relative because the logistic deviate grows cubically
+    /// in elapsed time, amplifying last-bit moment differences.
+    #[test]
+    fn akka_phi_roundtrips_within_1e9_relative(
+        gaps in prop::collection::vec(0.05f64..3.0, 0..60),
+        late in 0.0f64..5.0,
+    ) {
+        use afd_core::accrual::AccrualFailureDetector;
+        let mut fd = AkkaPhi::with_defaults();
+        let arrivals = heartbeat_times(&gaps);
+        for &a in &arrivals {
+            fd.record_heartbeat(a);
+        }
+        let seed = fd.save_seed().expect("akka persists a seed");
+        let mut restored = AkkaPhi::with_defaults();
+        restored.restore_seed(&seed);
+        let q = arrivals.last().unwrap().saturating_add(afd_core::time::Duration::from_secs_f64(late));
+        let a = fd.suspicion_level(q).value();
+        let b = restored.suspicion_level(q).value();
+        prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "akka {a} vs restored {b}");
+    }
+
+    /// Adaptive accrual dump→restore equivalence on a regular cadence,
+    /// where the moments-only seed reconstructs the histogram losslessly.
+    #[test]
+    fn adaptive_roundtrips_exactly_on_regular_cadence(
+        gap in 0.1f64..3.0,
+        beats in 2usize..40,
+        late in 0.0f64..5.0,
+    ) {
+        use afd_core::accrual::AccrualFailureDetector;
+        let mut fd = AdaptiveAccrual::with_defaults();
+        let arrivals = heartbeat_times(&vec![gap; beats]);
+        for &a in &arrivals {
+            fd.record_heartbeat(a);
+        }
+        let seed = fd.save_seed().expect("adaptive persists a seed");
+        let mut restored = AdaptiveAccrual::with_defaults();
+        restored.restore_seed(&seed);
+        let q = arrivals.last().unwrap().saturating_add(afd_core::time::Duration::from_secs_f64(late));
+        let a = fd.suspicion_level(q).value();
+        let b = restored.suspicion_level(q).value();
+        prop_assert!((a - b).abs() < 1e-9, "adaptive {a} vs restored {b}");
     }
 
     /// Chen dump→restore equivalence: the restored expected arrival is

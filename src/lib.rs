@@ -84,6 +84,8 @@ pub mod prelude {
         AccrualToBinary, BinaryToAccrual, HysteresisInterpreter, InterpretedBinary, Interpreter,
         ThresholdInterpreter,
     };
+    pub use afd_detectors::adaptive::{AdaptiveAccrual, AdaptiveConfig};
+    pub use afd_detectors::akka::{AkkaPhi, AkkaPhiConfig};
     pub use afd_detectors::bertier::{BertierAccrual, BertierConfig};
     pub use afd_detectors::chen::{ChenAccrual, ChenConfig};
     pub use afd_detectors::kappa::{KappaAccrual, KappaConfig};
