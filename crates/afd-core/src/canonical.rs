@@ -1,0 +1,293 @@
+//! Canonical state digests: the pure-state *observe* hook for exhaustive
+//! exploration.
+//!
+//! The bounded model checker (`afd-model`) explores every interleaving of
+//! sends, deliveries, losses and crashes by depth-first search, pruning a
+//! branch whenever it reaches a state it has already expanded. Pruning is
+//! only sound if "already seen" means *semantically identical*: two states
+//! merge only when every future observation from them is identical. The
+//! [`CanonicalState`] trait is that contract — an implementation feeds
+//! **every** field that can influence any future output into the
+//! [`StateDigest`], in a fixed order.
+//!
+//! Cloning is the snapshot half of the hook (every detector and transform
+//! in the workspace derives `Clone`, and cloning is cheap at the tiny
+//! windows the checker runs); `CanonicalState` is the observe half.
+//!
+//! The digest is a 128-bit FNV-1a over the pushed words. 128 bits makes an
+//! accidental collision across the ≤ 10⁷ states of a bounded run
+//! negligible (birthday bound ≈ 10⁻²⁴), which matters because a collision
+//! would *silently prune a reachable state* — unsoundness, not a crash.
+
+/// FNV-1a offset basis, 128-bit variant.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a prime, 128-bit variant.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// An order-sensitive accumulator of state words, hashed with FNV-1a/128.
+///
+/// Values of different widths are all widened to `u64` words before
+/// hashing; every push also hashes a type tag so `push_u64(0)` followed by
+/// `push_bool(false)` cannot collide with the reverse order.
+#[derive(Debug, Clone)]
+pub struct StateDigest {
+    hash: u128,
+    words: u64,
+}
+
+impl Default for StateDigest {
+    fn default() -> Self {
+        StateDigest::new()
+    }
+}
+
+impl StateDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        StateDigest {
+            hash: FNV_OFFSET,
+            words: 0,
+        }
+    }
+
+    fn mix(&mut self, tag: u8, word: u64) {
+        let mut h = self.hash;
+        h ^= u128::from(tag);
+        h = h.wrapping_mul(FNV_PRIME);
+        for byte in word.to_le_bytes() {
+            h ^= u128::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.hash = h;
+        self.words += 1;
+    }
+
+    /// Feeds one unsigned word.
+    pub fn push_u64(&mut self, v: u64) {
+        self.mix(1, v);
+    }
+
+    /// Feeds a `usize` (widened).
+    pub fn push_usize(&mut self, v: usize) {
+        self.mix(2, v as u64);
+    }
+
+    /// Feeds a float by bit pattern. `-0.0` and `0.0` hash differently —
+    /// deliberately: canonical identity must imply bit-identical future
+    /// outputs, and the sign of zero is observable through `to_bits`.
+    pub fn push_f64(&mut self, v: f64) {
+        self.mix(3, v.to_bits());
+    }
+
+    /// Feeds a boolean.
+    pub fn push_bool(&mut self, v: bool) {
+        self.mix(4, u64::from(v));
+    }
+
+    /// Feeds an optional word, distinguishing `None` from `Some(0)`.
+    pub fn push_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.mix(5, 0),
+            Some(w) => self.mix(6, w),
+        }
+    }
+
+    /// Feeds an optional float, distinguishing `None` from `Some(0.0)`.
+    pub fn push_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.mix(5, 1),
+            Some(w) => self.mix(7, w.to_bits()),
+        }
+    }
+
+    /// The 128-bit canonical hash of everything pushed so far.
+    pub fn finish(&self) -> u128 {
+        // Length-extension guard: fold the word count in last.
+        let mut h = self.hash;
+        for byte in self.words.to_le_bytes() {
+            h ^= u128::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Number of words pushed.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+}
+
+/// Types whose complete observable state can be fed into a [`StateDigest`].
+///
+/// # Contract
+///
+/// If `a.canonical_state(d)` and `b.canonical_state(d)` produce equal
+/// digests, then `a` and `b` must be *behaviorally identical*: any
+/// sequence of future calls (heartbeats, queries, observations) yields
+/// bit-identical outputs on both. Omitting a state field that influences
+/// future behavior makes exhaustive exploration silently unsound — when in
+/// doubt, push the field.
+///
+/// Static configuration fixed for the lifetime of a run (window capacity,
+/// thresholds, ε) may be omitted *only* when the explorer never mixes
+/// states across configurations; implementations here push configuration
+/// anyway when it is cheap, so digests stay safe even in mixed pools.
+pub trait CanonicalState {
+    /// Feeds this value's complete observable state into `digest`.
+    fn canonical_state(&self, digest: &mut StateDigest);
+}
+
+impl<T: CanonicalState + ?Sized> CanonicalState for &T {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        (**self).canonical_state(digest);
+    }
+}
+
+impl<T: CanonicalState + ?Sized> CanonicalState for Box<T> {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        (**self).canonical_state(digest);
+    }
+}
+
+impl<T: CanonicalState> CanonicalState for Option<T> {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        match self {
+            None => digest.push_bool(false),
+            Some(v) => {
+                digest.push_bool(true);
+                v.canonical_state(digest);
+            }
+        }
+    }
+}
+
+impl<T: CanonicalState> CanonicalState for [T] {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        digest.push_usize(self.len());
+        for v in self {
+            v.canonical_state(digest);
+        }
+    }
+}
+
+impl<T: CanonicalState> CanonicalState for Vec<T> {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        self.as_slice().canonical_state(digest);
+    }
+}
+
+impl CanonicalState for crate::time::Timestamp {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        digest.push_u64(self.as_nanos());
+    }
+}
+
+impl CanonicalState for crate::time::Duration {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        digest.push_u64(self.as_nanos());
+    }
+}
+
+impl CanonicalState for crate::suspicion::SuspicionLevel {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        digest.push_f64(self.value());
+    }
+}
+
+impl CanonicalState for crate::binary::Status {
+    fn canonical_state(&self, digest: &mut StateDigest) {
+        digest.push_bool(self.is_suspected());
+    }
+}
+
+/// Convenience: one value's standalone digest.
+pub fn digest_of<T: CanonicalState + ?Sized>(value: &T) -> u128 {
+    let mut d = StateDigest::new();
+    value.canonical_state(&mut d);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::Status;
+    use crate::suspicion::SuspicionLevel;
+    use crate::time::Timestamp;
+
+    #[test]
+    fn digest_is_deterministic() {
+        let mut a = StateDigest::new();
+        let mut b = StateDigest::new();
+        for d in [&mut a, &mut b] {
+            d.push_u64(7);
+            d.push_f64(1.25);
+            d.push_bool(true);
+        }
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(a.words(), 3);
+    }
+
+    #[test]
+    fn order_and_type_tags_matter() {
+        let mut a = StateDigest::new();
+        a.push_u64(1);
+        a.push_u64(2);
+        let mut b = StateDigest::new();
+        b.push_u64(2);
+        b.push_u64(1);
+        assert_ne!(a.finish(), b.finish(), "order must be significant");
+
+        let mut c = StateDigest::new();
+        c.push_u64(0);
+        let mut d = StateDigest::new();
+        d.push_bool(false);
+        assert_ne!(c.finish(), d.finish(), "type tags must separate widths");
+    }
+
+    #[test]
+    fn none_and_some_zero_are_distinct() {
+        let mut a = StateDigest::new();
+        a.push_opt_u64(None);
+        let mut b = StateDigest::new();
+        b.push_opt_u64(Some(0));
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = StateDigest::new();
+        c.push_opt_f64(None);
+        let mut d = StateDigest::new();
+        d.push_opt_f64(Some(0.0));
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn empty_prefix_differs_from_truncation() {
+        // A digest of [x] must differ from a digest of [] even if the
+        // running hash happened to match (length folds into finish()).
+        let empty = StateDigest::new().finish();
+        let mut one = StateDigest::new();
+        one.push_u64(0);
+        assert_ne!(empty, one.finish());
+    }
+
+    #[test]
+    fn blanket_impls_cover_core_types() {
+        let mut d = StateDigest::new();
+        Timestamp::from_secs(3).canonical_state(&mut d);
+        SuspicionLevel::clamped(1.5).canonical_state(&mut d);
+        Status::Suspected.canonical_state(&mut d);
+        Some(Timestamp::ZERO).canonical_state(&mut d);
+        let v: Vec<SuspicionLevel> = vec![SuspicionLevel::ZERO];
+        v.canonical_state(&mut d);
+        let boxed: Box<Timestamp> = Box::new(Timestamp::ZERO);
+        boxed.canonical_state(&mut d);
+        assert!(d.words() > 5);
+    }
+
+    #[test]
+    fn digest_of_shortcut_matches_manual() {
+        let t = Timestamp::from_secs(9);
+        let mut d = StateDigest::new();
+        t.canonical_state(&mut d);
+        assert_eq!(digest_of(&t), d.finish());
+    }
+}

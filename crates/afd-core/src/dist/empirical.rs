@@ -120,6 +120,16 @@ impl Empirical {
     }
 }
 
+impl crate::canonical::CanonicalState for Empirical {
+    fn canonical_state(&self, digest: &mut crate::canonical::StateDigest) {
+        self.histogram.canonical_state(digest);
+        digest.push_f64(self.hi);
+        digest.push_u64(self.moments.count());
+        digest.push_f64(self.moments.mean());
+        digest.push_f64(self.moments.population_variance());
+    }
+}
+
 impl ArrivalDistribution for Empirical {
     /// Smoothed tail `(interpolated mass above x + decayed unit) / (n + 1)`
     /// inside the histogram range; past its end the tail decays

@@ -57,6 +57,7 @@
 
 pub mod accrual;
 pub mod binary;
+pub mod canonical;
 pub mod classes;
 pub mod dist;
 pub mod error;
@@ -72,6 +73,7 @@ pub mod transform;
 
 pub use accrual::{AccrualFailureDetector, DetectorSeed};
 pub use binary::{BinaryFailureDetector, Status, Transition};
+pub use canonical::{CanonicalState, StateDigest};
 pub use process::ProcessId;
 pub use suspicion::SuspicionLevel;
 pub use time::{Duration, Timestamp};

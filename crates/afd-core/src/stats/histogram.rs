@@ -169,6 +169,20 @@ impl Histogram {
     }
 }
 
+impl crate::canonical::CanonicalState for Histogram {
+    fn canonical_state(&self, digest: &mut crate::canonical::StateDigest) {
+        digest.push_f64(self.lo);
+        digest.push_f64(self.hi);
+        digest.push_usize(self.bins.len());
+        for &b in &self.bins {
+            digest.push_u64(b);
+        }
+        digest.push_u64(self.underflow);
+        digest.push_u64(self.overflow);
+        digest.push_u64(self.count);
+    }
+}
+
 /// The `q`-th quantile (0 ≤ q ≤ 1) of a slice, by linear interpolation on
 /// the sorted order statistics (the "R-7" rule used by most software).
 ///

@@ -226,6 +226,23 @@ impl SlidingWindow {
     }
 }
 
+impl crate::canonical::CanonicalState for SlidingWindow {
+    /// Pushes the retained samples (in logical order) *and* the incremental
+    /// moments: the moments are maintained by running sums whose rounding
+    /// depends on eviction history, so two windows with identical contents
+    /// can answer `mean()` with different last bits — behaviorally distinct
+    /// states that must not be merged.
+    fn canonical_state(&self, digest: &mut crate::canonical::StateDigest) {
+        digest.push_usize(self.capacity);
+        digest.push_usize(self.len);
+        for x in self.iter() {
+            digest.push_f64(x);
+        }
+        digest.push_f64(self.moments.mean());
+        digest.push_f64(self.moments.population_variance());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,19 @@ impl AccrualToBinary {
     }
 }
 
+impl crate::canonical::CanonicalState for AccrualToBinary {
+    fn canonical_state(&self, digest: &mut crate::canonical::StateDigest) {
+        digest.push_f64(self.epsilon);
+        self.status.canonical_state(digest);
+        self.sl_susp.canonical_state(digest);
+        digest.push_u64(self.run_length);
+        digest.push_u64(self.l_trust);
+        self.sl_prev.canonical_state(digest);
+        digest.push_u64(self.s_transitions);
+        digest.push_u64(self.t_transitions);
+    }
+}
+
 impl Interpreter for AccrualToBinary {
     fn observe(&mut self, _at: Timestamp, level: SuspicionLevel) -> Status {
         let sl = level.quantize(self.epsilon);

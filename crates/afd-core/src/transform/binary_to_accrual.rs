@@ -73,9 +73,32 @@ impl<D: BinaryFailureDetector> BinaryToAccrual<D> {
         &self.binary
     }
 
+    /// The wrapped binary detector, mutably — for oracles that are driven
+    /// from outside rather than by their own observations (the model
+    /// checker feeds Algorithm 1's verdicts into Algorithm 2 this way).
+    pub fn binary_mut(&mut self) -> &mut D {
+        &mut self.binary
+    }
+
+    /// The current accrued level without advancing it (the last value
+    /// [`suspicion_level`] returned, zero before the first query).
+    ///
+    /// [`suspicion_level`]: AccrualFailureDetector::suspicion_level
+    pub fn level(&self) -> SuspicionLevel {
+        self.level
+    }
+
     /// Consumes the transformer, returning the wrapped detector.
     pub fn into_inner(self) -> D {
         self.binary
+    }
+}
+
+impl<D: crate::canonical::CanonicalState> crate::canonical::CanonicalState for BinaryToAccrual<D> {
+    fn canonical_state(&self, digest: &mut crate::canonical::StateDigest) {
+        self.binary.canonical_state(digest);
+        digest.push_f64(self.epsilon);
+        digest.push_f64(self.level.value());
     }
 }
 

@@ -65,6 +65,15 @@ impl<T: ThresholdFn> ThresholdInterpreter<T> {
     }
 }
 
+impl<T: crate::canonical::CanonicalState> crate::canonical::CanonicalState
+    for ThresholdInterpreter<T>
+{
+    fn canonical_state(&self, digest: &mut crate::canonical::StateDigest) {
+        self.threshold.canonical_state(digest);
+        self.status.canonical_state(digest);
+    }
+}
+
 impl<T: ThresholdFn> Interpreter for ThresholdInterpreter<T> {
     fn observe(&mut self, at: Timestamp, level: SuspicionLevel) -> Status {
         self.status = if level > self.threshold.threshold(at) {
@@ -121,6 +130,18 @@ impl<TH: ThresholdFn, TL: ThresholdFn> HysteresisInterpreter<TH, TL> {
     /// The T-transition (lower) threshold function.
     pub fn low_fn(&self) -> &TL {
         &self.low
+    }
+}
+
+impl<TH, TL> crate::canonical::CanonicalState for HysteresisInterpreter<TH, TL>
+where
+    TH: crate::canonical::CanonicalState,
+    TL: crate::canonical::CanonicalState,
+{
+    fn canonical_state(&self, digest: &mut crate::canonical::StateDigest) {
+        self.high.canonical_state(digest);
+        self.low.canonical_state(digest);
+        self.status.canonical_state(digest);
     }
 }
 
@@ -241,5 +262,66 @@ mod tests {
     fn hysteresis_accepts_correctly_ordered_thresholds() {
         let mut i = HysteresisInterpreter::new(sl(2.0), sl(1.0));
         assert_eq!(i.observe(ts(0), sl(1.5)), Status::Trusted);
+    }
+
+    // Boundary semantics of Algorithm 3 at exact threshold crossings.
+    // These are locked in twice: here as unit tests, and in afd-model as
+    // per-transition invariants checked over every explored schedule.
+
+    #[test]
+    fn s_transition_requires_strictly_above_high() {
+        // `sl == T(t)` must NOT fire an S-transition: Algorithm 3's guard
+        // is `sl > T(t)`, so a level sitting exactly on the threshold is
+        // still trusted.
+        let mut i = HysteresisInterpreter::new(sl(2.0), sl(1.0));
+        assert_eq!(i.observe(ts(0), sl(2.0)), Status::Trusted);
+        // The next nudge above does fire.
+        assert_eq!(i.observe(ts(1), sl(2.0 + 1e-9)), Status::Suspected);
+    }
+
+    #[test]
+    fn t_transition_fires_on_exactly_low() {
+        // `sl == T₀(t)` DOES fire a T-transition: the guard is `sl ≤ T₀(t)`.
+        let mut i = HysteresisInterpreter::new(sl(2.0), sl(1.0));
+        assert_eq!(i.observe(ts(0), sl(3.0)), Status::Suspected);
+        // Strictly above low: suspicion holds.
+        assert_eq!(i.observe(ts(1), sl(1.0 + 1e-9)), Status::Suspected);
+        // Exactly low: released.
+        assert_eq!(i.observe(ts(2), sl(1.0)), Status::Trusted);
+    }
+
+    #[test]
+    fn between_thresholds_level_is_bistable() {
+        // A level strictly between T₀ and T preserves whichever status the
+        // interpreter already has — from both sides.
+        let mut from_trust = HysteresisInterpreter::new(sl(2.0), sl(1.0));
+        assert_eq!(from_trust.observe(ts(0), sl(1.5)), Status::Trusted);
+
+        let mut from_suspect = HysteresisInterpreter::new(sl(2.0), sl(1.0));
+        let _ = from_suspect.observe(ts(0), sl(3.0));
+        assert_eq!(from_suspect.observe(ts(1), sl(1.5)), Status::Suspected);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis requires")]
+    fn hysteresis_rejects_thresholds_converging_to_equal_mid_stream() {
+        // Time-varying thresholds that start valid but meet at t = 5:
+        // the strict `T₀(t) < T(t)` requirement is enforced at every
+        // observation, not just the first.
+        let high = |_: Timestamp| sl(2.0);
+        let low = |at: Timestamp| sl((at.as_secs_f64() * 0.4).min(2.0));
+        let mut i = HysteresisInterpreter::new(high, low);
+        for k in 0..=5 {
+            let _ = i.observe(ts(k), sl(0.1));
+        }
+    }
+
+    #[test]
+    fn plain_threshold_equal_level_is_trusted() {
+        // Equation 2's guard is strict too: `sl == T` trusts.
+        let mut i = ThresholdInterpreter::new(sl(1.0));
+        assert_eq!(i.observe(ts(0), sl(1.0)), Status::Trusted);
+        assert_eq!(i.observe(ts(1), sl(1.0 + 1e-12)), Status::Suspected);
+        assert_eq!(i.observe(ts(2), sl(1.0)), Status::Trusted);
     }
 }

@@ -374,6 +374,31 @@ impl AccrualFailureDetector for AdaptiveAccrual {
     }
 }
 
+impl afd_core::canonical::CanonicalState for GapHistogram {
+    fn canonical_state(&self, digest: &mut afd_core::canonical::StateDigest) {
+        digest.push_f64(self.hi);
+        digest.push_f64(self.width);
+        digest.push_usize(self.bins.len());
+        for &b in &self.bins {
+            digest.push_u64(b);
+        }
+        digest.push_u64(self.overflow);
+    }
+}
+
+impl afd_core::canonical::CanonicalState for AdaptiveAccrual {
+    fn canonical_state(&self, digest: &mut afd_core::canonical::StateDigest) {
+        digest.push_usize(self.config.window_size);
+        digest.push_usize(self.config.bins);
+        digest.push_f64(self.config.max_intervals);
+        digest.push_usize(self.config.min_samples);
+        self.config.initial_interval.canonical_state(digest);
+        self.gaps.canonical_state(digest);
+        self.histogram.canonical_state(digest);
+        self.last_heartbeat.canonical_state(digest);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -275,6 +275,19 @@ impl AccrualFailureDetector for AkkaPhi {
     }
 }
 
+impl afd_core::canonical::CanonicalState for AkkaPhi {
+    fn canonical_state(&self, digest: &mut afd_core::canonical::StateDigest) {
+        digest.push_usize(self.config.window_size);
+        self.config.first_heartbeat_estimate.canonical_state(digest);
+        self.config
+            .acceptable_heartbeat_pause
+            .canonical_state(digest);
+        self.config.min_std_dev.canonical_state(digest);
+        self.gaps.canonical_state(digest);
+        self.last_heartbeat.canonical_state(digest);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -187,6 +187,19 @@ impl AccrualFailureDetector for BertierAccrual {
     }
 }
 
+impl afd_core::canonical::CanonicalState for BertierAccrual {
+    fn canonical_state(&self, digest: &mut afd_core::canonical::StateDigest) {
+        digest.push_f64(self.config.gamma);
+        digest.push_f64(self.config.beta);
+        digest.push_f64(self.config.phi);
+        self.config.initial_interval.canonical_state(digest);
+        digest.push_opt_f64(self.smoothed_interval);
+        digest.push_f64(self.delay);
+        digest.push_f64(self.var);
+        self.last_heartbeat.canonical_state(digest);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

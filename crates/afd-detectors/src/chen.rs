@@ -182,6 +182,15 @@ impl AccrualFailureDetector for ChenAccrual {
     }
 }
 
+impl afd_core::canonical::CanonicalState for ChenAccrual {
+    fn canonical_state(&self, digest: &mut afd_core::canonical::StateDigest) {
+        digest.push_usize(self.config.window_size);
+        self.config.initial_interval.canonical_state(digest);
+        self.gaps.canonical_state(digest);
+        self.last_heartbeat.canonical_state(digest);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

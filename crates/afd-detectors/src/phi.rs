@@ -375,6 +375,30 @@ impl AccrualFailureDetector for PhiAccrual {
     }
 }
 
+impl afd_core::canonical::CanonicalState for PhiAccrual {
+    fn canonical_state(&self, digest: &mut afd_core::canonical::StateDigest) {
+        digest.push_usize(self.config.window_size);
+        digest.push_usize(self.config.min_samples);
+        self.config.min_std_dev.canonical_state(digest);
+        self.config.initial_interval.canonical_state(digest);
+        match self.config.model {
+            PhiModel::Normal => digest.push_u64(0),
+            PhiModel::Empirical {
+                bins,
+                max_intervals,
+            } => {
+                digest.push_u64(1);
+                digest.push_usize(bins);
+                digest.push_f64(max_intervals);
+            }
+            PhiModel::Exponential => digest.push_u64(2),
+        }
+        self.gaps.canonical_state(digest);
+        self.empirical.canonical_state(digest);
+        self.last_heartbeat.canonical_state(digest);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,13 @@ impl AccrualFailureDetector for SimpleAccrual {
     }
 }
 
+impl afd_core::canonical::CanonicalState for SimpleAccrual {
+    fn canonical_state(&self, digest: &mut afd_core::canonical::StateDigest) {
+        digest.push_u64(self.last_heartbeat.as_nanos());
+        digest.push_u64(self.heartbeats_seen);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,12 +58,28 @@ const MULTI_PUNCT: &[&str] = &[
     "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
 ];
 
+/// Process-wide count of [`lex`] invocations — the single-pass probe.
+///
+/// Lexing dominates the linter's runtime, so the driver's contract is one
+/// lex per file, with the token stream shared across all rules *and* the
+/// file-context derivation. This counter lets a test state that contract
+/// as an exact equation (`lex_calls` delta == files scanned) instead of a
+/// benchmark threshold that rots.
+static LEX_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many times [`lex`] has run in this process.
+pub fn lex_calls() -> u64 {
+    LEX_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Lexes `src` into a token stream.
 ///
 /// The lexer never fails: malformed input (an unterminated string at EOF,
 /// say) produces a final token covering the rest of the file. Lint rules on
 /// such a file are best-effort, exactly like every other token-level tool.
 pub fn lex(src: &str) -> Vec<Token> {
+    // Monotone counter with no cross-thread ordering requirements.
+    LEX_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     Lexer::new(src).run()
 }
 

@@ -34,6 +34,11 @@ use diag::Report;
 
 /// Lints every workspace `.rs` file under `root`.
 ///
+/// Each file is lexed exactly once; the token stream is shared by the
+/// file-context derivation, all nine rules, and pragma collection. The
+/// [`lexer::lex_calls`] probe makes that a testable equation (see
+/// `tests/single_pass.rs`), not a code-review hope.
+///
 /// # Errors
 ///
 /// Returns [`io::Error`] if the tree cannot be walked or a file cannot be
@@ -43,7 +48,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     for rel in walk::rust_files(root)? {
         let src = fs::read_to_string(root.join(&rel))?;
         let path = walk::rel_str(&rel);
-        let (findings, suppressed) = rules::lint_source(&path, &src);
+        let tokens = lexer::lex(&src);
+        let ctx = context::FileContext::new(&path, &tokens);
+        let (findings, suppressed) = rules::lint_tokens(&ctx, &tokens);
         report.findings.extend(findings);
         report.suppressed += suppressed;
         report.files_scanned += 1;

@@ -1,4 +1,4 @@
-//! The eight project-invariant rules, run over a file's token stream.
+//! The nine project-invariant rules, run over a file's token stream.
 //!
 //! Each rule is a scoped token-pattern check. The scopes encode *why* the
 //! invariant exists:
@@ -13,6 +13,7 @@
 //! | `crate-hygiene` | every crate root forbids `unsafe_code` |
 //! | `no-alloc-in-hot-path` | the per-frame intake files stay heap-allocation-free in steady state (`to_vec`/`Vec::new`/`vec!` need a written justification) |
 //! | `io-discipline` | filesystem access in `afd-runtime` happens only in `persist.rs`, so crash-safe install (tmp → fsync → rename) cannot be bypassed |
+//! | `determinism-discipline` | the model checker and the script replay harness never iterate `RandomState`-seeded containers, so explored-state counts and minimized counterexamples are bit-reproducible across runs and machines |
 //!
 //! Any rule can be silenced per line with `// lint:allow(rule, reason)` —
 //! see [`crate::pragma`]. A malformed pragma is reported under the
@@ -33,6 +34,7 @@ pub const RULE_NAMES: &[&str] = &[
     "crate-hygiene",
     "no-alloc-in-hot-path",
     "io-discipline",
+    "determinism-discipline",
 ];
 
 /// Crates whose library code must be panic-free.
@@ -76,6 +78,7 @@ pub fn lint_tokens(ctx: &FileContext, tokens: &[Token]) -> (Vec<Finding>, usize)
     crate_hygiene(ctx, &code, &mut raw);
     no_alloc_in_hot_path(ctx, &code, &mut raw);
     io_discipline(ctx, &code, &mut raw);
+    determinism_discipline(ctx, &code, &mut raw);
 
     let (pragmas, pragma_errors) = pragma::collect(tokens);
     let mut suppressed = 0usize;
@@ -384,6 +387,44 @@ fn io_discipline(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
                      writes must go through a `SegmentSink` so the tmp → fsync → rename \
                      crash-safety contract holds",
                     tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// The deterministic-exploration surfaces: the whole model-checker crate
+/// (its state counts, digests, and minimized counterexamples must be
+/// bit-reproducible) and the script replay harness it emits schedules for.
+const DETERMINISM_FILES_PREFIX: &str = "crates/afd-model/";
+/// The chaos module is the runtime half of the model↔runtime contract.
+const DETERMINISM_CHAOS_MODULE: &str = "crates/afd-runtime/src/chaos.rs";
+
+/// `HashMap` / `HashSet` in the determinism-critical files. `std`'s hash
+/// containers seed `RandomState` per process, so *iterating* one injects
+/// nondeterminism into anything downstream — explored-state order, which
+/// counterexample the DFS finds first, replay traces. `BTreeMap`/`BTreeSet`
+/// (or a fixed-seed hasher, with a pragma saying so) keep those surfaces
+/// reproducible. Test code is **not** exempt here: the exhaustive tests
+/// assert exact state counts, so nondeterminism in a test is a flake.
+fn determinism_discipline(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    let in_scope =
+        ctx.path.starts_with(DETERMINISM_FILES_PREFIX) || ctx.path == DETERMINISM_CHAOS_MODULE;
+    if !in_scope {
+        return;
+    }
+    for tok in code {
+        if tok.kind == TokenKind::Ident && (tok.text == "HashMap" || tok.text == "HashSet") {
+            out.push(finding(
+                ctx,
+                "determinism-discipline",
+                tok,
+                format!(
+                    "`{}` in determinism-critical file {}; RandomState iteration order \
+                     makes exploration and replay nondeterministic — use `BTreeMap`/`BTreeSet`, \
+                     or justify a seeded hasher with \
+                     `// lint:allow(determinism-discipline, reason)`",
+                    tok.text, ctx.path
                 ),
             ));
         }

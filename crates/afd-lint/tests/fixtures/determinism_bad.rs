@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn seen() -> HashSet<u64> {
+    HashSet::new()
+}
+
+pub fn index() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,8 @@
+// lint:allow(determinism-discipline, fixed-seed hasher keyed by the run seed)
+use std::collections::HashMap;
+
+pub fn cache() -> usize {
+    // lint:allow(determinism-discipline, lookup-only map, never iterated)
+    let m: HashMap<u64, u64> = HashMap::new();
+    m.len()
+}

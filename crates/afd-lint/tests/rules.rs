@@ -242,6 +242,56 @@ fn crate_hygiene_honors_reasoned_pragma() {
 }
 
 #[test]
+fn determinism_discipline_fires_across_the_model_crate_and_chaos_module() {
+    for path in [
+        "crates/afd-model/src/explore.rs",
+        "crates/afd-runtime/src/chaos.rs",
+    ] {
+        let (findings, suppressed) = lint_fixture("determinism_bad.rs", path);
+        assert_eq!(findings.len(), 6, "{path}: {findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "determinism-discipline"));
+        assert!(findings.iter().all(|f| f.path == path));
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 5, 8, 9]);
+        assert_eq!(suppressed, 0);
+    }
+}
+
+#[test]
+fn determinism_discipline_covers_model_tests_too() {
+    // The exhaustive tests assert exact state counts, so nondeterminism in
+    // test code is a flake: no #[cfg(test)]/tests-tree exemption in scope.
+    let path = "crates/afd-model/tests/exhaustive.rs";
+    let (findings, _) = lint_fixture("determinism_bad.rs", path);
+    assert_eq!(findings.len(), 6, "{findings:?}");
+}
+
+#[test]
+fn determinism_discipline_is_scoped_to_the_deterministic_surfaces() {
+    // The same hash-container use is fine elsewhere — the monitor, other
+    // crates, the linter itself.
+    for path in [
+        "crates/afd-runtime/src/monitor.rs",
+        "crates/afd-core/src/x.rs",
+        "crates/afd-lint/src/walk.rs",
+    ] {
+        let (findings, _) = lint_fixture("determinism_bad.rs", path);
+        assert!(findings.is_empty(), "{path}: {findings:?}");
+    }
+}
+
+#[test]
+fn determinism_discipline_honors_reasoned_pragma() {
+    let (findings, suppressed) = lint_fixture(
+        "determinism_suppressed.rs",
+        "crates/afd-model/src/explore.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    // Line 2 (one ident) + line 6 (two idents on one pragma'd line).
+    assert_eq!(suppressed, 3);
+}
+
+#[test]
 fn reasonless_pragma_is_rejected_and_does_not_suppress() {
     let path = "crates/afd-sim/src/loss.rs";
     let (findings, suppressed) = lint_fixture("pragma_no_reason.rs", path);

@@ -27,10 +27,11 @@ use afd_sim::loss::{BernoulliLoss, GilbertElliottLoss};
 
 use crate::clock::VirtualClock;
 use crate::degrade::{DegradeConfig, GracefulDegradation};
+use crate::error::TransportError;
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::monitor::{MonitorStats, RuntimeMonitor};
 use crate::sender::{SenderConfig, SenderCore};
-use crate::transport::ChannelTransport;
+use crate::transport::{ChannelTransport, Transport};
 
 /// A scripted chaos run: what the network and the monitored process do,
 /// and when.
@@ -330,6 +331,76 @@ impl DetectorTracker {
     }
 }
 
+/// Drives the lock-step schedule shared by [`run_chaos`] and
+/// [`run_chaos_zoo`]: for every tick of `scenario.tick` up to the horizon
+/// it sets the virtual clock, applies the scenario's crash/recover
+/// schedule to the sender, polls the sender by its (possibly drifting)
+/// local clock, drains every delivery due at the tick, and invokes
+/// `on_query` at each `query_every` boundary. Returns the number of
+/// transport errors absorbed (expected 0 for in-process transports).
+///
+/// This is the one transition relation behind every chaos engine in this
+/// crate: the scenario engines differ only in which detectors they mount
+/// and how they sample them, never in scheduling. The bounded model
+/// checker replays its counterexamples through the same primitive
+/// operations via [`run_chaos_script`], so a schedule found in the model
+/// exercises bit-identical runtime code here.
+pub fn drive_lock_step<T, D>(
+    scenario: &ChaosScenario,
+    clock: &VirtualClock,
+    core: &mut SenderCore,
+    sender_side: &mut ChannelTransport,
+    monitor: &mut RuntimeMonitor<T, VirtualClock, D>,
+    mut on_query: impl FnMut(Timestamp, &mut RuntimeMonitor<T, VirtualClock, D>),
+) -> u64
+where
+    T: Transport,
+    D: AccrualFailureDetector,
+{
+    let mut transport_errors = 0u64;
+    let mut next_query = Timestamp::ZERO;
+    let mut t = Timestamp::ZERO;
+    let end = Timestamp::ZERO + scenario.horizon;
+    while t <= end {
+        clock.set(t);
+
+        if scenario.crashed_at(t) {
+            if !core.is_crashed() {
+                core.crash();
+            }
+        } else if core.is_crashed() {
+            core.recover(scenario.sender_time(t));
+        }
+        // Backoff pauses are skipped in virtual time; the in-process
+        // channel cannot transiently fail anyway. The sender paces itself
+        // by its own (possibly drifting) clock.
+        if core
+            .poll(scenario.sender_time(t), sender_side, |_| {})
+            .is_err()
+        {
+            transport_errors += 1;
+        }
+        // Drain deliveries due at this tick.
+        loop {
+            match monitor.poll() {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => {
+                    transport_errors += 1;
+                    break;
+                }
+            }
+        }
+
+        if t >= next_query {
+            on_query(t, monitor);
+            next_query += scenario.query_every;
+        }
+        t += scenario.tick;
+    }
+    transport_errors
+}
+
 /// Runs `scenario` under `seed` to completion in virtual time.
 pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
     let clock = VirtualClock::new();
@@ -360,43 +431,13 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
         DetectorTracker::new("phi", crash),
     ];
     let mut events = EventRing::new(4096);
-    let mut transport_errors = 0u64;
-    let mut next_query = Timestamp::ZERO;
-
-    let mut t = Timestamp::ZERO;
-    let end = Timestamp::ZERO + scenario.horizon;
-    while t <= end {
-        clock.set(t);
-
-        if scenario.crashed_at(t) {
-            if !core.is_crashed() {
-                core.crash();
-            }
-        } else if core.is_crashed() {
-            core.recover(scenario.sender_time(t));
-        }
-        // Backoff pauses are skipped in virtual time; the in-process
-        // channel cannot transiently fail anyway. The sender paces itself
-        // by its own (possibly drifting) clock.
-        if core
-            .poll(scenario.sender_time(t), &mut sender_side, |_| {})
-            .is_err()
-        {
-            transport_errors += 1;
-        }
-        // Drain deliveries due at this tick.
-        loop {
-            match monitor.poll() {
-                Ok(0) => break,
-                Ok(_) => {}
-                Err(_) => {
-                    transport_errors += 1;
-                    break;
-                }
-            }
-        }
-
-        if t >= next_query {
+    let transport_errors = drive_lock_step(
+        scenario,
+        &clock,
+        &mut core,
+        &mut sender_side,
+        &mut monitor,
+        |t, monitor| {
             // `process` is watched at harness setup and never unwatched; a
             // missing detector would mean the harness itself is broken, so
             // skip the query rather than abort the run.
@@ -413,10 +454,8 @@ pub fn run_chaos(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
                 let degraded = trio.phi().is_degraded();
                 trackers[2].observe(t, level, degraded, thr, process, &mut events);
             }
-            next_query += scenario.query_every;
-        }
-        t += scenario.tick;
-    }
+        },
+    );
 
     let registry = Registry::new();
     monitor.export_metrics(&registry);
@@ -681,39 +720,13 @@ pub fn run_chaos_zoo(scenario: &ChaosScenario, seed: u64) -> ZooReport {
         .map(|name| DetectorTracker::new(name, crash))
         .collect();
     let mut events = EventRing::new(8192);
-    let mut transport_errors = 0u64;
-    let mut next_query = Timestamp::ZERO;
-
-    let mut t = Timestamp::ZERO;
-    let end = Timestamp::ZERO + scenario.horizon;
-    while t <= end {
-        clock.set(t);
-
-        if scenario.crashed_at(t) {
-            if !core.is_crashed() {
-                core.crash();
-            }
-        } else if core.is_crashed() {
-            core.recover(scenario.sender_time(t));
-        }
-        if core
-            .poll(scenario.sender_time(t), &mut sender_side, |_| {})
-            .is_err()
-        {
-            transport_errors += 1;
-        }
-        loop {
-            match monitor.poll() {
-                Ok(0) => break,
-                Ok(_) => {}
-                Err(_) => {
-                    transport_errors += 1;
-                    break;
-                }
-            }
-        }
-
-        if t >= next_query {
+    let transport_errors = drive_lock_step(
+        scenario,
+        &clock,
+        &mut core,
+        &mut sender_side,
+        &mut monitor,
+        |t, monitor| {
             debug_assert!(monitor.detector_mut(process).is_some(), "process watched");
             if let Some(zoo) = monitor.detector_mut(process) {
                 for (member, tracker) in zoo.members_mut().iter_mut().zip(trackers.iter_mut()) {
@@ -722,10 +735,8 @@ pub fn run_chaos_zoo(scenario: &ChaosScenario, seed: u64) -> ZooReport {
                     tracker.observe(t, level, degraded, member.threshold, process, &mut events);
                 }
             }
-            next_query += scenario.query_every;
-        }
-        t += scenario.tick;
-    }
+        },
+    );
 
     let registry = Registry::new();
     monitor.export_metrics(&registry);
@@ -759,6 +770,237 @@ pub fn run_chaos_zoo(scenario: &ChaosScenario, seed: u64) -> ZooReport {
         events_dropped: events.dropped(),
         events: events.drain(),
         metrics: registry.snapshot(),
+    }
+}
+
+/// One primitive step of a scripted chaos run: the event alphabet of the
+/// bounded model checker, replayed against the real runtime.
+///
+/// In-flight frames form an ordered pool; `Deliver`, `Drop`, and
+/// `Duplicate` address it by index with stable `Vec::remove` semantics,
+/// so a schedule enumerated by the model maps to exactly one runtime
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptEvent {
+    /// Advance virtual time by one tick; every non-crashed sender whose
+    /// heartbeat is due emits a frame into the in-flight pool (senders are
+    /// polled in process-id order).
+    Tick,
+    /// Deliver in-flight frame `i` to the monitor and process it.
+    Deliver(usize),
+    /// Lose in-flight frame `i`.
+    Drop(usize),
+    /// Duplicate in-flight frame `i`; the copy joins the end of the pool.
+    Duplicate(usize),
+    /// Crash a sender: it stops emitting heartbeats until recovered.
+    Crash(ProcessId),
+    /// Recover a crashed sender; its next heartbeat is due immediately.
+    Recover(ProcessId),
+}
+
+/// A fully explicit chaos schedule: no randomness, no fault injectors —
+/// every loss, duplication, delay, and crash is an event in the script.
+///
+/// This is the exchange format between the bounded model checker and the
+/// runtime: the checker's counterexample minimizer emits a `ChaosScript`,
+/// and [`run_chaos_script`] replays it against the real
+/// [`SenderCore`]/[`RuntimeMonitor`] pipeline so a model-level violation
+/// can be confirmed (or refuted) on the production code path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScript {
+    /// Virtual-time step per [`ScriptEvent::Tick`].
+    pub tick: Duration,
+    /// Heartbeat cadence of every sender (Algorithm 4's Δ_i).
+    pub heartbeat_interval: Duration,
+    /// Number of monitored senders; they get process ids `1..=senders`.
+    pub senders: u32,
+    /// The schedule, applied in order from virtual time zero.
+    pub events: Vec<ScriptEvent>,
+}
+
+impl ChaosScript {
+    /// An empty script over `senders` processes with 1 s heartbeats and
+    /// 250 ms ticks.
+    pub fn new(senders: u32) -> Self {
+        ChaosScript {
+            tick: Duration::from_millis(250),
+            heartbeat_interval: Duration::from_secs(1),
+            senders,
+            events: Vec::new(),
+        }
+    }
+
+    /// The process ids this script drives, in polling order.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (1..=self.senders).map(ProcessId::new)
+    }
+}
+
+/// A transport that captures outgoing frames instead of delivering them,
+/// so the script harness can hold them in the in-flight pool until the
+/// schedule says what happens to each.
+#[derive(Debug, Default)]
+struct CaptureTransport {
+    frames: Vec<Vec<u8>>,
+}
+
+impl Transport for CaptureTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.frames.push(frame.to_vec());
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        Ok(None)
+    }
+}
+
+/// The suspicion levels of every monitored process after one script event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptSample {
+    /// Index of the event in [`ChaosScript::events`] this sample follows.
+    pub event_index: usize,
+    /// Virtual time of the sample.
+    pub at: Timestamp,
+    /// Per-process suspicion levels, in process-id order.
+    pub levels: Vec<(ProcessId, SuspicionLevel)>,
+}
+
+/// Everything a script replay produced.
+#[derive(Debug)]
+pub struct ScriptReport {
+    /// One sample per script event, in schedule order.
+    pub trace: Vec<ScriptSample>,
+    /// What the monitor's intake saw (duplicates and stale frames are
+    /// counted here — Algorithm 4's freshness filter at work).
+    pub monitor_stats: MonitorStats,
+    /// Heartbeats emitted across all senders.
+    pub heartbeats_sent: u64,
+    /// Frames still in flight when the script ended.
+    pub undelivered: usize,
+}
+
+/// Replays `script` against the real sender/monitor pipeline in virtual
+/// time, mounting one detector from `factory` per sender.
+///
+/// Heartbeats due at time zero are emitted into the in-flight pool before
+/// the first event, matching [`SenderCore`]'s "first heartbeat at start"
+/// semantics; each [`ScriptEvent::Tick`] then advances time and emits
+/// whatever came due. After every event the harness samples each
+/// process's suspicion level into the report trace, so a model-level
+/// execution and its runtime replay can be compared point by point.
+///
+/// # Panics
+///
+/// Panics if an event addresses an in-flight index or process id that
+/// does not exist: the model checker only emits schedules that are valid
+/// in the model, so an invalid event means the model and the runtime have
+/// drifted apart — exactly what the replay is meant to catch.
+pub fn run_chaos_script<D, F>(script: &ChaosScript, factory: F) -> ScriptReport
+where
+    D: AccrualFailureDetector,
+    F: FnMut(ProcessId) -> D + Send + 'static,
+{
+    let clock = VirtualClock::new();
+    let (feed, monitor_side) = ChannelTransport::pair();
+    let mut feed = feed;
+    let mut monitor = RuntimeMonitor::new(monitor_side, clock.clone(), factory);
+    let mut senders: Vec<(ProcessId, SenderCore, CaptureTransport)> = script
+        .processes()
+        .map(|p| {
+            monitor.watch(p);
+            (
+                p,
+                SenderCore::new(
+                    SenderConfig::new(p, script.heartbeat_interval),
+                    Timestamp::ZERO,
+                    0,
+                ),
+                CaptureTransport::default(),
+            )
+        })
+        .collect();
+
+    let mut in_flight: Vec<Vec<u8>> = Vec::new();
+    let mut t = Timestamp::ZERO;
+    clock.set(t);
+
+    let emit_due = |t: Timestamp,
+                    senders: &mut Vec<(ProcessId, SenderCore, CaptureTransport)>,
+                    in_flight: &mut Vec<Vec<u8>>| {
+        for (_, core, capture) in senders.iter_mut() {
+            // The in-process capture cannot fail; the expect documents it.
+            core.poll(t, capture, |_| {})
+                // lint:allow(no-panic-paths, CaptureTransport::send is infallible by construction)
+                .expect("capture transport is infallible");
+            in_flight.append(&mut capture.frames);
+        }
+    };
+    // Heartbeats due at the start (SenderCore emits its first frame at
+    // `start` itself) enter the pool before the first event.
+    emit_due(t, &mut senders, &mut in_flight);
+
+    let mut trace = Vec::with_capacity(script.events.len());
+    for (event_index, &event) in script.events.iter().enumerate() {
+        match event {
+            ScriptEvent::Tick => {
+                t += script.tick;
+                clock.set(t);
+                emit_due(t, &mut senders, &mut in_flight);
+            }
+            ScriptEvent::Deliver(i) => {
+                let frame = in_flight.remove(i);
+                // lint:allow(no-panic-paths, the in-process feed pair cannot error)
+                feed.send(&frame).expect("in-process feed is infallible");
+                // lint:allow(no-panic-paths, the in-process feed pair cannot error)
+                while monitor.poll().expect("in-process poll is infallible") > 0 {}
+            }
+            ScriptEvent::Drop(i) => {
+                in_flight.remove(i);
+            }
+            ScriptEvent::Duplicate(i) => {
+                let copy = in_flight[i].clone();
+                in_flight.push(copy);
+            }
+            ScriptEvent::Crash(p) => {
+                let (_, core, _) = senders
+                    .iter_mut()
+                    .find(|(id, _, _)| *id == p)
+                    // lint:allow(no-panic-paths, a malformed script is a harness bug and must abort the run)
+                    .expect("script crashes an unknown process");
+                core.crash();
+            }
+            ScriptEvent::Recover(p) => {
+                let (_, core, _) = senders
+                    .iter_mut()
+                    .find(|(id, _, _)| *id == p)
+                    // lint:allow(no-panic-paths, a malformed script is a harness bug and must abort the run)
+                    .expect("script recovers an unknown process");
+                core.recover(t);
+            }
+        }
+        let levels = senders
+            .iter()
+            .map(|&(p, _, _)| {
+                let detector = monitor
+                    .detector_mut(p)
+                    // lint:allow(no-panic-paths, run_chaos_script watches every sender upfront)
+                    .expect("every script process is watched");
+                (p, detector.suspicion_level(t))
+            })
+            .collect();
+        trace.push(ScriptSample {
+            event_index,
+            at: t,
+            levels,
+        });
+    }
+
+    ScriptReport {
+        trace,
+        monitor_stats: monitor.stats(),
+        heartbeats_sent: senders.iter().map(|(_, core, _)| core.sent()).sum(),
+        undelivered: in_flight.len(),
     }
 }
 
@@ -868,6 +1110,93 @@ mod tests {
             "got {}",
             drifted.heartbeats_sent
         );
+    }
+
+    #[test]
+    fn script_delivers_heartbeats_and_levels_reset() {
+        let mut script = ChaosScript::new(1);
+        script.tick = Duration::from_secs(1);
+        // One heartbeat is in flight at t=0. Deliver it, advance a tick
+        // (emitting the next), deliver that too, then let two ticks pass
+        // whose frames stay undelivered so suspicion accrues.
+        script.events = vec![
+            ScriptEvent::Deliver(0),
+            ScriptEvent::Tick,
+            ScriptEvent::Deliver(0),
+            ScriptEvent::Tick,
+            ScriptEvent::Tick,
+        ];
+        let report = run_chaos_script(&script, |_| SimpleAccrual::new(Timestamp::ZERO));
+        assert_eq!(report.heartbeats_sent, 4);
+        assert_eq!(report.undelivered, 2);
+        assert_eq!(report.monitor_stats.accepted, 2);
+        let levels: Vec<f64> = report.trace.iter().map(|s| s.levels[0].1.value()).collect();
+        // After each event: deliver@0 → 0, tick → 1 (emits), deliver → 0,
+        // two undelivered ticks → 1, 2.
+        assert_eq!(levels, vec![0.0, 1.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn script_duplicate_is_rejected_by_freshness_filter() {
+        let mut script = ChaosScript::new(1);
+        script.events = vec![
+            ScriptEvent::Duplicate(0),
+            ScriptEvent::Deliver(0),
+            ScriptEvent::Deliver(0),
+        ];
+        let report = run_chaos_script(&script, |_| SimpleAccrual::new(Timestamp::ZERO));
+        assert_eq!(report.monitor_stats.accepted, 1);
+        assert_eq!(report.monitor_stats.duplicate, 1, "Algorithm 4 dedup");
+    }
+
+    #[test]
+    fn script_crash_silences_and_recover_resumes() {
+        let p = ProcessId::new(1);
+        let mut script = ChaosScript::new(1);
+        script.tick = Duration::from_secs(1);
+        script.events = vec![
+            ScriptEvent::Deliver(0),
+            ScriptEvent::Crash(p),
+            ScriptEvent::Tick,
+            ScriptEvent::Tick,
+            ScriptEvent::Recover(p),
+            ScriptEvent::Tick,
+            ScriptEvent::Deliver(0),
+        ];
+        let report = run_chaos_script(&script, |_| SimpleAccrual::new(Timestamp::ZERO));
+        // Crashed ticks emit nothing; recovery emits on the next tick.
+        assert_eq!(report.heartbeats_sent, 2);
+        let last = report.trace.last().unwrap();
+        assert_eq!(last.levels[0].1.value(), 0.0);
+    }
+
+    #[test]
+    fn script_drop_loses_the_frame() {
+        let mut script = ChaosScript::new(1);
+        script.tick = Duration::from_secs(1);
+        script.events = vec![
+            ScriptEvent::Drop(0),
+            ScriptEvent::Tick,
+            ScriptEvent::Deliver(0),
+        ];
+        let report = run_chaos_script(&script, |_| SimpleAccrual::new(Timestamp::ZERO));
+        assert_eq!(report.monitor_stats.accepted, 1);
+        assert_eq!(report.undelivered, 0);
+    }
+
+    #[test]
+    fn script_out_of_order_delivery_is_stale_filtered() {
+        let mut script = ChaosScript::new(1);
+        script.tick = Duration::from_secs(1);
+        // Two frames in flight (t=0 and t=1); deliver the newer first.
+        script.events = vec![
+            ScriptEvent::Tick,
+            ScriptEvent::Deliver(1),
+            ScriptEvent::Deliver(0),
+        ];
+        let report = run_chaos_script(&script, |_| SimpleAccrual::new(Timestamp::ZERO));
+        assert_eq!(report.monitor_stats.accepted, 1);
+        assert_eq!(report.monitor_stats.stale, 1, "Algorithm 4 freshness");
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod transport;
 pub mod wire;
 
 pub use chaos::{
-    run_chaos, run_chaos_zoo, ChaosReport, ChaosScenario, DetectorTrio, DetectorZoo,
+    drive_lock_step, run_chaos, run_chaos_script, run_chaos_zoo, ChaosReport, ChaosScenario,
+    ChaosScript, DetectorTrio, DetectorZoo, ScriptEvent, ScriptReport, ScriptSample,
     ZooDetectorReport, ZooMember, ZooReport,
 };
 pub use clock::{Clock, SystemClock, VirtualClock};
