@@ -314,6 +314,8 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/afd-runtime/src/shard.rs",
     "crates/afd-runtime/src/ring.rs",
     "crates/afd-runtime/src/engine.rs",
+    "crates/afd-runtime/src/lane.rs",
+    "crates/afd-runtime/src/varint.rs",
 ];
 
 /// `.to_vec()` / `Vec::new` / `vec![…]` in a hot-path file. One-time
@@ -624,6 +626,22 @@ mod tests {
                 ("no-alloc-in-hot-path", 4),
             ]
         );
+    }
+
+    #[test]
+    fn hot_path_rule_covers_lane_and_varint() {
+        // The multi-socket fan-in and the v2 varint codec are on the
+        // per-datagram path: one allocation there is per-frame garbage
+        // at a million peers.
+        let src = "fn f(b: &[u8]) -> Vec<u8> { b.to_vec() }\n";
+        for path in [
+            "crates/afd-runtime/src/lane.rs",
+            "crates/afd-runtime/src/varint.rs",
+        ] {
+            let (findings, _) = lint_source(path, src);
+            assert_eq!(findings.len(), 1, "{path}: {findings:?}");
+            assert_eq!(findings[0].rule, "no-alloc-in-hot-path", "{path}");
+        }
     }
 
     #[test]

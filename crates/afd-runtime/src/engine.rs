@@ -51,6 +51,29 @@
 //! wires into a [`HealthBoard`](crate::supervisor::HealthBoard), and
 //! [`shutdown`](ParallelShardEngine::shutdown) (or drop) joins every
 //! thread.
+//!
+//! # Multi-lane intake
+//!
+//! [`start_lanes`](ParallelShardEngine::start_lanes) replaces the single
+//! intake thread with one per transport *lane* (typically the sockets of
+//! a [`MultiUdpTransport`](crate::lane::MultiUdpTransport)):
+//!
+//! ```text
+//!   lane 0 ──► intake 0 ──┐ L×W SPSC rings ┌──► worker 0 ──► ShardCell 0
+//!   lane 1 ──► intake 1 ──┤ (one per       ├──► worker 1 ──► ShardCell 1
+//!     …           …       │  lane×worker   │       …             …
+//!   lane L ──► intake L ──┘  pair)         └──► worker W ──► ShardCell W
+//! ```
+//!
+//! Each lane×worker pair gets its own ring, preserving the rings'
+//! single-producer/single-consumer invariant without any cross-lane
+//! locking; workers round-robin their per-lane consumers. Lane intakes
+//! decode through a per-lane [`WireDecoder`], so v1 and compact v2
+//! delta frames mix freely on every socket, and publish per-lane frame
+//! counters plus per-stage wall-clock profiles (decode vs route, with
+//! workers timing detector update) exported via
+//! [`export_metrics`](ParallelShardEngine::export_metrics) — the
+//! numbers that find the real bottleneck on a multi-core host.
 
 use std::fmt;
 use std::mem;
@@ -70,7 +93,7 @@ use crate::shard::{shard_index, DetectorFactory, Shard, ShardCapacityError, Shar
 use crate::shard::{SnapshotReader, INTAKE_BATCH_SLOTS};
 use crate::supervisor::HealthBoard;
 use crate::transport::{FrameBatch, Transport};
-use crate::wire::{Heartbeat, FRAME_LEN};
+use crate::wire::{Heartbeat, WireDecoder, FRAME_LEN};
 
 /// Frames a free-running worker drains from its ring per loop iteration
 /// before re-checking stop/publish, so one flooded ring cannot starve
@@ -127,6 +150,19 @@ pub struct EngineTickReport {
     pub accepted: u64,
 }
 
+/// Cumulative per-stage wall-clock nanoseconds, measured on the engine
+/// clock by the lane intake threads (decode, route) and the workers
+/// (detector update). All zeros outside multi-lane runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageNanos {
+    /// Wire decode, summed across lane intakes.
+    pub decode: u64,
+    /// Stamp + hash-route into the rings, summed across lane intakes.
+    pub route: u64,
+    /// Ring drain + detector update, summed across workers.
+    pub update: u64,
+}
+
 /// Aggregated counters for a [`ParallelShardEngine`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineStats {
@@ -140,10 +176,17 @@ pub struct EngineStats {
     /// Frames evicted by drop-oldest ring backpressure, cumulative
     /// across engine runs.
     pub ring_dropped: u64,
-    /// Frames the intake path pulled off the transport.
+    /// Frames the intake path pulled off the transport (all lanes).
     pub intake_frames: u64,
     /// Lockstep epochs executed so far.
     pub ticks: u64,
+    /// Frames each lane intake decoded, lane-indexed (empty outside
+    /// multi-lane runs).
+    pub per_lane_frames: Vec<u64>,
+    /// Frames each lane intake rejected at decode, lane-indexed.
+    pub per_lane_corrupt: Vec<u64>,
+    /// Per-stage wall-clock profile of the multi-lane pipeline.
+    pub stage: StageNanos,
 }
 
 /// Counters the intake path (thread or lockstep driver) publishes.
@@ -169,6 +212,17 @@ impl IntakeShared {
     }
 }
 
+/// Counters one lane's intake thread publishes, on top of the shared
+/// intake fields. Single-writer: one thread per lane.
+#[derive(Default)]
+struct LaneShared {
+    intake: IntakeShared,
+    /// Wall-clock nanos spent decoding frames, on the engine clock.
+    decode_nanos: AtomicU64,
+    /// Wall-clock nanos spent stamping + routing into rings.
+    route_nanos: AtomicU64,
+}
+
 /// Counters one worker publishes. Single-writer per worker.
 #[derive(Default)]
 struct WorkerShared {
@@ -179,6 +233,9 @@ struct WorkerShared {
     unwatched: AtomicU64,
     loops: AtomicU64,
     busy_loops: AtomicU64,
+    /// Wall-clock nanos spent draining rings into detectors, on the
+    /// engine clock.
+    update_nanos: AtomicU64,
     panicked: AtomicBool,
 }
 
@@ -350,10 +407,34 @@ impl Drop for IntakePanicGuard {
     }
 }
 
-/// One running worker thread plus its observers.
+/// Raises a lane intake's panic flag if its thread unwinds.
+struct LanePanicGuard {
+    shared: Arc<LaneShared>,
+}
+
+impl Drop for LanePanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.intake.panicked.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// One running worker thread plus its observers (one ring watch per
+/// feeding intake — a single entry except in multi-lane runs).
 struct WorkerHandle<D> {
     handle: JoinHandle<Shard<D>>,
-    watch: RingWatch,
+    watches: Vec<RingWatch>,
+}
+
+impl<D> WorkerHandle<D> {
+    fn ring_depth(&self) -> usize {
+        self.watches.iter().map(RingWatch::len).sum()
+    }
+
+    fn ring_dropped(&self) -> u64 {
+        self.watches.iter().map(RingWatch::dropped).sum()
+    }
 }
 
 enum EngineState<T, D> {
@@ -370,6 +451,15 @@ enum EngineState<T, D> {
     /// Free-running: intake thread owns the transport (returned on join).
     Free {
         intake: JoinHandle<T>,
+        stop: Arc<AtomicBool>,
+        workers: Vec<WorkerHandle<D>>,
+    },
+    /// Multi-lane free-running: one intake thread per lane owns its lane
+    /// transport; the engine's own transport `T` sits parked (its intake
+    /// loop never runs — heartbeats arrive on the lanes).
+    FreeLanes {
+        transport: T,
+        intakes: Vec<JoinHandle<Box<dyn Transport>>>,
         stop: Arc<AtomicBool>,
         workers: Vec<WorkerHandle<D>>,
     },
@@ -390,6 +480,9 @@ pub struct ParallelShardEngine<T, C, D> {
     cells: Arc<Vec<Arc<ShardCell>>>,
     state: EngineState<T, D>,
     intake_shared: Arc<IntakeShared>,
+    /// One entry per lane while (and after) a multi-lane run; reset by
+    /// the next [`start_lanes`](Self::start_lanes).
+    lane_shared: Vec<Arc<LaneShared>>,
     worker_shared: Vec<Arc<WorkerShared>>,
     peers_per_shard: Vec<usize>,
     /// Ring drops accumulated from finished runs (live rings are read
@@ -404,6 +497,7 @@ impl<T, C, D> fmt::Debug for ParallelShardEngine<T, C, D> {
             EngineState::Idle { .. } => "idle",
             EngineState::Lockstep { .. } => "lockstep",
             EngineState::Free { .. } => "free-running",
+            EngineState::FreeLanes { .. } => "free-lanes",
             EngineState::Failed { .. } => "failed",
         };
         f.debug_struct("ParallelShardEngine")
@@ -455,6 +549,8 @@ where
             cells: Arc::new(cells),
             state: EngineState::Idle { transport, shards },
             intake_shared: Arc::new(IntakeShared::default()),
+            // lint:allow(no-alloc-in-hot-path, one-time construction)
+            lane_shared: Vec::new(),
             worker_shared,
             // lint:allow(no-alloc-in-hot-path, one-time construction)
             peers_per_shard: vec![0; config.workers],
@@ -653,7 +749,11 @@ where
                         let handle = std::thread::spawn(move || {
                             lockstep_worker(idx, shard, ring, barrier, shared)
                         });
-                        WorkerHandle { handle, watch }
+                        WorkerHandle {
+                            handle,
+                            // lint:allow(no-alloc-in-hot-path, one-time construction at start)
+                            watches: vec![watch],
+                        }
                     })
                     .collect();
                 self.state = EngineState::Lockstep {
@@ -677,9 +777,14 @@ where
                         let clock = self.clock.clone();
                         let publish_every = self.config.publish_every;
                         let handle = std::thread::spawn(move || {
-                            free_worker(shard, ring, clock, stop, shared, publish_every)
+                            // lint:allow(no-alloc-in-hot-path, one-time construction at start)
+                            free_worker(shard, vec![ring], clock, stop, shared, publish_every)
                         });
-                        WorkerHandle { handle, watch }
+                        WorkerHandle {
+                            handle,
+                            // lint:allow(no-alloc-in-hot-path, one-time construction at start)
+                            watches: vec![watch],
+                        }
                     })
                     .collect();
                 let clock = self.clock.clone();
@@ -706,6 +811,119 @@ where
         Ok(())
     }
 
+    /// Spawns one intake thread per transport *lane* plus free-running
+    /// workers, wired through lane×worker SPSC rings (see the module
+    /// docs). The engine's own transport sits parked until
+    /// [`shutdown`](Self::shutdown); heartbeats arrive on the lanes,
+    /// decoded through a per-lane [`WireDecoder`] that accepts both v1
+    /// and compact v2 delta frames.
+    ///
+    /// Lane transports are consumed: shutdown drops them (they are bound
+    /// sockets), so each `start_lanes` takes freshly bound lanes —
+    /// typically [`MultiUdpTransport::into_lanes`](crate::lane::MultiUdpTransport::into_lanes).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Running`] if already started,
+    /// [`EngineError::WorkerPanicked`] if the engine already failed, and
+    /// [`EngineError::Transport`] if `lanes` is empty.
+    pub fn start_lanes<L: Transport + 'static>(
+        &mut self,
+        lanes: Vec<L>,
+    ) -> Result<(), EngineError> {
+        match &self.state {
+            EngineState::Idle { .. } => {}
+            EngineState::Failed { worker } => {
+                return Err(EngineError::WorkerPanicked { worker: *worker })
+            }
+            _ => return Err(EngineError::Running),
+        }
+        if lanes.is_empty() {
+            return Err(EngineError::Transport(TransportError::Io(
+                "start_lanes requires at least one lane".into(),
+            )));
+        }
+        let (transport, shards) =
+            match mem::replace(&mut self.state, EngineState::Failed { worker: usize::MAX }) {
+                EngineState::Idle { transport, shards } => (transport, shards),
+                // Unreachable: checked Idle above; the placeholder keeps the
+                // state machine total without panicking.
+                other => {
+                    self.state = other;
+                    return Err(EngineError::Running);
+                }
+            };
+
+        // One ring per lane×worker pair: lane l's intake is the only
+        // producer and worker w the only consumer of ring (l, w), so the
+        // SPSC invariant holds with no cross-lane locking.
+        let workers_n = self.config.workers;
+        let mut lane_producers: Vec<Vec<RingProducer>> = Vec::with_capacity(lanes.len());
+        let mut worker_rings: Vec<Vec<RingConsumer>> = (0..workers_n)
+            .map(|_| Vec::with_capacity(lanes.len()))
+            .collect();
+        for _ in 0..lanes.len() {
+            let mut producers = Vec::with_capacity(workers_n);
+            for rings in worker_rings.iter_mut() {
+                let (tx, rx) = heartbeat_ring(self.config.ring_capacity);
+                producers.push(tx);
+                rings.push(rx);
+            }
+            lane_producers.push(producers);
+        }
+        self.lane_shared = (0..lanes.len())
+            .map(|_| Arc::new(LaneShared::default()))
+            .collect();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = shards
+            .into_iter()
+            .zip(worker_rings)
+            .enumerate()
+            .map(|(idx, (shard, rings))| {
+                let watches = rings.iter().map(RingConsumer::watch).collect();
+                let stop = Arc::clone(&stop);
+                let shared = Arc::clone(&self.worker_shared[idx]);
+                let clock = self.clock.clone();
+                let publish_every = self.config.publish_every;
+                let handle = std::thread::spawn(move || {
+                    free_worker(shard, rings, clock, stop, shared, publish_every)
+                });
+                WorkerHandle { handle, watches }
+            })
+            .collect();
+
+        let intakes = lanes
+            .into_iter()
+            .zip(lane_producers)
+            .enumerate()
+            .map(|(idx, (lane, producers))| {
+                let shared = Arc::clone(&self.lane_shared[idx]);
+                let stop = Arc::clone(&stop);
+                let clock = self.clock.clone();
+                let batch_slots = self.config.batch_slots;
+                std::thread::spawn(move || {
+                    lane_intake_loop(
+                        Box::new(lane) as Box<dyn Transport>,
+                        clock,
+                        producers,
+                        shared,
+                        stop,
+                        batch_slots,
+                    )
+                })
+            })
+            .collect();
+
+        self.state = EngineState::FreeLanes {
+            transport,
+            intakes,
+            stop,
+            workers,
+        };
+        Ok(())
+    }
+
     /// Runs one lockstep epoch: drain the transport, route every frame,
     /// release all workers through the barrier, wait for them.
     ///
@@ -724,7 +942,9 @@ where
                 workers,
             } => (transport, batch, producers, barrier, workers),
             EngineState::Idle { .. } => return Err(EngineError::NotRunning),
-            EngineState::Free { .. } => return Err(EngineError::NotLockstep),
+            EngineState::Free { .. } | EngineState::FreeLanes { .. } => {
+                return Err(EngineError::NotLockstep)
+            }
             EngineState::Failed { worker } => {
                 return Err(EngineError::WorkerPanicked { worker: *worker })
             }
@@ -834,6 +1054,27 @@ where
                 self.state = EngineState::Idle { transport, shards };
                 Ok(())
             }
+            EngineState::FreeLanes {
+                transport,
+                intakes,
+                stop,
+                workers,
+            } => {
+                stop.store(true, Ordering::Release);
+                let mut lane_panicked = false;
+                for intake in intakes {
+                    // Lane transports are dropped here: lanes are bound
+                    // sockets, so a later `start_lanes` rebinds fresh ones.
+                    lane_panicked |= intake.join().is_err();
+                }
+                if lane_panicked {
+                    self.state = EngineState::Failed { worker: usize::MAX };
+                    return Err(EngineError::WorkerPanicked { worker: usize::MAX });
+                }
+                let shards = self.join_workers(workers)?;
+                self.state = EngineState::Idle { transport, shards };
+                Ok(())
+            }
         }
     }
 
@@ -846,7 +1087,7 @@ where
         let mut shards = Vec::with_capacity(workers.len());
         let mut panicked = None;
         for (idx, worker) in workers.into_iter().enumerate() {
-            self.ring_dropped_past = self.ring_dropped_past.wrapping_add(worker.watch.dropped());
+            self.ring_dropped_past = self.ring_dropped_past.wrapping_add(worker.ring_dropped());
             match worker.handle.join() {
                 Ok(shard) => shards.push(shard),
                 Err(_) => panicked = Some(idx),
@@ -881,10 +1122,19 @@ where
     /// The intake thread stops on the first fault; workers keep serving
     /// reads until [`shutdown`](Self::shutdown).
     pub fn intake_fault(&self) -> Option<TransportError> {
-        match self.intake_shared.fault.lock() {
+        let own = match self.intake_shared.fault.lock() {
             Ok(g) => g.clone(),
             Err(p) => p.into_inner().clone(),
+        };
+        if own.is_some() {
+            return own;
         }
+        self.lane_shared
+            .iter()
+            .find_map(|lane| match lane.intake.fault.lock() {
+                Ok(g) => g.clone(),
+                Err(p) => p.into_inner().clone(),
+            })
     }
 
     /// Aggregated counters. Callable in any state; while running, values
@@ -903,13 +1153,33 @@ where
             totals.unwatched += stats.unwatched;
             per_worker.push(stats);
         }
+        let mut per_lane_frames = Vec::with_capacity(self.lane_shared.len());
+        let mut per_lane_corrupt = Vec::with_capacity(self.lane_shared.len());
+        let mut stage = StageNanos::default();
+        let mut lane_frames_total = 0u64;
+        for lane in &self.lane_shared {
+            let frames = lane.intake.frames.load(Ordering::Relaxed);
+            let corrupt = lane.intake.corrupt.load(Ordering::Relaxed);
+            per_lane_frames.push(frames);
+            per_lane_corrupt.push(corrupt);
+            lane_frames_total += frames;
+            totals.corrupt += corrupt;
+            stage.decode += lane.decode_nanos.load(Ordering::Relaxed);
+            stage.route += lane.route_nanos.load(Ordering::Relaxed);
+        }
+        for shared in &self.worker_shared {
+            stage.update += shared.update_nanos.load(Ordering::Relaxed);
+        }
         EngineStats {
             totals,
             per_worker,
             peers_per_shard: self.peers_per_shard.clone(),
             ring_dropped: self.ring_dropped_total(),
-            intake_frames: self.intake_shared.frames.load(Ordering::Relaxed),
+            intake_frames: self.intake_shared.frames.load(Ordering::Relaxed) + lane_frames_total,
             ticks: self.ticks,
+            per_lane_frames,
+            per_lane_corrupt,
+            stage,
         }
     }
 
@@ -917,8 +1187,10 @@ where
     /// workers and surviving engine restarts.
     pub fn ring_dropped_total(&self) -> u64 {
         let live: u64 = match &self.state {
-            EngineState::Lockstep { workers, .. } | EngineState::Free { workers, .. } => {
-                workers.iter().map(|w| w.watch.dropped()).sum()
+            EngineState::Lockstep { workers, .. }
+            | EngineState::Free { workers, .. }
+            | EngineState::FreeLanes { workers, .. } => {
+                workers.iter().map(WorkerHandle::ring_dropped).sum()
             }
             _ => 0,
         };
@@ -940,6 +1212,13 @@ where
                 now,
             );
         }
+        for (idx, lane) in self.lane_shared.iter().enumerate() {
+            board.track(
+                format!("engine.lane.{idx}"),
+                Arc::clone(&lane.intake.liveness),
+                now,
+            );
+        }
     }
 
     /// `Some(worker)` if any worker (or the intake thread) has panicked
@@ -950,6 +1229,13 @@ where
             return Some(*worker);
         }
         if self.intake_shared.panicked.load(Ordering::Acquire) {
+            return Some(usize::MAX);
+        }
+        if self
+            .lane_shared
+            .iter()
+            .any(|lane| lane.intake.panicked.load(Ordering::Acquire))
+        {
             return Some(usize::MAX);
         }
         self.worker_shared
@@ -987,19 +1273,19 @@ where
             .gauge("engine.peers")
             .set(stats.peers_per_shard.iter().sum::<usize>() as f64);
         let live_workers: Option<&Vec<WorkerHandle<D>>> = match &self.state {
-            EngineState::Lockstep { workers, .. } | EngineState::Free { workers, .. } => {
-                Some(workers)
-            }
+            EngineState::Lockstep { workers, .. }
+            | EngineState::Free { workers, .. }
+            | EngineState::FreeLanes { workers, .. } => Some(workers),
             _ => None,
         };
         for (idx, shared) in self.worker_shared.iter().enumerate() {
             if let Some(workers) = live_workers {
                 registry
                     .gauge(&format!("engine.worker.{idx}.ring_depth"))
-                    .set(workers[idx].watch.len() as f64);
+                    .set(workers[idx].ring_depth() as f64);
                 registry
                     .counter(&format!("engine.worker.{idx}.ring_dropped"))
-                    .set(workers[idx].watch.dropped());
+                    .set(workers[idx].ring_dropped());
             }
             let loops = shared.loops.load(Ordering::Relaxed);
             let busy = shared.busy_loops.load(Ordering::Relaxed);
@@ -1011,6 +1297,37 @@ where
             registry
                 .gauge(&format!("engine.worker.{idx}.utilization"))
                 .set(utilization);
+            registry
+                .counter(&format!("engine.worker.{idx}.update_nanos"))
+                .set(shared.update_nanos.load(Ordering::Relaxed));
+        }
+        for (idx, lane) in self.lane_shared.iter().enumerate() {
+            registry
+                .counter(&format!("engine.lane.{idx}.frames"))
+                .set(lane.intake.frames.load(Ordering::Relaxed));
+            registry
+                .counter(&format!("engine.lane.{idx}.corrupt"))
+                .set(lane.intake.corrupt.load(Ordering::Relaxed));
+            registry
+                .counter(&format!("engine.lane.{idx}.decode_nanos"))
+                .set(lane.decode_nanos.load(Ordering::Relaxed));
+            registry
+                .counter(&format!("engine.lane.{idx}.route_nanos"))
+                .set(lane.route_nanos.load(Ordering::Relaxed));
+        }
+        if !self.lane_shared.is_empty() {
+            registry
+                .gauge("engine.lanes")
+                .set(self.lane_shared.len() as f64);
+            registry
+                .counter("engine.stage.decode_nanos")
+                .set(stats.stage.decode);
+            registry
+                .counter("engine.stage.route_nanos")
+                .set(stats.stage.route);
+            registry
+                .counter("engine.stage.update_nanos")
+                .set(stats.stage.update);
         }
     }
 }
@@ -1035,6 +1352,20 @@ impl<T, C, D> Drop for ParallelShardEngine<T, C, D> {
             } => {
                 stop.store(true, Ordering::Release);
                 let _ = intake.join();
+                for worker in workers {
+                    let _ = worker.handle.join();
+                }
+            }
+            EngineState::FreeLanes {
+                intakes,
+                stop,
+                workers,
+                ..
+            } => {
+                stop.store(true, Ordering::Release);
+                for intake in intakes {
+                    let _ = intake.join();
+                }
                 for worker in workers {
                     let _ = worker.handle.join();
                 }
@@ -1080,12 +1411,14 @@ fn lockstep_worker<D: AccrualFailureDetector>(
     shard
 }
 
-/// Free-running worker: drain the ring (bounded per iteration), publish
-/// on the configured cadence, yield when idle. On stop, drain what's
-/// left and publish one final epoch.
+/// Free-running worker: drain its rings round-robin (bounded total per
+/// iteration), publish on the configured cadence, yield when idle. On
+/// stop, drain what's left and publish one final epoch. Takes one ring
+/// per feeding intake — a single ring normally, one per lane under
+/// [`ParallelShardEngine::start_lanes`].
 fn free_worker<C: Clock, D: AccrualFailureDetector>(
     mut shard: Shard<D>,
-    mut ring: RingConsumer,
+    mut rings: Vec<RingConsumer>,
     clock: C,
     stop: Arc<AtomicBool>,
     shared: Arc<WorkerShared>,
@@ -1104,18 +1437,31 @@ fn free_worker<C: Clock, D: AccrualFailureDetector>(
         // Order matters: read stop *before* the final drain so no frame
         // pushed before the stop store can be missed.
         let stopping = stop.load(Ordering::Acquire);
+        let drain_start = clock.now();
         let mut processed = 0usize;
-        while processed < WORKER_DRAIN_CAP {
-            match ring.pop() {
+        // Round-robin across rings; a dry pass over every ring ends the
+        // drain even with budget left, so one empty lane can't spin.
+        let mut dry = 0usize;
+        let mut next = 0usize;
+        while processed < WORKER_DRAIN_CAP && dry < rings.len() {
+            match rings[next].pop() {
                 Some((hb, at)) => {
                     shard.accept(hb, at);
                     processed += 1;
+                    dry = 0;
                 }
-                None => break,
+                None => dry += 1,
             }
+            next = (next + 1) % rings.len();
         }
         let now = clock.now();
         let due = now.saturating_duration_since(last_publish) >= publish_every;
+        if processed > 0 {
+            IntakeShared::add(
+                &shared.update_nanos,
+                now.saturating_duration_since(drain_start).as_nanos(),
+            );
+        }
         if processed > 0 || due || stopping {
             if due || stopping {
                 shard.publish(now);
@@ -1183,6 +1529,83 @@ fn intake_loop<T: Transport, C: Clock>(
             }
             Err(fault) => {
                 let mut slot = match shared.fault.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                *slot = Some(fault);
+                break;
+            }
+        }
+    }
+    transport
+}
+
+/// One lane's intake: drain the lane transport through a reusable arena,
+/// decode every frame through a per-lane [`WireDecoder`] (v1 and v2
+/// delta frames mix freely), stamp, and hash-route into this lane's
+/// per-worker rings. Each batch is timed in two passes on the engine
+/// clock — decode, then stamp+route — feeding the per-stage profile in
+/// [`EngineStats::stage`]. Stops on the cooperative flag or the first
+/// transport fault.
+fn lane_intake_loop<C: Clock>(
+    mut transport: Box<dyn Transport>,
+    clock: C,
+    mut producers: Vec<RingProducer>,
+    shared: Arc<LaneShared>,
+    stop: Arc<AtomicBool>,
+    batch_slots: usize,
+) -> Box<dyn Transport> {
+    let _guard = LanePanicGuard {
+        shared: Arc::clone(&shared),
+    };
+    let mut batch = FrameBatch::with_capacity(batch_slots);
+    let mut decoder = WireDecoder::new();
+    // Scratch for the decode pass, reused across batches: allocation-free
+    // in steady state (capacity equals the arena's slot count).
+    let mut scratch: Vec<Heartbeat> = Vec::with_capacity(batch_slots);
+    let shards = producers.len();
+    while !stop.load(Ordering::Acquire) {
+        batch.clear();
+        match transport.recv_batch(&mut batch) {
+            Ok(0) => {
+                IntakeShared::add(&shared.intake.liveness, 1);
+                std::thread::yield_now();
+            }
+            Ok(_) => {
+                let mut corrupt = 0u64;
+                scratch.clear();
+                let decode_start = clock.now();
+                for frame in batch.iter() {
+                    match decoder.decode(frame) {
+                        Ok(hb) => scratch.push(hb),
+                        Err(_) => corrupt += 1,
+                    }
+                }
+                let route_start = clock.now();
+                let frames = scratch.len() as u64;
+                for hb in scratch.drain(..) {
+                    // Stamp per routed frame, exactly as the
+                    // single-intake loop does.
+                    let now = clock.now();
+                    producers[shard_index(hb.sender, shards)].push(hb, now);
+                }
+                let route_end = clock.now();
+                IntakeShared::add(
+                    &shared.decode_nanos,
+                    route_start
+                        .saturating_duration_since(decode_start)
+                        .as_nanos(),
+                );
+                IntakeShared::add(
+                    &shared.route_nanos,
+                    route_end.saturating_duration_since(route_start).as_nanos(),
+                );
+                IntakeShared::add(&shared.intake.frames, frames);
+                IntakeShared::add(&shared.intake.corrupt, corrupt);
+                IntakeShared::add(&shared.intake.liveness, 1);
+            }
+            Err(fault) => {
+                let mut slot = match shared.intake.fault.lock() {
                     Ok(g) => g,
                     Err(p) => p.into_inner(),
                 };
@@ -1365,6 +1788,142 @@ mod tests {
         clock.advance(Duration::from_secs(4));
         engine.tick().unwrap();
         assert!(board.observe(clock.now()).is_empty());
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn multi_lane_udp_intake_mixes_v1_and_v2_frames() {
+        use crate::lane::MultiUdpTransport;
+        use crate::transport::NullTransport;
+        use crate::wire::{DeltaEncoder, MAX_V2_FRAME};
+
+        let clock = VirtualClock::new();
+        let mut engine = ParallelShardEngine::new(
+            NullTransport,
+            clock.clone(),
+            EngineConfig {
+                workers: 2,
+                publish_every: Duration::ZERO,
+                ..EngineConfig::default()
+            },
+            |_| SimpleAccrual::new(Timestamp::ZERO),
+        );
+        for id in 0..6u32 {
+            engine.watch(ProcessId::new(id)).unwrap();
+        }
+        let multi = MultiUdpTransport::bind("127.0.0.1:0".parse().unwrap(), 2).unwrap();
+        let addrs = multi.local_addrs().unwrap();
+        engine.start_lanes(multi.into_lanes()).unwrap();
+        clock.set(Timestamp::from_secs(1));
+
+        let sock = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        // Peers 1..6 speak v1, each to the lane its id hashes to.
+        for id in 1..6u32 {
+            let lane = MultiUdpTransport::lane_for(id, 2);
+            sock.send_to(&frame(id, 1), addrs[lane]).unwrap();
+        }
+        // Peer 0 speaks v2: an intern frame then a compact delta through
+        // the same lane (same per-lane decoder holds the intern table).
+        let lane0 = MultiUdpTransport::lane_for(0, 2);
+        let mut enc =
+            DeltaEncoder::new(ProcessId::new(0), 7, std::time::Duration::from_secs(1), 64);
+        let mut buf = [0u8; MAX_V2_FRAME];
+        for seq in 1..=2u64 {
+            let hb = Heartbeat {
+                sender: ProcessId::new(0),
+                seq,
+                sent_at: Timestamp::from_secs(seq),
+            };
+            let n = enc.encode(&hb, &mut buf);
+            assert!(n > 0, "encoder produced a frame");
+            sock.send_to(&buf[..n], addrs[lane0]).unwrap();
+        }
+        // Garbage long enough to clear the lane's short-datagram filter.
+        sock.send_to(&[0xAAu8; 16], addrs[lane0]).unwrap();
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stats = engine.stats();
+            if stats.totals.accepted >= 7 && stats.totals.corrupt >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "stalled: {stats:?}");
+            std::thread::yield_now();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.per_lane_frames.len(), 2);
+        assert_eq!(stats.per_lane_frames.iter().sum::<u64>(), 7);
+        assert_eq!(stats.per_lane_corrupt.iter().sum::<u64>(), 1);
+        assert_eq!(stats.intake_frames, 7);
+
+        let registry = afd_obs::Registry::new();
+        engine.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("engine.lanes"), Some(2.0));
+        let lane_frames = snap.counter("engine.lane.0.frames").unwrap()
+            + snap.counter("engine.lane.1.frames").unwrap();
+        assert_eq!(lane_frames, 7);
+        assert!(snap.counter("engine.stage.decode_nanos").is_some());
+        assert!(snap.counter("engine.stage.route_nanos").is_some());
+        assert!(snap.counter("engine.stage.update_nanos").is_some());
+        for idx in 0..2 {
+            assert!(snap
+                .counter(&format!("engine.worker.{idx}.update_nanos"))
+                .is_some());
+        }
+
+        let mut board = HealthBoard::new(Duration::from_secs(5));
+        engine.register_health(&mut board, clock.now());
+        assert_eq!(board.len(), 5, "intake + 2 workers + 2 lanes");
+
+        engine.shutdown().unwrap();
+        // The parked engine transport came back through shutdown.
+        assert!(engine.transport().is_some());
+        let reader = engine.reader();
+        assert_eq!(reader.snapshot().len(), 6);
+    }
+
+    #[test]
+    fn start_lanes_rejects_empty_and_running() {
+        let (_tx, mut engine, _clock) = rig(EngineConfig::default());
+        assert!(matches!(
+            engine.start_lanes(Vec::<crate::lane::UdpLane>::new()),
+            Err(EngineError::Transport(_))
+        ));
+        engine.start(EngineMode::Lockstep).unwrap();
+        let lane = crate::lane::UdpLane::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        assert!(matches!(
+            engine.start_lanes(vec![lane]),
+            Err(EngineError::Running)
+        ));
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn multi_lane_engine_restarts_in_plain_modes() {
+        use crate::lane::MultiUdpTransport;
+        use crate::transport::NullTransport;
+
+        let clock = VirtualClock::new();
+        let mut engine = ParallelShardEngine::new(
+            NullTransport,
+            clock.clone(),
+            EngineConfig {
+                workers: 2,
+                publish_every: Duration::ZERO,
+                ..EngineConfig::default()
+            },
+            |_| SimpleAccrual::new(Timestamp::ZERO),
+        );
+        engine.watch(ProcessId::new(1)).unwrap();
+        let multi = MultiUdpTransport::bind("127.0.0.1:0".parse().unwrap(), 2).unwrap();
+        engine.start_lanes(multi.into_lanes()).unwrap();
+        assert!(matches!(engine.tick(), Err(EngineError::NotLockstep)));
+        engine.shutdown().unwrap();
+        // Detector state survives; a plain free-running start still works
+        // against the (null) engine transport.
+        assert_eq!(engine.watch(ProcessId::new(1)), Ok(false));
+        engine.start(EngineMode::FreeRunning).unwrap();
         engine.shutdown().unwrap();
     }
 

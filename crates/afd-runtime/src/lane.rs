@@ -1,0 +1,526 @@
+//! Multi-socket UDP intake lanes: the million-peer fan-in path.
+//!
+//! A single `UdpSocket` serializes every peer's heartbeats through one
+//! kernel receive queue and one reader thread — e14 showed that socket,
+//! not the detectors, is the intake bottleneck. [`MultiUdpTransport`]
+//! shards the receive side across `L` independent non-blocking sockets
+//! (*lanes*), each drained by its own engine intake thread into its own
+//! [`FrameBatch`] arena, so datagram receive, decode, and ring routing
+//! all parallelize with the socket count.
+//!
+//! # Port fan-in
+//!
+//! The portable deployment binds each lane to a **distinct port**
+//! (`base_port + i`, or OS-chosen when the base port is 0) and senders
+//! pick a lane by hashing their process id — the same load-spreading
+//! effect as `SO_REUSEPORT` kernel hashing without requiring platform
+//! socket options (`std::net` exposes none, and this crate takes no
+//! platform dependencies). On hosts with `SO_REUSEPORT` the same
+//! `N sockets → N threads` topology applies; only the bind call differs.
+//!
+//! # Receive discipline
+//!
+//! Each lane's [`recv_batch`](Transport::recv_batch) drains its socket
+//! until `EWOULDBLOCK`, the batch fills, or a per-call syscall budget is
+//! spent — the budget bounds how long one drain can monopolize the
+//! intake thread when a lane is firehosed, keeping liveness ticks and
+//! stop-flag checks timely. Datagrams are received straight into the
+//! probe-sized arena slots ([`PROBE_LEN`]): an oversize datagram
+//! (> [`MAX_DATAGRAM`]) is detected and counted, never truncated into a
+//! decodable-looking frame, and a runt shorter than any wire frame
+//! ([`MIN_FRAME`](crate::wire::MIN_FRAME)) is dropped before decode.
+//! Unlike [`UdpTransport`](crate::transport::UdpTransport)'s
+//! single-peer filter, lanes accept datagrams from **any** source — a
+//! million senders cannot share one known address; authenticity is the
+//! checksum's job, liveness the detector's.
+//!
+//! Every counter is published through [`UdpLaneStats`] (single-writer:
+//! only the lane's intake thread stores) and exported as
+//! `udp.lane.<i>.*` metrics plus `udp.*` totals by
+//! [`MultiUdpStats::export_metrics`].
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::TransportError;
+use crate::transport::{FrameBatch, Transport, MAX_DATAGRAM, PROBE_LEN};
+use crate::wire::MIN_FRAME;
+
+use std::io::ErrorKind;
+
+/// Default per-`recv_batch` syscall budget for a lane.
+pub const DEFAULT_RECV_BUDGET: usize = 4096;
+
+/// Counters one lane's intake publishes. Single-writer: only the thread
+/// draining the lane stores; readers (metrics export, benches) load.
+#[derive(Debug, Default)]
+pub struct UdpLaneStats {
+    datagrams: AtomicU64,
+    oversize: AtomicU64,
+    short: AtomicU64,
+    syscalls: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl UdpLaneStats {
+    /// Single-writer add: a plain load+store pair is exact because only
+    /// the lane's intake thread writes these counters.
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.store(
+            counter.load(Ordering::Relaxed).wrapping_add(n),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Datagrams accepted into a batch.
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams dropped for exceeding [`MAX_DATAGRAM`].
+    pub fn oversize_dropped(&self) -> u64 {
+        self.oversize.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams dropped for being shorter than any wire frame.
+    pub fn short_dropped(&self) -> u64 {
+        self.short.load(Ordering::Relaxed)
+    }
+
+    /// `recv_from` syscalls issued (including the terminal
+    /// `EWOULDBLOCK` probe of each drain).
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls.load(Ordering::Relaxed)
+    }
+
+    /// `recv_batch` calls that stored at least one frame.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Mean syscalls per non-empty batch — the syscall-batching win.
+    pub fn syscalls_per_batch(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.syscalls() as f64 / batches as f64
+    }
+}
+
+/// One intake lane: a non-blocking any-source UDP socket with budgeted
+/// batch draining and per-lane counters.
+#[derive(Debug)]
+pub struct UdpLane {
+    socket: UdpSocket,
+    stats: Arc<UdpLaneStats>,
+    recv_budget: usize,
+}
+
+impl UdpLane {
+    /// Binds one lane on `local` (port 0 = OS-chosen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the socket cannot be bound or made
+    /// non-blocking.
+    pub fn bind(local: SocketAddr) -> Result<Self, TransportError> {
+        let socket = UdpSocket::bind(local)?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpLane {
+            socket,
+            stats: Arc::new(UdpLaneStats::default()),
+            recv_budget: DEFAULT_RECV_BUDGET,
+        })
+    }
+
+    /// The lane's bound address — senders target this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the OS cannot report the address.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.socket.local_addr()?)
+    }
+
+    /// Shared handle to this lane's counters (clone it before moving the
+    /// lane into an engine).
+    pub fn stats(&self) -> Arc<UdpLaneStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Caps `recv_from` syscalls per `recv_batch` call (floored at 1).
+    pub fn set_recv_budget(&mut self, budget: usize) {
+        self.recv_budget = budget.max(1);
+    }
+}
+
+impl Transport for UdpLane {
+    /// Lanes are receive-only; heartbeat *sending* goes through
+    /// [`UdpTransport`](crate::transport::UdpTransport) aimed at a
+    /// lane's address.
+    fn send(&mut self, _frame: &[u8]) -> Result<(), TransportError> {
+        Err(TransportError::Io(
+            "UDP intake lane is receive-only".to_owned(),
+        ))
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut buf = [0u8; PROBE_LEN];
+        loop {
+            UdpLaneStats::add(&self.stats.syscalls, 1);
+            return match self.socket.recv_from(&mut buf) {
+                Ok((n, _from)) => {
+                    if n > MAX_DATAGRAM {
+                        UdpLaneStats::add(&self.stats.oversize, 1);
+                        continue;
+                    }
+                    if n < MIN_FRAME {
+                        UdpLaneStats::add(&self.stats.short, 1);
+                        continue;
+                    }
+                    UdpLaneStats::add(&self.stats.datagrams, 1);
+                    // lint:allow(no-alloc-in-hot-path, legacy per-frame path; batched intake uses recv_batch)
+                    Ok(Some(buf[..n].to_vec()))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) if e.kind() == ErrorKind::ConnectionRefused => Ok(None),
+                Err(e) => Err(e.into()),
+            };
+        }
+    }
+
+    /// Budgeted drain-until-`EWOULDBLOCK` straight into the arena slots:
+    /// one syscall per datagram, zero copies beyond the kernel's, zero
+    /// heap allocations.
+    fn recv_batch(&mut self, batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        let mut got = 0usize;
+        let mut oversize = 0u64;
+        let mut short = 0u64;
+        let mut syscalls = 0u64;
+        let mut failure: Option<TransportError> = None;
+        let mut drained = false;
+        let socket = &self.socket;
+        while !batch.is_full()
+            && !drained
+            && failure.is_none()
+            && syscalls < self.recv_budget as u64
+        {
+            batch.push_with(|buf| {
+                syscalls += 1;
+                match socket.recv_from(buf) {
+                    Ok((n, _from)) => {
+                        if n > MAX_DATAGRAM {
+                            oversize += 1;
+                            return None;
+                        }
+                        if n < MIN_FRAME {
+                            short += 1;
+                            return None;
+                        }
+                        got += 1;
+                        Some(n)
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        drained = true;
+                        None
+                    }
+                    Err(e) if e.kind() == ErrorKind::ConnectionRefused => None,
+                    Err(e) => {
+                        failure = Some(e.into());
+                        None
+                    }
+                }
+            });
+        }
+        UdpLaneStats::add(&self.stats.syscalls, syscalls);
+        UdpLaneStats::add(&self.stats.oversize, oversize);
+        UdpLaneStats::add(&self.stats.short, short);
+        if got > 0 {
+            UdpLaneStats::add(&self.stats.datagrams, got as u64);
+            UdpLaneStats::add(&self.stats.batches, 1);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(got),
+        }
+    }
+}
+
+/// Cloneable read side of a lane group's counters, usable after the
+/// lanes themselves have moved into an engine.
+#[derive(Debug, Clone)]
+pub struct MultiUdpStats {
+    per_lane: Vec<Arc<UdpLaneStats>>,
+}
+
+impl MultiUdpStats {
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.per_lane.len()
+    }
+
+    /// One lane's counters.
+    pub fn lane(&self, i: usize) -> &UdpLaneStats {
+        &self.per_lane[i]
+    }
+
+    /// Sum of accepted datagrams across lanes.
+    pub fn datagrams(&self) -> u64 {
+        self.per_lane.iter().map(|l| l.datagrams()).sum()
+    }
+
+    /// Sum of oversize drops across lanes.
+    pub fn oversize_dropped(&self) -> u64 {
+        self.per_lane.iter().map(|l| l.oversize_dropped()).sum()
+    }
+
+    /// Sum of short-datagram drops across lanes.
+    pub fn short_dropped(&self) -> u64 {
+        self.per_lane.iter().map(|l| l.short_dropped()).sum()
+    }
+
+    /// Sum of `recv_from` syscalls across lanes.
+    pub fn syscalls(&self) -> u64 {
+        self.per_lane.iter().map(|l| l.syscalls()).sum()
+    }
+
+    /// Publishes per-lane counters under `udp.lane.<i>.*` and totals
+    /// under `udp.*` into `registry`.
+    pub fn export_metrics(&self, registry: &afd_obs::Registry) {
+        for (i, lane) in self.per_lane.iter().enumerate() {
+            registry
+                .counter(&format!("udp.lane.{i}.datagrams"))
+                .set(lane.datagrams());
+            registry
+                .counter(&format!("udp.lane.{i}.oversize_dropped"))
+                .set(lane.oversize_dropped());
+            registry
+                .counter(&format!("udp.lane.{i}.short_dropped"))
+                .set(lane.short_dropped());
+            registry
+                .counter(&format!("udp.lane.{i}.syscalls"))
+                .set(lane.syscalls());
+            registry
+                .gauge(&format!("udp.lane.{i}.syscalls_per_batch"))
+                .set(lane.syscalls_per_batch());
+        }
+        registry.counter("udp.datagrams").set(self.datagrams());
+        registry
+            .counter("udp.oversize_dropped")
+            .set(self.oversize_dropped());
+        registry
+            .counter("udp.short_dropped")
+            .set(self.short_dropped());
+        registry.counter("udp.syscalls").set(self.syscalls());
+        registry.gauge("udp.lanes").set(self.lanes() as f64);
+    }
+}
+
+/// A group of UDP intake lanes bound on distinct ports.
+///
+/// Build it, hand the per-lane addresses to senders (each sender hashes
+/// its id onto a lane with [`lane_for`](MultiUdpTransport::lane_for)),
+/// keep a [`stats`](MultiUdpTransport::stats) handle, and move the lanes
+/// into a `ParallelShardEngine` with
+/// [`into_lanes`](MultiUdpTransport::into_lanes).
+#[derive(Debug)]
+pub struct MultiUdpTransport {
+    lanes: Vec<UdpLane>,
+}
+
+impl MultiUdpTransport {
+    /// Binds `lanes` sockets (floored at 1). With `local.port() == 0`
+    /// every lane gets an OS-chosen port; otherwise lane `i` binds
+    /// `local.port() + i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if any socket cannot be bound (e.g. a
+    /// fixed port range collides) or a fixed port range overflows
+    /// `u16`.
+    pub fn bind(local: SocketAddr, lanes: usize) -> Result<Self, TransportError> {
+        let lanes = lanes.max(1);
+        let mut bound = Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            let mut addr = local;
+            if local.port() != 0 {
+                let port = local.port().checked_add(i as u16).ok_or_else(|| {
+                    TransportError::Io(format!(
+                        "lane port range {}+{lanes} overflows u16",
+                        local.port()
+                    ))
+                })?;
+                addr.set_port(port);
+            }
+            bound.push(UdpLane::bind(addr)?);
+        }
+        Ok(MultiUdpTransport { lanes: bound })
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Every lane's bound address, lane-indexed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the OS cannot report an address.
+    pub fn local_addrs(&self) -> Result<Vec<SocketAddr>, TransportError> {
+        self.lanes.iter().map(UdpLane::local_addr).collect()
+    }
+
+    /// The lane a sender with `id` should target — the same Fibonacci
+    /// multiplicative hash the shard router uses, so senders spread
+    /// uniformly without coordination.
+    pub fn lane_for(id: u32, lanes: usize) -> usize {
+        crate::shard::shard_index(afd_core::process::ProcessId::new(id), lanes.max(1))
+    }
+
+    /// Caps every lane's per-`recv_batch` syscall budget.
+    pub fn set_recv_budget(&mut self, budget: usize) {
+        for lane in &mut self.lanes {
+            lane.set_recv_budget(budget);
+        }
+    }
+
+    /// Cloneable counter handles that outlive the lanes' move into an
+    /// engine.
+    pub fn stats(&self) -> MultiUdpStats {
+        MultiUdpStats {
+            per_lane: self.lanes.iter().map(UdpLane::stats).collect(),
+        }
+    }
+
+    /// Consumes the group into its lanes, ready for
+    /// `ParallelShardEngine::start_lanes`.
+    pub fn into_lanes(self) -> Vec<UdpLane> {
+        self.lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, SocketAddrV4};
+    use std::time::Duration;
+
+    fn loopback_any() -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))
+    }
+
+    fn drain_expect(lane: &mut UdpLane, batch: &mut FrameBatch, want: usize) -> usize {
+        let mut got = 0usize;
+        for _ in 0..200 {
+            got += lane.recv_batch(batch).unwrap();
+            if got >= want {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        got
+    }
+
+    #[test]
+    fn lanes_bind_distinct_ports() {
+        let multi = MultiUdpTransport::bind(loopback_any(), 4).unwrap();
+        let addrs = multi.local_addrs().unwrap();
+        assert_eq!(addrs.len(), 4);
+        let mut ports: Vec<u16> = addrs.iter().map(SocketAddr::port).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 4, "every lane has its own port");
+    }
+
+    #[test]
+    fn lane_accepts_any_source_and_counts() {
+        let multi = MultiUdpTransport::bind(loopback_any(), 1).unwrap();
+        let addr = multi.local_addrs().unwrap()[0];
+        let stats = multi.stats();
+        let mut lanes = multi.into_lanes();
+        let lane = &mut lanes[0];
+
+        let s1 = UdpSocket::bind(loopback_any()).unwrap();
+        let s2 = UdpSocket::bind(loopback_any()).unwrap();
+        s1.send_to(b"abcdef", addr).unwrap();
+        s2.send_to(b"ghijkl", addr).unwrap();
+        s1.send_to(&[0u8; MAX_DATAGRAM + 1], addr).unwrap(); // oversize
+        s2.send_to(b"x", addr).unwrap(); // runt
+
+        let mut batch = FrameBatch::with_capacity(16);
+        assert_eq!(drain_expect(lane, &mut batch, 2), 2);
+        // Give the two drop-path datagrams time to land too.
+        for _ in 0..200 {
+            if stats.oversize_dropped() + stats.short_dropped() >= 2 {
+                break;
+            }
+            lane.recv_batch(&mut batch).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(stats.datagrams(), 2);
+        assert_eq!(stats.oversize_dropped(), 1);
+        assert_eq!(stats.short_dropped(), 1);
+        assert!(stats.syscalls() >= 3, "at least datagrams + final probe");
+    }
+
+    #[test]
+    fn recv_budget_bounds_one_drain() {
+        let multi = MultiUdpTransport::bind(loopback_any(), 1).unwrap();
+        let addr = multi.local_addrs().unwrap()[0];
+        let mut lanes = multi.into_lanes();
+        let lane = &mut lanes[0];
+        lane.set_recv_budget(3);
+
+        let s = UdpSocket::bind(loopback_any()).unwrap();
+        for _ in 0..10 {
+            s.send_to(b"abcdef", addr).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let mut batch = FrameBatch::with_capacity(16);
+        let got = lane.recv_batch(&mut batch).unwrap();
+        assert!(got <= 3, "budget of 3 syscalls caps the drain, got {got}");
+        // Subsequent calls pick up the rest.
+        let total = got + drain_expect(lane, &mut batch, 10 - got);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn lane_for_spreads_and_is_stable() {
+        let lanes = 4usize;
+        let mut hit = vec![0usize; lanes];
+        for id in 0..4096u32 {
+            let l = MultiUdpTransport::lane_for(id, lanes);
+            assert_eq!(l, MultiUdpTransport::lane_for(id, lanes));
+            hit[l] += 1;
+        }
+        for (i, h) in hit.iter().enumerate() {
+            assert!(
+                *h > 4096 / lanes / 2,
+                "lane {i} underloaded: {h} of 4096 ids"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_send_is_rejected() {
+        let multi = MultiUdpTransport::bind(loopback_any(), 1).unwrap();
+        let mut lanes = multi.into_lanes();
+        assert!(matches!(lanes[0].send(b"nope"), Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn metrics_export_names_every_lane() {
+        let multi = MultiUdpTransport::bind(loopback_any(), 2).unwrap();
+        let stats = multi.stats();
+        let registry = afd_obs::Registry::new();
+        stats.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("udp.lane.0.datagrams"), Some(0));
+        assert_eq!(snap.counter("udp.lane.1.syscalls"), Some(0));
+        assert_eq!(snap.counter("udp.datagrams"), Some(0));
+        assert_eq!(snap.gauge("udp.lanes"), Some(2.0));
+    }
+}

@@ -35,6 +35,7 @@ pub mod degrade;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod lane;
 pub mod monitor;
 pub mod persist;
 pub mod retry;
@@ -44,6 +45,7 @@ pub mod seq;
 pub mod shard;
 pub mod supervisor;
 pub mod transport;
+pub mod varint;
 pub mod wire;
 
 pub use chaos::{
@@ -56,6 +58,7 @@ pub use degrade::{DegradeConfig, GracefulDegradation};
 pub use engine::{EngineConfig, EngineMode, EngineStats, EngineTickReport, ParallelShardEngine};
 pub use error::{EngineError, RuntimeError, TransportError};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use lane::{MultiUdpStats, MultiUdpTransport, UdpLane, UdpLaneStats, DEFAULT_RECV_BUDGET};
 pub use monitor::{MonitorStats, RuntimeMonitor};
 pub use persist::{
     CheckpointConfig, CheckpointDaemon, CheckpointReport, Checkpointer, DirSink, FaultySink,
@@ -64,11 +67,16 @@ pub use persist::{
 };
 pub use retry::RetryPolicy;
 pub use ring::{heartbeat_ring, RingConsumer, RingProducer, RingWatch};
-pub use sender::{spawn_sender, SenderConfig, SenderCore, SenderHandle};
+pub use sender::{spawn_sender, SenderConfig, SenderCore, SenderHandle, WireVersion};
 pub use seq::{classify, SeqVerdict};
 pub use shard::{
     ShardCapacityError, ShardConfig, ShardedMonitor, ShardedStats, SnapshotReader, TickReport,
 };
 pub use supervisor::{HealthBoard, SupervisedThread, Supervisor, Watchdog};
-pub use transport::{ChannelTransport, FrameBatch, Transport, UdpTransport, MAX_DATAGRAM};
-pub use wire::{Heartbeat, WireError, FRAME_LEN};
+pub use transport::{
+    ChannelTransport, FrameBatch, NullTransport, Transport, UdpTransport, MAX_DATAGRAM, PROBE_LEN,
+};
+pub use wire::{
+    DeltaEncoder, Heartbeat, WireDecoder, WireError, DELTA_MAGIC, FRAME_LEN, INTERN_LEN,
+    MAX_V2_FRAME,
+};

@@ -1,7 +1,8 @@
 //! The receiving half of Algorithm 4, run live over a [`Transport`].
 //!
 //! [`RuntimeMonitor`] drains frames from a transport, decodes and
-//! validates them ([`Heartbeat::decode`] — corrupt frames are counted and
+//! validates them through a [`WireDecoder`] (v1 frames and compact v2
+//! delta frames mix freely; corrupt frames are counted and
 //! dropped, never panicked on), filters stale and duplicate sequence
 //! numbers (Algorithm 4, lines 8–10), and feeds surviving arrivals into
 //! the existing [`MonitoringService`] so that everything built on the
@@ -26,7 +27,7 @@ use crate::clock::Clock;
 use crate::error::TransportError;
 use crate::seq::{classify, SeqVerdict};
 use crate::transport::Transport;
-use crate::wire::Heartbeat;
+use crate::wire::{Heartbeat, WireDecoder};
 
 type DetectorFactory<D> = Box<dyn FnMut(ProcessId) -> D + Send>;
 
@@ -53,6 +54,7 @@ pub struct RuntimeMonitor<T, C, D> {
     clock: C,
     service: MonitoringService<D, DetectorFactory<D>>,
     highest_seq: BTreeMap<ProcessId, u64>,
+    decoder: WireDecoder,
     stats: MonitorStats,
     liveness: Arc<AtomicU64>,
 }
@@ -86,6 +88,7 @@ where
             clock,
             service: MonitoringService::new(Box::new(factory)),
             highest_seq: BTreeMap::new(),
+            decoder: WireDecoder::new(),
             stats: MonitorStats::default(),
             liveness: Arc::new(AtomicU64::new(0)),
         }
@@ -119,7 +122,7 @@ where
         self.liveness.fetch_add(1, Ordering::Relaxed);
         let mut accepted = 0;
         while let Some(frame) = self.transport.try_recv()? {
-            match Heartbeat::decode(&frame) {
+            match self.decoder.decode(&frame) {
                 Ok(hb) => {
                     // Re-read the clock per frame: stamping a whole
                     // drained backlog (e.g. after a partition heals) with

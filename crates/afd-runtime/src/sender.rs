@@ -18,7 +18,24 @@ use crate::clock::Clock;
 use crate::error::RuntimeError;
 use crate::retry::RetryPolicy;
 use crate::transport::Transport;
-use crate::wire::Heartbeat;
+use crate::wire::{DeltaEncoder, Heartbeat, FRAME_LEN, MAX_V2_FRAME};
+
+/// Which wire format a sender puts on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireVersion {
+    /// Fixed 28-byte v1 frames ([`Heartbeat::encode`]). Always decodable,
+    /// even by pre-v2 monitors.
+    V1,
+    /// Compact v2 delta frames through a [`DeltaEncoder`]: a
+    /// self-describing intern/checkpoint frame every `resync_every`
+    /// heartbeats, varint deltas (typically 6–8 bytes) in between. The
+    /// sender's intern index is its own process id, so indices are
+    /// collision-free across any sender population.
+    V2 {
+        /// Heartbeats between checkpoint frames (floored at 1).
+        resync_every: u32,
+    },
+}
 
 /// Static configuration of a heartbeat sender.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,16 +46,26 @@ pub struct SenderConfig {
     pub interval: Duration,
     /// Retry policy for transport send failures.
     pub retry: RetryPolicy,
+    /// Wire format for outgoing heartbeats.
+    pub wire: WireVersion,
 }
 
 impl SenderConfig {
-    /// A sender for `id` at `interval`, with the default retry policy.
+    /// A sender for `id` at `interval`, with the default retry policy and
+    /// the v1 wire format.
     pub fn new(id: ProcessId, interval: Duration) -> Self {
         SenderConfig {
             id,
             interval,
             retry: RetryPolicy::default(),
+            wire: WireVersion::V1,
         }
+    }
+
+    /// Switches to the compact v2 delta wire format.
+    pub fn with_wire(mut self, wire: WireVersion) -> Self {
+        self.wire = wire;
+        self
     }
 }
 
@@ -52,6 +79,9 @@ pub struct SenderCore {
     rng: SimRng,
     retry_attempts: u64,
     backoff_total: Duration,
+    /// Present iff `config.wire` is [`WireVersion::V2`].
+    encoder: Option<DeltaEncoder>,
+    wire_bytes: u64,
 }
 
 impl SenderCore {
@@ -59,6 +89,15 @@ impl SenderCore {
     ///
     /// `seed` drives retry-backoff jitter only.
     pub fn new(config: SenderConfig, start: Timestamp, seed: u64) -> Self {
+        let encoder = match config.wire {
+            WireVersion::V1 => None,
+            WireVersion::V2 { resync_every } => Some(DeltaEncoder::new(
+                config.id,
+                config.id.as_u32(),
+                std::time::Duration::from_nanos(config.interval.as_nanos()),
+                resync_every,
+            )),
+        };
         SenderCore {
             config,
             seq: 0,
@@ -67,6 +106,8 @@ impl SenderCore {
             rng: SimRng::derive(seed, u64::from(config.id.as_u32())),
             retry_attempts: 0,
             backoff_total: Duration::ZERO,
+            encoder,
+            wire_bytes: 0,
         }
     }
 
@@ -103,6 +144,12 @@ impl SenderCore {
         self.backoff_total
     }
 
+    /// Bytes of heartbeat frames handed to the transport so far — the
+    /// number the v2 delta wire exists to shrink.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
     /// Publishes sender counters into `registry` under `sender.*`.
     pub fn export_metrics(&self, registry: &afd_obs::Registry) {
         registry.counter("sender.heartbeats_sent").set(self.seq);
@@ -112,6 +159,7 @@ impl SenderCore {
         registry
             .gauge("sender.backoff_seconds")
             .set(self.backoff_total.as_secs_f64());
+        registry.counter("sender.wire_bytes").set(self.wire_bytes);
     }
 
     /// Sends a heartbeat if one is due at `now`; returns whether one was
@@ -139,12 +187,25 @@ impl SenderCore {
             self.next_due += self.config.interval;
         }
         self.seq += 1;
-        let frame = Heartbeat {
+        let hb = Heartbeat {
             sender: self.config.id,
             seq: self.seq,
             sent_at: now,
-        }
-        .encode();
+        };
+        let mut buf = [0u8; MAX_V2_FRAME];
+        let len = match &mut self.encoder {
+            Some(enc) => {
+                let n = enc.encode(&hb, &mut buf);
+                debug_assert!(n > 0, "buffer is MAX_V2_FRAME and sender matches");
+                n
+            }
+            None => {
+                buf[..FRAME_LEN].copy_from_slice(&hb.encode());
+                FRAME_LEN
+            }
+        };
+        let frame = &buf[..len];
+        self.wire_bytes += len as u64;
         let mut attempts = 0u64;
         let mut backoff = Duration::ZERO;
         let result = self.config.retry.run(
@@ -155,7 +216,7 @@ impl SenderCore {
             },
             || {
                 attempts += 1;
-                transport.send(&frame)
+                transport.send(frame)
             },
         );
         // Retry effort is recorded even when the budget is exhausted —
@@ -363,6 +424,38 @@ mod tests {
         }
         assert_eq!(core.retry_attempts(), 0);
         assert_eq!(core.backoff_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn v2_sender_interops_with_wire_decoder_and_uses_fewer_bytes() {
+        let (mut side_a, mut side_b) = ChannelTransport::pair();
+        let cfg = config().with_wire(WireVersion::V2 { resync_every: 8 });
+        let mut v2 = SenderCore::new(cfg, Timestamp::ZERO, 1);
+        let (mut v1_a, _v1_b) = ChannelTransport::pair();
+        let mut v1 = SenderCore::new(config(), Timestamp::ZERO, 1);
+        for s in 0..32u64 {
+            assert!(v2
+                .poll(Timestamp::from_secs(s), &mut side_a, |_| {})
+                .unwrap());
+            v1.poll(Timestamp::from_secs(s), &mut v1_a, |_| {}).unwrap();
+        }
+        assert!(
+            v2.wire_bytes() * 2 < v1.wire_bytes(),
+            "v2 wire ({}) should be far smaller than v1 ({})",
+            v2.wire_bytes(),
+            v1.wire_bytes()
+        );
+        // Every v2 frame — checkpoints and deltas — reconstructs the exact
+        // heartbeat stream through the receiver-side decoder.
+        let mut dec = crate::wire::WireDecoder::new();
+        let mut seqs = Vec::new();
+        while let Ok(Some(f)) = side_b.try_recv() {
+            let hb = dec.decode(&f).unwrap();
+            assert_eq!(hb.sender, ProcessId::new(1));
+            assert_eq!(hb.sent_at, Timestamp::from_secs(hb.seq - 1));
+            seqs.push(hb.seq);
+        }
+        assert_eq!(seqs, (1..=32).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -52,7 +52,7 @@ use crate::error::TransportError;
 use crate::monitor::MonitorStats;
 use crate::seq::{classify, SeqVerdict};
 use crate::transport::{FrameBatch, Transport};
-use crate::wire::Heartbeat;
+use crate::wire::{Heartbeat, WireDecoder};
 
 /// Slots in the reusable intake arena drained per
 /// [`recv_batch`](Transport::recv_batch) call.
@@ -614,6 +614,8 @@ pub struct ShardedMonitor<T, C, D> {
     intake: FrameBatch,
     /// Per-shard dispatch batches, reused across ticks.
     batches: Vec<Vec<(Heartbeat, Timestamp)>>,
+    /// Wire decoder holding the v2 intern table across ticks.
+    decoder: WireDecoder,
     corrupt: u64,
     ticks: u64,
     liveness: Arc<AtomicU64>,
@@ -671,6 +673,7 @@ where
             reader: SnapshotReader::from_cells(Arc::new(cells)),
             intake: FrameBatch::with_capacity(INTAKE_BATCH_SLOTS),
             batches,
+            decoder: WireDecoder::new(),
             corrupt: 0,
             ticks: 0,
             liveness: Arc::new(AtomicU64::new(0)),
@@ -742,7 +745,7 @@ where
             let got = self.transport.recv_batch(&mut self.intake)?;
             drained += got;
             for frame in self.intake.iter() {
-                match Heartbeat::decode(frame) {
+                match self.decoder.decode(frame) {
                     Ok(hb) => {
                         // Stamp per decoded frame (not per tick): one "now"
                         // for a whole drained backlog would collapse its

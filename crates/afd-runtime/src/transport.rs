@@ -40,18 +40,26 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::error::TransportError;
 
-/// Maximum frame size accepted by the transports, and the size of one
-/// [`FrameBatch`] slot.
+/// Maximum frame size accepted by the transports.
 pub const MAX_DATAGRAM: usize = 1024;
+
+/// Receive-buffer size: one byte more than [`MAX_DATAGRAM`], so that a
+/// `recv` filling the whole buffer *proves* the datagram exceeded the
+/// limit (portable truncation detection without platform `MSG_TRUNC`
+/// flags). A slot is only ever committed with ≤ [`MAX_DATAGRAM`] bytes.
+pub const PROBE_LEN: usize = MAX_DATAGRAM + 1;
 
 /// Frames an in-process channel holds before dropping the oldest
 /// (default for [`ChannelTransport::pair`]).
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 16 * 1024;
 
 /// One reusable intake slot: an inline buffer plus the received length.
+/// The buffer is probe-sized ([`PROBE_LEN`]) so receives can detect
+/// oversize datagrams, but committed lengths never exceed
+/// [`MAX_DATAGRAM`].
 struct FrameSlot {
     len: u16,
-    buf: [u8; MAX_DATAGRAM],
+    buf: [u8; PROBE_LEN],
 }
 
 /// A reusable arena of inline frame slots for [`Transport::recv_batch`].
@@ -79,7 +87,7 @@ impl FrameBatch {
         let slots: Box<[FrameSlot]> = (0..slots.max(1))
             .map(|_| FrameSlot {
                 len: 0,
-                buf: [0u8; MAX_DATAGRAM],
+                buf: [0u8; PROBE_LEN],
             })
             .collect();
         FrameBatch { slots, len: 0 }
@@ -124,14 +132,15 @@ impl FrameBatch {
         true
     }
 
-    /// Hands the next free slot's buffer to `fill`; if it returns
-    /// `Some(n)`, the slot is committed as an `n`-byte frame. Returns
-    /// `false` without calling `fill` if the batch is full. This is the
-    /// receive-directly-into-the-arena path used by [`UdpTransport`].
-    pub fn push_with(
-        &mut self,
-        fill: impl FnOnce(&mut [u8; MAX_DATAGRAM]) -> Option<usize>,
-    ) -> bool {
+    /// Hands the next free slot's probe-sized buffer to `fill`; if it
+    /// returns `Some(n)` with `n ≤ MAX_DATAGRAM`, the slot is committed
+    /// as an `n`-byte frame. Returns `false` without calling `fill` if
+    /// the batch is full, and refuses to commit an `n` beyond
+    /// [`MAX_DATAGRAM`] — a fill of all [`PROBE_LEN`] bytes means the
+    /// datagram was oversize and must be dropped, not truncated. This is
+    /// the receive-directly-into-the-arena path used by
+    /// [`UdpTransport`].
+    pub fn push_with(&mut self, fill: impl FnOnce(&mut [u8; PROBE_LEN]) -> Option<usize>) -> bool {
         if self.is_full() {
             return false;
         }
@@ -439,6 +448,12 @@ impl Transport for ChannelTransport {
 pub struct UdpTransport {
     socket: UdpSocket,
     peer: SocketAddr,
+    /// Datagrams dropped because they exceeded [`MAX_DATAGRAM`]. Before
+    /// this counter existed the receive path read into a
+    /// `MAX_DATAGRAM`-sized buffer, so the kernel silently truncated
+    /// oversize datagrams and the tail-less frame could still decode —
+    /// now the probe-sized receive detects and drops them.
+    oversize: u64,
 }
 
 impl UdpTransport {
@@ -451,7 +466,11 @@ impl UdpTransport {
     pub fn bind(local: SocketAddr, peer: SocketAddr) -> Result<Self, TransportError> {
         let socket = UdpSocket::bind(local)?;
         socket.set_nonblocking(true)?;
-        Ok(UdpTransport { socket, peer })
+        Ok(UdpTransport {
+            socket,
+            peer,
+            oversize: 0,
+        })
     }
 
     /// Creates two connected endpoints on loopback with OS-chosen ports.
@@ -471,10 +490,12 @@ impl UdpTransport {
             UdpTransport {
                 socket: a,
                 peer: b_addr,
+                oversize: 0,
             },
             UdpTransport {
                 socket: b,
                 peer: a_addr,
+                oversize: 0,
             },
         ))
     }
@@ -487,10 +508,24 @@ impl UdpTransport {
     pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
         Ok(self.socket.local_addr()?)
     }
+
+    /// Datagrams dropped because they exceeded [`MAX_DATAGRAM`] —
+    /// detected, not silently truncated.
+    pub fn oversize_dropped(&self) -> u64 {
+        self.oversize
+    }
 }
 
 impl Transport for UdpTransport {
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        // Reject oversize frames at the sender: the receive side would
+        // drop them anyway, and surfacing the error here names the bug.
+        if frame.len() > MAX_DATAGRAM {
+            return Err(TransportError::Io(format!(
+                "frame of {} bytes exceeds MAX_DATAGRAM ({MAX_DATAGRAM})",
+                frame.len()
+            )));
+        }
         match self.socket.send_to(frame, self.peer) {
             Ok(_) => Ok(()),
             // A full send buffer is a transient fault: report it as an I/O
@@ -500,12 +535,19 @@ impl Transport for UdpTransport {
     }
 
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
-        let mut buf = [0u8; MAX_DATAGRAM];
+        // Probe-sized buffer: n == PROBE_LEN proves the datagram was
+        // bigger than MAX_DATAGRAM (the kernel truncated it to fit), and
+        // n == MAX_DATAGRAM is now unambiguously a full-size valid frame.
+        let mut buf = [0u8; PROBE_LEN];
         loop {
             return match self.socket.recv_from(&mut buf) {
                 Ok((n, from)) => {
                     // Datagrams from strangers are noise, not heartbeats.
                     if from != self.peer {
+                        continue;
+                    }
+                    if n > MAX_DATAGRAM {
+                        self.oversize += 1;
                         continue;
                     }
                     // lint:allow(no-alloc-in-hot-path, legacy per-frame path; batched intake uses recv_batch)
@@ -523,14 +565,24 @@ impl Transport for UdpTransport {
 
     /// Drains queued datagrams directly into the arena slots — one
     /// `recv_from` per datagram, zero copies beyond the kernel's, zero
-    /// heap allocations.
+    /// heap allocations. A datagram filling the whole probe-sized slot
+    /// exceeded [`MAX_DATAGRAM`]: it is counted
+    /// ([`oversize_dropped`](UdpTransport::oversize_dropped)) and
+    /// dropped rather than silently accepted as a truncated frame.
     fn recv_batch(&mut self, batch: &mut FrameBatch) -> Result<usize, TransportError> {
         let mut got = 0usize;
+        let mut oversize = 0u64;
         let mut failure: Option<TransportError> = None;
         let mut drained = false;
+        let peer = self.peer;
+        let socket = &self.socket;
         while !batch.is_full() && !drained && failure.is_none() {
-            batch.push_with(|buf| match self.socket.recv_from(buf) {
-                Ok((n, from)) if from == self.peer => {
+            batch.push_with(|buf| match socket.recv_from(buf) {
+                Ok((n, from)) if from == peer => {
+                    if n > MAX_DATAGRAM {
+                        oversize += 1;
+                        return None;
+                    }
                     got += 1;
                     Some(n)
                 }
@@ -547,10 +599,35 @@ impl Transport for UdpTransport {
                 }
             });
         }
+        self.oversize += oversize;
         match failure {
             Some(e) => Err(e),
             None => Ok(got),
         }
+    }
+}
+
+/// A transport connected to nothing: sends are accepted and discarded,
+/// receives never yield a frame.
+///
+/// Exists for engine configurations whose real intake happens on
+/// [`lane`](crate::lane) sockets — the engine's type-level transport
+/// slot is filled with a `NullTransport` that the intake loop would
+/// drain forever-empty if it ran at all.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTransport;
+
+impl Transport for NullTransport {
+    fn send(&mut self, _frame: &[u8]) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        Ok(None)
+    }
+
+    fn recv_batch(&mut self, _batch: &mut FrameBatch) -> Result<usize, TransportError> {
+        Ok(0)
     }
 }
 
@@ -706,6 +783,64 @@ mod tests {
             .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(b.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn push_with_refuses_probe_sized_commit() {
+        let mut batch = FrameBatch::with_capacity(2);
+        assert!(
+            !batch.push_with(|_| Some(PROBE_LEN)),
+            "a fill of the whole probe buffer is an oversize datagram"
+        );
+        assert!(batch.push_with(|_| Some(MAX_DATAGRAM)), "exactly MTU fits");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn udp_oversize_datagram_is_dropped_and_counted_not_truncated() {
+        // Regression: before the probe-sized receive buffer, a datagram
+        // of MAX_DATAGRAM+1 bytes was silently truncated to MAX_DATAGRAM
+        // and accepted as a frame. Send one from the peer's own socket
+        // (bypassing the send-side size guard) and a valid one after it.
+        let (a, mut b) = UdpTransport::loopback_pair().expect("loopback sockets");
+        let big = [0u8; MAX_DATAGRAM + 1];
+        a.socket.send_to(&big, a.peer).unwrap();
+        a.socket.send_to(b"ok", a.peer).unwrap();
+        let mut batch = FrameBatch::with_capacity(8);
+        let mut got = 0usize;
+        for _ in 0..200 {
+            got += b.recv_batch(&mut batch).unwrap();
+            if got >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, 1, "only the valid datagram is a frame");
+        assert_eq!(b.oversize_dropped(), 1, "the oversize one was counted");
+        let frames: Vec<Vec<u8>> = batch.iter().map(<[u8]>::to_vec).collect();
+        assert_eq!(frames, vec![b"ok".to_vec()]);
+        // The scalar path detects it too.
+        a.socket.send_to(&big, a.peer).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(b.oversize_dropped(), 2);
+    }
+
+    #[test]
+    fn udp_send_rejects_oversize_frames() {
+        let (mut a, _b) = UdpTransport::loopback_pair().expect("loopback sockets");
+        let big = [0u8; MAX_DATAGRAM + 1];
+        assert!(matches!(a.send(&big), Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn null_transport_is_a_black_hole() {
+        let mut t = NullTransport;
+        t.send(b"into the void").unwrap();
+        assert_eq!(t.try_recv().unwrap(), None);
+        let mut batch = FrameBatch::with_capacity(2);
+        assert_eq!(t.recv_batch(&mut batch).unwrap(), 0);
+        assert!(batch.is_empty());
     }
 
     #[test]

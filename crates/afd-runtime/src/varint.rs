@@ -1,0 +1,217 @@
+//! LEB128 varints and zigzag mapping for the delta wire format.
+//!
+//! The v2 heartbeat frames ([`wire`](crate::wire)) shave bytes by
+//! encoding small integers — intern indices, sequence deltas, timestamp
+//! residuals — as base-128 varints. Both directions are allocation-free
+//! (encode writes into a caller slice, decode reads a slice and reports
+//! how many bytes it consumed) so they can run inside the frame-intake
+//! hot path; the `no-alloc-in-hot-path` afd-lint rule covers this file.
+//!
+//! Decoding is **strict**: a varint that runs past the end of the input
+//! is [`VarintError::Truncated`] (never a read of stale bytes beyond the
+//! received datagram) and an encoding longer than the canonical ten
+//! bytes for a `u64` is [`VarintError::Overlong`]. Strictness is part of
+//! the wire-format contract — a frame's declared structure must be
+//! satisfiable within the bytes actually received.
+
+use std::error::Error;
+use std::fmt;
+
+/// Longest canonical LEB128 encoding of a `u64` (10 × 7 bits ≥ 64).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Why a varint failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The input ended while a continuation bit promised more bytes.
+    Truncated,
+    /// The encoding exceeds ten bytes or overflows 64 bits.
+    Overlong,
+}
+
+impl fmt::Display for VarintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "varint truncated mid-encoding"),
+            VarintError::Overlong => write!(f, "varint exceeds 64-bit range"),
+        }
+    }
+}
+
+impl Error for VarintError {}
+
+/// Encodes `value` as LEB128 into `buf`, returning the bytes written.
+///
+/// Returns `None` if `buf` is too short — callers size frame buffers to
+/// worst case ([`MAX_VARINT_LEN`] per field), so `None` is a programmer
+/// error surfaced as a value rather than a panic.
+#[must_use]
+pub fn encode_u64(mut value: u64, buf: &mut [u8]) -> Option<usize> {
+    let mut i = 0usize;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let last = value == 0;
+        *buf.get_mut(i)? = if last { byte } else { byte | 0x80 };
+        i += 1;
+        if last {
+            return Some(i);
+        }
+    }
+}
+
+/// Decodes one LEB128 varint from the front of `input`, returning the
+/// value and how many bytes it consumed.
+///
+/// # Errors
+///
+/// [`VarintError::Truncated`] if `input` ends mid-varint,
+/// [`VarintError::Overlong`] past ten bytes or 64 bits.
+pub fn decode_u64(input: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(VarintError::Overlong);
+        }
+        let bits = u64::from(byte & 0x7f);
+        // The tenth byte may only carry the final single bit of a u64.
+        if shift == 63 && bits > 1 {
+            return Err(VarintError::Overlong);
+        }
+        value |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(VarintError::Truncated)
+}
+
+/// Maps a signed value onto the unsigned varint space so that small
+/// magnitudes of either sign stay short: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+#[must_use]
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Encodes a signed value zigzag-then-LEB128. See [`encode_u64`].
+#[must_use]
+pub fn encode_i64(value: i64, buf: &mut [u8]) -> Option<usize> {
+    encode_u64(zigzag(value), buf)
+}
+
+/// Decodes a zigzag-LEB128 signed value. See [`decode_u64`].
+///
+/// # Errors
+///
+/// Propagates [`VarintError`] from the underlying varint decode.
+pub fn decode_i64(input: &[u8]) -> Result<(i64, usize), VarintError> {
+    let (raw, used) = decode_u64(input)?;
+    Ok((unzigzag(raw), used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_representative_values() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = [0u8; MAX_VARINT_LEN];
+        for &v in &cases {
+            let n = encode_u64(v, &mut buf).unwrap();
+            assert_eq!(decode_u64(&buf[..n]), Ok((v, n)), "value {v}");
+        }
+    }
+
+    #[test]
+    fn length_tracks_magnitude() {
+        let mut buf = [0u8; MAX_VARINT_LEN];
+        assert_eq!(encode_u64(0, &mut buf), Some(1));
+        assert_eq!(encode_u64(127, &mut buf), Some(1));
+        assert_eq!(encode_u64(128, &mut buf), Some(2));
+        assert_eq!(encode_u64(16_383, &mut buf), Some(2));
+        assert_eq!(encode_u64(16_384, &mut buf), Some(3));
+        assert_eq!(encode_u64(u64::MAX, &mut buf), Some(10));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_not_read_past() {
+        let mut buf = [0u8; MAX_VARINT_LEN];
+        let n = encode_u64(u64::from(u32::MAX), &mut buf).unwrap();
+        for cut in 0..n {
+            assert_eq!(
+                decode_u64(&buf[..cut]),
+                Err(VarintError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlong_encodings_are_rejected() {
+        // Eleven continuation bytes can never be a canonical u64.
+        let overlong = [0x80u8; 11];
+        assert_eq!(decode_u64(&overlong), Err(VarintError::Overlong));
+        // Ten bytes whose tenth carries more than the final bit overflow.
+        let mut overflow = [0x80u8; 10];
+        overflow[9] = 0x02;
+        assert_eq!(decode_u64(&overflow), Err(VarintError::Overlong));
+    }
+
+    #[test]
+    fn short_buffer_reports_none() {
+        let mut buf = [0u8; 1];
+        assert_eq!(encode_u64(127, &mut buf), Some(1));
+        assert_eq!(encode_u64(128, &mut buf), None);
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-3i64, -1, 0, 1, 5, 1_000_000, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_through_bytes() {
+        let mut buf = [0u8; MAX_VARINT_LEN];
+        for v in [-1_000_000_007i64, -1, 0, 1, 42, i64::MAX, i64::MIN] {
+            let n = encode_i64(v, &mut buf).unwrap();
+            assert_eq!(decode_i64(&buf[..n]), Ok((v, n)));
+        }
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_varint() {
+        let mut buf = [0u8; MAX_VARINT_LEN + 3];
+        let n = encode_u64(300, &mut buf).unwrap();
+        buf[n] = 0x07; // trailing byte belongs to the *next* field
+        let (v, used) = decode_u64(&buf[..n + 1]).unwrap();
+        assert_eq!((v, used), (300, n));
+    }
+}

@@ -1,0 +1,193 @@
+//! Fault injection over *real* UDP loopback sockets — no in-process
+//! channel stand-ins. Corrupt, duplicated, and reordered datagrams are
+//! classified (not crashed on), oversize datagrams are detected and
+//! dropped rather than silently truncated into decodable frames (the
+//! truncation regression), and a v2 delta-wire sender interoperates
+//! with a `RuntimeMonitor` across a real socket.
+//!
+//! UDP gives no delivery guarantee even on loopback, so every
+//! expectation is polled under a deadline: the kernel queue is drained
+//! until the expected counters appear or the deadline names the miss.
+
+use std::time::{Duration as StdDuration, Instant};
+
+use afd_core::process::ProcessId;
+use afd_core::time::{Duration, Timestamp};
+use afd_detectors::simple::SimpleAccrual;
+use afd_runtime::{
+    FrameBatch, Heartbeat, MonitorStats, RuntimeMonitor, SenderConfig, SenderCore, Transport,
+    UdpTransport, VirtualClock, WireVersion, MAX_DATAGRAM,
+};
+
+const DEADLINE: StdDuration = StdDuration::from_secs(10);
+
+fn frame(sender: u32, seq: u64) -> [u8; afd_runtime::FRAME_LEN] {
+    Heartbeat {
+        sender: ProcessId::new(sender),
+        seq,
+        sent_at: Timestamp::from_millis(seq * 100),
+    }
+    .encode()
+}
+
+/// Polls `monitor` until `done(stats)` holds or the deadline passes;
+/// returns the final stats either way.
+fn settle<T, C, D>(
+    monitor: &mut RuntimeMonitor<T, C, D>,
+    done: impl Fn(&MonitorStats) -> bool,
+) -> MonitorStats
+where
+    T: Transport,
+    C: afd_runtime::Clock,
+    D: afd_core::accrual::AccrualFailureDetector,
+{
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        monitor.poll().expect("transport failed");
+        let stats = monitor.stats();
+        if done(&stats) || Instant::now() >= deadline {
+            return stats;
+        }
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+}
+
+/// Corrupt, duplicated, and reordered datagrams over a real socket are
+/// each counted into their own bucket and kept away from detectors.
+#[test]
+fn corrupt_duplicate_and_reordered_datagrams_are_classified() {
+    let (mut tx, rx) = UdpTransport::loopback_pair().expect("loopback sockets");
+    let clock = VirtualClock::new();
+    clock.set(Timestamp::from_secs(1));
+    let mut monitor = RuntimeMonitor::new(rx, clock, |_| SimpleAccrual::new(Timestamp::ZERO));
+    let peer = ProcessId::new(1);
+    monitor.watch(peer);
+
+    // In-order, then a datagram whose payload byte was flipped in
+    // flight (checksum breaks), then a reordering (3 before 2), then an
+    // exact duplicate of the freshest frame.
+    tx.send(&frame(1, 1)).expect("send seq 1");
+    let mut corrupt = frame(1, 9);
+    corrupt[20] ^= 0xFF;
+    tx.send(&corrupt).expect("send corrupt");
+    tx.send(&frame(1, 3)).expect("send seq 3");
+    tx.send(&frame(1, 2)).expect("send stale seq 2");
+    tx.send(&frame(1, 3)).expect("send duplicate seq 3");
+
+    let stats = settle(&mut monitor, |s| {
+        s.accepted + s.corrupt + s.stale + s.duplicate >= 5
+    });
+    assert_eq!(stats.accepted, 2, "seq 1 and seq 3: {stats:?}");
+    assert_eq!(stats.corrupt, 1, "{stats:?}");
+    assert_eq!(stats.stale, 1, "reordered seq 2: {stats:?}");
+    assert_eq!(stats.duplicate, 1, "redelivered seq 3: {stats:?}");
+    assert_eq!(stats.unwatched, 0, "{stats:?}");
+}
+
+/// The oversize regression, receive side: a datagram longer than
+/// `MAX_DATAGRAM` whose head is a perfectly valid frame must be
+/// *dropped and counted* — the pre-fix code read into a
+/// `MAX_DATAGRAM`-sized buffer, so the kernel truncated the tail and
+/// the head decoded as if the peer had sent it.
+#[test]
+fn oversize_datagrams_are_dropped_not_truncated() {
+    // The transport refuses to *send* oversize frames, so smuggle the
+    // datagram in from a raw socket that the receiver treats as its peer.
+    let raw = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind raw");
+    let raw_addr = raw.local_addr().expect("raw addr");
+    let mut rx =
+        UdpTransport::bind("127.0.0.1:0".parse().expect("addr"), raw_addr).expect("bind receiver");
+    let rx_addr = rx.local_addr().expect("receiver addr");
+
+    let mut oversize = vec![0u8; MAX_DATAGRAM + 200];
+    oversize[..frame(1, 1).len()].copy_from_slice(&frame(1, 1));
+    raw.send_to(&oversize, rx_addr).expect("send oversize");
+    raw.send_to(&frame(1, 2), rx_addr).expect("send good");
+
+    // Drain via the per-frame path until the good frame arrives.
+    let deadline = Instant::now() + DEADLINE;
+    let mut got = Vec::new();
+    while got.is_empty() && Instant::now() < deadline {
+        while let Some(f) = rx.try_recv().expect("recv") {
+            got.push(f);
+        }
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+    assert_eq!(got.len(), 1, "only the in-size datagram may surface");
+    assert_eq!(
+        Heartbeat::decode(&got[0]),
+        Ok(Heartbeat {
+            sender: ProcessId::new(1),
+            seq: 2,
+            sent_at: Timestamp::from_millis(200),
+        })
+    );
+    assert_eq!(rx.oversize_dropped(), 1, "oversize is counted, not eaten");
+
+    // Same property through the batched arena path.
+    raw.send_to(&oversize, rx_addr)
+        .expect("send oversize again");
+    raw.send_to(&frame(1, 3), rx_addr).expect("send good again");
+    let mut batch = FrameBatch::with_capacity(8);
+    let deadline = Instant::now() + DEADLINE;
+    let mut drained = 0usize;
+    while drained == 0 && Instant::now() < deadline {
+        drained = rx.recv_batch(&mut batch).expect("recv_batch");
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+    assert_eq!(drained, 1);
+    let slot = batch.iter().next().expect("one frame in the batch");
+    assert_eq!(
+        Heartbeat::decode(slot).map(|hb| hb.seq),
+        Ok(3),
+        "the truncated head of the oversize datagram must not decode"
+    );
+    assert_eq!(rx.oversize_dropped(), 2);
+
+    // Send side refuses outright — the bug is named at the source.
+    assert!(
+        rx.send(&oversize).is_err(),
+        "sender must reject frames over MAX_DATAGRAM"
+    );
+}
+
+/// A v2 delta-wire sender heartbeating across a real UDP socket is
+/// fully understood by a `RuntimeMonitor`: every beat accepted, zero
+/// corrupt, and strictly fewer wire bytes than v1 would have spent.
+#[test]
+fn v2_sender_over_real_udp_feeds_runtime_monitor() {
+    let (mut tx, rx) = UdpTransport::loopback_pair().expect("loopback sockets");
+    let clock = VirtualClock::new();
+    let mut monitor =
+        RuntimeMonitor::new(rx, clock.clone(), |_| SimpleAccrual::new(Timestamp::ZERO));
+    let peer = ProcessId::new(11);
+    monitor.watch(peer);
+
+    let interval = Duration::from_secs(1);
+    let mut sender = SenderCore::new(
+        SenderConfig::new(peer, interval).with_wire(WireVersion::V2 { resync_every: 4 }),
+        Timestamp::ZERO,
+        7,
+    );
+
+    let rounds = 12u64;
+    for s in 0..rounds {
+        let now = Timestamp::from_secs(s);
+        clock.set(now);
+        sender.poll(now, &mut tx, |_| {}).expect("sender poll");
+    }
+
+    let stats = settle(&mut monitor, |s| s.accepted >= rounds);
+    assert_eq!(stats.accepted, rounds, "{stats:?}");
+    assert_eq!(stats.corrupt, 0, "{stats:?}");
+    assert!(
+        sender.wire_bytes() < rounds * afd_runtime::FRAME_LEN as u64,
+        "v2 must undercut v1's {} bytes, spent {}",
+        rounds * afd_runtime::FRAME_LEN as u64,
+        sender.wire_bytes()
+    );
+    assert!(
+        monitor.level(peer).is_some(),
+        "the watched peer has a live suspicion level"
+    );
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Audits experiment naming: every bench binary owns a unique eN tag,
+# every results/BENCH_<tag>.json artifact maps onto exactly one binary,
+# and every write_report("<tag>", ...) call matches its binary's
+# filename tag. Guards against the e15-style collision, where a new
+# bench reused an existing experiment number and its report silently
+# overwrote the other experiment's BENCH_*.json artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bins_dir=crates/afd-bench/src/bin
+fail=0
+
+# 1. No two bench binaries may share an experiment tag.
+dup=$(find "$bins_dir" -name 'e*_*.rs' -printf '%f\n' \
+    | sed -n 's/^\(e[0-9]\{1,\}\)_.*\.rs$/\1/p' | sort | uniq -d)
+if [[ -n "$dup" ]]; then
+    echo "duplicate experiment tag(s) among bench binaries: $dup" >&2
+    fail=1
+fi
+
+# 2. Every report artifact must belong to exactly one bench binary.
+shopt -s nullglob
+for report in results/BENCH_*.json; do
+    tag=$(basename "$report" .json)
+    tag=${tag#BENCH_}
+    matches=("$bins_dir/${tag}_"*.rs)
+    if [[ ${#matches[@]} -ne 1 ]]; then
+        echo "$report: expected exactly one bench binary $bins_dir/${tag}_*.rs," \
+             "found ${#matches[@]}" >&2
+        fail=1
+    fi
+done
+
+# 3. A binary's write_report tag must equal its filename tag.
+for bin in "$bins_dir"/e*_*.rs; do
+    tag=$(basename "$bin" | sed 's/^\(e[0-9]\{1,\}\)_.*/\1/')
+    while IFS= read -r written; do
+        [[ -z "$written" ]] && continue
+        if [[ "$written" != "$tag" ]]; then
+            echo "$bin: writes report tag \"$written\" but its filename tag is \"$tag\"" >&2
+            fail=1
+        fi
+    done < <(grep -o 'write_report("[^"]*"' "$bin" \
+        | sed 's/write_report("\([^"]*\)".*/\1/' | sort -u || true)
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "bench name audit FAILED" >&2
+    exit 1
+fi
+echo "bench name audit OK: tags unique, artifacts and report calls match their binaries"
