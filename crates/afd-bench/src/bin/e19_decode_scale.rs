@@ -1,0 +1,621 @@
+//! **E19 — decode fast-path scaling: flat intern slab vs the PR 9 map.**
+//!
+//! PR 10 rebuilt the frame-intake fast path: the `WireDecoder`'s intern
+//! table became a dense, generation-tagged [`InternSlab`] with a
+//! last-entry hot cache, arrival clocks are read once per batch, and
+//! lane routing publishes per-destination groups through
+//! `push_batch`. This bench pins the decode win and profiles the
+//! batched pipeline end to end:
+//!
+//! **Part A — decode microbench.** The PR 9 decoder (same parse, same
+//! checksums, `HashMap<u32, Entry>` intern table with the fullness
+//! bound) is reimplemented here as the baseline. Both decoders consume
+//! byte-identical streams swept over wire mix (pure v1, 50/50 mixed,
+//! pure v2) × intern-table occupancy (25% / 100% of capacity) ×
+//! arrival ordering (peers interleaved round-robin, or per-peer
+//! bursts — the paced-sender pattern the hot cache is built for).
+//! Reported as ns/frame per decoder per config. The headline gate:
+//! at the 100 000-peer smoke scale, slab decode must be **≥2× faster**
+//! than the map baseline on the pure-v2 interleaved stream at full
+//! occupancy — the e18 sender-process arrival pattern, where every map
+//! probe is a cache-missing hash lookup and the slab pays one direct
+//! index.
+//!
+//! **Part B — engine lane sweep.** A `ParallelShardEngine` in
+//! multi-lane mode drains the same peer population through 1/2/4
+//! `ChannelTransport` lanes (pre-filled losslessly at exact bounded
+//! capacity), recording the per-stage wall profile — decode, ring
+//! route, detector update — as ns/frame with batch stamping and
+//! grouped `push_batch` publish live.
+//!
+//! Results land in `results/BENCH_e19.json`.
+
+use std::collections::HashMap;
+
+use afd_bench::report::{write_report, Json, JsonObject};
+use afd_core::process::ProcessId;
+use afd_core::time::Timestamp;
+use afd_detectors::simple::SimpleAccrual;
+use afd_qos::experiment::{cell, Table};
+use afd_runtime::varint;
+use afd_runtime::{
+    ChannelTransport, Clock, DeltaEncoder, EngineConfig, Heartbeat, MultiUdpTransport,
+    NullTransport, ParallelShardEngine, SystemClock, Transport, WireDecoder, WireError,
+    DELTA_MAGIC, INTERN_LEN, MAX_V2_FRAME,
+};
+
+const RESYNC_EVERY: u32 = 64;
+const WORKERS: usize = 4;
+const LANE_SWEEP: [usize; 3] = [1, 2, 4];
+
+struct Sizes {
+    peers: u32,
+    rounds: u64,
+    /// Part B re-drives this many peers through the engine per lane
+    /// count; stage costs are per-frame, so smoke scale suffices.
+    engine_peers: u32,
+    engine_rounds: u64,
+}
+
+fn wall(clock: &SystemClock, since: Timestamp) -> f64 {
+    clock.now().saturating_duration_since(since).as_secs_f64()
+}
+
+// ---- the PR 9 decoder, verbatim semantics over a HashMap ----
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash ^ (hash >> 32)) as u32
+}
+
+fn fnv16_bound(payload: &[u8], sender: u32) -> u16 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload.iter().chain(sender.to_le_bytes().iter()) {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let folded = (hash ^ (hash >> 32)) as u32;
+    (folded ^ (folded >> 16)) as u16
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MapEntry {
+    sender: u32,
+    ckpt_seq: u64,
+    ckpt_sent_at_nanos: u64,
+    interval_nanos: u64,
+}
+
+/// The decoder this PR replaced: identical wire handling, intern table
+/// backed by `HashMap` with the old double probe and fullness bound.
+struct MapDecoder {
+    table: HashMap<u32, MapEntry>,
+    capacity: usize,
+    interns_rejected: u64,
+}
+
+impl MapDecoder {
+    fn new(capacity: usize) -> Self {
+        MapDecoder {
+            table: HashMap::new(),
+            capacity: capacity.max(1),
+            interns_rejected: 0,
+        }
+    }
+
+    fn decode(&mut self, frame: &[u8]) -> Result<Heartbeat, WireError> {
+        match frame.first() {
+            None => Err(WireError::ShortFrame),
+            Some(&DELTA_MAGIC) => self.decode_delta(frame),
+            Some(_) => {
+                if frame.len() < 4 {
+                    return Err(WireError::ShortFrame);
+                }
+                if frame[0..2] != *b"AF" {
+                    return Err(WireError::BadMagic);
+                }
+                match frame[2] {
+                    1 => Heartbeat::decode(frame),
+                    2 => self.decode_intern(frame),
+                    v => Err(WireError::BadVersion(v)),
+                }
+            }
+        }
+    }
+
+    fn decode_intern(&mut self, frame: &[u8]) -> Result<Heartbeat, WireError> {
+        let frame: &[u8; INTERN_LEN] = frame.try_into().map_err(|_| {
+            if frame.len() < INTERN_LEN {
+                WireError::ShortFrame
+            } else {
+                WireError::TrailingBytes
+            }
+        })?;
+        if frame[3] != 1 {
+            return Err(WireError::BadKind(frame[3]));
+        }
+        let expected = u32::from_le_bytes([frame[36], frame[37], frame[38], frame[39]]);
+        if fnv1a(&frame[..36]) != expected {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let intern_idx = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        let sender = u32::from_le_bytes([frame[8], frame[9], frame[10], frame[11]]);
+        let seq = u64::from_le_bytes(frame[12..20].try_into().expect("8 bytes"));
+        let nanos = u64::from_le_bytes(frame[20..28].try_into().expect("8 bytes"));
+        let interval = u64::from_le_bytes(frame[28..36].try_into().expect("8 bytes"));
+        if self.table.contains_key(&intern_idx) || self.table.len() < self.capacity {
+            self.table.insert(
+                intern_idx,
+                MapEntry {
+                    sender,
+                    ckpt_seq: seq,
+                    ckpt_sent_at_nanos: nanos,
+                    interval_nanos: interval,
+                },
+            );
+        } else {
+            self.interns_rejected += 1;
+        }
+        Ok(Heartbeat {
+            sender: ProcessId::new(sender),
+            seq,
+            sent_at: Timestamp::from_nanos(nanos),
+        })
+    }
+
+    fn decode_delta(&mut self, frame: &[u8]) -> Result<Heartbeat, WireError> {
+        let mut at = 1usize;
+        let (idx, n) = varint::decode_u64(&frame[at..]).map_err(|_| WireError::ShortFrame)?;
+        at += n;
+        let intern_idx = u32::try_from(idx).map_err(|_| WireError::InternOutOfRange(idx))?;
+        let (seq_delta, n) = varint::decode_u64(&frame[at..]).map_err(|_| WireError::ShortFrame)?;
+        at += n;
+        let (residual, n) = varint::decode_i64(&frame[at..]).map_err(|_| WireError::ShortFrame)?;
+        at += n;
+        match frame.len() {
+            l if l < at + 2 => return Err(WireError::ShortFrame),
+            l if l > at + 2 => return Err(WireError::TrailingBytes),
+            _ => {}
+        }
+        let entry = *self
+            .table
+            .get(&intern_idx)
+            .ok_or(WireError::UnknownIntern(intern_idx))?;
+        let expected = u16::from_le_bytes([frame[at], frame[at + 1]]);
+        if fnv16_bound(&frame[..at], entry.sender) != expected {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let predicted = entry
+            .ckpt_sent_at_nanos
+            .wrapping_add(seq_delta.wrapping_mul(entry.interval_nanos));
+        Ok(Heartbeat {
+            sender: ProcessId::new(entry.sender),
+            seq: entry.ckpt_seq.wrapping_add(seq_delta),
+            sent_at: Timestamp::from_nanos(predicted.wrapping_add(residual as u64)),
+        })
+    }
+}
+
+// ---- Part A: stream construction and the decode race ----
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    V1,
+    Mixed,
+    V2,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Ordering {
+    /// Round-robin over peers: consecutive frames are different senders
+    /// (the e18 sender-process pattern, hot-cache hostile).
+    Interleaved,
+    /// All of one peer's frames back to back (the paced-burst pattern
+    /// the hot cache is built for).
+    Burst,
+}
+
+/// A pre-encoded frame stream: one arena, frame bounds alongside.
+struct Stream {
+    arena: Vec<u8>,
+    bounds: Vec<(u32, u32)>,
+}
+
+impl Stream {
+    fn frames(&self) -> impl Iterator<Item = &[u8]> {
+        self.bounds
+            .iter()
+            .map(|&(at, len)| &self.arena[at as usize..(at + len) as usize])
+    }
+}
+
+fn peer_uses_v2(mix: Mix, id: u32) -> bool {
+    match mix {
+        Mix::V1 => false,
+        Mix::Mixed => id.is_multiple_of(2),
+        Mix::V2 => true,
+    }
+}
+
+fn heartbeat(id: u32, round: u64) -> Heartbeat {
+    Heartbeat {
+        sender: ProcessId::new(id),
+        seq: round,
+        sent_at: Timestamp::from_nanos(round * 1_000_000_000 + u64::from(id)),
+    }
+}
+
+/// Encodes `active` peers × `rounds` heartbeats in the given ordering.
+/// v2 peers carry encoder state across rounds (intern frame first, then
+/// minimal-width deltas), exactly like the live senders.
+fn build_stream(mix: Mix, ordering: Ordering, active: u32, rounds: u64) -> Stream {
+    let mut arena = Vec::with_capacity(active as usize * rounds as usize * 16);
+    let mut bounds = Vec::with_capacity(active as usize * rounds as usize);
+    let mut buf = [0u8; MAX_V2_FRAME];
+    let mut push = |arena: &mut Vec<u8>, frame: &[u8]| {
+        bounds.push((arena.len() as u32, frame.len() as u32));
+        arena.extend_from_slice(frame);
+    };
+    match ordering {
+        Ordering::Burst => {
+            for id in 0..active {
+                if peer_uses_v2(mix, id) {
+                    let mut enc = DeltaEncoder::new(
+                        ProcessId::new(id),
+                        id,
+                        std::time::Duration::from_secs(1),
+                        RESYNC_EVERY,
+                    );
+                    for round in 1..=rounds {
+                        let n = enc.encode(&heartbeat(id, round), &mut buf);
+                        push(&mut arena, &buf[..n]);
+                    }
+                } else {
+                    for round in 1..=rounds {
+                        push(&mut arena, &heartbeat(id, round).encode());
+                    }
+                }
+            }
+        }
+        Ordering::Interleaved => {
+            let mut encoders: Vec<Option<DeltaEncoder>> = (0..active)
+                .map(|id| {
+                    peer_uses_v2(mix, id).then(|| {
+                        DeltaEncoder::new(
+                            ProcessId::new(id),
+                            id,
+                            std::time::Duration::from_secs(1),
+                            RESYNC_EVERY,
+                        )
+                    })
+                })
+                .collect();
+            for round in 1..=rounds {
+                for id in 0..active {
+                    match &mut encoders[id as usize] {
+                        Some(enc) => {
+                            let n = enc.encode(&heartbeat(id, round), &mut buf);
+                            push(&mut arena, &buf[..n]);
+                        }
+                        None => push(&mut arena, &heartbeat(id, round).encode()),
+                    }
+                }
+            }
+        }
+    }
+    Stream { arena, bounds }
+}
+
+struct Raced {
+    frames: u64,
+    slab_ns_per_frame: f64,
+    map_ns_per_frame: f64,
+    ratio: f64,
+}
+
+/// Times both decoders over the same stream; asserts they accept the
+/// same frame count (the `intern_equiv` proptest holds them to full
+/// observable equality — this is the bench's cheap cross-check).
+fn race(clock: &SystemClock, stream: &Stream, capacity: usize) -> Raced {
+    // Warm the arena so the first timed pass isn't charged for paging
+    // the stream in while the second reads it hot.
+    let mut warm = 0u64;
+    for frame in stream.frames() {
+        warm = warm.wrapping_add(u64::from(*frame.last().expect("non-empty frame")));
+    }
+    std::hint::black_box(warm);
+
+    let mut slab = WireDecoder::with_capacity(capacity);
+    let t0 = clock.now();
+    let mut slab_ok = 0u64;
+    for frame in stream.frames() {
+        if std::hint::black_box(slab.decode(frame)).is_ok() {
+            slab_ok += 1;
+        }
+    }
+    let slab_s = wall(clock, t0);
+
+    let mut map = MapDecoder::new(capacity);
+    let t0 = clock.now();
+    let mut map_ok = 0u64;
+    for frame in stream.frames() {
+        if std::hint::black_box(map.decode(frame)).is_ok() {
+            map_ok += 1;
+        }
+    }
+    let map_s = wall(clock, t0);
+
+    let frames = stream.bounds.len() as u64;
+    assert_eq!(slab_ok, frames, "clean stream fully accepted by slab");
+    assert_eq!(map_ok, frames, "clean stream fully accepted by map");
+    assert_eq!(slab.interns_rejected(), map.interns_rejected);
+    let slab_ns = slab_s * 1e9 / frames as f64;
+    let map_ns = map_s * 1e9 / frames as f64;
+    Raced {
+        frames,
+        slab_ns_per_frame: slab_ns,
+        map_ns_per_frame: map_ns,
+        ratio: map_ns / slab_ns.max(1e-9),
+    }
+}
+
+// ---- Part B: engine lane sweep over pre-filled channel lanes ----
+
+struct LaneRun {
+    lanes: usize,
+    sent: u64,
+    accepted: u64,
+    throughput: f64,
+    decode_ns_per_frame: f64,
+    route_ns_per_frame: f64,
+    update_ns_per_frame: f64,
+}
+
+fn lane_run(clock: &SystemClock, lanes_n: usize, peers: u32, rounds: u64) -> LaneRun {
+    let mut engine = ParallelShardEngine::new(
+        NullTransport,
+        SystemClock::new(),
+        EngineConfig {
+            workers: WORKERS,
+            slots_per_shard: (peers as usize).div_ceil(WORKERS) * 2,
+            ring_capacity: 16_384,
+            batch_slots: 512,
+            publish_every: afd_core::time::Duration::from_millis(5),
+        },
+        |_| SimpleAccrual::new(Timestamp::ZERO),
+    );
+    for id in 0..peers {
+        engine
+            .watch(ProcessId::new(id))
+            .expect("sized for all peers");
+    }
+
+    // Pre-fill each lane's channel, bounded at the full stream size
+    // (lane hashing is not perfectly even): lossless, so intake_frames
+    // reaching `sent` is the complete-drain signal.
+    let bound = (u64::from(peers) * rounds) as usize;
+    let mut feeds = Vec::with_capacity(lanes_n);
+    let mut lanes = Vec::with_capacity(lanes_n);
+    for _ in 0..lanes_n {
+        let (feed, lane) = ChannelTransport::pair_bounded(bound);
+        feeds.push(feed);
+        lanes.push(lane);
+    }
+    let mut encoders: Vec<DeltaEncoder> = (0..peers)
+        .map(|id| {
+            DeltaEncoder::new(
+                ProcessId::new(id),
+                id,
+                std::time::Duration::from_secs(1),
+                RESYNC_EVERY,
+            )
+        })
+        .collect();
+    let mut buf = [0u8; MAX_V2_FRAME];
+    let mut sent = 0u64;
+    for round in 1..=rounds {
+        for id in 0..peers {
+            let n = encoders[id as usize].encode(&heartbeat(id, round), &mut buf);
+            let lane = MultiUdpTransport::lane_for(id, lanes_n);
+            feeds[lane].send(&buf[..n]).expect("pre-filled under cap");
+            sent += 1;
+        }
+    }
+    for feed in &feeds {
+        assert_eq!(feed.tx_dropped(), 0, "lane feed sized for full stream");
+    }
+
+    let start = clock.now();
+    engine.start_lanes(lanes).expect("fresh engine");
+    while engine.stats().intake_frames < sent {
+        assert!(
+            wall(clock, start) < 120.0,
+            "lane drain stalled at {:?}",
+            engine.stats()
+        );
+        // lint:allow(no-thread-sleep, quiescence polling against live intake threads; no virtual-time caller exists)
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let elapsed = wall(clock, start);
+    engine.shutdown().expect("clean shutdown");
+    let stats = engine.stats();
+    let accepted = stats.totals.accepted;
+    assert_eq!(stats.intake_frames, sent, "every frame decoded");
+    assert!(accepted > 0, "no heartbeats absorbed");
+    LaneRun {
+        lanes: lanes_n,
+        sent,
+        accepted,
+        throughput: accepted as f64 / elapsed.max(1e-9),
+        decode_ns_per_frame: stats.stage.decode as f64 / sent as f64,
+        route_ns_per_frame: stats.stage.route as f64 / sent as f64,
+        update_ns_per_frame: stats.stage.update as f64 / accepted as f64,
+    }
+}
+
+fn mix_name(mix: Mix) -> &'static str {
+    match mix {
+        Mix::V1 => "v1",
+        Mix::Mixed => "mixed",
+        Mix::V2 => "v2",
+    }
+}
+
+fn ordering_name(ordering: Ordering) -> &'static str {
+    match ordering {
+        Ordering::Interleaved => "interleaved",
+        Ordering::Burst => "burst",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes = if smoke {
+        Sizes {
+            peers: 100_000,
+            rounds: 4,
+            engine_peers: 50_000,
+            engine_rounds: 3,
+        }
+    } else {
+        Sizes {
+            peers: 1_000_000,
+            rounds: 4,
+            engine_peers: 100_000,
+            engine_rounds: 4,
+        }
+    };
+    let clock = SystemClock::new();
+    let total = clock.now();
+
+    // Part A: the decode race. Capacity is the full peer population;
+    // occupancy scales how many peers actually send.
+    let configs = [
+        (Mix::V1, Ordering::Interleaved),
+        (Mix::Mixed, Ordering::Interleaved),
+        (Mix::V2, Ordering::Interleaved),
+        (Mix::V2, Ordering::Burst),
+    ];
+    let occupancies = [0.25, 1.0];
+    let mut table = Table::new(
+        format!(
+            "E19 part A: slab vs map decode, {} peers x {} rounds",
+            sizes.peers, sizes.rounds
+        ),
+        &[
+            "mix",
+            "ordering",
+            "occupancy",
+            "slab ns/f",
+            "map ns/f",
+            "ratio",
+        ],
+    );
+    let mut part_a: Vec<Json> = Vec::new();
+    let mut gate_ratio = None;
+    for &(mix, ordering) in &configs {
+        for (oi, &occupancy) in occupancies.iter().enumerate() {
+            let full_occupancy = oi + 1 == occupancies.len();
+            let active = ((f64::from(sizes.peers) * occupancy) as u32).max(1);
+            let stream = build_stream(mix, ordering, active, sizes.rounds);
+            let raced = race(&clock, &stream, sizes.peers as usize);
+            table.push_row(vec![
+                mix_name(mix).into(),
+                ordering_name(ordering).into(),
+                cell(occupancy, 2),
+                cell(raced.slab_ns_per_frame, 1),
+                cell(raced.map_ns_per_frame, 1),
+                cell(raced.ratio, 2),
+            ]);
+            if mix == Mix::V2 && ordering == Ordering::Interleaved && full_occupancy {
+                gate_ratio = Some(raced.ratio);
+            }
+            part_a.push(
+                JsonObject::new()
+                    .field("mix", mix_name(mix))
+                    .field("ordering", ordering_name(ordering))
+                    .field("occupancy", occupancy)
+                    .field("frames", raced.frames)
+                    .field("slab_ns_per_frame", raced.slab_ns_per_frame)
+                    .field("map_ns_per_frame", raced.map_ns_per_frame)
+                    .field("ratio", raced.ratio)
+                    .build(),
+            );
+        }
+    }
+    println!("{table}");
+
+    // Part B: the engine lane sweep with batch stamping + push_batch.
+    let mut lane_table = Table::new(
+        format!(
+            "E19 part B: {} peers x {} rounds through channel lanes",
+            sizes.engine_peers, sizes.engine_rounds
+        ),
+        &[
+            "lanes",
+            "sent",
+            "accepted",
+            "hb/s",
+            "decode ns/f",
+            "route ns/f",
+            "update ns/f",
+        ],
+    );
+    let mut part_b: Vec<Json> = Vec::new();
+    for &lanes_n in &LANE_SWEEP {
+        let run = lane_run(&clock, lanes_n, sizes.engine_peers, sizes.engine_rounds);
+        lane_table.push_row(vec![
+            run.lanes.to_string(),
+            run.sent.to_string(),
+            run.accepted.to_string(),
+            cell(run.throughput, 0),
+            cell(run.decode_ns_per_frame, 1),
+            cell(run.route_ns_per_frame, 1),
+            cell(run.update_ns_per_frame, 1),
+        ]);
+        part_b.push(
+            JsonObject::new()
+                .field("lanes", run.lanes as u64)
+                .field("sent", run.sent)
+                .field("accepted", run.accepted)
+                .field("throughput_hb_per_s", run.throughput)
+                .field("decode_ns_per_frame", run.decode_ns_per_frame)
+                .field("route_ns_per_frame", run.route_ns_per_frame)
+                .field("update_ns_per_frame", run.update_ns_per_frame)
+                .build(),
+        );
+    }
+    println!("{lane_table}");
+
+    // The PR's headline gate: ≥2× decode win on the interleaved v2
+    // stream at full occupancy.
+    let gate_ratio = gate_ratio.expect("gate config always swept");
+    assert!(
+        gate_ratio >= 2.0,
+        "slab decode must be >=2x the map baseline on interleaved v2, got {gate_ratio:.2}x"
+    );
+
+    let report = JsonObject::new()
+        .field("experiment", "e19_decode_scale")
+        .field("smoke", smoke)
+        .field("peers", u64::from(sizes.peers))
+        .field("rounds", sizes.rounds)
+        .field("engine_peers", u64::from(sizes.engine_peers))
+        .field("engine_rounds", sizes.engine_rounds)
+        .field("workers", WORKERS as u64)
+        .field("gate_ratio_v2_interleaved_full", gate_ratio)
+        .field("decode_race", part_a)
+        .field("lane_sweep", part_b)
+        .build();
+    let path = write_report("e19", &report).expect("write results/BENCH_e19.json");
+    println!("wrote {}", path.display());
+    println!(
+        "e19 total: {:.2} s{}",
+        wall(&clock, total),
+        if smoke { " (smoke)" } else { "" }
+    );
+}

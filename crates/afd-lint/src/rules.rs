@@ -311,6 +311,7 @@ fn relaxed_atomics_audit(ctx: &FileContext, code: &[&Token], out: &mut Vec<Findi
 const HOT_PATH_FILES: &[&str] = &[
     "crates/afd-runtime/src/transport.rs",
     "crates/afd-runtime/src/wire.rs",
+    "crates/afd-runtime/src/intern.rs",
     "crates/afd-runtime/src/shard.rs",
     "crates/afd-runtime/src/ring.rs",
     "crates/afd-runtime/src/engine.rs",

@@ -211,6 +211,21 @@ fn no_alloc_in_hot_path_is_scoped_to_the_intake_files() {
 }
 
 #[test]
+fn no_alloc_in_hot_path_covers_the_intern_slab() {
+    // The PR 10 intern slab joined the intake hot path: bare
+    // allocations there fire like anywhere else on the frame path...
+    let path = "crates/afd-runtime/src/intern.rs";
+    let (findings, _) = lint_fixture("no_alloc_bad.rs", path);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "no-alloc-in-hot-path"));
+    // ...while the slab idiom itself — construction-time `vec![…]`
+    // under a reasoned pragma, allocation-free probes — is clean.
+    let (findings, suppressed) = lint_fixture("no_alloc_slab_suppressed.rs", path);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
 fn no_alloc_in_hot_path_honors_reasoned_pragma() {
     let (findings, suppressed) = lint_fixture(
         "no_alloc_suppressed.rs",

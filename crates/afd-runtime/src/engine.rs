@@ -14,8 +14,13 @@
 //!
 //! One intake thread drains the transport through a reusable
 //! [`FrameBatch`] arena (zero heap allocations per frame), decodes each
-//! frame, stamps its arrival, and hash-routes it into a bounded SPSC
-//! [`heartbeat_ring`](crate::ring::heartbeat_ring). One worker thread
+//! frame, stamps the *batch's* arrival once (clock reads are amortized
+//! across the batch; the stamp skew a frame can see is bounded by its
+//! own batch's decode time — see DESIGN.md §7j), groups the decoded
+//! heartbeats by destination shard, and publishes each group into a
+//! bounded SPSC [`heartbeat_ring`](crate::ring::heartbeat_ring) with a
+//! single batched seqlock advance
+//! ([`push_batch`](crate::ring::RingProducer::push_batch)). One worker thread
 //! per shard owns that shard's `MonitoringService` — the *same*
 //! [`Shard`](crate::shard) accept/publish code the single-threaded
 //! monitor runs — and publishes into the same double-buffered epoch
@@ -444,6 +449,9 @@ enum EngineState<T, D> {
     Lockstep {
         transport: T,
         batch: FrameBatch,
+        /// Per-destination scratch, one bucket per worker ring, reused
+        /// across ticks so grouping never allocates in steady state.
+        groups: Vec<Vec<Heartbeat>>,
         producers: Vec<RingProducer>,
         barrier: Arc<PhaseBarrier>,
         workers: Vec<WorkerHandle<D>>,
@@ -759,6 +767,9 @@ where
                 self.state = EngineState::Lockstep {
                     transport,
                     batch: FrameBatch::with_capacity(self.config.batch_slots),
+                    groups: (0..self.config.workers)
+                        .map(|_| Vec::with_capacity(self.config.batch_slots))
+                        .collect(),
                     producers,
                     barrier,
                     workers,
@@ -933,14 +944,15 @@ where
     /// wrong state, [`EngineError::Transport`] if the transport failed,
     /// [`EngineError::WorkerPanicked`] if a worker died.
     pub fn tick(&mut self) -> Result<EngineTickReport, EngineError> {
-        let (transport, batch, producers, barrier, workers) = match &mut self.state {
+        let (transport, batch, groups, producers, barrier, workers) = match &mut self.state {
             EngineState::Lockstep {
                 transport,
                 batch,
+                groups,
                 producers,
                 barrier,
                 workers,
-            } => (transport, batch, producers, barrier, workers),
+            } => (transport, batch, groups, producers, barrier, workers),
             EngineState::Idle { .. } => return Err(EngineError::NotRunning),
             EngineState::Free { .. } | EngineState::FreeLanes { .. } => {
                 return Err(EngineError::NotLockstep)
@@ -959,20 +971,29 @@ where
                 .recv_batch(batch)
                 .map_err(EngineError::Transport)?;
             drained += got;
+            // One stamp per drained batch. Under the frozen virtual
+            // clock of a lockstep tick this is byte-identical to the
+            // per-frame stamps `ShardedMonitor::tick` takes — the
+            // equivalence proptest holds the engine to that.
+            let now = self.clock.now();
             for frame in batch.iter() {
                 match <&[u8; FRAME_LEN]>::try_from(frame) {
                     Ok(exact) => match Heartbeat::decode_exact(exact) {
                         Ok(hb) => {
-                            // Stamp per decoded frame, exactly as
-                            // `ShardedMonitor::tick` does.
-                            let now = self.clock.now();
                             frames += 1;
-                            let idx = shard_index(hb.sender, producers.len());
-                            producers[idx].push(hb, now);
+                            groups[shard_index(hb.sender, producers.len())].push(hb);
                         }
                         Err(_) => corrupt += 1,
                     },
                     Err(_) => corrupt += 1,
+                }
+            }
+            // Publish each destination's group with one seqlock/tail
+            // advance; per-ring FIFO order is batch order, as before.
+            for (idx, group) in groups.iter_mut().enumerate() {
+                if !group.is_empty() {
+                    producers[idx].push_batch(group, now);
+                    group.clear();
                 }
             }
             if got < batch.capacity() {
@@ -1025,6 +1046,7 @@ where
             EngineState::Lockstep {
                 transport,
                 batch: _,
+                groups: _,
                 producers,
                 barrier,
                 workers,
@@ -1499,6 +1521,11 @@ fn intake_loop<T: Transport, C: Clock>(
     };
     let mut batch = FrameBatch::with_capacity(batch_slots);
     let shards = producers.len();
+    // Per-destination scratch, reused across batches: grouping a batch
+    // by worker ring is allocation-free in steady state.
+    let mut groups: Vec<Vec<Heartbeat>> = (0..shards)
+        .map(|_| Vec::with_capacity(batch_slots))
+        .collect();
     while !stop.load(Ordering::Acquire) {
         batch.clear();
         match transport.recv_batch(&mut batch) {
@@ -1509,17 +1536,26 @@ fn intake_loop<T: Transport, C: Clock>(
             Ok(got) => {
                 let mut corrupt = 0u64;
                 let mut frames = 0u64;
+                // One stamp per drained batch: every frame in it shares
+                // this arrival. The skew a frame can see is bounded by
+                // the batch's own decode+route time (see DESIGN.md §7j).
+                let now = clock.now();
                 for frame in batch.iter() {
                     match <&[u8; FRAME_LEN]>::try_from(frame) {
                         Ok(exact) => match Heartbeat::decode_exact(exact) {
                             Ok(hb) => {
-                                let now = clock.now();
                                 frames += 1;
-                                producers[shard_index(hb.sender, shards)].push(hb, now);
+                                groups[shard_index(hb.sender, shards)].push(hb);
                             }
                             Err(_) => corrupt += 1,
                         },
                         Err(_) => corrupt += 1,
+                    }
+                }
+                for (idx, group) in groups.iter_mut().enumerate() {
+                    if !group.is_empty() {
+                        producers[idx].push_batch(group, now);
+                        group.clear();
                     }
                 }
                 let _ = got;
@@ -1564,6 +1600,12 @@ fn lane_intake_loop<C: Clock>(
     // in steady state (capacity equals the arena's slot count).
     let mut scratch: Vec<Heartbeat> = Vec::with_capacity(batch_slots);
     let shards = producers.len();
+    // Per-destination scratch for the route pass, also reused: a drained
+    // batch publishes with one seqlock advance per (ring, group) instead
+    // of one per frame.
+    let mut groups: Vec<Vec<Heartbeat>> = (0..shards)
+        .map(|_| Vec::with_capacity(batch_slots))
+        .collect();
     while !stop.load(Ordering::Acquire) {
         batch.clear();
         match transport.recv_batch(&mut batch) {
@@ -1581,13 +1623,20 @@ fn lane_intake_loop<C: Clock>(
                         Err(_) => corrupt += 1,
                     }
                 }
+                // One stamp per batch, doubling as the stage boundary:
+                // every frame of this batch arrives at `route_start`.
+                // The skew against its true socket-drain moment is
+                // bounded by the batch's decode time (DESIGN.md §7j).
                 let route_start = clock.now();
                 let frames = scratch.len() as u64;
                 for hb in scratch.drain(..) {
-                    // Stamp per routed frame, exactly as the
-                    // single-intake loop does.
-                    let now = clock.now();
-                    producers[shard_index(hb.sender, shards)].push(hb, now);
+                    groups[shard_index(hb.sender, shards)].push(hb);
+                }
+                for (idx, group) in groups.iter_mut().enumerate() {
+                    if !group.is_empty() {
+                        producers[idx].push_batch(group, route_start);
+                        group.clear();
+                    }
                 }
                 let route_end = clock.now();
                 IntakeShared::add(

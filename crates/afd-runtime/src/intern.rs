@@ -1,0 +1,291 @@
+//! Dense, generation-tagged intern table for the v2 decode fast path.
+//!
+//! The receiver-side intern table maps a delta frame's `intern_idx` to
+//! the checkpoint it decodes against. PR 9's million-peer soak showed
+//! the `HashMap` backing that table dominating the intake profile: one
+//! hash + probe per delta frame, on the hottest path in the system. By
+//! convention the index space is *dense* — senders claim their own id
+//! as the intern index (see [`DeltaEncoder`](crate::wire::DeltaEncoder))
+//! — so the map can be a flat slab indexed directly by `intern_idx`:
+//!
+//! - **probe = one bounds check + one bit test + one load** — no
+//!   hashing, no collision chains;
+//! - **zero allocation after construction** — the entry array, the
+//!   generation tags, and the occupancy bitset are all sized up front
+//!   from the capacity;
+//! - **O(1) reset** — restarting a decoder bumps a generation counter
+//!   instead of touching a million slots; a slot is live only if its
+//!   tag matches the current generation (the rare u32 generation wrap
+//!   falls back to an explicit clear);
+//! - **last-entry hot cache** — a paced-sender burst lands several
+//!   deltas from one sender back to back, so the previous hit answers
+//!   the next probe without touching the (multi-megabyte) slab at all.
+//!
+//! The capacity bound changes *shape* but not strength versus the old
+//! map: the slab stores exactly the indices `0..capacity`, so an index
+//! at or past capacity is rejected (and counted by the caller) just as
+//! an insert into a full `HashMap` was. Under the dense identity-index
+//! convention the two are observably identical — an in-range index can
+//! never hit the fullness rejection in either backing — and the
+//! `intern_equiv` proptest in `tests/` holds the slab-backed
+//! [`WireDecoder`](crate::wire::WireDecoder) to that, frame for frame.
+
+/// One receiver-side intern table entry: the checkpoint a sender's
+/// delta frames decode against, registered by an intern frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternEntry {
+    /// The sender id bound into every delta checksum for this index.
+    pub sender: u32,
+    /// Sequence number of the checkpoint heartbeat.
+    pub ckpt_seq: u64,
+    /// Send time of the checkpoint heartbeat, in nanoseconds.
+    pub ckpt_sent_at_nanos: u64,
+    /// The sender's nominal heartbeat interval, in nanoseconds, used to
+    /// predict delta send times arithmetically.
+    pub interval_nanos: u64,
+}
+
+const VACANT: InternEntry = InternEntry {
+    sender: 0,
+    ckpt_seq: 0,
+    ckpt_sent_at_nanos: 0,
+    interval_nanos: 0,
+};
+
+/// A flat intern table: `Vec<InternEntry>` indexed directly by the
+/// intern index, with an occupancy bitset, generation-tagged slots for
+/// O(1) [`reset`](InternSlab::reset), and a one-entry hot cache.
+///
+/// Indices `0..capacity` always insert (first fill or overwrite);
+/// indices at or past capacity are rejected — the slab's form of the
+/// bounded-table guarantee. See the module docs for why this matches
+/// the old `HashMap` bound under the dense-index convention.
+#[derive(Debug)]
+pub struct InternSlab {
+    entries: Box<[InternEntry]>,
+    /// Generation each slot was last written in; a slot is live only if
+    /// this matches `generation` (and its occupancy bit is set), which
+    /// is what lets `reset` retire every slot without touching them.
+    gens: Box<[u32]>,
+    /// One bit per slot: a cheap first test that keeps a miss on a
+    /// vacant index from loading the (cold) entry array at all.
+    occupied: Box<[u64]>,
+    generation: u32,
+    live: usize,
+    /// The last entry hit or inserted: a paced-sender burst probes the
+    /// same index repeatedly, and this answers without a slab load.
+    hot: Option<(u32, InternEntry)>,
+}
+
+impl InternSlab {
+    /// Creates a slab holding intern indices `0..capacity` (floored at
+    /// 1). All storage is allocated here; no later call allocates.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        InternSlab {
+            // lint:allow(no-alloc-in-hot-path, one-time construction)
+            entries: vec![VACANT; cap].into_boxed_slice(),
+            // lint:allow(no-alloc-in-hot-path, one-time construction)
+            gens: vec![0u32; cap].into_boxed_slice(),
+            // lint:allow(no-alloc-in-hot-path, one-time construction)
+            occupied: vec![0u64; cap.div_ceil(64)].into_boxed_slice(),
+            generation: 1,
+            live: 0,
+            hot: None,
+        }
+    }
+
+    /// The index bound: the slab stores exactly indices `0..capacity`.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    fn is_live(&self, i: usize) -> bool {
+        (self.occupied[i / 64] >> (i % 64)) & 1 == 1 && self.gens[i] == self.generation
+    }
+
+    /// Looks up `idx`, refreshing the hot cache on a slab hit. Returns
+    /// `None` for vacant and out-of-capacity indices alike — neither
+    /// has an entry to decode against.
+    #[inline]
+    pub fn get(&mut self, idx: u32) -> Option<InternEntry> {
+        if let Some((hot_idx, entry)) = self.hot {
+            if hot_idx == idx {
+                return Some(entry);
+            }
+        }
+        let i = idx as usize;
+        if i >= self.entries.len() || !self.is_live(i) {
+            return None;
+        }
+        let entry = self.entries[i];
+        self.hot = Some((idx, entry));
+        Some(entry)
+    }
+
+    /// Inserts (or overwrites) the entry for `idx`, returning `false` —
+    /// and storing nothing — if `idx` is at or past capacity. In-range
+    /// inserts never fail: the slot for every in-range index exists by
+    /// construction.
+    #[inline]
+    pub fn insert(&mut self, idx: u32, entry: InternEntry) -> bool {
+        let i = idx as usize;
+        if i >= self.entries.len() {
+            return false;
+        }
+        if !self.is_live(i) {
+            self.live += 1;
+        }
+        self.occupied[i / 64] |= 1 << (i % 64);
+        self.gens[i] = self.generation;
+        self.entries[i] = entry;
+        self.hot = Some((idx, entry));
+        true
+    }
+
+    /// Retires every entry in O(1) by advancing the generation: stale
+    /// slots keep their bits and bytes but no longer match, so the next
+    /// `get` misses and the next `insert` refills them. Only on the
+    /// (effectively unreachable) u32 generation wrap does reset pay for
+    /// an explicit clear, to keep ancient tags from false-matching.
+    pub fn reset(&mut self) {
+        self.hot = None;
+        self.live = 0;
+        match self.generation.checked_add(1) {
+            Some(g) => self.generation = g,
+            None => {
+                for word in self.occupied.iter_mut() {
+                    *word = 0;
+                }
+                for gen in self.gens.iter_mut() {
+                    *gen = 0;
+                }
+                self.generation = 1;
+            }
+        }
+    }
+
+    /// Test hook: jump to a specific generation to exercise the wrap.
+    /// Invalidates the hot cache like every real generation change.
+    #[cfg(test)]
+    fn set_generation(&mut self, generation: u32) {
+        self.generation = generation;
+        self.hot = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(sender: u32) -> InternEntry {
+        InternEntry {
+            sender,
+            ckpt_seq: u64::from(sender) * 10,
+            ckpt_sent_at_nanos: u64::from(sender) * 100,
+            interval_nanos: 1_000,
+        }
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut slab = InternSlab::new(8);
+        assert!(slab.is_empty());
+        assert_eq!(slab.get(3), None);
+        assert!(slab.insert(3, entry(30)));
+        assert_eq!(slab.get(3), Some(entry(30)));
+        assert_eq!(slab.len(), 1);
+        // Overwrite does not double-count.
+        assert!(slab.insert(3, entry(31)));
+        assert_eq!(slab.get(3), Some(entry(31)));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(4), None);
+    }
+
+    #[test]
+    fn out_of_capacity_indices_are_rejected() {
+        let mut slab = InternSlab::new(4);
+        assert!(slab.insert(3, entry(3)), "last in-range index");
+        assert!(!slab.insert(4, entry(4)), "first out-of-range index");
+        assert!(!slab.insert(u32::MAX, entry(9)));
+        assert_eq!(slab.get(4), None);
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.capacity(), 4);
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let mut slab = InternSlab::new(0);
+        assert_eq!(slab.capacity(), 1);
+        assert!(slab.insert(0, entry(1)));
+        assert!(!slab.insert(1, entry(2)));
+    }
+
+    #[test]
+    fn every_in_range_index_fits_simultaneously() {
+        let mut slab = InternSlab::new(200);
+        for i in 0..200u32 {
+            assert!(slab.insert(i, entry(i)));
+        }
+        assert_eq!(slab.len(), 200);
+        for i in 0..200u32 {
+            assert_eq!(slab.get(i), Some(entry(i)));
+        }
+    }
+
+    #[test]
+    fn reset_retires_everything_and_slots_refill() {
+        let mut slab = InternSlab::new(128);
+        for i in 0..100u32 {
+            slab.insert(i, entry(i));
+        }
+        slab.reset();
+        assert!(slab.is_empty());
+        for i in 0..100u32 {
+            assert_eq!(slab.get(i), None, "stale slot {i} survived reset");
+        }
+        // Refill after reset behaves like a fresh slab.
+        assert!(slab.insert(7, entry(70)));
+        assert_eq!(slab.get(7), Some(entry(70)));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn hot_cache_tracks_overwrites_and_reset() {
+        let mut slab = InternSlab::new(8);
+        slab.insert(2, entry(20));
+        assert_eq!(slab.get(2), Some(entry(20)));
+        // The hot cache must serve the *new* value after an overwrite.
+        slab.insert(2, entry(21));
+        assert_eq!(slab.get(2), Some(entry(21)));
+        slab.reset();
+        assert_eq!(slab.get(2), None, "hot cache leaked across reset");
+    }
+
+    #[test]
+    fn generation_wrap_clears_stale_tags() {
+        let mut slab = InternSlab::new(8);
+        slab.insert(1, entry(1));
+        slab.set_generation(u32::MAX);
+        // Generation u32::MAX never wrote slot 1, so it reads vacant.
+        assert_eq!(slab.get(1), None);
+        slab.insert(2, entry(2));
+        slab.reset(); // wraps: explicit clear, back to generation 1
+        assert_eq!(slab.get(1), None, "gen-1 tag from before the wrap matched");
+        assert_eq!(slab.get(2), None);
+        assert!(slab.is_empty());
+        slab.insert(1, entry(11));
+        assert_eq!(slab.get(1), Some(entry(11)));
+    }
+}

@@ -38,6 +38,12 @@
 //! only the lane's intake thread stores) and exported as
 //! `udp.lane.<i>.*` metrics plus `udp.*` totals by
 //! [`MultiUdpStats::export_metrics`].
+//!
+//! Downstream, the engine's lane intake stamps every heartbeat of a
+//! drained batch with **one** clock read and publishes per-worker
+//! groups through `push_batch` — see the batch-stamping and grouped
+//! seqlock publish notes in `engine.rs` and DESIGN.md §7j for the
+//! stamp-skew bound.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};

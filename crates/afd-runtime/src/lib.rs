@@ -35,6 +35,7 @@ pub mod degrade;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod intern;
 pub mod lane;
 pub mod monitor;
 pub mod persist;
@@ -58,6 +59,7 @@ pub use degrade::{DegradeConfig, GracefulDegradation};
 pub use engine::{EngineConfig, EngineMode, EngineStats, EngineTickReport, ParallelShardEngine};
 pub use error::{EngineError, RuntimeError, TransportError};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use intern::{InternEntry, InternSlab};
 pub use lane::{MultiUdpStats, MultiUdpTransport, UdpLane, UdpLaneStats, DEFAULT_RECV_BUDGET};
 pub use monitor::{MonitorStats, RuntimeMonitor};
 pub use persist::{

@@ -186,6 +186,102 @@ impl RingProducer {
         inner.tail.store(tail.wrapping_add(1), Ordering::Release);
     }
 
+    /// Pushes a batch of heartbeats that share one arrival stamp, with
+    /// **one** tail advance for the whole batch instead of one per
+    /// frame — the publish half of the batched intake fast path.
+    ///
+    /// Semantics match a `push` loop exactly: never blocks, never
+    /// fails, evicts the oldest unread entries (counted as dropped)
+    /// when space runs short. A batch longer than the ring keeps only
+    /// its newest `capacity` heartbeats — the older ones would be
+    /// evicted by their own batchmates before any consumer could see
+    /// them, so they are counted as dropped without being written.
+    ///
+    /// The seqlock protocol runs in three passes over the claimed
+    /// slots: mark every slot mid-write (odd), release-fence, store
+    /// every payload, release-fence, mark every slot done (even), then
+    /// publish with a single release store of `tail`. A consumer that
+    /// catches any slot of the batch mid-write sees an odd or changed
+    /// seqlock word and retries, exactly as with per-frame pushes.
+    pub fn push_batch(&mut self, hbs: &[Heartbeat], arrival: Timestamp) {
+        let inner = &*self.inner;
+        let cap = inner.slots.len() as u64;
+        // Older-than-the-ring entries can never be observed: drop them
+        // up front instead of writing and immediately evicting them.
+        let skip = hbs.len().saturating_sub(cap as usize);
+        if skip > 0 {
+            inner.dropped.store(
+                inner
+                    .dropped
+                    .load(Ordering::Relaxed)
+                    .wrapping_add(skip as u64),
+                Ordering::Relaxed,
+            );
+        }
+        let hbs = &hbs[skip..];
+        if hbs.is_empty() {
+            return;
+        }
+        let n = hbs.len() as u64;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        loop {
+            let head = inner.head.load(Ordering::Acquire);
+            let free = cap - tail.wrapping_sub(head);
+            if free >= n {
+                break;
+            }
+            // Evict the whole deficit with one CAS. The CAS races only
+            // the consumer's pop; on failure the consumer advanced head
+            // for us, so the deficit is recomputed smaller.
+            let deficit = n - free;
+            if inner
+                .head
+                .compare_exchange(
+                    head,
+                    head.wrapping_add(deficit),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // Single-writer counter: a plain load+store is exact.
+                inner.dropped.store(
+                    inner.dropped.load(Ordering::Relaxed).wrapping_add(deficit),
+                    Ordering::Relaxed,
+                );
+                break;
+            }
+        }
+        // Pass 1: every claimed slot goes odd (mid-write) before any
+        // payload store, so a late consumer of an evicted slot can
+        // never validate a half-written batch entry.
+        for i in 0..n {
+            let slot = &inner.slots[(tail.wrapping_add(i) & inner.mask) as usize];
+            let s = slot.wseq.load(Ordering::Relaxed);
+            slot.wseq.store(s.wrapping_add(1), Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+        // Pass 2: the payloads, all sharing the batch arrival stamp.
+        for (i, hb) in hbs.iter().enumerate() {
+            let slot = &inner.slots[(tail.wrapping_add(i as u64) & inner.mask) as usize];
+            slot.sender
+                .store(u64::from(hb.sender.as_u32()), Ordering::Relaxed);
+            slot.seq.store(hb.seq, Ordering::Relaxed);
+            slot.sent_at.store(hb.sent_at.as_nanos(), Ordering::Relaxed);
+            slot.arrival.store(arrival.as_nanos(), Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+        // Pass 3: seqlock exit (even) for every slot; the fence above
+        // release-orders all payloads before these marks.
+        for i in 0..n {
+            let slot = &inner.slots[(tail.wrapping_add(i) & inner.mask) as usize];
+            let s = slot.wseq.load(Ordering::Relaxed);
+            slot.wseq.store(s.wrapping_add(1), Ordering::Relaxed);
+        }
+        // One publish for the whole batch.
+        inner.tail.store(tail.wrapping_add(n), Ordering::Release);
+    }
+
     /// A metrics observer for this ring.
     pub fn watch(&self) -> RingWatch {
         RingWatch {
@@ -335,6 +431,115 @@ mod tests {
         let got: Vec<u64> = std::iter::from_fn(|| rx.pop().map(|(h, _)| h.seq)).collect();
         assert_eq!(got, vec![4, 5, 6, 7]);
         assert_eq!(tx.watch().dropped(), 3);
+    }
+
+    #[test]
+    fn push_batch_fifo_and_shared_stamp() {
+        let (mut tx, mut rx) = heartbeat_ring(8);
+        tx.push_batch(&[], Timestamp::from_secs(9)); // no-op
+        assert!(rx.pop().is_none());
+        let batch: Vec<Heartbeat> = (0..5u64).map(|i| hb(1, i)).collect();
+        tx.push_batch(&batch, Timestamp::from_secs(42));
+        for i in 0..5u64 {
+            let (h, at) = rx.pop().expect("queued");
+            assert_eq!(h.seq, i);
+            assert_eq!(at, Timestamp::from_secs(42), "batch stamp shared");
+        }
+        assert!(rx.pop().is_none());
+        assert_eq!(tx.watch().dropped(), 0);
+    }
+
+    #[test]
+    fn push_batch_matches_a_push_loop_on_overflow() {
+        // The exact scenario of `overflow_drops_oldest_and_counts`, in
+        // three batches: the observable outcome must be identical to
+        // 20 single pushes into 8 slots.
+        let (mut tx, mut rx) = heartbeat_ring(8);
+        for chunk in (0..20u64).collect::<Vec<_>>().chunks(7) {
+            let batch: Vec<Heartbeat> = chunk.iter().map(|&i| hb(1, i)).collect();
+            tx.push_batch(&batch, Timestamp::from_nanos(chunk[0]));
+        }
+        assert_eq!(tx.watch().dropped(), 12, "20 pushed into 8 slots");
+        let got: Vec<u64> = std::iter::from_fn(|| rx.pop().map(|(h, _)| h.seq)).collect();
+        assert_eq!(got, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn push_batch_longer_than_ring_keeps_newest() {
+        let (mut tx, mut rx) = heartbeat_ring(4);
+        let batch: Vec<Heartbeat> = (0..11u64).map(|i| hb(2, i)).collect();
+        tx.push_batch(&batch, Timestamp::ZERO);
+        assert_eq!(tx.watch().dropped(), 7, "11 into 4 slots");
+        let got: Vec<u64> = std::iter::from_fn(|| rx.pop().map(|(h, _)| h.seq)).collect();
+        assert_eq!(got, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn push_batch_interleaved_with_pop_evicts_oldest() {
+        let (mut tx, mut rx) = heartbeat_ring(4);
+        tx.push_batch(&[hb(1, 0), hb(1, 1), hb(1, 2)], Timestamp::ZERO);
+        assert_eq!(rx.pop().map(|(h, _)| h.seq), Some(0));
+        // 2 unread + batch of 4 into 4 slots → evict the 2 unread.
+        tx.push_batch(&[hb(1, 3), hb(1, 4), hb(1, 5), hb(1, 6)], Timestamp::ZERO);
+        let got: Vec<u64> = std::iter::from_fn(|| rx.pop().map(|(h, _)| h.seq)).collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+        assert_eq!(tx.watch().dropped(), 2);
+    }
+
+    #[test]
+    fn cross_thread_push_batch_with_eviction_stays_consistent() {
+        // Batched writes under sustained pressure on a tiny ring: every
+        // popped frame must be internally consistent and seqs strictly
+        // increasing — one seqlock advance per batch must never let a
+        // consumer observe a torn or reordered entry.
+        use std::sync::atomic::AtomicBool;
+        let (mut tx, mut rx) = heartbeat_ring(8);
+        const N: u64 = 96_000;
+        let done = Arc::new(AtomicBool::new(false));
+        let p_done = Arc::clone(&done);
+        let producer = std::thread::spawn(move || {
+            let mut batch = Vec::with_capacity(12);
+            let mut i = 0u64;
+            while i < N {
+                batch.clear();
+                // Vary batch sizes through the ring capacity, including
+                // batches larger than the ring itself.
+                let len = 1 + (i % 12);
+                for _ in 0..len {
+                    if i >= N {
+                        break;
+                    }
+                    batch.push(hb(3, i));
+                    i += 1;
+                }
+                tx.push_batch(&batch, Timestamp::from_nanos(batch[0].seq));
+            }
+            p_done.store(true, Ordering::Release);
+            tx
+        });
+        let mut last: Option<u64> = None;
+        let mut got = 0u64;
+        loop {
+            match rx.pop() {
+                Some((h, at)) => {
+                    assert_eq!(h.sent_at.as_nanos(), h.seq, "torn slot read");
+                    assert!(at.as_nanos() <= h.seq, "stamp from a later batch");
+                    if let Some(prev) = last {
+                        assert!(h.seq > prev, "reordered: {} after {prev}", h.seq);
+                    }
+                    last = Some(h.seq);
+                    got += 1;
+                }
+                None => {
+                    if done.load(Ordering::Acquire) && rx.watch().is_empty() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let tx = producer.join().expect("producer");
+        assert_eq!(got + tx.watch().dropped(), N);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! directly into the slots; [`ChannelTransport`] copies out of its
 //! inline queue entries). After the arena is built, steady-state intake
 //! performs **zero heap allocations per frame** — enforced by the
-//! `no-alloc-in-hot-path` afd-lint rule over this file.
+//! `no-alloc-in-hot-path` afd-lint rule over this file. Batches are
+//! also the clock-amortization unit: intake paths take one arrival
+//! stamp per `recv_batch` call and apply it to every frame in the
+//! batch (skew bounded by one batch's handling time — DESIGN.md §7j).
 //!
 //! # Bounded, lossy channels
 //!

@@ -45,6 +45,7 @@ impl Error for VarintError {}
 /// Returns `None` if `buf` is too short — callers size frame buffers to
 /// worst case ([`MAX_VARINT_LEN`] per field), so `None` is a programmer
 /// error surfaced as a value rather than a panic.
+#[inline]
 #[must_use]
 pub fn encode_u64(mut value: u64, buf: &mut [u8]) -> Option<usize> {
     let mut i = 0usize;
@@ -67,6 +68,7 @@ pub fn encode_u64(mut value: u64, buf: &mut [u8]) -> Option<usize> {
 ///
 /// [`VarintError::Truncated`] if `input` ends mid-varint,
 /// [`VarintError::Overlong`] past ten bytes or 64 bits.
+#[inline]
 pub fn decode_u64(input: &[u8]) -> Result<(u64, usize), VarintError> {
     let mut value = 0u64;
     let mut shift = 0u32;
@@ -90,18 +92,21 @@ pub fn decode_u64(input: &[u8]) -> Result<(u64, usize), VarintError> {
 
 /// Maps a signed value onto the unsigned varint space so that small
 /// magnitudes of either sign stay short: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+#[inline]
 #[must_use]
 pub fn zigzag(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
+#[inline]
 #[must_use]
 pub fn unzigzag(value: u64) -> i64 {
     ((value >> 1) as i64) ^ -((value & 1) as i64)
 }
 
 /// Encodes a signed value zigzag-then-LEB128. See [`encode_u64`].
+#[inline]
 #[must_use]
 pub fn encode_i64(value: i64, buf: &mut [u8]) -> Option<usize> {
     encode_u64(zigzag(value), buf)
@@ -112,6 +117,7 @@ pub fn encode_i64(value: i64, buf: &mut [u8]) -> Option<usize> {
 /// # Errors
 ///
 /// Propagates [`VarintError`] from the underlying varint decode.
+#[inline]
 pub fn decode_i64(input: &[u8]) -> Result<(i64, usize), VarintError> {
     let (raw, used) = decode_u64(input)?;
     Ok((unzigzag(raw), used))

@@ -41,13 +41,13 @@
 //! reused intake slot can never leak a previous datagram's tail into a
 //! decoded heartbeat.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use afd_core::process::ProcessId;
 use afd_core::time::Timestamp;
 
+use crate::intern::{InternEntry, InternSlab};
 use crate::varint;
 
 /// Frame length in bytes: magic(2) + version(1) + kind(1) + sender(4) +
@@ -112,6 +112,10 @@ pub enum WireError {
     /// A delta frame referenced an intern index this receiver has not
     /// seen; the sender's periodic re-intern will heal it.
     UnknownIntern(u32),
+    /// A delta frame's intern index does not even fit in `u32` (the
+    /// raw varint value is carried) — no intern table can contain it,
+    /// so this is encoder corruption or garbage, not a healable miss.
+    InternOutOfRange(u64),
 }
 
 impl fmt::Display for WireError {
@@ -125,6 +129,9 @@ impl fmt::Display for WireError {
             WireError::ShortFrame => write!(f, "frame declares more bytes than received"),
             WireError::TrailingBytes => write!(f, "frame has trailing bytes past its payload"),
             WireError::UnknownIntern(idx) => write!(f, "delta references unknown intern {idx}"),
+            WireError::InternOutOfRange(raw) => {
+                write!(f, "delta intern index {raw} exceeds u32 space")
+            }
         }
     }
 }
@@ -338,28 +345,23 @@ impl DeltaEncoder {
     }
 }
 
-/// One receiver-side intern table entry.
-#[derive(Debug, Clone, Copy)]
-struct InternEntry {
-    sender: u32,
-    ckpt_seq: u64,
-    ckpt_sent_at_nanos: u64,
-    interval_nanos: u64,
-}
-
 /// Receiver-side decoder for any mix of v1 and v2 frames on one socket.
 ///
 /// Dispatches on the leading bytes: [`DELTA_MAGIC`] → delta, `"AF"` +
 /// version byte → v1 heartbeat or v2 intern frame. The intern table is
-/// bounded: once `capacity` indices are live, intern frames from *new*
-/// indices still decode as heartbeats but are not remembered (counted
-/// by [`interns_rejected`](WireDecoder::interns_rejected)), so their
+/// a flat [`InternSlab`] indexed directly by the intern index — one
+/// bounds check and one load per delta, no hashing — and it is bounded:
+/// intern frames whose index falls outside `0..capacity` still decode
+/// as heartbeats but are not remembered (counted by
+/// [`interns_rejected`](WireDecoder::interns_rejected)), so their
 /// deltas bounce with [`WireError::UnknownIntern`] until the peer falls
-/// back to v1 or an index frees up on restart.
+/// back to v1. Under the dense identity-index convention (senders
+/// intern their own id, ids below the capacity) this is the same bound
+/// the PR 9 `HashMap` table enforced by fullness — see the `intern`
+/// module docs and the `intern_equiv` proptest.
 #[derive(Debug)]
 pub struct WireDecoder {
-    table: HashMap<u32, InternEntry>,
-    capacity: usize,
+    table: InternSlab,
     interns_rejected: u64,
 }
 
@@ -379,12 +381,12 @@ impl WireDecoder {
         WireDecoder::with_capacity(DEFAULT_INTERN_CAPACITY)
     }
 
-    /// Creates a decoder remembering at most `capacity` intern indices
-    /// (floored at 1).
+    /// Creates a decoder remembering intern indices `0..capacity`
+    /// (floored at 1). The whole table is allocated here — decoding
+    /// never allocates.
     pub fn with_capacity(capacity: usize) -> Self {
         WireDecoder {
-            table: HashMap::new(),
-            capacity: capacity.max(1),
+            table: InternSlab::new(capacity),
             interns_rejected: 0,
         }
     }
@@ -395,9 +397,20 @@ impl WireDecoder {
     }
 
     /// Intern frames accepted as heartbeats but not remembered because
-    /// the table was full.
+    /// their index fell outside the table's bound.
     pub fn interns_rejected(&self) -> u64 {
         self.interns_rejected
+    }
+
+    /// Forgets every intern entry in O(1) — the restart path for a
+    /// decoder being reused across runs (a generation bump in the slab,
+    /// not a million-slot sweep). Deltas bounce with
+    /// [`WireError::UnknownIntern`] until their senders re-intern, just
+    /// as after a real receiver restart. The
+    /// [`interns_rejected`](Self::interns_rejected) counter is
+    /// cumulative and survives the reset.
+    pub fn reset(&mut self) {
+        self.table.reset();
     }
 
     /// Decodes one received frame of either wire version.
@@ -459,9 +472,10 @@ impl WireDecoder {
             ckpt_sent_at_nanos: nanos,
             interval_nanos: interval,
         };
-        if self.table.contains_key(&intern_idx) || self.table.len() < self.capacity {
-            self.table.insert(intern_idx, entry);
-        } else {
+        // Single probe: the slab's insert is the bounds check. In-range
+        // indices always store (fill or overwrite); out-of-bound ones
+        // are the rejection the old full-table check expressed.
+        if !self.table.insert(intern_idx, entry) {
             self.interns_rejected += 1;
         }
         Ok(Heartbeat {
@@ -475,8 +489,10 @@ impl WireDecoder {
         let mut at = 1usize; // past DELTA_MAGIC
         let (idx, n) = varint::decode_u64(&frame[at..]).map_err(|_| WireError::ShortFrame)?;
         at += n;
-        // An index beyond u32 space is by definition never in the table.
-        let intern_idx = u32::try_from(idx).map_err(|_| WireError::UnknownIntern(u32::MAX))?;
+        // An index beyond u32 space can never have been interned: that
+        // is corruption, not a healable miss, and the error carries the
+        // raw value rather than masquerading as index `u32::MAX`.
+        let intern_idx = u32::try_from(idx).map_err(|_| WireError::InternOutOfRange(idx))?;
         let (seq_delta, n) = varint::decode_u64(&frame[at..]).map_err(|_| WireError::ShortFrame)?;
         at += n;
         let (residual, n) = varint::decode_i64(&frame[at..]).map_err(|_| WireError::ShortFrame)?;
@@ -488,9 +504,9 @@ impl WireDecoder {
             l if l > at + 2 => return Err(WireError::TrailingBytes),
             _ => {}
         }
-        let entry = *self
+        let entry = self
             .table
-            .get(&intern_idx)
+            .get(intern_idx)
             .ok_or(WireError::UnknownIntern(intern_idx))?;
         let expected = u16::from_le_bytes([frame[at], frame[at + 1]]);
         if fnv16_bound(&frame[..at], entry.sender) != expected {
@@ -751,6 +767,69 @@ mod tests {
         }
         assert_eq!(dec.interned(), 2);
         assert_eq!(dec.interns_rejected(), 2);
+    }
+
+    #[test]
+    fn out_of_u32_intern_index_is_distinct_from_a_real_max_miss() {
+        let mut dec = WireDecoder::new();
+
+        // Hand-built delta whose intern-index varint exceeds u32 space:
+        // no table could ever contain it, so the decoder reports the
+        // raw value instead of masquerading as index u32::MAX.
+        let raw = u64::from(u32::MAX) + 1;
+        let mut buf = [0u8; MAX_V2_FRAME];
+        buf[0] = DELTA_MAGIC;
+        let mut at = 1;
+        at += varint::encode_u64(raw, &mut buf[at..]).unwrap();
+        at += varint::encode_u64(1, &mut buf[at..]).unwrap();
+        at += varint::encode_i64(0, &mut buf[at..]).unwrap();
+        assert_eq!(
+            dec.decode(&buf[..at + 2]),
+            Err(WireError::InternOutOfRange(raw))
+        );
+
+        // The largest *valid* index is an ordinary healable miss and
+        // must still say so — before the fix both cases collapsed into
+        // UnknownIntern(u32::MAX).
+        let mut buf = [0u8; MAX_V2_FRAME];
+        buf[0] = DELTA_MAGIC;
+        let mut at = 1;
+        at += varint::encode_u64(u64::from(u32::MAX), &mut buf[at..]).unwrap();
+        at += varint::encode_u64(1, &mut buf[at..]).unwrap();
+        at += varint::encode_i64(0, &mut buf[at..]).unwrap();
+        assert_eq!(
+            dec.decode(&buf[..at + 2]),
+            Err(WireError::UnknownIntern(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn reset_forgets_interns_until_the_sender_resyncs() {
+        let (mut enc, mut dec) = v2_pair(3);
+        let mut buf = [0u8; MAX_V2_FRAME];
+        let n = enc.encode(&hb_at(0, 1_000), &mut buf);
+        assert_eq!(n, INTERN_LEN);
+        assert!(dec.decode(&buf[..n]).is_ok());
+        let n = enc.encode(&hb_at(1, 100_001_000), &mut buf);
+        assert!(n < INTERN_LEN);
+        assert!(dec.decode(&buf[..n]).is_ok());
+        assert_eq!(dec.interned(), 1);
+
+        // Restart: the table empties in O(1); in-flight deltas bounce.
+        dec.reset();
+        assert_eq!(dec.interned(), 0);
+        let n2 = enc.encode(&hb_at(2, 200_001_000), &mut buf);
+        assert!(n2 < INTERN_LEN, "third frame of resync_every=3 is a delta");
+        assert_eq!(dec.decode(&buf[..n2]), Err(WireError::UnknownIntern(7)));
+        // The sender's next checkpoint re-registers the index and heals
+        // the stream, exactly as after a real receiver restart.
+        let n3 = enc.encode(&hb_at(3, 300_001_000), &mut buf);
+        assert_eq!(n3, INTERN_LEN);
+        assert_eq!(dec.decode(&buf[..n3]), Ok(hb_at(3, 300_001_000)));
+        assert_eq!(dec.interned(), 1);
+        let n4 = enc.encode(&hb_at(4, 400_001_000), &mut buf);
+        assert!(n4 < INTERN_LEN);
+        assert_eq!(dec.decode(&buf[..n4]), Ok(hb_at(4, 400_001_000)));
     }
 
     #[test]
